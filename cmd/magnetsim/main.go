@@ -1,0 +1,119 @@
+// Command magnetsim regenerates the paper's accelerator experiments:
+// Table II (parameterizations and areas), Fig. 6 (energy/FLOP versus
+// throughput/mm²), Fig. 7/9 (accelerator-E distributions) and Fig. 8
+// (per-layer energy per FLOP). It can also simulate any model on any
+// Table II accelerator.
+//
+// Usage:
+//
+//	magnetsim -exp table2|fig6|fig7|fig8|fig9|all [-csv]
+//	magnetsim -model swin-tiny -accel G
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vitdyn/internal/experiments"
+	"vitdyn/internal/magnet"
+	"vitdyn/internal/nn"
+	"vitdyn/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2, fig6, fig7, fig8, fig9, all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	model := flag.String("model", "", "ad-hoc run: segformer-ade-b2, swin-tiny or resnet-50")
+	accel := flag.String("accel", "E", "accelerator label (A..M) for -model runs")
+	flag.Parse()
+
+	if *model != "" {
+		if err := adhoc(*model, *accel); err != nil {
+			fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table2", "fig6", "fig7", "fig8", "fig9"}
+	}
+	for _, n := range names {
+		t, err := build(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := t.CSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func build(name string) (*report.Table, error) {
+	switch name {
+	case "table2":
+		return experiments.RenderTable2(experiments.Table2AcceleratorAreas()), nil
+	case "fig6":
+		rows, err := experiments.Fig6EnergyVsThroughput()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig6(rows), nil
+	case "fig7":
+		res, err := experiments.AcceleratorDistribution("segformer-ade-b2", 8)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderDistribution(res, "Fig 7"), nil
+	case "fig8":
+		rows, err := experiments.Fig8EnergyPerFLOP(12)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig8(rows), nil
+	case "fig9":
+		res, err := experiments.AcceleratorDistribution("swin-tiny", 8)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderDistribution(res, "Fig 9"), nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+func adhoc(model, accel string) error {
+	cfg, err := magnet.ByName(accel)
+	if err != nil {
+		return err
+	}
+	var sim *magnet.Result
+	switch model {
+	case "segformer-ade-b2":
+		sim, err = cfg.Simulate(nn.MustSegFormer("B2", 150, 512, 512))
+	case "swin-tiny":
+		sim, err = cfg.Simulate(nn.MustSwin("Tiny", 150, 512, 512))
+	case "resnet-50":
+		sim, err = cfg.Simulate(nn.MustResNet50(224, 224, true))
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on accelerator %s: %.3f ms, %.3f mJ, %.4f pJ/MAC, conv %.1f%% time / %.1f%% energy\n",
+		sim.Model, accel, sim.TotalSeconds*1e3, sim.EnergyJ()*1e3, sim.EnergyPerMAC(),
+		100*sim.ConvTimeShare(), 100*sim.ConvEnergyShare())
+	return nil
+}

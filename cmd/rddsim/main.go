@@ -1,0 +1,142 @@
+// Command rddsim regenerates the paper's dynamic-inference experiments:
+// Fig. 10 (SegFormer GPU tradeoff), Table III (named configurations),
+// Fig. 11 (accelerator-E tradeoff), Fig. 12 (Swin), Fig. 13 (OFA
+// switching), the headline claims, and an RDD trace-replay demo.
+//
+// Usage:
+//
+//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv]
+//	rddsim -exp replay -trace bursty -frames 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vitdyn/internal/core"
+	"vitdyn/internal/experiments"
+	"vitdyn/internal/rdd"
+	"vitdyn/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig10, table3, fig11, fig12, fig13, claims, replay, all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	trace := flag.String("trace", "bursty", "replay trace: sinusoid, step, bursty")
+	frames := flag.Int("frames", 2000, "replay frame count")
+	flag.Parse()
+
+	if *exp == "replay" {
+		if err := replay(*trace, *frames); err != nil {
+			fmt.Fprintf(os.Stderr, "rddsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig10", "table3", "fig11", "fig12", "fig13", "claims"}
+	}
+	for _, n := range names {
+		t, err := build(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rddsim: %v\n", err)
+			os.Exit(1)
+		}
+		var renderErr error
+		if *csv {
+			renderErr = t.CSV(os.Stdout)
+		} else {
+			renderErr = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if renderErr != nil {
+			fmt.Fprintf(os.Stderr, "rddsim: %v\n", renderErr)
+			os.Exit(1)
+		}
+	}
+}
+
+func build(name string) (*report.Table, error) {
+	switch name {
+	case "fig10":
+		rows, err := experiments.Fig10SegFormerGPUTradeoff("ADE")
+		if err != nil {
+			return nil, err
+		}
+		var keep []experiments.TradeoffRow
+		for _, r := range rows {
+			if r.Pareto || r.Source == "retrained" {
+				keep = append(keep, r)
+			}
+		}
+		return experiments.RenderTradeoff("Fig 10 (ADE): GPU time vs mIoU (Pareto + retrained)", keep), nil
+	case "table3":
+		rows, err := experiments.Table3SegFormerConfigs()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderTable3(rows), nil
+	case "fig11":
+		rows, err := experiments.Fig11SegFormerAccelTradeoff()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderTradeoff("Fig 11: accelerator E time/energy vs mIoU", rows), nil
+	case "fig12":
+		rows, err := experiments.Fig12SwinTradeoff()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig12(rows), nil
+	case "fig13":
+		rows, err := experiments.Fig13OFASwitching()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig13(rows), nil
+	case "claims":
+		claims, err := experiments.HeadlineClaims()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderClaims(claims), nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+func replay(traceKind string, frames int) error {
+	cat, err := core.SegFormerCatalog("ADE", core.TargetAcceleratorE(), 512)
+	if err != nil {
+		return err
+	}
+	lo, hi := cat.Cheapest().Cost*1.05, cat.Full().Cost*1.05
+	var tr rdd.Trace
+	switch traceKind {
+	case "sinusoid":
+		tr = rdd.SinusoidTrace(frames, lo, hi, 120)
+	case "step":
+		tr = rdd.StepTrace(frames, lo, hi, 60)
+	case "bursty":
+		tr = rdd.BurstyTrace(frames, lo, hi, 0.4, 7)
+	default:
+		return fmt.Errorf("unknown trace %q (want sinusoid, step, bursty)", traceKind)
+	}
+
+	dyn := cat.Simulate(tr)
+	stFull := rdd.SimulateStatic(cat.Full(), tr)
+	stWorst := rdd.SimulateStatic(cat.Cheapest(), tr)
+
+	t := report.NewTable(
+		fmt.Sprintf("RDD replay: SegFormer ADE B2 on accelerator E, %s trace, %d frames", traceKind, frames),
+		"Policy", "Completed", "Skipped", "MeanAcc", "EffAcc", "FullPath%")
+	add := func(name string, r rdd.SimResult) {
+		t.AddRowf(name, r.Completed, r.Skipped, r.MeanAccuracy, r.EffectiveAccuracy(), 100*r.FullPathShare)
+	}
+	add("dynamic (RDD)", dyn)
+	add("static full", stFull)
+	add("static worst-case", stWorst)
+	return t.Render(os.Stdout)
+}

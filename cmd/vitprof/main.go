@@ -1,0 +1,80 @@
+// Command vitprof regenerates the paper's profiling experiments: Table I
+// (model overview), Fig. 1 (DETR conv/backbone shares vs image size),
+// Fig. 3 (FLOPs distributions) and Fig. 4 (GPU conv time vs pixels).
+//
+// Usage:
+//
+//	vitprof -exp table1|fig1|fig3|fig4|all [-csv] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vitdyn/internal/experiments"
+	"vitdyn/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate: table1, fig1, fig3, fig4, all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	top := flag.Int("top", 8, "layers per distribution (fig3)")
+	flag.Parse()
+
+	run := func(name string) error {
+		t, err := build(name, *top)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return t.CSV(os.Stdout)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig1", "fig3", "fig4"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "vitprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func build(name string, top int) (*report.Table, error) {
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1ModelOverview()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderTable1(rows), nil
+	case "fig1":
+		rows, err := experiments.Fig1DETRConvShare(nil)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig1(rows), nil
+	case "fig3":
+		res, err := experiments.Fig3FLOPsDistribution(top)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig3(res), nil
+	case "fig4":
+		rows, err := experiments.Fig4ConvGPUTime(nil)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig4(rows), nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q (want table1, fig1, fig3, fig4)", name)
+}

@@ -1,0 +1,260 @@
+package accuracy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vitdyn/internal/nn"
+	"vitdyn/internal/prune"
+)
+
+// TestTableIIIAnchorsExact: the resilience surface must reproduce every
+// published Table III mIoU exactly (the anchors define the model).
+func TestTableIIIAnchorsExact(t *testing.T) {
+	published := map[string]float64{
+		"B2": 0.4651, "B2a": 0.4565, "B2b": 0.4510, "B2c": 0.4374,
+		"B2d": 0.4041, "B2e": 0.3649, "B2f": 0.3345,
+	}
+	r := NewSegFormerADE()
+	for _, p := range prune.TableIII() {
+		got := r.Pretrained(p)
+		want := published[p.Label]
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s: modeled mIoU %.4f, Table III reports %.4f", p.Label, got, want)
+		}
+	}
+}
+
+// TestMonotoneInFuseChannels: pruning more fuse channels never helps.
+func TestMonotoneInFuseChannels(t *testing.T) {
+	r := NewSegFormerADE()
+	cfg, _ := nn.SegFormerB("B2", 150)
+	prev := 1.0
+	for fuse := 3072; fuse >= 256; fuse -= 128 {
+		p := prune.FullSegFormerPath(cfg)
+		p.FuseInCh = fuse
+		got := r.Pretrained(p)
+		if got > prev+1e-9 {
+			t.Errorf("fuse=%d: mIoU %.4f exceeds smaller-pruning value %.4f", fuse, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestMonotoneInEncoderBlocks: removing more blocks never helps, and the
+// per-stage sensitivity grows with stage depth position (stage 2/3 blocks
+// matter more than stage 0, per the Table III fit).
+func TestMonotoneInEncoderBlocks(t *testing.T) {
+	r := NewSegFormerADE()
+	cfg, _ := nn.SegFormerB("B2", 150)
+	full := prune.FullSegFormerPath(cfg)
+	base := r.Pretrained(full)
+	var drops [3]float64
+	for s := 0; s < 3; s++ {
+		p := full
+		p.EncoderBlocks[s]--
+		drops[s] = base - r.Pretrained(p)
+		if drops[s] <= 0 {
+			t.Errorf("removing a stage-%d block must cost accuracy, got drop %v", s, drops[s])
+		}
+	}
+	if !(drops[0] < drops[1] && drops[1] < drops[2]) {
+		t.Errorf("per-stage drops %v should increase with stage index", drops)
+	}
+}
+
+// TestCityMoreResilient: the paper finds the Cityscapes-trained model about
+// half as sensitive (0.9% vs 1.9% loss at equal relative pruning).
+func TestCityMoreResilient(t *testing.T) {
+	ade := NewSegFormerADE()
+	city := NewSegFormerCity()
+	cfg, _ := nn.SegFormerB("B2", 150)
+	p := prune.FullSegFormerPath(cfg)
+	p.FuseInCh = 1920
+	adeLoss := (ade.Baseline - ade.Pretrained(p)) / ade.Baseline
+	cityLoss := (city.Baseline - city.Pretrained(p)) / city.Baseline
+	if cityLoss >= adeLoss {
+		t.Errorf("City relative loss %.4f should be below ADE's %.4f", cityLoss, adeLoss)
+	}
+	if ratio := cityLoss / adeLoss; ratio < 0.3 || ratio > 0.8 {
+		t.Errorf("City/ADE sensitivity ratio %.2f, paper suggests ~0.5", ratio)
+	}
+}
+
+// TestPredChannelSlightGain: Fig. 10's config "a" (32 fewer Conv2DPred
+// channels) slightly exceeds the baseline mIoU without retraining.
+func TestPredChannelSlightGain(t *testing.T) {
+	r := NewSegFormerADE()
+	cfg, _ := nn.SegFormerB("B2", 150)
+	p := prune.FullSegFormerPath(cfg)
+	p.PredInCh = 768 - 32
+	got := r.Pretrained(p)
+	if got <= r.Baseline {
+		t.Errorf("pred-32 mIoU %.4f should slightly exceed baseline %.4f", got, r.Baseline)
+	}
+	if got > r.Baseline+0.002 {
+		t.Errorf("pred-32 gain %.4f implausibly large", got-r.Baseline)
+	}
+}
+
+// TestRetrainedCeiling: retraining recovers part of the loss and never hurts.
+func TestRetrainedCeiling(t *testing.T) {
+	r := NewSegFormerADE()
+	for _, p := range prune.TableIII() {
+		pre, post := r.Pretrained(p), r.Retrained(p)
+		if post < pre {
+			t.Errorf("%s: retrained %.4f below pretrained %.4f", p.Label, post, pre)
+		}
+		if p.Label != "B2" && post > r.Baseline {
+			t.Errorf("%s: retrained %.4f exceeds baseline", p.Label, post)
+		}
+	}
+	// Fig. 10 config "a": retrains from a slight gain to 0.4698-ish.
+	cfg, _ := nn.SegFormerB("B2", 150)
+	a := prune.FullSegFormerPath(cfg)
+	a.PredInCh = 736
+	if got := r.Retrained(a); got < 0.4655 || got > 0.4720 {
+		t.Errorf("config a retrained mIoU = %.4f, paper reports 0.4698", got)
+	}
+}
+
+// TestSwinLessResilientThanSegFormer (Section V-B): equal relative decoder
+// pruning hurts Swin more.
+func TestSwinLessResilientThanSegFormer(t *testing.T) {
+	seg := NewSegFormerADE()
+	segCfg, _ := nn.SegFormerB("B2", 150)
+	segPath := prune.FullSegFormerPath(segCfg)
+	segPath.FuseInCh = 3072 * 3 / 4
+	segLoss := (seg.Baseline - seg.Pretrained(segPath)) / seg.Baseline
+
+	sw, err := NewSwin("Tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	swCfg, _ := nn.SwinVariant("Tiny", 150)
+	full := prune.FullSwinPath(swCfg)
+	p := full
+	p.FPNBottleneckCh = 2048 * 3 / 4
+	p.Stage2Blocks = full.Stage2Blocks - 1
+	swLoss := (sw.Baseline - sw.Pretrained(p, full)) / sw.Baseline
+
+	if swLoss <= segLoss {
+		t.Errorf("Swin loss %.4f should exceed SegFormer's %.4f at comparable pruning", swLoss, segLoss)
+	}
+}
+
+// TestSwinSmallBaseMoreResilient: Small/Base tolerate stage-2 bypass better
+// than Tiny (18 vs 6 stage-2 blocks).
+func TestSwinSmallBaseMoreResilient(t *testing.T) {
+	tiny, _ := NewSwin("Tiny")
+	small, _ := NewSwin("Small")
+	tCfg, _ := nn.SwinVariant("Tiny", 150)
+	sCfg, _ := nn.SwinVariant("Small", 150)
+	tFull, sFull := prune.FullSwinPath(tCfg), prune.FullSwinPath(sCfg)
+
+	tp := tFull
+	tp.Stage2Blocks-- // 1/6 removed
+	sp := sFull
+	sp.Stage2Blocks -= 3 // 3/18 removed: same fraction
+	tLoss := (tiny.Baseline - tiny.Pretrained(tp, tFull)) / tiny.Baseline
+	sLoss := (small.Baseline - small.Pretrained(sp, sFull)) / small.Baseline
+	if sLoss >= tLoss {
+		t.Errorf("Swin Small loss %.4f should be below Tiny's %.4f at equal fraction", sLoss, tLoss)
+	}
+}
+
+func TestBaselineLookups(t *testing.T) {
+	if v, err := SegFormerBaseline("B2", "ADE"); err != nil || v != SegFormerADEB2 {
+		t.Errorf("ADE B2 baseline = %v, %v", v, err)
+	}
+	if v, err := SegFormerBaseline("B1", "City"); err != nil || v != SegFormerCityB1 {
+		t.Errorf("City B1 baseline = %v, %v", v, err)
+	}
+	if _, err := SegFormerBaseline("B2", "KITTI"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := SegFormerBaseline("B7", "ADE"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if v, err := SwinBaseline("Base"); err != nil || v != SwinBase {
+		t.Errorf("Swin Base baseline = %v, %v", v, err)
+	}
+	if _, err := SwinBaseline("Huge"); err == nil {
+		t.Error("unknown Swin variant accepted")
+	}
+	if _, err := NewSwin("Huge"); err == nil {
+		t.Error("NewSwin must reject unknown variants")
+	}
+}
+
+// TestSwitchingDrops: the retrained-family accuracy gaps behind the paper's
+// headline switching numbers.
+func TestSwitchingDrops(t *testing.T) {
+	if d := SegFormerADEB2 - SegFormerADEB1; d < 0.042 || d > 0.045 {
+		t.Errorf("ADE B2->B1 drop = %.4f, paper reports 4.3%%", d)
+	}
+	if d := SegFormerCityB2 - SegFormerCityB1; d < 0.022 || d > 0.028 {
+		t.Errorf("City B2->B1 drop = %.4f, paper reports 2.5%%", d)
+	}
+	if d := SwinBase - SwinTiny; d < 0.034 || d > 0.039 {
+		t.Errorf("Swin Base->Tiny drop = %.4f, paper reports 3.6%%", d)
+	}
+	if d := SegFormerADEB2 - SegFormerADEB0; d < 0.085 || d > 0.095 {
+		t.Errorf("ADE B2->B0 drop = %.4f, paper reports ~9%%", d)
+	}
+}
+
+func TestOFATop1(t *testing.T) {
+	if v, err := OFATop1("ofa-full"); err != nil || v != 0.7960 {
+		t.Errorf("ofa-full = %v, %v", v, err)
+	}
+	if _, err := OFATop1("nope"); err == nil {
+		t.Error("unknown subnet accepted")
+	}
+	// The catalog must contain a subnet ~3.3% below full for Fig. 13.
+	full, _ := OFATop1("ofa-full")
+	found := false
+	for _, s := range nn.OFACatalog() {
+		if d := full - s.Top1; d >= 0.030 && d <= 0.040 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no OFA subnet with a ~3.3% top-1 drop for the Fig. 13 experiment")
+	}
+}
+
+// Property: the ADE resilience surface is bounded by [0, baseline+eps] and
+// monotone in each pruning knob over random valid paths.
+func TestResilienceBoundsQuick(t *testing.T) {
+	r := NewSegFormerADE()
+	cfg, _ := nn.SegFormerB("B2", 150)
+	f := func(a, b, c, d, e uint8) bool {
+		p := prune.SegFormerPath{
+			Label: "q",
+			EncoderBlocks: [4]int{
+				int(a)%3 + 1, int(b)%4 + 1, int(c)%6 + 1, 3,
+			},
+			FuseInCh:        int(d)%24*128 + 128,
+			PredInCh:        768 - int(e)%4*32,
+			DecodeLinear0Ch: 64,
+		}
+		if p.Validate(cfg) != nil {
+			return true
+		}
+		m := r.Pretrained(p)
+		if m < 0 || m > r.Baseline+0.003 {
+			return false
+		}
+		// Pruning one more fuse step never helps.
+		p2 := p
+		p2.FuseInCh -= 128
+		if p2.Validate(cfg) == nil && r.Pretrained(p2) > m+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

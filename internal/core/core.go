@@ -1,0 +1,218 @@
+// Package core ties the substrates together into the paper's primary
+// contribution: resource-dependent dynamic (RDD) inference for vision
+// transformers. It builds execution-path catalogs — pretrained pruning
+// paths, retrained model-family switches, and OFA subnet ladders — with
+// costs from either the GPU model or a MAGNet accelerator simulation and
+// accuracies from the anchored resilience surfaces, ready for the RDD
+// controller in internal/rdd.
+package core
+
+import (
+	"fmt"
+
+	"vitdyn/internal/accuracy"
+	"vitdyn/internal/gpu"
+	"vitdyn/internal/graph"
+	"vitdyn/internal/magnet"
+	"vitdyn/internal/nn"
+	"vitdyn/internal/prune"
+	"vitdyn/internal/rdd"
+)
+
+// Target selects the execution substrate for path costs.
+type Target struct {
+	// GPU, when set, costs paths with the A5000 latency model.
+	GPU *gpu.Device
+	// Accel, when set, costs paths with a MAGNet simulation. Exactly one of
+	// GPU/Accel must be set.
+	Accel *magnet.Config
+	// UseEnergy costs accelerator paths by energy instead of time.
+	UseEnergy bool
+}
+
+// TargetGPU returns an A5000 target.
+func TargetGPU() Target {
+	d := gpu.A5000()
+	return Target{GPU: &d}
+}
+
+// TargetAcceleratorE returns an accelerator-E target costing by time.
+func TargetAcceleratorE() Target {
+	c := magnet.AcceleratorE()
+	return Target{Accel: &c}
+}
+
+// TargetAcceleratorEEnergy returns an accelerator-E target costing by energy.
+func TargetAcceleratorEEnergy() Target {
+	c := magnet.AcceleratorE()
+	return Target{Accel: &c, UseEnergy: true}
+}
+
+func (t Target) validate() error {
+	if (t.GPU == nil) == (t.Accel == nil) {
+		return fmt.Errorf("core: target must set exactly one of GPU or Accel")
+	}
+	if t.UseEnergy && t.Accel == nil {
+		return fmt.Errorf("core: energy costing requires an accelerator target")
+	}
+	return nil
+}
+
+// cost returns the path cost of a graph on the target (ms or mJ).
+func (t Target) cost(g *graph.Graph) (float64, error) {
+	if t.GPU != nil {
+		return t.GPU.Run(g).Total * 1e3, nil
+	}
+	r, err := t.Accel.Simulate(g)
+	if err != nil {
+		return 0, err
+	}
+	if t.UseEnergy {
+		return r.EnergyJ() * 1e3, nil
+	}
+	return r.TotalSeconds * 1e3, nil
+}
+
+// SegFormerCatalog builds the RDD path catalog for a pretrained SegFormer
+// B2 on the given dataset: the paper's joint sweep of encoder-block bypass
+// and decoder channel pruning, costed on the target, scored with the
+// anchored resilience surface, and reduced to its Pareto frontier.
+func SegFormerCatalog(dataset string, target Target, channelStep int) (*rdd.Catalog, error) {
+	if err := target.validate(); err != nil {
+		return nil, err
+	}
+	classes, size := 150, 512
+	var res *accuracy.SegFormerResilience
+	switch dataset {
+	case "ADE":
+		res = accuracy.NewSegFormerADE()
+	case "City":
+		res = accuracy.NewSegFormerCity()
+		classes, size = 19, 1024
+	default:
+		return nil, fmt.Errorf("core: unknown dataset %q (want ADE or City)", dataset)
+	}
+	cfg, err := nn.SegFormerB("B2", classes)
+	if err != nil {
+		return nil, err
+	}
+	var paths []rdd.Path
+	for _, p := range prune.SegFormerSweep(cfg, channelStep) {
+		g, err := prune.ApplySegFormer(cfg, size, size, p)
+		if err != nil {
+			return nil, err
+		}
+		c, err := target.cost(g)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, rdd.Path{Label: p.Label, Cost: c, Accuracy: res.Pretrained(p)})
+	}
+	return rdd.NewCatalog("SegFormer-"+dataset+"-B2", paths)
+}
+
+// SegFormerRetrainedCatalog builds the retrained switching catalog
+// (B0/B1/B2) on the target.
+func SegFormerRetrainedCatalog(dataset string, target Target) (*rdd.Catalog, error) {
+	if err := target.validate(); err != nil {
+		return nil, err
+	}
+	classes, size := 150, 512
+	if dataset == "City" {
+		classes, size = 19, 1024
+	}
+	var paths []rdd.Path
+	for _, v := range []string{"B0", "B1", "B2"} {
+		cfg, err := nn.SegFormerB(v, classes)
+		if err != nil {
+			return nil, err
+		}
+		g, err := nn.SegFormer(cfg, size, size)
+		if err != nil {
+			return nil, err
+		}
+		c, err := target.cost(g)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := accuracy.SegFormerBaseline(v, dataset)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, rdd.Path{Label: "SegFormer-" + v, Cost: c, Accuracy: acc})
+	}
+	return rdd.NewCatalog("SegFormer-"+dataset+"-retrained", paths)
+}
+
+// SwinCatalog builds the Swin pruning catalog for a variant. The paper
+// recommends retrained switching for Swin; this catalog exists to quantify
+// why (its frontier is steep).
+func SwinCatalog(variant string, target Target, channelStep int) (*rdd.Catalog, error) {
+	if err := target.validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := nn.SwinVariant(variant, 150)
+	if err != nil {
+		return nil, err
+	}
+	res, err := accuracy.NewSwin(variant)
+	if err != nil {
+		return nil, err
+	}
+	full := prune.FullSwinPath(cfg)
+	var paths []rdd.Path
+	for _, p := range prune.SwinSweep(cfg, channelStep) {
+		g, err := prune.ApplySwin(cfg, 512, 512, p)
+		if err != nil {
+			return nil, err
+		}
+		c, err := target.cost(g)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, rdd.Path{Label: p.Label, Cost: c, Accuracy: res.Pretrained(p, full)})
+	}
+	return rdd.NewCatalog("Swin-"+variant, paths)
+}
+
+// SwinRetrainedCatalog builds the Tiny/Small/Base switching catalog.
+func SwinRetrainedCatalog(target Target) (*rdd.Catalog, error) {
+	if err := target.validate(); err != nil {
+		return nil, err
+	}
+	var paths []rdd.Path
+	for _, v := range []string{"Tiny", "Small", "Base"} {
+		g := nn.MustSwin(v, 150, 512, 512)
+		c, err := target.cost(g)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := accuracy.SwinBaseline(v)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, rdd.Path{Label: "Swin-" + v, Cost: c, Accuracy: acc})
+	}
+	return rdd.NewCatalog("Swin-retrained", paths)
+}
+
+// OFACatalog builds the Once-For-All ResNet-50 switching catalog (the
+// paper's Fig. 13 ladder) on the target.
+func OFACatalog(target Target) (*rdd.Catalog, error) {
+	if err := target.validate(); err != nil {
+		return nil, err
+	}
+	var paths []rdd.Path
+	for _, sub := range nn.OFACatalog() {
+		g, err := nn.OFAResNet(sub, 224, 224)
+		if err != nil {
+			return nil, err
+		}
+		c, err := target.cost(g)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, rdd.Path{Label: sub.ID, Cost: c, Accuracy: sub.Top1})
+	}
+	return rdd.NewCatalog("OFA-ResNet-50", paths)
+}

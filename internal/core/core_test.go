@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"vitdyn/internal/rdd"
+)
+
+func TestTargetValidation(t *testing.T) {
+	if err := (Target{}).validate(); err == nil {
+		t.Error("empty target accepted")
+	}
+	g := TargetGPU()
+	a := TargetAcceleratorE()
+	both := Target{GPU: g.GPU, Accel: a.Accel}
+	if err := both.validate(); err == nil {
+		t.Error("double target accepted")
+	}
+	energyOnGPU := Target{GPU: g.GPU, UseEnergy: true}
+	if err := energyOnGPU.validate(); err == nil {
+		t.Error("energy costing on GPU accepted")
+	}
+	if err := g.validate(); err != nil {
+		t.Errorf("GPU target rejected: %v", err)
+	}
+	if err := TargetAcceleratorEEnergy().validate(); err != nil {
+		t.Errorf("energy target rejected: %v", err)
+	}
+}
+
+func TestSegFormerCatalogGPU(t *testing.T) {
+	cat, err := SegFormerCatalog("ADE", TargetGPU(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Paths) < 4 {
+		t.Fatalf("catalog too small: %d paths", len(cat.Paths))
+	}
+	// Full path has the highest accuracy (~ the B2 baseline or slightly
+	// above via the pred-channel quirk).
+	if full := cat.Full(); full.Accuracy < 0.46 {
+		t.Errorf("full path accuracy %.4f", full.Accuracy)
+	}
+	if cheap := cat.Cheapest(); cheap.Cost >= cat.Full().Cost {
+		t.Error("cheapest path must cost less than the full path")
+	}
+	// Dynamic selection across a sinusoidal load completes every frame.
+	tr := rdd.SinusoidTrace(500, cat.Cheapest().Cost, cat.Full().Cost*1.1, 100)
+	sim := cat.Simulate(tr)
+	if sim.Skipped != 0 {
+		t.Errorf("dynamic policy skipped %d frames", sim.Skipped)
+	}
+	if sim.MeanAccuracy <= cat.Cheapest().Accuracy {
+		t.Error("mean accuracy should exceed the worst path's")
+	}
+}
+
+func TestSegFormerCatalogEnergyVsTime(t *testing.T) {
+	tc, err := SegFormerCatalog("ADE", TargetAcceleratorE(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := SegFormerCatalog("ADE", TargetAcceleratorEEnergy(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Full().Cost == ec.Full().Cost {
+		t.Error("time and energy costs should differ")
+	}
+}
+
+func TestRetrainedBeatsPretrainedCeiling(t *testing.T) {
+	// Section V-A: retrained switching offers a better tradeoff at deep
+	// savings. Compare the accuracy of the cheapest retrained point with a
+	// pretrained point of comparable cost.
+	target := TargetAcceleratorE()
+	pre, err := SegFormerCatalog("ADE", target, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := SegFormerRetrainedCatalog("ADE", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ret.Paths) != 3 {
+		t.Fatalf("retrained catalog has %d paths", len(ret.Paths))
+	}
+	b1 := ret.Paths[1] // B0, B1, B2 ordered by cost
+	if p, ok := pre.Select(b1.Cost); ok && p.Accuracy > b1.Accuracy {
+		t.Errorf("pretrained path %s (%.4f) beats retrained B1 (%.4f) at equal cost — paper says retraining is the ceiling",
+			p.Label, p.Accuracy, b1.Accuracy)
+	}
+}
+
+func TestSwinCatalogs(t *testing.T) {
+	cat, err := SwinCatalog("Tiny", TargetAcceleratorE(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Paths) < 2 {
+		t.Fatalf("Swin catalog too small")
+	}
+	ret, err := SwinRetrainedCatalog(TargetGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ret.Paths) != 3 {
+		t.Fatalf("Swin retrained catalog has %d paths", len(ret.Paths))
+	}
+	// Base -> Tiny: the paper's 36% time saving at 3.6% loss.
+	save := 1 - ret.Cheapest().Cost/ret.Full().Cost
+	if save < 0.25 || save > 0.50 {
+		t.Errorf("Swin Base->Tiny GPU time saving = %.3f, paper reports 0.36", save)
+	}
+	if _, err := SwinCatalog("Huge", TargetGPU(), 512); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestOFACatalogOnE(t *testing.T) {
+	cat, err := OFACatalog(TargetAcceleratorEEnergy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Paths) < 6 {
+		t.Fatalf("OFA catalog has %d paths", len(cat.Paths))
+	}
+	full := cat.Full()
+	if full.Label != "ofa-full" {
+		t.Errorf("full OFA path = %s", full.Label)
+	}
+	// Find the ~3.3%-drop subnet and check the headline ~53% energy saving
+	// band (Fig. 13).
+	for _, p := range cat.Paths {
+		if full.Accuracy-p.Accuracy > 0.030 && full.Accuracy-p.Accuracy < 0.040 {
+			save := 1 - p.Cost/full.Cost
+			if save < 0.45 || save > 0.80 {
+				t.Errorf("energy saving at 3.3%% loss = %.3f, paper reports 0.53", save)
+			}
+		}
+	}
+}
+
+func TestCatalogErrors(t *testing.T) {
+	if _, err := SegFormerCatalog("KITTI", TargetGPU(), 512); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := SegFormerCatalog("ADE", Target{}, 512); err == nil {
+		t.Error("invalid target accepted")
+	}
+	if _, err := OFACatalog(Target{}); err == nil {
+		t.Error("invalid target accepted for OFA")
+	}
+	if _, err := SwinRetrainedCatalog(Target{}); err == nil {
+		t.Error("invalid target accepted for Swin retrained")
+	}
+	if _, err := SegFormerRetrainedCatalog("ADE", Target{}); err == nil {
+		t.Error("invalid target accepted for retrained")
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vitdyn/internal/graph"
+	"vitdyn/internal/magnet"
+	"vitdyn/internal/nn"
+	"vitdyn/internal/pareto"
+	"vitdyn/internal/report"
+)
+
+// Table2Row is one accelerator parameterization with modeled and published
+// areas (paper Table II).
+type Table2Row struct {
+	Name        string
+	NumPE       int
+	K0          int
+	WeightBufKB int
+	InputBufKB  int
+	PaperArea   float64
+	ModeledArea float64
+}
+
+// paperTableIIAreas holds the published post-synthesis areas.
+var paperTableIIAreas = map[string]float64{
+	"A": 16.7, "B": 4.5, "C": 8.3, "D": 2.3, "E": 1.9, "F": 2.0, "G": 1.7,
+	"H": 6.1, "I": 5.4, "J": 4.2, "K": 3.5, "L": 3.3, "M": 2.6,
+}
+
+// Table2AcceleratorAreas rebuilds Table II, comparing the analytic area
+// model against the published synthesis results.
+func Table2AcceleratorAreas() []Table2Row {
+	var rows []Table2Row
+	for _, c := range magnet.TableII() {
+		rows = append(rows, Table2Row{
+			Name:        c.Name,
+			NumPE:       c.NumPE,
+			K0:          c.K0,
+			WeightBufKB: c.WeightBufKB,
+			InputBufKB:  c.InputBufKB,
+			PaperArea:   paperTableIIAreas[c.Name],
+			ModeledArea: c.ModeledAreaMM2(),
+		})
+	}
+	return rows
+}
+
+// RenderTable2 renders Table II.
+func RenderTable2(rows []Table2Row) *report.Table {
+	t := report.NewTable("Table II: MAGNet accelerator parameterizations",
+		"Label", "NumPE", "K0=C0", "WB KB", "IB KB", "Paper mm2", "Model mm2", "Err%")
+	for _, r := range rows {
+		t.AddRowf(r.Name, r.NumPE, r.K0, r.WeightBufKB, r.InputBufKB,
+			r.PaperArea, r.ModeledArea, 100*(r.ModeledArea-r.PaperArea)/r.PaperArea)
+	}
+	return t
+}
+
+// Fig6Row is one accelerator's position in the energy-vs-throughput plane.
+type Fig6Row struct {
+	Name          string
+	EnergyPerMAC  float64 // pJ (the paper's "energy per FLOP")
+	ThrPerArea    float64 // GMAC/s/mm^2
+	RuntimeMS     float64
+	ParetoOptimal bool
+}
+
+// Fig6EnergyVsThroughput sweeps all Table II accelerators over SegFormer
+// ADE B2 (paper Fig. 6).
+func Fig6EnergyVsThroughput() ([]Fig6Row, error) {
+	g := nn.MustSegFormer("B2", 150, 512, 512)
+	var rows []Fig6Row
+	var pts []pareto.Point
+	for _, c := range magnet.TableII() {
+		r, err := c.Simulate(g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{
+			Name:         c.Name,
+			EnergyPerMAC: r.EnergyPerMAC(),
+			ThrPerArea:   r.ThroughputPerArea(c),
+			RuntimeMS:    r.TotalSeconds * 1e3,
+		})
+		pts = append(pts, pareto.Point{Cost: r.EnergyPerMAC(), Value: r.ThroughputPerArea(c), Tag: c.Name})
+	}
+	frontier := map[string]bool{}
+	for _, p := range pareto.Frontier(pts) {
+		frontier[p.Tag] = true
+	}
+	for i := range rows {
+		rows[i].ParetoOptimal = frontier[rows[i].Name]
+	}
+	return rows, nil
+}
+
+// RenderFig6 renders the Fig. 6 sweep.
+func RenderFig6(rows []Fig6Row) *report.Table {
+	t := report.NewTable("Fig 6: energy/FLOP vs throughput/mm2, SegFormer ADE B2",
+		"Accel", "pJ/MAC", "GMAC/s/mm2", "Runtime ms", "Pareto")
+	for _, r := range rows {
+		mark := ""
+		if r.ParetoOptimal {
+			mark = "*"
+		}
+		t.AddRowf(r.Name, r.EnergyPerMAC, r.ThrPerArea, r.RuntimeMS, mark)
+	}
+	return t
+}
+
+// DistRow is one layer of an accelerator-E time/energy distribution
+// (papers Figs. 7 and 9).
+type DistRow struct {
+	Layer       string
+	Kind        string
+	TimeShare   float64
+	EnergyShare float64
+	FLOPShare   float64
+}
+
+// DistResult is a full accelerator-E profile of one model.
+type DistResult struct {
+	Model           string
+	RuntimeMS       float64
+	EnergyMJ        float64
+	ConvTimeShare   float64
+	ConvEnergyShare float64
+	Top             []DistRow
+}
+
+// AcceleratorDistribution profiles a model on accelerator E, returning the
+// topN layers by time (Fig. 7 for SegFormer, Fig. 9 for Swin Tiny).
+func AcceleratorDistribution(model string, topN int) (*DistResult, error) {
+	if topN <= 0 {
+		topN = 8
+	}
+	g, err := buildByName(model)
+	if err != nil {
+		return nil, err
+	}
+	r, err := magnet.AcceleratorE().Simulate(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &DistResult{
+		Model:           g.Name,
+		RuntimeMS:       r.TotalSeconds * 1e3,
+		EnergyMJ:        r.EnergyJ() * 1e3,
+		ConvTimeShare:   r.ConvTimeShare(),
+		ConvEnergyShare: r.ConvEnergyShare(),
+	}
+	idx := make([]int, len(r.Layers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.Layers[idx[a]].Seconds > r.Layers[idx[b]].Seconds })
+	total := float64(r.TotalMACs)
+	for _, i := range idx[:min(topN, len(idx))] {
+		l := &r.Layers[i]
+		if l.Seconds == 0 {
+			break
+		}
+		res.Top = append(res.Top, DistRow{
+			Layer:       l.Name,
+			Kind:        l.Kind.String(),
+			TimeShare:   l.Seconds / r.TotalSeconds,
+			EnergyShare: l.EnergyPJ / r.TotalEnergyPJ,
+			FLOPShare:   float64(l.MACs) / total,
+		})
+	}
+	return res, nil
+}
+
+// Fig8Row is one layer's normalized energy per FLOP (paper Fig. 8).
+type Fig8Row struct {
+	Layer      string
+	Kind       string
+	Normalized float64 // energy/MAC relative to the worst layer
+	InC        int
+}
+
+// Fig8EnergyPerFLOP ranks SegFormer ADE B2 layers by energy per FLOP on
+// accelerator E, normalized to the most expensive layer.
+func Fig8EnergyPerFLOP(topN int) ([]Fig8Row, error) {
+	if topN <= 0 {
+		topN = 12
+	}
+	g := nn.MustSegFormer("B2", 150, 512, 512)
+	r, err := magnet.AcceleratorE().Simulate(g)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		name string
+		kind string
+		e    float64
+		inC  int
+	}
+	var entries []entry
+	var worst float64
+	for i := range r.Layers {
+		l := &r.Layers[i]
+		if l.MACs == 0 {
+			continue
+		}
+		e := l.EnergyPerMAC()
+		if e > worst {
+			worst = e
+		}
+		inC := 0
+		if gl := g.Find(l.Name); gl != nil {
+			switch {
+			case gl.Kind.IsConv():
+				inC = gl.InC / gl.Groups
+			case gl.Kind.String() == "Linear":
+				inC = gl.InF
+			}
+		}
+		entries = append(entries, entry{l.Name, l.Kind.String(), e, inC})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].e > entries[b].e })
+	var rows []Fig8Row
+	for _, e := range entries[:min(topN, len(entries))] {
+		rows = append(rows, Fig8Row{Layer: e.name, Kind: e.kind, Normalized: e.e / worst, InC: e.inC})
+	}
+	return rows, nil
+}
+
+// RenderFig8 renders the energy-per-FLOP ranking.
+func RenderFig8(rows []Fig8Row) *report.Table {
+	t := report.NewTable("Fig 8: normalized energy per FLOP on accelerator E (SegFormer ADE B2)",
+		"Layer", "Kind", "Norm e/MAC", "InCh/group")
+	for _, r := range rows {
+		t.AddRowf(r.Layer, r.Kind, r.Normalized, r.InC)
+	}
+	return t
+}
+
+// RenderDistribution renders a Fig. 7/9 distribution.
+func RenderDistribution(res *DistResult, figure string) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("%s: %s on accelerator E (%.2f ms, %.2f mJ, conv %.0f%% time / %.0f%% energy)",
+			figure, res.Model, res.RuntimeMS, res.EnergyMJ,
+			100*res.ConvTimeShare, 100*res.ConvEnergyShare),
+		"Layer", "Kind", "Time%", "Energy%", "FLOP%")
+	for _, r := range res.Top {
+		t.AddRowf(r.Layer, r.Kind, 100*r.TimeShare, 100*r.EnergyShare, 100*r.FLOPShare)
+	}
+	return t
+}
+
+// buildByName maps experiment model names to graphs.
+func buildByName(model string) (*graph.Graph, error) {
+	switch model {
+	case "segformer-ade-b2":
+		return nn.MustSegFormer("B2", 150, 512, 512), nil
+	case "swin-tiny":
+		return nn.MustSwin("Tiny", 150, 512, 512), nil
+	case "resnet-50":
+		return nn.MustResNet50(224, 224, true), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown model %q (want segformer-ade-b2, swin-tiny or resnet-50)", model)
+}

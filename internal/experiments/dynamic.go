@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vitdyn/internal/accuracy"
+	"vitdyn/internal/gpu"
+	"vitdyn/internal/magnet"
+	"vitdyn/internal/nn"
+	"vitdyn/internal/pareto"
+	"vitdyn/internal/prune"
+	"vitdyn/internal/report"
+)
+
+// TradeoffRow is one execution path's position in a cost-accuracy plane.
+type TradeoffRow struct {
+	Label      string
+	Source     string // "pretrained", "retrained"
+	TimeMS     float64
+	EnergyMJ   float64 // accelerator experiments only
+	Accuracy   float64
+	TimeSave   float64 // fraction vs the full model
+	EnergySave float64
+	AccLoss    float64 // absolute accuracy drop vs the full model
+	Pareto     bool
+}
+
+func markPareto(rows []TradeoffRow) {
+	pts := make([]pareto.Point, len(rows))
+	for i, r := range rows {
+		pts[i] = pareto.Point{Cost: r.TimeMS, Value: r.Accuracy, Tag: r.Label + "/" + r.Source}
+	}
+	onF := map[string]bool{}
+	for _, p := range pareto.Frontier(pts) {
+		onF[p.Tag] = true
+	}
+	for i := range rows {
+		rows[i].Pareto = onF[rows[i].Label+"/"+rows[i].Source]
+	}
+}
+
+// Fig10SegFormerGPUTradeoff sweeps pretrained SegFormer B2 pruning on the
+// modeled A5000 and overlays the retrained B0/B1/B2 switching points
+// (paper Fig. 10) for one dataset ("ADE" or "City").
+func Fig10SegFormerGPUTradeoff(dataset string) ([]TradeoffRow, error) {
+	classes, size := 150, 512
+	var res *accuracy.SegFormerResilience
+	switch dataset {
+	case "ADE":
+		res = accuracy.NewSegFormerADE()
+	case "City":
+		res = accuracy.NewSegFormerCity()
+		classes, size = 19, 1024
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", dataset)
+	}
+	cfg, err := nn.SegFormerB("B2", classes)
+	if err != nil {
+		return nil, err
+	}
+	dev := gpu.A5000()
+	fullGraph, err := nn.SegFormer(cfg, size, size)
+	if err != nil {
+		return nil, err
+	}
+	fullTime := dev.Run(fullGraph).Total * 1e3
+	fullAcc := res.Baseline
+
+	var rows []TradeoffRow
+	for _, p := range prune.SegFormerSweep(cfg, 256) {
+		g, err := prune.ApplySegFormer(cfg, size, size, p)
+		if err != nil {
+			return nil, err
+		}
+		t := dev.Run(g).Total * 1e3
+		acc := res.Pretrained(p)
+		rows = append(rows, TradeoffRow{
+			Label:    p.Label,
+			Source:   "pretrained",
+			TimeMS:   t,
+			Accuracy: acc,
+			TimeSave: 1 - t/fullTime,
+			AccLoss:  fullAcc - acc,
+		})
+	}
+	// Retrained switching points: the B0/B1/B2 family.
+	for _, v := range []string{"B0", "B1", "B2"} {
+		vc, err := nn.SegFormerB(v, classes)
+		if err != nil {
+			return nil, err
+		}
+		g, err := nn.SegFormer(vc, size, size)
+		if err != nil {
+			return nil, err
+		}
+		t := dev.Run(g).Total * 1e3
+		acc, err := accuracy.SegFormerBaseline(v, dataset)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TradeoffRow{
+			Label:    "SegFormer-" + v,
+			Source:   "retrained",
+			TimeMS:   t,
+			Accuracy: acc,
+			TimeSave: 1 - t/fullTime,
+			AccLoss:  fullAcc - acc,
+		})
+	}
+	markPareto(rows)
+	return rows, nil
+}
+
+// Table3Row is one named SegFormer configuration (paper Table III).
+type Table3Row struct {
+	Label    string
+	Blocks   [4]int
+	FuseInCh int
+	MIoU     float64
+	GFLOPs   float64
+}
+
+// Table3SegFormerConfigs rebuilds Table III with modeled mIoU and FLOPs.
+func Table3SegFormerConfigs() ([]Table3Row, error) {
+	cfg, err := nn.SegFormerB("B2", 150)
+	if err != nil {
+		return nil, err
+	}
+	res := accuracy.NewSegFormerADE()
+	var rows []Table3Row
+	for _, p := range prune.TableIII() {
+		g, err := prune.ApplySegFormer(cfg, 512, 512, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Label:    p.Label,
+			Blocks:   p.EncoderBlocks,
+			FuseInCh: p.FuseInCh,
+			MIoU:     res.Pretrained(p),
+			GFLOPs:   float64(g.TotalMACs()) / 1e9,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3 renders Table III.
+func RenderTable3(rows []Table3Row) *report.Table {
+	t := report.NewTable("Table III: SegFormer ADE B2 execution-path configurations",
+		"Label", "Blocks s0-s3", "Fuse in-ch", "mIoU", "GFLOPs")
+	for _, r := range rows {
+		t.AddRowf(r.Label,
+			fmt.Sprintf("%d,%d,%d,%d", r.Blocks[0], r.Blocks[1], r.Blocks[2], r.Blocks[3]),
+			r.FuseInCh, r.MIoU, r.GFLOPs)
+	}
+	return t
+}
+
+// Fig11SegFormerAccelTradeoff runs the Table III configurations (pretrained)
+// and the retrained B1/B2 models on accelerator E (paper Fig. 11).
+func Fig11SegFormerAccelTradeoff() ([]TradeoffRow, error) {
+	cfg, err := nn.SegFormerB("B2", 150)
+	if err != nil {
+		return nil, err
+	}
+	res := accuracy.NewSegFormerADE()
+	accel := magnet.AcceleratorE()
+
+	fullGraph, err := nn.SegFormer(cfg, 512, 512)
+	if err != nil {
+		return nil, err
+	}
+	fullRun, err := accel.Simulate(fullGraph)
+	if err != nil {
+		return nil, err
+	}
+	fullTime := fullRun.TotalSeconds * 1e3
+	fullEnergy := fullRun.EnergyJ() * 1e3
+
+	var rows []TradeoffRow
+	for _, p := range prune.TableIII() {
+		g, err := prune.ApplySegFormer(cfg, 512, 512, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := accel.Simulate(g)
+		if err != nil {
+			return nil, err
+		}
+		t := r.TotalSeconds * 1e3
+		e := r.EnergyJ() * 1e3
+		acc := res.Pretrained(p)
+		rows = append(rows, TradeoffRow{
+			Label: p.Label, Source: "pretrained",
+			TimeMS: t, EnergyMJ: e, Accuracy: acc,
+			TimeSave: 1 - t/fullTime, EnergySave: 1 - e/fullEnergy,
+			AccLoss: res.Baseline - acc,
+		})
+	}
+	for _, v := range []string{"B1", "B2"} {
+		vc, err := nn.SegFormerB(v, 150)
+		if err != nil {
+			return nil, err
+		}
+		g, err := nn.SegFormer(vc, 512, 512)
+		if err != nil {
+			return nil, err
+		}
+		r, err := accel.Simulate(g)
+		if err != nil {
+			return nil, err
+		}
+		t := r.TotalSeconds * 1e3
+		e := r.EnergyJ() * 1e3
+		acc, _ := accuracy.SegFormerBaseline(v, "ADE")
+		rows = append(rows, TradeoffRow{
+			Label: "SegFormer-" + v, Source: "retrained",
+			TimeMS: t, EnergyMJ: e, Accuracy: acc,
+			TimeSave: 1 - t/fullTime, EnergySave: 1 - e/fullEnergy,
+			AccLoss: res.Baseline - acc,
+		})
+	}
+	markPareto(rows)
+	return rows, nil
+}
+
+// Fig12SwinTradeoff prunes the pretrained Swin models on both the GPU and
+// accelerator E and overlays retrained variant switching (paper Fig. 12).
+type Fig12Row struct {
+	Variant       string
+	Label         string
+	Source        string
+	GPUTimeMS     float64
+	AccelTimeMS   float64
+	AccelEnergyMJ float64
+	MIoU          float64
+}
+
+// Fig12SwinTradeoff builds the Swin pruning/switching points.
+func Fig12SwinTradeoff() ([]Fig12Row, error) {
+	dev := gpu.A5000()
+	accel := magnet.AcceleratorE()
+	var rows []Fig12Row
+	for _, variant := range []string{"Tiny", "Small", "Base"} {
+		cfg, err := nn.SwinVariant(variant, 150)
+		if err != nil {
+			return nil, err
+		}
+		res, err := accuracy.NewSwin(variant)
+		if err != nil {
+			return nil, err
+		}
+		full := prune.FullSwinPath(cfg)
+		for _, p := range prune.SwinSweep(cfg, 512) {
+			g, err := prune.ApplySwin(cfg, 512, 512, p)
+			if err != nil {
+				return nil, err
+			}
+			r, err := accel.Simulate(g)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig12Row{
+				Variant:       variant,
+				Label:         p.Label,
+				Source:        "pretrained",
+				GPUTimeMS:     dev.Run(g).Total * 1e3,
+				AccelTimeMS:   r.TotalSeconds * 1e3,
+				AccelEnergyMJ: r.EnergyJ() * 1e3,
+				MIoU:          res.Pretrained(p, full),
+			})
+		}
+		// Retrained point: the variant itself.
+		g, err := nn.Swin(cfg, 512, 512)
+		if err != nil {
+			return nil, err
+		}
+		r, err := accel.Simulate(g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12Row{
+			Variant:       variant,
+			Label:         "Swin-" + variant,
+			Source:        "retrained",
+			GPUTimeMS:     dev.Run(g).Total * 1e3,
+			AccelTimeMS:   r.TotalSeconds * 1e3,
+			AccelEnergyMJ: r.EnergyJ() * 1e3,
+			MIoU:          res.Baseline,
+		})
+	}
+	return rows, nil
+}
+
+// Fig13Row is one OFA ResNet-50 subnet on accelerator E (paper Fig. 13).
+type Fig13Row struct {
+	Subnet     string
+	GMACs      float64
+	TimeMS     float64
+	EnergyMJ   float64
+	Top1       float64
+	TimeSave   float64
+	EnergySave float64
+	AccLoss    float64
+}
+
+// Fig13OFASwitching runs the OFA subnet catalog on accelerator E.
+func Fig13OFASwitching() ([]Fig13Row, error) {
+	accel := magnet.AcceleratorE()
+	cat := nn.OFACatalog()
+	var rows []Fig13Row
+	var fullTime, fullEnergy, fullAcc float64
+	for i, sub := range cat {
+		g, err := nn.OFAResNet(sub, 224, 224)
+		if err != nil {
+			return nil, err
+		}
+		r, err := accel.Simulate(g)
+		if err != nil {
+			return nil, err
+		}
+		t := r.TotalSeconds * 1e3
+		e := r.EnergyJ() * 1e3
+		if i == 0 {
+			fullTime, fullEnergy, fullAcc = t, e, sub.Top1
+		}
+		rows = append(rows, Fig13Row{
+			Subnet:     sub.ID,
+			GMACs:      float64(g.TotalMACs()) / 1e9,
+			TimeMS:     t,
+			EnergyMJ:   e,
+			Top1:       sub.Top1,
+			TimeSave:   1 - t/fullTime,
+			EnergySave: 1 - e/fullEnergy,
+			AccLoss:    fullAcc - sub.Top1,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTradeoff renders a Fig. 10/11-style tradeoff table.
+func RenderTradeoff(title string, rows []TradeoffRow) *report.Table {
+	t := report.NewTable(title,
+		"Label", "Source", "Time ms", "Energy mJ", "Accuracy", "TimeSave%", "EnergySave%", "Pareto")
+	for _, r := range rows {
+		mark := ""
+		if r.Pareto {
+			mark = "*"
+		}
+		t.AddRowf(r.Label, r.Source, r.TimeMS, r.EnergyMJ, r.Accuracy,
+			100*r.TimeSave, 100*r.EnergySave, mark)
+	}
+	return t
+}
+
+// RenderFig12 renders the Swin tradeoff table.
+func RenderFig12(rows []Fig12Row) *report.Table {
+	t := report.NewTable("Fig 12: Swin pruning/switching tradeoff (GPU + accelerator E)",
+		"Variant", "Label", "Source", "GPU ms", "Accel ms", "Accel mJ", "mIoU")
+	for _, r := range rows {
+		t.AddRowf(r.Variant, r.Label, r.Source, r.GPUTimeMS, r.AccelTimeMS, r.AccelEnergyMJ, r.MIoU)
+	}
+	return t
+}
+
+// RenderFig13 renders the OFA switching table.
+func RenderFig13(rows []Fig13Row) *report.Table {
+	t := report.NewTable("Fig 13: OFA ResNet-50 switching on accelerator E",
+		"Subnet", "GMACs", "Time ms", "Energy mJ", "Top-1", "TimeSave%", "EnergySave%")
+	for _, r := range rows {
+		t.AddRowf(r.Subnet, r.GMACs, r.TimeMS, r.EnergyMJ, r.Top1, 100*r.TimeSave, 100*r.EnergySave)
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+// Package flops implements the analytical computation profiler of Section
+// III: per-layer and aggregate MAC/FLOP counts, parameter counts, byte
+// traffic, operational intensity, and the grouped distributions behind
+// Figures 1, 3 and 4 of the paper.
+package flops
+
+import (
+	"sort"
+
+	"vitdyn/internal/graph"
+)
+
+// LayerProfile is the analytical profile of a single layer.
+type LayerProfile struct {
+	Name      string
+	Kind      graph.Kind
+	Module    string
+	Stage     int
+	MACs      int64
+	Params    int64
+	ActBytes  int64 // activation traffic at the profile's datatype width
+	WBytes    int64 // weight traffic
+	Intensity float64
+	Frac      float64 // fraction of the model's total MACs
+}
+
+// Profile is the full analytical profile of a model graph.
+type Profile struct {
+	Model        string
+	Pixels       int
+	BytesPerElem int
+
+	Layers []LayerProfile
+
+	TotalMACs   int64
+	TotalParams int64
+	ConvMACs    int64
+	MatMulMACs  int64
+	LinearMACs  int64
+}
+
+// Analyze profiles a graph at the given datatype width in bytes (1 for the
+// accelerator's 8-bit datapath, 2 for GPU fp16).
+func Analyze(g *graph.Graph, bytesPerElem int) *Profile {
+	p := &Profile{
+		Model:        g.Name,
+		Pixels:       g.Pixels(),
+		BytesPerElem: bytesPerElem,
+		Layers:       make([]LayerProfile, 0, len(g.Layers)),
+	}
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		macs := l.MACs()
+		p.TotalMACs += macs
+		p.TotalParams += l.Params()
+		switch {
+		case l.Kind.IsConv():
+			p.ConvMACs += macs
+		case l.Kind == graph.MatMul:
+			p.MatMulMACs += macs
+		case l.Kind == graph.Linear:
+			p.LinearMACs += macs
+		}
+		p.Layers = append(p.Layers, LayerProfile{
+			Name:      l.Name,
+			Kind:      l.Kind,
+			Module:    l.Module,
+			Stage:     l.Stage,
+			MACs:      macs,
+			Params:    l.Params(),
+			ActBytes:  l.ActivationBytes(bytesPerElem),
+			WBytes:    l.WeightBytes(bytesPerElem),
+			Intensity: l.OpIntensity(bytesPerElem),
+		})
+	}
+	if p.TotalMACs > 0 {
+		for i := range p.Layers {
+			p.Layers[i].Frac = float64(p.Layers[i].MACs) / float64(p.TotalMACs)
+		}
+	}
+	return p
+}
+
+// ConvShare returns the convolutional fraction of total MACs.
+func (p *Profile) ConvShare() float64 {
+	if p.TotalMACs == 0 {
+		return 0
+	}
+	return float64(p.ConvMACs) / float64(p.TotalMACs)
+}
+
+// ModuleShare returns each module's fraction of total MACs.
+func (p *Profile) ModuleShare() map[string]float64 {
+	out := make(map[string]float64)
+	if p.TotalMACs == 0 {
+		return out
+	}
+	for i := range p.Layers {
+		out[p.Layers[i].Module] += float64(p.Layers[i].MACs) / float64(p.TotalMACs)
+	}
+	return out
+}
+
+// KindShare returns each operator kind's fraction of total MACs.
+func (p *Profile) KindShare() map[graph.Kind]float64 {
+	out := make(map[graph.Kind]float64)
+	if p.TotalMACs == 0 {
+		return out
+	}
+	for i := range p.Layers {
+		out[p.Layers[i].Kind] += float64(p.Layers[i].MACs) / float64(p.TotalMACs)
+	}
+	return out
+}
+
+// Top returns the n highest-MAC layers, descending.
+func (p *Profile) Top(n int) []LayerProfile {
+	sorted := make([]LayerProfile, len(p.Layers))
+	copy(sorted, p.Layers)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].MACs != sorted[j].MACs {
+			return sorted[i].MACs > sorted[j].MACs
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	out := sorted[:0]
+	for _, l := range sorted {
+		if l.MACs == 0 || len(out) >= n {
+			break
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// ModelIntensity returns the whole-model operational intensity over matrix
+// layers (pointwise operators fuse into their producers on the accelerator).
+func (p *Profile) ModelIntensity() float64 {
+	var macs, bytes int64
+	for i := range p.Layers {
+		if !p.Layers[i].Kind.IsMatrix() {
+			continue
+		}
+		macs += p.Layers[i].MACs
+		bytes += p.Layers[i].ActBytes + p.Layers[i].WBytes
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return float64(macs) / float64(bytes)
+}
+
+// GFLOPs returns total MACs in units of 1e9 (the paper's GFLOP convention).
+func (p *Profile) GFLOPs() float64 { return float64(p.TotalMACs) / 1e9 }

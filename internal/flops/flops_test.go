@@ -1,0 +1,118 @@
+package flops
+
+import (
+	"testing"
+
+	"vitdyn/internal/graph"
+	"vitdyn/internal/nn"
+)
+
+func TestAnalyzeSegFormer(t *testing.T) {
+	g := nn.MustSegFormer("B2", 150, 512, 512)
+	p := Analyze(g, 1)
+	if p.Model != "SegFormer-B2" {
+		t.Errorf("model = %q", p.Model)
+	}
+	if p.Pixels != 512*512 {
+		t.Errorf("pixels = %d", p.Pixels)
+	}
+	if g := p.GFLOPs(); g < 61 || g > 65 {
+		t.Errorf("GFLOPs = %.1f, want ~63", g)
+	}
+	if s := p.ConvShare(); s < 0.65 || s > 0.72 {
+		t.Errorf("conv share = %.3f, want ~0.68", s)
+	}
+	if oi := p.ModelIntensity(); oi < 130 {
+		t.Errorf("operational intensity = %.1f, paper reports 130+", oi)
+	}
+	// Sum of layer fractions must be ~1.
+	var sum float64
+	for _, l := range p.Layers {
+		sum += l.Frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("layer fractions sum to %v", sum)
+	}
+}
+
+func TestTopLayersAreDecoderConvs(t *testing.T) {
+	g := nn.MustSegFormer("B2", 150, 512, 512)
+	p := Analyze(g, 1)
+	top := p.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) returned %d", len(top))
+	}
+	if top[0].Name != "dec.conv2dfuse" {
+		t.Errorf("largest layer = %q, want dec.conv2dfuse", top[0].Name)
+	}
+	if top[0].Frac < 0.60 || top[0].Frac > 0.64 {
+		t.Errorf("Conv2DFuse frac = %.3f, paper reports 0.62", top[0].Frac)
+	}
+	if top[1].MACs < top[2].MACs {
+		t.Error("Top must be sorted descending")
+	}
+}
+
+func TestModuleAndKindShares(t *testing.T) {
+	g := nn.MustSegFormer("B2", 150, 512, 512)
+	p := Analyze(g, 1)
+	mod := p.ModuleShare()
+	if mod["decoder"] < 0.62 || mod["decoder"] > 0.75 {
+		t.Errorf("decoder share = %.3f, want ~0.70", mod["decoder"])
+	}
+	var total float64
+	for _, v := range mod {
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("module shares sum to %v", total)
+	}
+	kinds := p.KindShare()
+	if kinds[graph.Conv2D] < 0.6 {
+		t.Errorf("Conv2D share = %.3f", kinds[graph.Conv2D])
+	}
+	if kinds[graph.MatMul] <= 0 || kinds[graph.Linear] <= 0 {
+		t.Error("matmul/linear shares must be positive for a transformer")
+	}
+}
+
+func TestAnalyzeEmptyGraph(t *testing.T) {
+	p := Analyze(&graph.Graph{Name: "empty"}, 1)
+	if p.TotalMACs != 0 || p.ConvShare() != 0 || p.ModelIntensity() != 0 {
+		t.Error("empty graph must yield zero profile")
+	}
+	if len(p.ModuleShare()) != 0 || len(p.KindShare()) != 0 {
+		t.Error("empty graph must yield empty shares")
+	}
+	if len(p.Top(5)) != 0 {
+		t.Error("empty graph has no top layers")
+	}
+}
+
+func TestBytesPerElemScalesTraffic(t *testing.T) {
+	g := nn.MustResNet50(224, 224, true)
+	p1 := Analyze(g, 1)
+	p2 := Analyze(g, 2)
+	if p1.TotalMACs != p2.TotalMACs {
+		t.Error("MACs must not depend on datatype width")
+	}
+	for i := range p1.Layers {
+		if 2*p1.Layers[i].ActBytes != p2.Layers[i].ActBytes {
+			t.Fatalf("layer %s: traffic must scale with bytes/elem", p1.Layers[i].Name)
+		}
+	}
+}
+
+func TestTopZeroAndOversized(t *testing.T) {
+	g := nn.MustResNet50(224, 224, true)
+	p := Analyze(g, 1)
+	if len(p.Top(0)) != 0 {
+		t.Error("Top(0) must be empty")
+	}
+	all := p.Top(100000)
+	for _, l := range all {
+		if l.MACs == 0 {
+			t.Error("Top must exclude zero-MAC layers")
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package gpu
+
+import (
+	"testing"
+
+	"vitdyn/internal/graph"
+	"vitdyn/internal/nn"
+)
+
+// TestSegFormerConvTimeShare checks the central Section III-C calibration:
+// SegFormer B2 at 512x512 has 68% of FLOPs but only ~28% of GPU time in
+// convolutions.
+func TestSegFormerConvTimeShare(t *testing.T) {
+	g := nn.MustSegFormer("B2", 150, 512, 512)
+	r := A5000().Run(g)
+	share := r.ConvTimeShare()
+	if share < 0.22 || share > 0.36 {
+		t.Errorf("SegFormer conv time share = %.3f, paper reports 0.28", share)
+	}
+	if flopShare := g.ConvFLOPShare(); share >= flopShare {
+		t.Errorf("conv time share (%.3f) must be far below conv FLOP share (%.3f)", share, flopShare)
+	}
+	if r.Total < 3e-3 || r.Total > 30e-3 {
+		t.Errorf("SegFormer modeled latency = %.2f ms, expected single-digit ms", r.Total*1e3)
+	}
+}
+
+// TestSwinConvTimeShare: 89% of FLOPs, ~42% of GPU time.
+func TestSwinConvTimeShare(t *testing.T) {
+	g := nn.MustSwin("Tiny", 150, 512, 512)
+	r := A5000().Run(g)
+	share := r.ConvTimeShare()
+	if share < 0.36 || share > 0.52 {
+		t.Errorf("Swin Tiny conv time share = %.3f, paper reports 0.42", share)
+	}
+	if flopShare := g.ConvFLOPShare(); share >= flopShare-0.2 {
+		t.Errorf("conv time share (%.3f) must sit far below the 0.89 FLOP share", share)
+	}
+}
+
+// TestDETRConvTimeShare: 80+% of FLOPs in convs but only 30-40% of time at
+// detection image sizes.
+func TestDETRConvTimeShare(t *testing.T) {
+	for _, v := range []nn.DETRVariant{nn.DETR, nn.DABDETR, nn.AnchorDETR, nn.ConditionalDETR} {
+		g := nn.MustDETR(v, 800, 1216)
+		r := A5000().Run(g)
+		share := r.ConvTimeShare()
+		if share < 0.25 || share > 0.45 {
+			t.Errorf("%s conv time share = %.3f, paper reports 0.30-0.40", v, share)
+		}
+		if fs := g.ConvFLOPShare(); fs < 0.75 {
+			t.Errorf("%s conv FLOP share = %.3f, expected 80+%%", v, fs)
+		}
+	}
+}
+
+// TestConvTimeRisesWithImageSize reproduces the Fig. 4 trend: absolute GPU
+// time spent on convolutions grows with image pixels for the segmentation
+// models, while the conv share of time stays far below the conv share of
+// FLOPs at every size.
+func TestConvTimeRisesWithImageSize(t *testing.T) {
+	d := A5000()
+	convSeconds := func(r *Result) float64 {
+		var s float64
+		for _, l := range r.Layers {
+			if l.Kind.IsConv() {
+				s += l.Seconds
+			}
+		}
+		return s
+	}
+	for _, model := range []string{"segformer", "swin"} {
+		prev := 0.0
+		for _, sz := range []int{128, 256, 512, 1024} {
+			var r *Result
+			var flopShare float64
+			if model == "segformer" {
+				g := nn.MustSegFormer("B2", 150, sz, sz)
+				r, flopShare = d.Run(g), g.ConvFLOPShare()
+			} else {
+				g := nn.MustSwin("Tiny", 150, sz, sz)
+				r, flopShare = d.Run(g), g.ConvFLOPShare()
+			}
+			ct := convSeconds(r)
+			if ct <= prev {
+				t.Errorf("%s conv time not rising at %d: %.4fms <= %.4fms", model, sz, ct*1e3, prev*1e3)
+			}
+			prev = ct
+			if share := r.ConvTimeShare(); share >= flopShare {
+				t.Errorf("%s@%d conv time share %.3f >= FLOP share %.3f", model, sz, share, flopShare)
+			}
+		}
+	}
+}
+
+// TestLargerSwinModelsLowerConvShare: Fig. 4 shows convolutions are a
+// smaller share of both FLOPs and time for Swin Small/Base vs Tiny.
+func TestLargerSwinModelsLowerConvShare(t *testing.T) {
+	d := A5000()
+	tiny := d.Run(nn.MustSwin("Tiny", 150, 512, 512))
+	base := d.Run(nn.MustSwin("Base", 150, 512, 512))
+	if base.ConvTimeShare() >= tiny.ConvTimeShare() {
+		t.Errorf("Swin Base conv time share (%.3f) should be below Tiny (%.3f)",
+			base.ConvTimeShare(), tiny.ConvTimeShare())
+	}
+}
+
+// TestMatMulComparableToConvAtLargeSizes: Section III-C notes matrix
+// multiplications take about an equal share of GPU time as convolutions for
+// the segmentation models at large image sizes.
+func TestMatMulComparableToConvAtLargeSizes(t *testing.T) {
+	r := A5000().Run(nn.MustSegFormer("B2", 19, 1024, 1024))
+	kinds := r.KindTimeShare()
+	mm := kinds[graph.MatMul] + kinds[graph.Linear]
+	conv := kinds[graph.Conv2D] + kinds[graph.DWConv2D]
+	ratio := mm / conv
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("matmul/conv time ratio at 1024 = %.2f, paper reports roughly equal", ratio)
+	}
+}
+
+// TestFLOPsOnlyPredictorOverestimatesConvs quantifies the paper's argument:
+// a FLOPs-proportional model vastly overestimates convolution time share.
+func TestFLOPsOnlyPredictorOverestimatesConvs(t *testing.T) {
+	g := nn.MustSegFormer("B2", 150, 512, 512)
+	naive := FLOPsOnlyDevice().Run(g)
+	real := A5000().Run(g)
+	if naive.ConvTimeShare() < 0.6 {
+		t.Errorf("FLOPs-only predictor conv share = %.3f, should match the 0.68 FLOP share", naive.ConvTimeShare())
+	}
+	if real.ConvTimeShare() > naive.ConvTimeShare()-0.2 {
+		t.Errorf("calibrated model (%.3f) must diverge from FLOPs-only (%.3f) by > 0.2",
+			real.ConvTimeShare(), naive.ConvTimeShare())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		l    graph.Layer
+		want KernelClass
+	}{
+		{graph.Layer{Kind: graph.Conv2D}, KConv},
+		{graph.Layer{Kind: graph.DWConv2D}, KDepthwise},
+		{graph.Layer{Kind: graph.Linear}, KGEMM},
+		{graph.Layer{Kind: graph.MatMul, M: 49, N: 49}, KAttention},
+		{graph.Layer{Kind: graph.MatMul, M: 65536, N: 1024}, KGEMM},
+		{graph.Layer{Kind: graph.Softmax}, KMemory},
+		{graph.Layer{Kind: graph.LayerNorm}, KMemory},
+		{graph.Layer{Kind: graph.Reshape}, KMemory},
+	}
+	for _, c := range cases {
+		if got := Classify(&c.l); got != c.want {
+			t.Errorf("Classify(%s M=%d N=%d) = %d, want %d", c.l.Kind, c.l.M, c.l.N, got, c.want)
+		}
+	}
+}
+
+func TestFusedLayers(t *testing.T) {
+	if !Fused(&graph.Layer{Kind: graph.BatchNorm}) || !Fused(&graph.Layer{Kind: graph.ReLU}) {
+		t.Error("BatchNorm and ReLU must fuse")
+	}
+	for _, k := range []graph.Kind{graph.LayerNorm, graph.GELU, graph.Softmax, graph.Add, graph.Conv2D} {
+		if Fused(&graph.Layer{Kind: k}) {
+			t.Errorf("%s must not fuse", k)
+		}
+	}
+	d := A5000()
+	sec, bound := d.LayerSeconds(&graph.Layer{Kind: graph.ReLU, Elems: 1 << 24})
+	if sec != 0 || bound != "fused" {
+		t.Errorf("fused layer time = %v (%s), want 0", sec, bound)
+	}
+}
+
+func TestMemoryBoundLayers(t *testing.T) {
+	d := A5000()
+	// A big softmax is memory bound.
+	_, bound := d.LayerSeconds(&graph.Layer{Kind: graph.Softmax, Elems: 1 << 24})
+	if bound != "memory" {
+		t.Errorf("softmax bound = %s, want memory", bound)
+	}
+	// A fat 1x1 conv is compute bound.
+	_, bound = d.LayerSeconds(&graph.Layer{
+		Kind: graph.Conv2D, InC: 3072, OutC: 768, KH: 1, KW: 1,
+		InH: 128, InW: 128, OutH: 128, OutW: 128, Groups: 1,
+	})
+	if bound != "compute" {
+		t.Errorf("Conv2DFuse bound = %s, want compute", bound)
+	}
+	// Depthwise convs are bandwidth bound.
+	_, bound = d.LayerSeconds(&graph.Layer{
+		Kind: graph.DWConv2D, InC: 256, OutC: 256, KH: 3, KW: 3,
+		InH: 128, InW: 128, OutH: 128, OutW: 128, Groups: 256,
+	})
+	if bound != "memory" {
+		t.Errorf("depthwise bound = %s, want memory", bound)
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	g := nn.MustResNet50(224, 224, true)
+	r := A5000().Run(g)
+	if len(r.Layers) != len(g.Layers) {
+		t.Fatalf("result has %d layers, graph has %d", len(r.Layers), len(g.Layers))
+	}
+	var sum float64
+	for _, l := range r.Layers {
+		if l.Seconds < 0 {
+			t.Fatalf("layer %s has negative time", l.Name)
+		}
+		sum += l.Seconds
+	}
+	if diff := sum - r.Total; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("total %v != sum of layers %v", r.Total, sum)
+	}
+	mod := r.ModuleTimeShare()
+	var modSum float64
+	for _, v := range mod {
+		modSum += v
+	}
+	if modSum < 0.999 || modSum > 1.001 {
+		t.Errorf("module time shares sum to %v", modSum)
+	}
+}
+
+func TestEmptyResultShares(t *testing.T) {
+	r := A5000().Run(&graph.Graph{Name: "empty"})
+	if r.ConvTimeShare() != 0 || len(r.ModuleTimeShare()) != 0 || len(r.KindTimeShare()) != 0 {
+		t.Error("empty graph must yield zero shares")
+	}
+}
+
+// TestLatencyMonotoneInModelSize: bigger SegFormer variants take longer.
+func TestLatencyMonotoneInModelSize(t *testing.T) {
+	d := A5000()
+	prev := 0.0
+	for _, v := range []string{"B0", "B1", "B2"} {
+		r := d.Run(nn.MustSegFormer(v, 150, 512, 512))
+		if r.Total <= prev {
+			t.Errorf("%s latency %.3fms not above previous %.3fms", v, r.Total*1e3, prev*1e3)
+		}
+		prev = r.Total
+	}
+}

@@ -1,0 +1,134 @@
+package graph
+
+import "testing"
+
+func twoLayerGraph() *Graph {
+	g := &Graph{Name: "toy", Task: "test", InputH: 32, InputW: 32}
+	g.Add(Layer{Name: "conv", Kind: Conv2D, Module: "encoder", Stage: 0, Block: 0,
+		InC: 3, OutC: 8, KH: 3, KW: 3, SH: 1, SW: 1, InH: 32, InW: 32, OutH: 32, OutW: 32, Groups: 1})
+	g.Add(Layer{Name: "fc", Kind: Linear, Module: "decoder", Stage: -1, Block: -1,
+		Tokens: 1024, InF: 8, OutF: 16})
+	g.Add(Layer{Name: "act", Kind: ReLU, Module: "decoder", Elems: 1024 * 16})
+	return g
+}
+
+func TestGraphTotals(t *testing.T) {
+	g := twoLayerGraph()
+	convMACs := int64(32*32) * 8 * 3 * 9
+	linMACs := int64(1024) * 8 * 16
+	if got := g.TotalMACs(); got != convMACs+linMACs {
+		t.Errorf("TotalMACs = %d, want %d", got, convMACs+linMACs)
+	}
+	if got := g.ConvMACs(); got != convMACs {
+		t.Errorf("ConvMACs = %d, want %d", got, convMACs)
+	}
+	wantShare := float64(convMACs) / float64(convMACs+linMACs)
+	if got := g.ConvFLOPShare(); got != wantShare {
+		t.Errorf("ConvFLOPShare = %v, want %v", got, wantShare)
+	}
+	if got := g.TotalFLOPs(); got != convMACs+linMACs+1024*16 {
+		t.Errorf("TotalFLOPs = %d", got)
+	}
+	if got := g.TotalParams(); got != int64(8*3*9)+int64(8*16+16) {
+		t.Errorf("TotalParams = %d", got)
+	}
+	if g.Pixels() != 1024 {
+		t.Errorf("Pixels = %d", g.Pixels())
+	}
+}
+
+func TestEmptyGraphShares(t *testing.T) {
+	g := &Graph{Name: "empty"}
+	if g.ConvFLOPShare() != 0 {
+		t.Error("empty graph conv share must be 0")
+	}
+	if len(g.TopLayers(5)) != 0 {
+		t.Error("empty graph has no top layers")
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	g := twoLayerGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	dup := twoLayerGraph()
+	dup.Add(Layer{Name: "conv", Kind: ReLU, Elems: 1})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate layer name accepted")
+	}
+	anon := twoLayerGraph()
+	anon.Add(Layer{Name: "", Kind: ReLU, Elems: 1})
+	if err := anon.Validate(); err == nil {
+		t.Error("empty layer name accepted")
+	}
+	badShape := twoLayerGraph()
+	badShape.Add(Layer{Name: "bad", Kind: Linear, Tokens: 0, InF: 1, OutF: 1})
+	if err := badShape.Validate(); err == nil {
+		t.Error("invalid layer shape accepted")
+	}
+}
+
+func TestFindAndPrefix(t *testing.T) {
+	g := twoLayerGraph()
+	if l := g.Find("fc"); l == nil || l.Kind != Linear {
+		t.Error("Find(fc) failed")
+	}
+	if l := g.Find("missing"); l != nil {
+		t.Error("Find(missing) must return nil")
+	}
+	if got := g.FindPrefix("c"); len(got) != 1 || got[0].Name != "conv" {
+		t.Errorf("FindPrefix(c) = %v", got)
+	}
+	if got := g.FindPrefix(""); len(got) != 3 {
+		t.Errorf("FindPrefix(\"\") found %d layers, want 3", len(got))
+	}
+}
+
+func TestGroupings(t *testing.T) {
+	g := twoLayerGraph()
+	mod := g.ModuleMACs()
+	if mod["encoder"] != g.Layers[0].MACs() || mod["decoder"] != g.Layers[1].MACs() {
+		t.Errorf("ModuleMACs = %v", mod)
+	}
+	kinds := g.KindMACs()
+	if kinds[Conv2D] != g.Layers[0].MACs() || kinds[Linear] != g.Layers[1].MACs() {
+		t.Errorf("KindMACs = %v", kinds)
+	}
+}
+
+func TestTopLayers(t *testing.T) {
+	g := twoLayerGraph()
+	top := g.TopLayers(1)
+	if len(top) != 1 {
+		t.Fatalf("TopLayers(1) returned %d entries", len(top))
+	}
+	// conv: 32*32*8*27 = 221184, fc: 1024*8*16 = 131072 -> conv first.
+	if top[0].Name != "conv" {
+		t.Errorf("largest layer = %q, want conv", top[0].Name)
+	}
+	all := g.TopLayers(10)
+	if len(all) != 2 {
+		t.Fatalf("TopLayers(10) returned %d entries, want 2 (ReLU excluded)", len(all))
+	}
+	if all[0].MACs < all[1].MACs {
+		t.Error("TopLayers must sort descending")
+	}
+	sum := all[0].Frac + all[1].Frac
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := twoLayerGraph()
+	c := g.Clone()
+	c.Layers[0].OutC = 999
+	c.Name = "changed"
+	if g.Layers[0].OutC == 999 || g.Name == "changed" {
+		t.Error("Clone must deep-copy layers and metadata")
+	}
+	if c.TotalMACs() == g.TotalMACs() {
+		t.Error("mutated clone should differ in MACs")
+	}
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Conv2D: "Conv2D", DWConv2D: "DWConv2D", Linear: "Linear",
+		MatMul: "MatMul", Softmax: "Softmax", LayerNorm: "LayerNorm",
+		BatchNorm: "BatchNorm", ReLU: "ReLU", GELU: "GELU", Add: "Add",
+		Interpolate: "Interpolate", Concat: "Concat", Pool: "Pool",
+		Reshape: "Reshape",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Conv2D.IsConv() || !DWConv2D.IsConv() {
+		t.Error("conv kinds must report IsConv")
+	}
+	if Linear.IsConv() || MatMul.IsConv() || Softmax.IsConv() {
+		t.Error("non-conv kinds must not report IsConv")
+	}
+	for _, k := range []Kind{Conv2D, DWConv2D, Linear, MatMul} {
+		if !k.IsMatrix() {
+			t.Errorf("%s must be a matrix kind", k)
+		}
+	}
+	for _, k := range []Kind{Softmax, LayerNorm, ReLU, GELU, Add, Concat, Reshape, Pool, Interpolate, BatchNorm} {
+		if k.IsMatrix() {
+			t.Errorf("%s must not be a matrix kind", k)
+		}
+	}
+}
+
+func TestConvMACs(t *testing.T) {
+	// Conv2DFuse from SegFormer B2 @512: 128x128 output, 3072 -> 768, 1x1.
+	l := Layer{
+		Name: "fuse", Kind: Conv2D,
+		InC: 3072, OutC: 768, KH: 1, KW: 1, SH: 1, SW: 1,
+		InH: 128, InW: 128, OutH: 128, OutW: 128, Groups: 1,
+	}
+	want := int64(128) * 128 * 3072 * 768
+	if got := l.MACs(); got != want {
+		t.Errorf("Conv2DFuse MACs = %d, want %d", got, want)
+	}
+	if got := l.FLOPs(); got != want {
+		t.Errorf("FLOPs must equal MACs for conv, got %d want %d", got, want)
+	}
+	wantParams := int64(3072) * 768
+	if got := l.Params(); got != wantParams {
+		t.Errorf("params = %d, want %d", got, wantParams)
+	}
+	l.HasBias = true
+	if got := l.Params(); got != wantParams+768 {
+		t.Errorf("params with bias = %d, want %d", got, wantParams+768)
+	}
+}
+
+func TestDepthwiseConvMACs(t *testing.T) {
+	// SegFormer MLP depthwise conv, stage 0: 128x128, 256 channels, 3x3.
+	l := Layer{
+		Name: "dw", Kind: DWConv2D,
+		InC: 256, OutC: 256, KH: 3, KW: 3, SH: 1, SW: 1,
+		InH: 128, InW: 128, OutH: 128, OutW: 128, Groups: 256,
+	}
+	want := int64(128) * 128 * 256 * 9 // one input channel per output channel
+	if got := l.MACs(); got != want {
+		t.Errorf("DW MACs = %d, want %d", got, want)
+	}
+	if got := l.Params(); got != int64(256)*9 {
+		t.Errorf("DW params = %d, want %d", got, 256*9)
+	}
+}
+
+func TestGroupedConvMACs(t *testing.T) {
+	l := Layer{
+		Name: "g", Kind: Conv2D,
+		InC: 64, OutC: 128, KH: 3, KW: 3, SH: 1, SW: 1,
+		InH: 16, InW: 16, OutH: 16, OutW: 16, Groups: 4,
+	}
+	want := int64(16) * 16 * 128 * (64 / 4) * 9
+	if got := l.MACs(); got != want {
+		t.Errorf("grouped conv MACs = %d, want %d", got, want)
+	}
+}
+
+func TestLinearMACs(t *testing.T) {
+	// DecodeLinear0 from SegFormer B2 @512: 16384 tokens, 64 -> 768.
+	l := Layer{Name: "dl0", Kind: Linear, Tokens: 16384, InF: 64, OutF: 768}
+	want := int64(16384) * 64 * 768
+	if got := l.MACs(); got != want {
+		t.Errorf("linear MACs = %d, want %d", got, want)
+	}
+	if got := l.Params(); got != int64(64)*768+768 {
+		t.Errorf("linear params = %d", got)
+	}
+}
+
+func TestMatMulMACs(t *testing.T) {
+	l := Layer{Name: "qk", Kind: MatMul, Batch: 8, M: 256, K: 64, N: 256}
+	want := int64(8) * 256 * 64 * 256
+	if got := l.MACs(); got != want {
+		t.Errorf("matmul MACs = %d, want %d", got, want)
+	}
+}
+
+func TestPointwiseFLOPsAndParams(t *testing.T) {
+	sm := Layer{Name: "sm", Kind: Softmax, Elems: 1000}
+	if sm.MACs() != 0 {
+		t.Error("softmax must have zero MACs")
+	}
+	if sm.FLOPs() != 1000 {
+		t.Errorf("softmax FLOPs = %d, want 1000", sm.FLOPs())
+	}
+	ln := Layer{Name: "ln", Kind: LayerNorm, Elems: 4096, Channels: 64}
+	if ln.Params() != 128 {
+		t.Errorf("layernorm params = %d, want 128", ln.Params())
+	}
+	mv := Layer{Name: "rs", Kind: Reshape, Elems: 4096}
+	if mv.FLOPs() != 0 {
+		t.Error("reshape is pure data movement; zero FLOPs")
+	}
+	if mv.ActivationBytes(2) != 2*4096*2 {
+		t.Errorf("reshape traffic = %d", mv.ActivationBytes(2))
+	}
+}
+
+func TestActivationBytesAndIntensity(t *testing.T) {
+	l := Layer{
+		Name: "c", Kind: Conv2D,
+		InC: 64, OutC: 64, KH: 3, KW: 3, SH: 1, SW: 1,
+		InH: 32, InW: 32, OutH: 32, OutW: 32, Groups: 1,
+	}
+	in := int64(32 * 32 * 64)
+	out := int64(32 * 32 * 64)
+	if got := l.ActivationBytes(1); got != in+out {
+		t.Errorf("activation bytes = %d, want %d", got, in+out)
+	}
+	oi := l.OpIntensity(1)
+	wantOI := float64(l.MACs()) / float64(in+out+l.Params())
+	if diff := oi - wantOI; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("op intensity = %v, want %v", oi, wantOI)
+	}
+}
+
+func TestHighOperationalIntensityConv(t *testing.T) {
+	// The paper reports 130+ MACs/byte for the big decoder convolutions at
+	// 8-bit precision; Conv2DFuse should comfortably exceed that.
+	l := Layer{
+		Name: "fuse", Kind: Conv2D,
+		InC: 3072, OutC: 768, KH: 1, KW: 1, SH: 1, SW: 1,
+		InH: 128, InW: 128, OutH: 128, OutW: 128, Groups: 1,
+	}
+	if oi := l.OpIntensity(1); oi < 130 {
+		t.Errorf("Conv2DFuse operational intensity = %.1f, want >= 130", oi)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Layer{
+		{Name: "c", Kind: Conv2D, InC: 3, OutC: 8, KH: 3, KW: 3, SH: 1, SW: 1, InH: 8, InW: 8, OutH: 8, OutW: 8, Groups: 1},
+		{Name: "l", Kind: Linear, Tokens: 10, InF: 4, OutF: 8},
+		{Name: "m", Kind: MatMul, Batch: 1, M: 2, K: 3, N: 4},
+		{Name: "s", Kind: Softmax, Elems: 5},
+	}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("valid layer %q rejected: %v", l.Name, err)
+		}
+	}
+	bad := []Layer{
+		{Name: "c0", Kind: Conv2D, InC: 0, OutC: 8, KH: 3, KW: 3, InH: 8, InW: 8, OutH: 8, OutW: 8, Groups: 1},
+		{Name: "cg", Kind: Conv2D, InC: 3, OutC: 8, KH: 3, KW: 3, InH: 8, InW: 8, OutH: 8, OutW: 8, Groups: 2},
+		{Name: "cs", Kind: Conv2D, InC: 3, OutC: 8, KH: 3, KW: 3, InH: 0, InW: 8, OutH: 8, OutW: 8, Groups: 1},
+		{Name: "cng", Kind: Conv2D, InC: 3, OutC: 8, KH: 3, KW: 3, InH: 8, InW: 8, OutH: 8, OutW: 8, Groups: 0},
+		{Name: "dw", Kind: DWConv2D, InC: 8, OutC: 16, KH: 3, KW: 3, InH: 8, InW: 8, OutH: 8, OutW: 8, Groups: 8},
+		{Name: "l0", Kind: Linear, Tokens: 0, InF: 4, OutF: 8},
+		{Name: "m0", Kind: MatMul, Batch: 1, M: 2, K: 0, N: 4},
+		{Name: "s0", Kind: Softmax, Elems: 0},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("invalid layer %q accepted", l.Name)
+		}
+	}
+}
+
+func TestConvOut(t *testing.T) {
+	cases := []struct{ in, k, s, pad, want int }{
+		{512, 7, 4, 3, 128}, // SegFormer overlap patch embed stage 0
+		{128, 3, 2, 1, 64},  // SegFormer patch embed stages 1-3
+		{224, 7, 2, 3, 112}, // ResNet stem
+		{112, 3, 2, 1, 56},  // ResNet max pool
+		{56, 1, 1, 0, 56},   // 1x1 conv
+		{56, 3, 1, 1, 56},   // 3x3 same conv
+	}
+	for _, c := range cases {
+		if got := ConvOut(c.in, c.k, c.s, c.pad); got != c.want {
+			t.Errorf("ConvOut(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.pad, got, c.want)
+		}
+	}
+}
+
+// Property: MACs, Params and traffic are non-negative and FLOPs == MACs for
+// matrix kinds over randomized (positive, bounded) shapes.
+func TestLayerInvariantsQuick(t *testing.T) {
+	f := func(a, b, c, d, e uint8) bool {
+		dim := func(x uint8) int { return int(x)%64 + 1 }
+		conv := Layer{
+			Name: "q", Kind: Conv2D,
+			InC: dim(a), OutC: dim(b), KH: dim(c)%7 + 1, KW: dim(c)%7 + 1,
+			SH: 1, SW: 1, InH: dim(d), InW: dim(d), OutH: dim(d), OutW: dim(d),
+			Groups: 1,
+		}
+		lin := Layer{Name: "ql", Kind: Linear, Tokens: dim(a) * dim(b), InF: dim(c), OutF: dim(d)}
+		mm := Layer{Name: "qm", Kind: MatMul, Batch: dim(a), M: dim(b), K: dim(c), N: dim(e)}
+		for _, l := range []Layer{conv, lin, mm} {
+			if l.MACs() <= 0 || l.Params() < 0 || l.ActivationBytes(1) <= 0 {
+				return false
+			}
+			if l.FLOPs() != l.MACs() {
+				return false
+			}
+			if l.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conv MACs scale linearly with output channels and quadratically
+// with a simultaneous doubling of both spatial output dimensions.
+func TestConvScalingQuick(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		inC, outC := int(a)%32+1, int(b)%32+1
+		hw := int(c)%16 + 1
+		base := Layer{Name: "b", Kind: Conv2D, InC: inC, OutC: outC, KH: 3, KW: 3,
+			SH: 1, SW: 1, InH: hw, InW: hw, OutH: hw, OutW: hw, Groups: 1}
+		doubleC := base
+		doubleC.OutC *= 2
+		doubleHW := base
+		doubleHW.OutH *= 2
+		doubleHW.OutW *= 2
+		return doubleC.MACs() == 2*base.MACs() && doubleHW.MACs() == 4*base.MACs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

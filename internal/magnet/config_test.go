@@ -1,0 +1,129 @@
+package magnet
+
+import "testing"
+
+// paperAreas are the post-synthesis PE-array areas of Table II.
+var paperAreas = map[string]float64{
+	"A": 16.7, "B": 4.5, "C": 8.3, "D": 2.3, "E": 1.9, "F": 2.0, "G": 1.7,
+	"H": 6.1, "I": 5.4, "J": 4.2, "K": 3.5, "L": 3.3, "M": 2.6,
+}
+
+func TestTableIIComplete(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 13 {
+		t.Fatalf("Table II has %d rows, want 13", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, c := range rows {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %s invalid: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate config %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.K0 != c.C0 {
+			t.Errorf("%s: paper explores K0 == C0, got %d != %d", c.Name, c.K0, c.C0)
+		}
+	}
+	// A..G are the K0=32 family, H..M the K0=16 family.
+	for _, n := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+		c, err := ByName(n)
+		if err != nil || c.K0 != 32 {
+			t.Errorf("%s: want K0=32, got %v (%v)", n, c.K0, err)
+		}
+	}
+	for _, n := range []string{"H", "I", "J", "K", "L", "M"} {
+		c, err := ByName(n)
+		if err != nil || c.K0 != 16 || c.NumPE != 64 {
+			t.Errorf("%s: want 64 PEs of K0=16", n)
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+// TestAreaModelMatchesTableII checks the analytic area model against every
+// published synthesis result within 15%.
+func TestAreaModelMatchesTableII(t *testing.T) {
+	for _, c := range TableII() {
+		want := paperAreas[c.Name]
+		got := c.ModeledAreaMM2()
+		rel := (got - want) / want
+		if rel < -0.15 || rel > 0.15 {
+			t.Errorf("accelerator %s modeled area %.2f mm^2, paper %.1f (%.0f%% off)",
+				c.Name, got, want, 100*rel)
+		}
+		if c.AreaMM2() != want {
+			t.Errorf("accelerator %s AreaMM2 = %v, want synthesized %v", c.Name, c.AreaMM2(), want)
+		}
+	}
+}
+
+// TestSameComputeCapability: C through M all compute 16384 MACs/cycle, while
+// A and B have twice that (Section IV-B).
+func TestSameComputeCapability(t *testing.T) {
+	for _, c := range TableII() {
+		want := 16384
+		if c.Name == "A" || c.Name == "B" {
+			want = 32768
+		}
+		if got := c.MACsPerCycle(); got != want {
+			t.Errorf("%s MACs/cycle = %d, want %d", c.Name, got, want)
+		}
+	}
+}
+
+func TestAcceleratorE(t *testing.T) {
+	e := AcceleratorE()
+	if e.Name != "E" || e.NumPE != 16 || e.K0 != 32 || e.WeightBufKB != 128 || e.InputBufKB != 32 {
+		t.Errorf("accelerator E = %+v", e)
+	}
+	if e.FreqGHz != 1.25 {
+		t.Errorf("accelerator E clock = %v GHz, paper reports 1.25", e.FreqGHz)
+	}
+	if got := e.PeakMACsPerSecond(); got != 16384*1.25e9 {
+		t.Errorf("peak MAC rate = %v", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := AcceleratorE()
+	mutations := []func(*Config){
+		func(c *Config) { c.NumPE = 0 },
+		func(c *Config) { c.K0 = -1 },
+		func(c *Config) { c.C0 = 0 },
+		func(c *Config) { c.WeightBufKB = 0 },
+		func(c *Config) { c.InputBufKB = -4 },
+		func(c *Config) { c.AccumBufKB = 0 },
+		func(c *Config) { c.GlobalBufKB = 0 },
+		func(c *Config) { c.FreqGHz = 0 },
+		func(c *Config) { c.DRAMGBs = -1 },
+		func(c *Config) { c.BytesPerElem = 0 },
+	}
+	for i, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestCustomConfigUsesAnalyticArea: non-preset configs fall back to the
+// fitted area model.
+func TestCustomConfigUsesAnalyticArea(t *testing.T) {
+	c := AcceleratorE()
+	c.Name = "custom"
+	c.SynthesizedAreaMM2 = 0
+	c.WeightBufKB = 256
+	if c.AreaMM2() != c.ModeledAreaMM2() {
+		t.Error("custom config must use the analytic area model")
+	}
+	small := c
+	small.WeightBufKB = 64
+	if small.AreaMM2() >= c.AreaMM2() {
+		t.Error("area must grow with buffer size")
+	}
+}

@@ -1,0 +1,89 @@
+package magnet
+
+import (
+	"fmt"
+
+	"vitdyn/internal/graph"
+	"vitdyn/internal/pareto"
+)
+
+// DesignSpace spans a grid of accelerator parameterizations for automated
+// design-space exploration beyond the paper's hand-picked Table II rows.
+type DesignSpace struct {
+	NumPE       []int
+	K0          []int // C0 follows K0, as in the paper
+	WeightBufKB []int
+	InputBufKB  []int
+}
+
+// DefaultDesignSpace covers the Table II envelope plus intermediate points.
+func DefaultDesignSpace() DesignSpace {
+	return DesignSpace{
+		NumPE:       []int{16, 32, 64},
+		K0:          []int{16, 32},
+		WeightBufKB: []int{32, 64, 128, 256},
+		InputBufKB:  []int{16, 32, 64},
+	}
+}
+
+// Enumerate returns every configuration in the grid, named systematically.
+func (ds DesignSpace) Enumerate() []Config {
+	var out []Config
+	for _, pe := range ds.NumPE {
+		for _, k0 := range ds.K0 {
+			for _, wb := range ds.WeightBufKB {
+				for _, ib := range ds.InputBufKB {
+					c := preset(fmt.Sprintf("pe%d-k%d-wb%d-ib%d", pe, k0, wb, ib), pe, k0, wb, ib, 0)
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DesignPoint is one explored configuration with its evaluation metrics.
+type DesignPoint struct {
+	Config       Config
+	EnergyPerMAC float64 // pJ, averaged over the workload suite
+	ThrPerArea   float64 // GMAC/s/mm^2, averaged
+	Pareto       bool
+}
+
+// Explore simulates every configuration in the space over a workload suite
+// and marks the energy-vs-throughput/area Pareto frontier — the automated
+// version of the paper's Fig. 6 methodology, usable on arbitrary models.
+func Explore(ds DesignSpace, workloads []*graph.Graph) ([]DesignPoint, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("magnet: Explore needs at least one workload")
+	}
+	configs := ds.Enumerate()
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("magnet: empty design space")
+	}
+	points := make([]DesignPoint, 0, len(configs))
+	var paretoPts []pareto.Point
+	for _, c := range configs {
+		var e, t float64
+		for _, w := range workloads {
+			r, err := c.Simulate(w)
+			if err != nil {
+				return nil, err
+			}
+			e += r.EnergyPerMAC()
+			t += r.ThroughputPerArea(c)
+		}
+		n := float64(len(workloads))
+		dp := DesignPoint{Config: c, EnergyPerMAC: e / n, ThrPerArea: t / n}
+		points = append(points, dp)
+		paretoPts = append(paretoPts, pareto.Point{Cost: dp.EnergyPerMAC, Value: dp.ThrPerArea, Tag: c.Name})
+	}
+	onFrontier := map[string]bool{}
+	for _, p := range pareto.Frontier(paretoPts) {
+		onFrontier[p.Tag] = true
+	}
+	for i := range points {
+		points[i].Pareto = onFrontier[points[i].Config.Name]
+	}
+	return points, nil
+}

@@ -1,0 +1,80 @@
+package magnet
+
+import (
+	"testing"
+
+	"vitdyn/internal/graph"
+	"vitdyn/internal/nn"
+)
+
+func TestDesignSpaceEnumerate(t *testing.T) {
+	ds := DefaultDesignSpace()
+	configs := ds.Enumerate()
+	want := len(ds.NumPE) * len(ds.K0) * len(ds.WeightBufKB) * len(ds.InputBufKB)
+	if len(configs) != want {
+		t.Fatalf("enumerated %d configs, want %d", len(configs), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid config %s: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate config name %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.SynthesizedAreaMM2 != 0 {
+			t.Errorf("%s: grid configs must use the analytic area model", c.Name)
+		}
+	}
+}
+
+func TestExploreFindsSweetSpot(t *testing.T) {
+	// A compact space around accelerator E on a compact workload.
+	ds := DesignSpace{
+		NumPE:       []int{16},
+		K0:          []int{16, 32},
+		WeightBufKB: []int{32, 128, 1024},
+		InputBufKB:  []int{32},
+	}
+	work := []*graph.Graph{nn.MustResNet50(224, 224, true)}
+	points, err := Explore(ds, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("explored %d points", len(points))
+	}
+	byName := map[string]DesignPoint{}
+	paretoCount := 0
+	for _, p := range points {
+		byName[p.Config.Name] = p
+		if p.Pareto {
+			paretoCount++
+		}
+		if p.EnergyPerMAC <= 0 || p.ThrPerArea <= 0 {
+			t.Fatalf("bad metrics for %s: %+v", p.Config.Name, p)
+		}
+	}
+	if paretoCount == 0 {
+		t.Fatal("no Pareto points")
+	}
+	// The 1 MB weight buffer must cost more energy than the 128 KB one
+	// (the Fig. 6 A/C effect reproduced by automated search).
+	if byName["pe16-k32-wb1024-ib32"].EnergyPerMAC <= byName["pe16-k32-wb128-ib32"].EnergyPerMAC {
+		t.Error("1 MB weight buffer should cost more energy per MAC")
+	}
+	// K0=16 family costs more energy at equal compute.
+	if byName["pe16-k16-wb128-ib32"].EnergyPerMAC <= byName["pe16-k32-wb128-ib32"].EnergyPerMAC {
+		t.Error("narrower vectorization should cost more energy per MAC")
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	if _, err := Explore(DefaultDesignSpace(), nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Explore(DesignSpace{}, []*graph.Graph{nn.MustResNet50(224, 224, true)}); err == nil {
+		t.Error("empty design space accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package nn
+
+import "testing"
+
+// TestDETRTableI checks the Table I detection rows (GFLOPs at ~800x1200;
+// detrex pads to multiples of 32, so we evaluate at 800x1216).
+func TestDETRTableI(t *testing.T) {
+	cases := []struct {
+		variant DETRVariant
+		gflops  float64
+		tol     float64
+	}{
+		{DETR, 92, 0.03},
+		{DABDETR, 97, 0.03},
+		{AnchorDETR, 99, 0.03},
+		{ConditionalDETR, 96, 0.03},
+	}
+	for _, c := range cases {
+		g := MustDETR(c.variant, 800, 1216)
+		gm := float64(g.TotalMACs()) / 1e9
+		if !within(gm, c.gflops, c.tol) {
+			t.Errorf("%s = %.1f GMACs, paper reports %.0f", c.variant, gm, c.gflops)
+		}
+	}
+}
+
+// TestDETRBackboneDominance checks Section III-B: for images above 1M
+// pixels the ResNet-50 backbone is 80+% of FLOPs, and the backbone share
+// increases with image size.
+func TestDETRBackboneDominance(t *testing.T) {
+	for _, v := range []DETRVariant{DETR, DABDETR, AnchorDETR, ConditionalDETR} {
+		g := MustDETR(v, 800, 1216) // 0.97M pixels
+		share := float64(BackboneMACs(g)) / float64(g.TotalMACs())
+		if share < 0.75 {
+			t.Errorf("%s backbone share at ~1M pixels = %.3f, paper reports 0.80+", v, share)
+		}
+		// Above 128K pixels the backbone is about half of total FLOPs.
+		small := MustDETR(v, 384, 384) // 147K pixels
+		if s := float64(BackboneMACs(small)) / float64(small.TotalMACs()); s < 0.45 {
+			t.Errorf("%s backbone share at 147K pixels = %.3f, paper reports ~0.5", v, s)
+		}
+	}
+}
+
+// TestDETRBackboneShareGrowsWithSize reproduces the Fig. 1 trend.
+func TestDETRBackboneShareGrowsWithSize(t *testing.T) {
+	// The paper (Fig. 1): backbone importance "mostly increases" with image
+	// size; the trend holds up to the ~1M-pixel detection sizes, after which
+	// quadratic encoder attention slowly reclaims share.
+	prev := 0.0
+	for _, sz := range []int{128, 256, 512, 1024} {
+		g := MustDETR(DETR, sz, sz)
+		share := float64(BackboneMACs(g)) / float64(g.TotalMACs())
+		if share <= prev {
+			t.Errorf("backbone share not increasing at %d: %.3f <= %.3f", sz, share, prev)
+		}
+		prev = share
+	}
+	big := MustDETR(DETR, 2048, 2048)
+	if bs := float64(BackboneMACs(big)) / float64(big.TotalMACs()); bs < 0.75 {
+		t.Errorf("backbone share at 4M pixels = %.3f, want >= 0.75", bs)
+	}
+}
+
+// TestDETRConvShareTracksBackbone: the paper notes conv share and backbone
+// share are nearly identical for DETR models.
+func TestDETRConvShareTracksBackbone(t *testing.T) {
+	g := MustDETR(DETR, 800, 1216)
+	conv := g.ConvFLOPShare()
+	bb := float64(BackboneMACs(g)) / float64(g.TotalMACs())
+	if diff := conv - bb; diff < -0.02 || diff > 0.02 {
+		t.Errorf("conv share %.3f vs backbone share %.3f differ by more than 2%%", conv, bb)
+	}
+}
+
+func TestDETRVariantQueries(t *testing.T) {
+	for _, c := range []struct {
+		v DETRVariant
+		q int
+	}{{DETR, 100}, {DABDETR, 300}, {ConditionalDETR, 300}, {AnchorDETR, 900}} {
+		cfg, err := DETRFamily(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Queries != c.q {
+			t.Errorf("%s queries = %d, want %d", c.v, cfg.Queries, c.q)
+		}
+	}
+	if _, err := DETRFamily("Deformable"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestAnchorDETRUsesRCDA(t *testing.T) {
+	g := MustDETR(AnchorDETR, 800, 1216)
+	if g.Find("enc.b0.attn.qk.row") == nil || g.Find("dec.b0.cross.qk.col") == nil {
+		t.Error("Anchor-DETR must use row-column decoupled attention")
+	}
+	if g.Find("enc.b0.attn.qk") != nil {
+		t.Error("Anchor-DETR must not emit full-map encoder attention")
+	}
+}
+
+func TestConditionalCrossAttentionWidened(t *testing.T) {
+	g := MustDETR(ConditionalDETR, 800, 1216)
+	q := g.Find("dec.b0.cross.q")
+	if q == nil || q.OutF != 512 {
+		t.Errorf("conditional cross-attn query width = %v, want 512", q)
+	}
+	plain := MustDETR(DETR, 800, 1216)
+	if p := plain.Find("dec.b0.cross.q"); p.OutF != 256 {
+		t.Errorf("DETR cross-attn query width = %d, want 256", p.OutF)
+	}
+}
+
+func TestDETRRejectsBadInput(t *testing.T) {
+	if _, err := DETRModel(DETR, 0, 100); err == nil {
+		t.Error("zero-height input accepted")
+	}
+	if _, err := DETRModel("bogus", 800, 1216); err == nil {
+		t.Error("bogus variant accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+
+	"vitdyn/internal/graph"
+)
+
+// ResNetConfig describes a ResNet-50-style bottleneck network, generalized
+// with the Once-For-All (OFA) elastic dimensions: per-stage depth, a global
+// width multiplier, and the bottleneck expand ratio.
+type ResNetConfig struct {
+	Name        string
+	Depths      [4]int  // bottleneck blocks per stage (ResNet-50: 3,4,6,3)
+	WidthMult   float64 // scales all channel widths (OFA: 0.65, 0.8, 1.0)
+	ExpandRatio float64 // bottleneck mid-width / output-width (ResNet-50: 0.25)
+	NumClasses  int
+	IncludeHead bool // classifier head (dropped when used as a detection backbone)
+}
+
+// ResNet50 returns the standard ResNet-50 configuration.
+func ResNet50(numClasses int, includeHead bool) ResNetConfig {
+	return ResNetConfig{
+		Name:        "ResNet-50",
+		Depths:      [4]int{3, 4, 6, 3},
+		WidthMult:   1.0,
+		ExpandRatio: 0.25,
+		NumClasses:  numClasses,
+		IncludeHead: includeHead,
+	}
+}
+
+// roundChannels rounds a scaled channel count to a multiple of 8 (the OFA
+// convention), never below 8.
+func roundChannels(c float64) int {
+	r := int(c/8+0.5) * 8
+	if r < 8 {
+		r = 8
+	}
+	return r
+}
+
+// stageWidths returns the output widths of the four ResNet stages after
+// width scaling (base 256, 512, 1024, 2048).
+func (c ResNetConfig) stageWidths() [4]int {
+	base := [4]int{256, 512, 1024, 2048}
+	var out [4]int
+	for i, b := range base {
+		out[i] = roundChannels(float64(b) * c.WidthMult)
+	}
+	return out
+}
+
+// ResNet builds the ResNet graph for imgH x imgW input. Layer naming:
+//
+//	stem.conv, stem.pool
+//	s{S}.b{B}.conv1|conv2|conv3 (+ .down for the projection shortcut)
+//	head.pool, head.fc
+func ResNet(cfg ResNetConfig, imgH, imgW int) (*graph.Graph, error) {
+	if imgH <= 0 || imgW <= 0 {
+		return nil, fmt.Errorf("nn: invalid input size %dx%d", imgH, imgW)
+	}
+	for s, d := range cfg.Depths {
+		if d < 1 {
+			return nil, fmt.Errorf("nn: ResNet stage %d needs >= 1 block, got %d", s, d)
+		}
+	}
+	if cfg.WidthMult <= 0 || cfg.ExpandRatio <= 0 {
+		return nil, fmt.Errorf("nn: ResNet width/expand must be positive")
+	}
+	g := &graph.Graph{
+		Name:   cfg.Name,
+		Task:   "classification",
+		InputH: imgH,
+		InputW: imgW,
+	}
+
+	stemC := roundChannels(64 * cfg.WidthMult)
+	h := graph.ConvOut(imgH, 7, 2, 3)
+	w := graph.ConvOut(imgW, 7, 2, 3)
+	g.Add(graph.Layer{
+		Name: "stem.conv", Kind: graph.Conv2D,
+		Module: "backbone", Stage: -1, Block: -1,
+		InC: 3, OutC: stemC, KH: 7, KW: 7, SH: 2, SW: 2,
+		InH: imgH, InW: imgW, OutH: h, OutW: w, Groups: 1,
+	})
+	g.Add(graph.Layer{
+		Name: "stem.bn", Kind: graph.BatchNorm,
+		Module: "backbone", Stage: -1, Block: -1,
+		Elems: h * w * stemC, Channels: stemC,
+	})
+	g.Add(graph.Layer{
+		Name: "stem.relu", Kind: graph.ReLU,
+		Module: "backbone", Stage: -1, Block: -1, Elems: h * w * stemC,
+	})
+	h = graph.ConvOut(h, 3, 2, 1)
+	w = graph.ConvOut(w, 3, 2, 1)
+	g.Add(graph.Layer{
+		Name: "stem.pool", Kind: graph.Pool,
+		Module: "backbone", Stage: -1, Block: -1, Elems: h * w * stemC,
+	})
+
+	widths := cfg.stageWidths()
+	inC := stemC
+	for s := 0; s < 4; s++ {
+		outC := widths[s]
+		midC := roundChannels(float64(outC) * cfg.ExpandRatio)
+		for b := 0; b < cfg.Depths[s]; b++ {
+			stride := 1
+			if s > 0 && b == 0 {
+				stride = 2
+			}
+			oh, ow := h, w
+			if stride == 2 {
+				oh, ow = ceilDiv(h, 2), ceilDiv(w, 2)
+			}
+			add := func(leaf string, l graph.Layer) {
+				l.Name = blockName("", s, b, leaf)[1:] // strip leading '.'
+				l.Module = "backbone"
+				l.Stage = s
+				l.Block = b
+				g.Add(l)
+			}
+			add("conv1", graph.Layer{Kind: graph.Conv2D,
+				InC: inC, OutC: midC, KH: 1, KW: 1, SH: 1, SW: 1,
+				InH: h, InW: w, OutH: h, OutW: w, Groups: 1})
+			add("bn1", graph.Layer{Kind: graph.BatchNorm, Elems: h * w * midC, Channels: midC})
+			add("conv2", graph.Layer{Kind: graph.Conv2D,
+				InC: midC, OutC: midC, KH: 3, KW: 3, SH: stride, SW: stride,
+				InH: h, InW: w, OutH: oh, OutW: ow, Groups: 1})
+			add("bn2", graph.Layer{Kind: graph.BatchNorm, Elems: oh * ow * midC, Channels: midC})
+			add("conv3", graph.Layer{Kind: graph.Conv2D,
+				InC: midC, OutC: outC, KH: 1, KW: 1, SH: 1, SW: 1,
+				InH: oh, InW: ow, OutH: oh, OutW: ow, Groups: 1})
+			add("bn3", graph.Layer{Kind: graph.BatchNorm, Elems: oh * ow * outC, Channels: outC})
+			if b == 0 {
+				add("down", graph.Layer{Kind: graph.Conv2D,
+					InC: inC, OutC: outC, KH: 1, KW: 1, SH: stride, SW: stride,
+					InH: h, InW: w, OutH: oh, OutW: ow, Groups: 1})
+				add("down.bn", graph.Layer{Kind: graph.BatchNorm, Elems: oh * ow * outC, Channels: outC})
+			}
+			add("residual", graph.Layer{Kind: graph.Add, Elems: oh * ow * outC})
+			add("relu", graph.Layer{Kind: graph.ReLU, Elems: oh * ow * outC})
+			h, w, inC = oh, ow, outC
+		}
+	}
+
+	if cfg.IncludeHead {
+		g.Add(graph.Layer{
+			Name: "head.pool", Kind: graph.Pool,
+			Module: "head", Stage: -1, Block: -1, Elems: h * w * inC,
+		})
+		g.Add(graph.Layer{
+			Name: "head.fc", Kind: graph.Linear,
+			Module: "head", Stage: -1, Block: -1,
+			Tokens: 1, InF: inC, OutF: cfg.NumClasses,
+		})
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// OFASubnet is one entry of the Once-For-All ResNet-50 catalog: an elastic
+// subnet configuration with its ImageNet top-1 accuracy. Accuracies are
+// anchored on the OFA paper/repository results; see internal/accuracy for
+// the substitution note.
+type OFASubnet struct {
+	ID          string
+	Depths      [4]int
+	WidthMult   float64
+	ExpandRatio float64
+	Top1        float64 // ImageNet top-1, 0..1
+}
+
+// OFACatalog returns the Once-For-All ResNet-50 subnet family used for the
+// Fig. 13 switching experiment, ordered from largest (most accurate) to
+// smallest. The largest entry is "OFA-ResNet-50" in the paper's terminology.
+func OFACatalog() []OFASubnet {
+	return []OFASubnet{
+		{ID: "ofa-full", Depths: [4]int{3, 4, 6, 3}, WidthMult: 1.0, ExpandRatio: 0.35, Top1: 0.7960},
+		{ID: "ofa-d2-e035-w10", Depths: [4]int{2, 3, 5, 2}, WidthMult: 1.0, ExpandRatio: 0.35, Top1: 0.7921},
+		{ID: "ofa-d1-e035-w10", Depths: [4]int{2, 2, 4, 2}, WidthMult: 1.0, ExpandRatio: 0.35, Top1: 0.7885},
+		{ID: "ofa-d2-e025-w10", Depths: [4]int{2, 3, 5, 2}, WidthMult: 1.0, ExpandRatio: 0.25, Top1: 0.7850},
+		{ID: "ofa-d1-e025-w10", Depths: [4]int{2, 2, 4, 2}, WidthMult: 1.0, ExpandRatio: 0.25, Top1: 0.7788},
+		{ID: "ofa-d1-e025-w08", Depths: [4]int{2, 2, 4, 2}, WidthMult: 0.8, ExpandRatio: 0.25, Top1: 0.7716},
+		{ID: "ofa-d0-e025-w08", Depths: [4]int{1, 2, 3, 1}, WidthMult: 0.8, ExpandRatio: 0.25, Top1: 0.7625},
+		{ID: "ofa-d0-e02-w08", Depths: [4]int{1, 2, 3, 1}, WidthMult: 0.8, ExpandRatio: 0.2, Top1: 0.7530},
+		{ID: "ofa-d0-e02-w065", Depths: [4]int{1, 2, 3, 1}, WidthMult: 0.65, ExpandRatio: 0.2, Top1: 0.7402},
+		{ID: "ofa-min", Depths: [4]int{1, 1, 2, 1}, WidthMult: 0.65, ExpandRatio: 0.2, Top1: 0.7261},
+	}
+}
+
+// OFAResNet builds the graph of one OFA subnet at the given input size.
+func OFAResNet(sub OFASubnet, imgH, imgW int) (*graph.Graph, error) {
+	cfg := ResNetConfig{
+		Name:        "OFA-" + sub.ID,
+		Depths:      sub.Depths,
+		WidthMult:   sub.WidthMult,
+		ExpandRatio: sub.ExpandRatio,
+		NumClasses:  1000,
+		IncludeHead: true,
+	}
+	return ResNet(cfg, imgH, imgW)
+}
+
+// MustResNet50 builds a standard ResNet-50 or panics.
+func MustResNet50(imgH, imgW int, includeHead bool) *graph.Graph {
+	g, err := ResNet(ResNet50(1000, includeHead), imgH, imgW)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestResNet50TableI checks the ~4 GFLOPs / 25.6M params of ResNet-50 at
+// 224x224 (Table I row "ResNet-50 (4 GFLOPs)").
+func TestResNet50TableI(t *testing.T) {
+	g := MustResNet50(224, 224, true)
+	gm := float64(g.TotalMACs()) / 1e9
+	if !within(gm, 4.1, 0.03) {
+		t.Errorf("ResNet-50 = %.2f GMACs, expected ~4.1", gm)
+	}
+	mp := float64(g.TotalParams()) / 1e6
+	if !within(mp, 25.6, 0.03) {
+		t.Errorf("ResNet-50 params = %.2f M, expected ~25.6", mp)
+	}
+	if share := g.ConvFLOPShare(); share < 0.95 {
+		t.Errorf("ResNet-50 conv share = %.3f, expected 95+%%", share)
+	}
+}
+
+func TestResNetBlockStructure(t *testing.T) {
+	g := MustResNet50(224, 224, true)
+	// 3+4+6+3 = 16 bottleneck blocks, each with conv1..conv3.
+	for s, d := range [4]int{3, 4, 6, 3} {
+		count := 0
+		for b := 0; ; b++ {
+			if g.Find(blockName("", s, b, "conv2")[1:]) == nil {
+				break
+			}
+			count++
+		}
+		if count != d {
+			t.Errorf("stage %d block count = %d, want %d", s, count, d)
+		}
+	}
+	// Downsample shortcut only on the first block of each stage.
+	if g.Find("s0.b0.down") == nil || g.Find("s0.b1.down") != nil {
+		t.Error("projection shortcut placement incorrect")
+	}
+	// Classifier present only when requested.
+	if g.Find("head.fc") == nil {
+		t.Error("classifier head missing")
+	}
+	noHead := MustResNet50(224, 224, false)
+	if noHead.Find("head.fc") != nil {
+		t.Error("backbone build must not include classifier")
+	}
+}
+
+func TestResNetSpatialScaling(t *testing.T) {
+	small := MustResNet50(224, 224, false)
+	big := MustResNet50(448, 448, false)
+	ratio := float64(big.TotalMACs()) / float64(small.TotalMACs())
+	if ratio < 3.8 || ratio > 4.2 {
+		t.Errorf("conv-dominated model must scale ~4x with 2x resolution, got %.2f", ratio)
+	}
+}
+
+func TestResNetRejectsBadConfig(t *testing.T) {
+	cfg := ResNet50(1000, true)
+	cfg.Depths[2] = 0
+	if _, err := ResNet(cfg, 224, 224); err == nil {
+		t.Error("zero-depth stage accepted")
+	}
+	cfg = ResNet50(1000, true)
+	cfg.WidthMult = 0
+	if _, err := ResNet(cfg, 224, 224); err == nil {
+		t.Error("zero width multiplier accepted")
+	}
+	if _, err := ResNet(ResNet50(1000, true), 0, 224); err == nil {
+		t.Error("zero input accepted")
+	}
+}
+
+func TestRoundChannels(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{{64, 64}, {64 * 0.65, 40}, {256 * 0.8, 208}, {3, 8}, {2048 * 0.65, 1328}}
+	for _, c := range cases {
+		if got := roundChannels(c.in); got != c.want {
+			t.Errorf("roundChannels(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestOFACatalog checks the catalog is ordered, strictly decreasing in
+// accuracy, and spans the >= 3.3% accuracy range exercised by Fig. 13.
+func TestOFACatalog(t *testing.T) {
+	cat := OFACatalog()
+	if len(cat) < 8 {
+		t.Fatalf("catalog has %d entries, want >= 8", len(cat))
+	}
+	if cat[0].ID != "ofa-full" {
+		t.Errorf("first entry = %q, want ofa-full", cat[0].ID)
+	}
+	prevAcc := 1.0
+	prevMACs := int64(1 << 62)
+	for _, s := range cat {
+		if s.Top1 >= prevAcc {
+			t.Errorf("%s: accuracy %v not strictly decreasing", s.ID, s.Top1)
+		}
+		prevAcc = s.Top1
+		g, err := OFAResNet(s, 224, 224)
+		if err != nil {
+			t.Fatalf("OFAResNet(%s): %v", s.ID, err)
+		}
+		if g.TotalMACs() >= prevMACs {
+			t.Errorf("%s: MACs %d not strictly decreasing", s.ID, g.TotalMACs())
+		}
+		prevMACs = g.TotalMACs()
+	}
+	drop := cat[0].Top1 - cat[len(cat)-1].Top1
+	if drop < 0.04 {
+		t.Errorf("catalog accuracy span = %.3f, need >= 0.04 to cover the 3.3%% experiment", drop)
+	}
+}
+
+// Property: width multiplier monotonically controls both MACs and params.
+func TestOFAWidthMonotoneQuick(t *testing.T) {
+	f := func(a uint8) bool {
+		w1 := 0.5 + float64(a%40)/100 // 0.5 .. 0.89
+		w2 := w1 + 0.1
+		c1 := ResNetConfig{Name: "a", Depths: [4]int{2, 2, 2, 2}, WidthMult: w1, ExpandRatio: 0.25, NumClasses: 10, IncludeHead: true}
+		c2 := c1
+		c2.WidthMult = w2
+		g1, err1 := ResNet(c1, 224, 224)
+		g2, err2 := ResNet(c2, 224, 224)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g2.TotalMACs() > g1.TotalMACs() && g2.TotalParams() > g1.TotalParams()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViTIsConvolutionFree(t *testing.T) {
+	g, err := ViT(ViTBase16(1000), 224, 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ConvMACs() != 0 {
+		t.Error("ViT must contain zero convolutions (Section III-A)")
+	}
+	gm := float64(g.TotalMACs()) / 1e9
+	if !within(gm, 17.2, 0.06) { // ViT-B/16 @224 is ~17.5 GMACs
+		t.Errorf("ViT-B/16 = %.2f GMACs, expected ~17.2", gm)
+	}
+}
+
+func TestViTRejectsBadInput(t *testing.T) {
+	if _, err := ViT(ViTBase16(1000), 225, 224); err == nil {
+		t.Error("non-divisible input accepted")
+	}
+}

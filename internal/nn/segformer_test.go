@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// within reports |got-want|/want <= tol.
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*want
+}
+
+func TestSegFormerVariants(t *testing.T) {
+	for _, v := range []string{"B0", "B1", "B2", "B3", "B4", "B5"} {
+		cfg, err := SegFormerB(v, 150)
+		if err != nil {
+			t.Fatalf("SegFormerB(%s): %v", v, err)
+		}
+		if cfg.Variant != v {
+			t.Errorf("variant = %q", cfg.Variant)
+		}
+		g, err := SegFormer(cfg, 512, 512)
+		if err != nil {
+			t.Fatalf("SegFormer(%s): %v", v, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s graph invalid: %v", v, err)
+		}
+	}
+	if _, err := SegFormerB("B9", 150); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestSegFormerRejectsBadInput(t *testing.T) {
+	cfg, _ := SegFormerB("B0", 150)
+	for _, sz := range [][2]int{{0, 512}, {512, 0}, {-32, 512}, {500, 512}, {512, 100}} {
+		if _, err := SegFormer(cfg, sz[0], sz[1]); err == nil {
+			t.Errorf("input %v accepted", sz)
+		}
+	}
+}
+
+// TestSegFormerADEB2TableI checks the paper's Table I row: 63 GFLOPs and
+// 28M parameters for SegFormer ADE B2 at 512x512.
+func TestSegFormerADEB2TableI(t *testing.T) {
+	g := MustSegFormer("B2", 150, 512, 512)
+	gmacs := float64(g.TotalMACs()) / 1e9
+	if !within(gmacs, 63, 0.03) {
+		t.Errorf("SegFormer ADE B2 = %.2f GMACs, paper reports 63 (±3%%)", gmacs)
+	}
+	mparams := float64(g.TotalParams()) / 1e6
+	if !within(mparams, 28, 0.05) {
+		t.Errorf("SegFormer B2 params = %.2f M, paper reports 28 (±5%%)", mparams)
+	}
+}
+
+// TestSegFormerCityB2TableI checks 290 GFLOPs at 1024x1024 (Cityscapes).
+func TestSegFormerCityB2TableI(t *testing.T) {
+	g := MustSegFormer("B2", 19, 1024, 1024)
+	gmacs := float64(g.TotalMACs()) / 1e9
+	if !within(gmacs, 290, 0.03) {
+		t.Errorf("SegFormer City B2 = %.2f GMACs, paper reports 290 (±3%%)", gmacs)
+	}
+}
+
+// TestSegFormerFig3Shares checks the Section III-A per-layer shares:
+// convolutions 68% of FLOPs, Conv2DFuse 62%, Conv2DPred 3%, DecodeLinear0
+// 1.3%, and only ~5% of convolution FLOPs in the encoder.
+func TestSegFormerFig3Shares(t *testing.T) {
+	g := MustSegFormer("B2", 150, 512, 512)
+	total := float64(g.TotalMACs())
+
+	if share := g.ConvFLOPShare(); !within(share, 0.68, 0.03) {
+		t.Errorf("conv FLOP share = %.3f, paper reports 0.68", share)
+	}
+	fuse := g.Find("dec.conv2dfuse")
+	if fuse == nil {
+		t.Fatal("dec.conv2dfuse missing")
+	}
+	if share := float64(fuse.MACs()) / total; !within(share, 0.62, 0.02) {
+		t.Errorf("Conv2DFuse share = %.3f, paper reports 0.62", share)
+	}
+	if fuse.InC != 3072 || fuse.OutC != 768 || fuse.KH != 1 {
+		t.Errorf("Conv2DFuse shape = %d->%d k%d, paper: 3072->768 1x1", fuse.InC, fuse.OutC, fuse.KH)
+	}
+	pred := g.Find("dec.conv2dpred")
+	if share := float64(pred.MACs()) / total; !within(share, 0.03, 0.10) {
+		t.Errorf("Conv2DPred share = %.4f, paper reports 0.03", share)
+	}
+	dl0 := g.Find("dec.linear0")
+	if share := float64(dl0.MACs()) / total; !within(share, 0.013, 0.05) {
+		t.Errorf("DecodeLinear0 share = %.4f, paper reports 0.013", share)
+	}
+
+	// Encoder share of convolution FLOPs: paper says 5%.
+	var encConv, allConv float64
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		if !l.Kind.IsConv() {
+			continue
+		}
+		allConv += float64(l.MACs())
+		if l.Module == "encoder" {
+			encConv += float64(l.MACs())
+		}
+	}
+	if share := encConv / allConv; share < 0.03 || share > 0.08 {
+		t.Errorf("encoder conv share of convs = %.3f, paper reports ~0.05", share)
+	}
+
+	// Decoder holds "nearly 70%" of FLOPs.
+	decShare := float64(g.ModuleMACs()["decoder"]) / total
+	if decShare < 0.62 || decShare > 0.75 {
+		t.Errorf("decoder share = %.3f, paper reports ~0.70", decShare)
+	}
+}
+
+// TestSegFormerOperationalIntensity checks the 130+ MACs/byte claim for the
+// whole model at 8-bit precision (Section III-A). Pointwise operators are
+// fused into the preceding matrix layers (as the MAGNet post-processing
+// unit does), so intensity is computed over matrix layers.
+func TestSegFormerOperationalIntensity(t *testing.T) {
+	g := MustSegFormer("B2", 150, 512, 512)
+	var macs, bytes int64
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		if !l.Kind.IsMatrix() {
+			continue
+		}
+		macs += l.MACs()
+		bytes += l.ActivationBytes(1) + l.WeightBytes(1)
+	}
+	if oi := float64(macs) / float64(bytes); oi < 130 {
+		t.Errorf("model operational intensity = %.1f MACs/B, paper reports 130+", oi)
+	}
+}
+
+// TestSegFormerEncoderBlockCounts checks the B2 stage depths quoted in the
+// paper (three, four, six, three).
+func TestSegFormerEncoderBlockCounts(t *testing.T) {
+	g := MustSegFormer("B2", 150, 512, 512)
+	depths := [4]int{3, 4, 6, 3}
+	for s, want := range depths {
+		count := 0
+		for b := 0; ; b++ {
+			if g.Find(blockName("enc", s, b, "attn.q")) == nil {
+				break
+			}
+			count++
+		}
+		if count != want {
+			t.Errorf("stage %d has %d blocks, want %d", s, count, want)
+		}
+	}
+}
+
+// TestSegFormerCityVsADE checks that the Cityscapes model at 1024x1024 is
+// roughly 4.6x the ADE FLOPs (290/63) because attention grows superlinearly.
+func TestSegFormerCityVsADE(t *testing.T) {
+	ade := MustSegFormer("B2", 150, 512, 512)
+	city := MustSegFormer("B2", 19, 1024, 1024)
+	ratio := float64(city.TotalMACs()) / float64(ade.TotalMACs())
+	if ratio < 4.0 || ratio > 5.0 {
+		t.Errorf("City/ADE FLOP ratio = %.2f, expected ~4.6 (superlinear)", ratio)
+	}
+}
+
+// TestSegFormerMonotoneInVariant checks B0 < B1 < B2 in both FLOPs and
+// parameters (the retrained switching family of Fig. 10).
+func TestSegFormerMonotoneInVariant(t *testing.T) {
+	var prevM, prevP int64
+	for _, v := range []string{"B0", "B1", "B2"} {
+		g := MustSegFormer(v, 150, 512, 512)
+		if g.TotalMACs() <= prevM || g.TotalParams() <= prevP {
+			t.Errorf("%s not strictly larger than previous variant", v)
+		}
+		prevM, prevP = g.TotalMACs(), g.TotalParams()
+	}
+}
+
+// Property: SegFormer MACs grow monotonically with input resolution.
+func TestSegFormerResolutionMonotoneQuick(t *testing.T) {
+	cfg, _ := SegFormerB("B0", 150)
+	f := func(a, b uint8) bool {
+		s1 := (int(a)%8 + 2) * 32 // 64..288
+		s2 := s1 + (int(b)%8+1)*32
+		g1, err1 := SegFormer(cfg, s1, s1)
+		g2, err2 := SegFormer(cfg, s2, s2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g2.TotalMACs() > g1.TotalMACs() && g2.TotalParams() == g1.TotalParams()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustSegFormerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSegFormer with bad variant must panic")
+		}
+	}()
+	MustSegFormer("nope", 150, 512, 512)
+}

@@ -1,0 +1,153 @@
+package nn
+
+import "testing"
+
+// TestSwinTableI checks the Table I rows: Swin Tiny/Small/Base at 512x512
+// with 237/259/297 GFLOPs and 60/81/121 M parameters.
+func TestSwinTableI(t *testing.T) {
+	cases := []struct {
+		variant string
+		gflops  float64
+		mparams float64
+	}{
+		{"Tiny", 237, 60},
+		{"Small", 259, 81},
+		{"Base", 297, 121},
+	}
+	for _, c := range cases {
+		g := MustSwin(c.variant, 150, 512, 512)
+		gm := float64(g.TotalMACs()) / 1e9
+		if !within(gm, c.gflops, 0.06) {
+			t.Errorf("Swin %s = %.1f GMACs, paper reports %.0f (±6%%)", c.variant, gm, c.gflops)
+		}
+		mp := float64(g.TotalParams()) / 1e6
+		if !within(mp, c.mparams, 0.06) {
+			t.Errorf("Swin %s params = %.1f M, paper reports %.0f (±6%%)", c.variant, mp, c.mparams)
+		}
+	}
+}
+
+// TestSwinTinyFig3Shares checks Section III-A: 89% of FLOPs in convolutions,
+// fpn_bottleneck alone 65%, 89% of FLOPs in the decoder, and 99% of
+// convolution FLOPs in the decoder.
+func TestSwinTinyFig3Shares(t *testing.T) {
+	g := MustSwin("Tiny", 150, 512, 512)
+	total := float64(g.TotalMACs())
+
+	if share := g.ConvFLOPShare(); !within(share, 0.89, 0.02) {
+		t.Errorf("conv share = %.3f, paper reports 0.89", share)
+	}
+	fpn := g.Find("dec.fpnbottleneck")
+	if fpn == nil {
+		t.Fatal("dec.fpnbottleneck missing")
+	}
+	if share := float64(fpn.MACs()) / total; !within(share, 0.65, 0.02) {
+		t.Errorf("fpn_bottleneck share = %.3f, paper reports 0.65", share)
+	}
+	if fpn.InC != 2048 || fpn.OutC != 512 || fpn.KH != 3 {
+		t.Errorf("fpn_bottleneck shape = %d->%d k%d, paper: 2048->512 3x3", fpn.InC, fpn.OutC, fpn.KH)
+	}
+	decShare := float64(g.ModuleMACs()["decoder"]) / total
+	if !within(decShare, 0.89, 0.03) {
+		t.Errorf("decoder share = %.3f, paper reports 0.89", decShare)
+	}
+	var decConv, allConv float64
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		if !l.Kind.IsConv() {
+			continue
+		}
+		allConv += float64(l.MACs())
+		if l.Module == "decoder" {
+			decConv += float64(l.MACs())
+		}
+	}
+	if share := decConv / allConv; share < 0.99 {
+		t.Errorf("decoder share of convs = %.4f, paper reports 0.99", share)
+	}
+}
+
+// TestSwinWindowDimension checks the 49-token windows that cause the odd
+// channel counts discussed in Section IV-B.
+func TestSwinWindowDimension(t *testing.T) {
+	g := MustSwin("Tiny", 150, 512, 512)
+	qk := g.Find("enc.s0.b0.attn.qk")
+	if qk == nil {
+		t.Fatal("stage-0 attention matmul missing")
+	}
+	if qk.M != 49 || qk.N != 49 {
+		t.Errorf("window attention dims M=%d N=%d, want 49x49", qk.M, qk.N)
+	}
+	av := g.Find("enc.s0.b0.attn.av")
+	if av.K != 49 {
+		t.Errorf("attention context K=%d, want 49", av.K)
+	}
+}
+
+// TestSwinStage2BlockCounts: Tiny has six stage-2 blocks, Small/Base have
+// eighteen (the bypass candidates of Section V-B).
+func TestSwinStage2BlockCounts(t *testing.T) {
+	for _, c := range []struct {
+		variant string
+		want    int
+	}{{"Tiny", 6}, {"Small", 18}, {"Base", 18}} {
+		g := MustSwin(c.variant, 150, 512, 512)
+		count := 0
+		for b := 0; ; b++ {
+			if g.Find(blockName("enc", 2, b, "attn.qkv")) == nil {
+				break
+			}
+			count++
+		}
+		if count != c.want {
+			t.Errorf("Swin %s stage-2 blocks = %d, want %d", c.variant, count, c.want)
+		}
+	}
+}
+
+// TestSwinDecoderSharedAcrossVariants: all three variants share the same
+// fpn_bottleneck shape, which is why larger Swin models have a *smaller*
+// conv share (Fig. 4 discussion).
+func TestSwinDecoderSharedAcrossVariants(t *testing.T) {
+	tiny := MustSwin("Tiny", 150, 512, 512)
+	base := MustSwin("Base", 150, 512, 512)
+	ft, fb := tiny.Find("dec.fpnbottleneck"), base.Find("dec.fpnbottleneck")
+	if ft.MACs() != fb.MACs() {
+		t.Errorf("fpn_bottleneck MACs differ: %d vs %d", ft.MACs(), fb.MACs())
+	}
+	if tiny.ConvFLOPShare() <= base.ConvFLOPShare() {
+		t.Errorf("conv share should shrink with model size: tiny %.3f base %.3f",
+			tiny.ConvFLOPShare(), base.ConvFLOPShare())
+	}
+}
+
+func TestSwinRejectsBadInput(t *testing.T) {
+	cfg, _ := SwinVariant("Tiny", 150)
+	for _, sz := range [][2]int{{0, 512}, {512, -1}, {500, 512}} {
+		if _, err := Swin(cfg, sz[0], sz[1]); err == nil {
+			t.Errorf("input %v accepted", sz)
+		}
+	}
+	if _, err := SwinVariant("Huge", 150); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestSwinShiftedBlocksHaveRolls(t *testing.T) {
+	g := MustSwin("Tiny", 150, 512, 512)
+	if g.Find("enc.s0.b0.attn.roll") != nil {
+		t.Error("unshifted block must not roll")
+	}
+	if g.Find("enc.s0.b1.attn.roll") == nil || g.Find("enc.s0.b1.attn.unroll") == nil {
+		t.Error("shifted block must roll and unroll")
+	}
+}
+
+func TestSwinStageDims(t *testing.T) {
+	cfg, _ := SwinVariant("Base", 150)
+	dims := cfg.StageDims()
+	want := [4]int{128, 256, 512, 1024}
+	if dims != want {
+		t.Errorf("Base stage dims = %v, want %v", dims, want)
+	}
+}

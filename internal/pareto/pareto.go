@@ -1,0 +1,68 @@
+// Package pareto provides small multi-objective frontier utilities used to
+// assemble the paper's tradeoff curves (Figs. 6, 10, 11, 12, 13): minimizing
+// cost (time, energy) while maximizing quality (accuracy, throughput).
+package pareto
+
+import "sort"
+
+// Point is one candidate with a cost to minimize and a value to maximize.
+type Point struct {
+	Cost  float64
+	Value float64
+	// Tag carries the caller's identifier (config name, path label).
+	Tag string
+}
+
+// Frontier returns the Pareto-optimal subset: points for which no other
+// point has cost <= and value >= with at least one strict inequality.
+// The result is sorted by ascending cost. Duplicate-metric points are kept
+// (ties are not dominated).
+func Frontier(points []Point) []Point {
+	out := make([]Point, 0, len(points))
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Cost <= p.Cost && q.Value >= p.Value && (q.Cost < p.Cost || q.Value > p.Value) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Value > out[j].Value
+	})
+	return out
+}
+
+// Dominates reports whether a dominates b (weakly better on both axes,
+// strictly on one).
+func Dominates(a, b Point) bool {
+	return a.Cost <= b.Cost && a.Value >= b.Value && (a.Cost < b.Cost || a.Value > b.Value)
+}
+
+// BestValueUnderCost returns the highest-value point whose cost does not
+// exceed the budget, and false when none qualifies. This is the RDD
+// controller's selection primitive.
+func BestValueUnderCost(points []Point, budget float64) (Point, bool) {
+	best := Point{}
+	found := false
+	for _, p := range points {
+		if p.Cost > budget {
+			continue
+		}
+		if !found || p.Value > best.Value || (p.Value == best.Value && p.Cost < best.Cost) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,124 @@
+package pareto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrontierBasic(t *testing.T) {
+	pts := []Point{
+		{Cost: 1, Value: 1, Tag: "a"},
+		{Cost: 2, Value: 2, Tag: "b"},
+		{Cost: 3, Value: 1.5, Tag: "dominated"},
+		{Cost: 0.5, Value: 0.5, Tag: "c"},
+	}
+	f := Frontier(pts)
+	if len(f) != 3 {
+		t.Fatalf("frontier size = %d, want 3 (%v)", len(f), f)
+	}
+	for i, want := range []string{"c", "a", "b"} {
+		if f[i].Tag != want {
+			t.Errorf("frontier[%d] = %s, want %s", i, f[i].Tag, want)
+		}
+	}
+}
+
+func TestFrontierKeepsTies(t *testing.T) {
+	pts := []Point{{Cost: 1, Value: 1, Tag: "x"}, {Cost: 1, Value: 1, Tag: "y"}}
+	if f := Frontier(pts); len(f) != 2 {
+		t.Errorf("ties must be kept, got %v", f)
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	if f := Frontier(nil); len(f) != 0 {
+		t.Errorf("empty input must yield empty frontier, got %v", f)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Point{Cost: 1, Value: 2}
+	b := Point{Cost: 2, Value: 1}
+	if !Dominates(a, b) || Dominates(b, a) {
+		t.Error("dominance relation wrong")
+	}
+	if Dominates(a, a) {
+		t.Error("a point must not dominate itself (equal metrics)")
+	}
+}
+
+func TestBestValueUnderCost(t *testing.T) {
+	pts := []Point{
+		{Cost: 1, Value: 0.40, Tag: "small"},
+		{Cost: 2, Value: 0.45, Tag: "mid"},
+		{Cost: 4, Value: 0.47, Tag: "full"},
+	}
+	if p, ok := BestValueUnderCost(pts, 4); !ok || p.Tag != "full" {
+		t.Errorf("budget 4 -> %v", p)
+	}
+	if p, ok := BestValueUnderCost(pts, 2.5); !ok || p.Tag != "mid" {
+		t.Errorf("budget 2.5 -> %v", p)
+	}
+	if p, ok := BestValueUnderCost(pts, 1); !ok || p.Tag != "small" {
+		t.Errorf("budget 1 -> %v", p)
+	}
+	if _, ok := BestValueUnderCost(pts, 0.5); ok {
+		t.Error("budget below all costs must fail")
+	}
+	// Equal value: prefer the cheaper path.
+	tie := []Point{{Cost: 3, Value: 0.4, Tag: "pricey"}, {Cost: 1, Value: 0.4, Tag: "cheap"}}
+	if p, _ := BestValueUnderCost(tie, 5); p.Tag != "cheap" {
+		t.Errorf("tie broken wrong: %v", p)
+	}
+}
+
+// Property: frontier members are mutually non-dominating, every input point
+// is dominated by or equal to some frontier member, and the frontier is
+// sorted by cost with non-decreasing value going down in cost.
+func TestFrontierPropertiesQuick(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		pts := make([]Point, 0, len(seeds))
+		for i, s := range seeds {
+			pts = append(pts, Point{
+				Cost:  float64(s%97) + 1,
+				Value: float64((s/97)%89) + 1,
+				Tag:   string(rune('a' + i%26)),
+			})
+		}
+		fr := Frontier(pts)
+		if len(fr) == 0 {
+			return false
+		}
+		for i := range fr {
+			for j := range fr {
+				if i != j && Dominates(fr[i], fr[j]) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			covered := false
+			for _, q := range fr {
+				if (q.Cost == p.Cost && q.Value == p.Value) || Dominates(q, p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		for i := 1; i < len(fr); i++ {
+			if fr[i].Cost < fr[i-1].Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package prune implements the paper's alternative-execution-path machinery
+// (Section V): bypassing encoder blocks and reducing input channels of the
+// critical decoder layers in pretrained SegFormer and Swin models, with
+// skipped computation propagated backwards through the decoder exactly as
+// the paper describes (Section V-A).
+package prune
+
+import (
+	"fmt"
+
+	"vitdyn/internal/graph"
+	"vitdyn/internal/nn"
+)
+
+// SegFormerPath is one SegFormer execution-path configuration: how many
+// encoder blocks run in each stage and how many input channels the three
+// critical decoder layers consume. A zero channel field means "unpruned".
+type SegFormerPath struct {
+	Label string
+	// EncoderBlocks kept per stage; the paper bypasses trailing blocks.
+	EncoderBlocks [4]int
+	// FuseInCh is the Conv2DFuse input-channel count (<= 4*decoderDim).
+	FuseInCh int
+	// PredInCh is the Conv2DPred input-channel count (<= decoderDim).
+	PredInCh int
+	// DecodeLinear0Ch is the DecodeLinear0 input-channel count (<= stage-0
+	// width). Reducing it cannot skip earlier computation (stage-0 output
+	// also feeds stage 1), but it still shrinks the decoder layer itself.
+	DecodeLinear0Ch int
+}
+
+// FullSegFormerPath returns the unpruned configuration for a variant.
+func FullSegFormerPath(cfg nn.SegFormerConfig) SegFormerPath {
+	return SegFormerPath{
+		Label:           cfg.Variant,
+		EncoderBlocks:   cfg.Depths,
+		FuseInCh:        4 * cfg.DecoderDim,
+		PredInCh:        cfg.DecoderDim,
+		DecodeLinear0Ch: cfg.EmbedDims[0],
+	}
+}
+
+// Validate checks the path against its base configuration.
+func (p SegFormerPath) Validate(cfg nn.SegFormerConfig) error {
+	for s := 0; s < 4; s++ {
+		if p.EncoderBlocks[s] < 1 || p.EncoderBlocks[s] > cfg.Depths[s] {
+			return fmt.Errorf("prune: stage %d blocks %d out of range 1..%d", s, p.EncoderBlocks[s], cfg.Depths[s])
+		}
+	}
+	if p.FuseInCh < 1 || p.FuseInCh > 4*cfg.DecoderDim {
+		return fmt.Errorf("prune: fuse channels %d out of range 1..%d", p.FuseInCh, 4*cfg.DecoderDim)
+	}
+	if p.PredInCh < 1 || p.PredInCh > cfg.DecoderDim {
+		return fmt.Errorf("prune: pred channels %d out of range 1..%d", p.PredInCh, cfg.DecoderDim)
+	}
+	if p.DecodeLinear0Ch < 1 || p.DecodeLinear0Ch > cfg.EmbedDims[0] {
+		return fmt.Errorf("prune: DecodeLinear0 channels %d out of range 1..%d", p.DecodeLinear0Ch, cfg.EmbedDims[0])
+	}
+	return nil
+}
+
+// ApplySegFormer builds the pruned SegFormer graph for the path.
+//
+// Backward propagation of skipped computation follows Section V-A:
+//
+//   - Bypassed encoder blocks disappear entirely (the paper bypasses the
+//     trailing blocks of a stage; which blocks are removed does not change
+//     the cost model).
+//   - Conv2DFuse input channels are pruned from the end of the concatenated
+//     per-stage features. Which channels are removed does not matter for
+//     accuracy (the paper tested first/last/smallest), and encoder-side
+//     computation cannot be skipped because every encoder stage feeds the
+//     next; the decode linears keep running in full, matching the paper's
+//     Table III FLOPs accounting.
+//   - Conv2DPred input channels propagate backwards through the decoder
+//     (ReLU, BatchNorm and Conv2DFuse outputs shrink with them), since
+//     decoder layers have a single consumer.
+func ApplySegFormer(cfg nn.SegFormerConfig, imgH, imgW int, p SegFormerPath) (*graph.Graph, error) {
+	if err := p.Validate(cfg); err != nil {
+		return nil, err
+	}
+	pruned := cfg
+	pruned.Depths = p.EncoderBlocks
+	g, err := nn.SegFormer(pruned, imgH, imgW)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = fmt.Sprintf("%s[%s]", g.Name, p.Label)
+
+	d := cfg.DecoderDim
+
+	// --- Conv2DPred pruning propagates backwards through the decoder. ---
+	fuseOut := p.PredInCh
+	if pred := g.Find("dec.conv2dpred"); pred != nil {
+		pred.InC = p.PredInCh
+	}
+	if bn := g.Find("dec.fuse.bn"); bn != nil {
+		bn.Elems = bn.Elems / d * fuseOut
+		bn.Channels = fuseOut
+	}
+	if relu := g.Find("dec.fuse.relu"); relu != nil {
+		relu.Elems = relu.Elems / d * fuseOut
+	}
+
+	// --- Conv2DFuse input pruning. ---
+	// The fuse convolution reads a trailing-pruned subset of the
+	// concatenated per-stage features. The decode linears still execute in
+	// full: their outputs also parameterize the kept channels, and (as the
+	// paper notes) encoder-side computation cannot be skipped because every
+	// encoder stage feeds the next. This matches the paper's Table III
+	// accounting (B2f: 60% fewer FLOPs with Conv2DFuse under 25% of them).
+	if fuse := g.Find("dec.conv2dfuse"); fuse != nil {
+		fuse.InC = p.FuseInCh
+		fuse.OutC = fuseOut
+	}
+	if cat := g.Find("dec.concat"); cat != nil {
+		cat.Elems = cat.Elems / (4 * d) * p.FuseInCh
+	}
+
+	// --- DecodeLinear0 input channels. ---
+	if dl0 := g.Find("dec.linear0"); dl0 != nil && p.DecodeLinear0Ch < dl0.InF {
+		dl0.InF = p.DecodeLinear0Ch
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SwinPath is a Swin execution-path configuration: blocks kept in stages 2
+// and 3 (the deep stages the paper bypasses) and the fpn_bottleneck input
+// channel count.
+type SwinPath struct {
+	Label           string
+	Stage2Blocks    int
+	Stage3Blocks    int
+	FPNBottleneckCh int // <= 4*decoderChannels
+}
+
+// FullSwinPath returns the unpruned configuration.
+func FullSwinPath(cfg nn.SwinConfig) SwinPath {
+	return SwinPath{
+		Label:           cfg.Variant,
+		Stage2Blocks:    cfg.Depths[2],
+		Stage3Blocks:    cfg.Depths[3],
+		FPNBottleneckCh: 4 * cfg.DecoderChannels,
+	}
+}
+
+// Validate checks the path against its base configuration.
+func (p SwinPath) Validate(cfg nn.SwinConfig) error {
+	if p.Stage2Blocks < 1 || p.Stage2Blocks > cfg.Depths[2] {
+		return fmt.Errorf("prune: stage-2 blocks %d out of range 1..%d", p.Stage2Blocks, cfg.Depths[2])
+	}
+	if p.Stage3Blocks < 1 || p.Stage3Blocks > cfg.Depths[3] {
+		return fmt.Errorf("prune: stage-3 blocks %d out of range 1..%d", p.Stage3Blocks, cfg.Depths[3])
+	}
+	if p.FPNBottleneckCh < 1 || p.FPNBottleneckCh > 4*cfg.DecoderChannels {
+		return fmt.Errorf("prune: fpn channels %d out of range 1..%d", p.FPNBottleneckCh, 4*cfg.DecoderChannels)
+	}
+	return nil
+}
+
+// ApplySwin builds the pruned Swin graph. Pruned fpn_bottleneck input
+// channels remove trailing slices of the concatenated FPN levels; a fully
+// removed level drops its upsample (the FPN convs still run — their outputs
+// feed the multi-scale auxiliary paths).
+func ApplySwin(cfg nn.SwinConfig, imgH, imgW int, p SwinPath) (*graph.Graph, error) {
+	if err := p.Validate(cfg); err != nil {
+		return nil, err
+	}
+	pruned := cfg
+	pruned.Depths[2] = p.Stage2Blocks
+	pruned.Depths[3] = p.Stage3Blocks
+	g, err := nn.Swin(pruned, imgH, imgW)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = fmt.Sprintf("%s[%s]", g.Name, p.Label)
+
+	ch := cfg.DecoderChannels
+	if fpn := g.Find("dec.fpnbottleneck"); fpn != nil {
+		fpn.InC = p.FPNBottleneckCh
+	}
+	if cat := g.Find("dec.fuse.concat"); cat != nil {
+		cat.Elems = cat.Elems / (4 * ch) * p.FPNBottleneckCh
+	}
+	// Trailing concat slices come from the deepest levels; drop upsamples of
+	// fully pruned levels.
+	for s := 3; s >= 1; s-- {
+		if p.FPNBottleneckCh <= s*ch {
+			name := fmt.Sprintf("dec.fuse.up%d", s)
+			keep := g.Layers[:0]
+			for i := range g.Layers {
+				if g.Layers[i].Name == name {
+					continue
+				}
+				keep = append(keep, g.Layers[i])
+			}
+			g.Layers = keep
+		}
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SegFormerSweep enumerates the joint sweep the paper explores for Fig. 10:
+// trailing-block bypass per stage combined with Conv2DFuse/Conv2DPred
+// channel reduction. Channel counts step in units of step (the paper prunes
+// in vector-width multiples).
+func SegFormerSweep(cfg nn.SegFormerConfig, step int) []SegFormerPath {
+	if step <= 0 {
+		step = 128
+	}
+	full := FullSegFormerPath(cfg)
+	var out []SegFormerPath
+	blockChoices := [][4]int{full.EncoderBlocks}
+	// Bypass up to one trailing block in each of stages 0-2 and up to two in
+	// the deepest-redundancy stage 2 (the combinations Table III exercises).
+	for _, d0 := range []int{0, 1} {
+		for _, d1 := range []int{0, 1} {
+			for _, d2 := range []int{0, 1} {
+				if d0 == 0 && d1 == 0 && d2 == 0 {
+					continue
+				}
+				b := full.EncoderBlocks
+				b[0] -= d0
+				b[1] -= d1
+				b[2] -= d2
+				if b[0] >= 1 && b[1] >= 1 && b[2] >= 1 {
+					blockChoices = append(blockChoices, b)
+				}
+			}
+		}
+	}
+	for _, blocks := range blockChoices {
+		for fuse := 4 * cfg.DecoderDim; fuse >= cfg.DecoderDim/2; fuse -= step {
+			for _, pred := range []int{cfg.DecoderDim, cfg.DecoderDim - 32, cfg.DecoderDim - 64} {
+				p := SegFormerPath{
+					Label:           fmt.Sprintf("b%d%d%d%d-f%d-p%d", blocks[0], blocks[1], blocks[2], blocks[3], fuse, pred),
+					EncoderBlocks:   blocks,
+					FuseInCh:        fuse,
+					PredInCh:        pred,
+					DecodeLinear0Ch: cfg.EmbedDims[0],
+				}
+				if p.Validate(cfg) == nil {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SwinSweep enumerates stage-2/3 block bypass with fpn channel reduction.
+func SwinSweep(cfg nn.SwinConfig, step int) []SwinPath {
+	if step <= 0 {
+		step = 256
+	}
+	var out []SwinPath
+	for s2 := cfg.Depths[2]; s2 >= cfg.Depths[2]-3 && s2 >= 1; s2-- {
+		for s3 := cfg.Depths[3]; s3 >= 1; s3-- {
+			for fpn := 4 * cfg.DecoderChannels; fpn >= 2*cfg.DecoderChannels; fpn -= step {
+				p := SwinPath{
+					Label:           fmt.Sprintf("s2_%d-s3_%d-f%d", s2, s3, fpn),
+					Stage2Blocks:    s2,
+					Stage3Blocks:    s3,
+					FPNBottleneckCh: fpn,
+				}
+				if p.Validate(cfg) == nil {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TableIII returns the paper's named SegFormer ADE B2 configurations
+// (Table III), from the full model B2 down to B2f.
+func TableIII() []SegFormerPath {
+	mk := func(label string, blocks [4]int, fuse int) SegFormerPath {
+		return SegFormerPath{
+			Label:           label,
+			EncoderBlocks:   blocks,
+			FuseInCh:        fuse,
+			PredInCh:        768,
+			DecodeLinear0Ch: 64,
+		}
+	}
+	return []SegFormerPath{
+		mk("B2", [4]int{3, 4, 6, 3}, 3072),
+		mk("B2a", [4]int{3, 4, 6, 3}, 1920),
+		mk("B2b", [4]int{3, 4, 6, 3}, 1664),
+		mk("B2c", [4]int{2, 4, 6, 3}, 1408),
+		mk("B2d", [4]int{2, 3, 6, 3}, 1024),
+		mk("B2e", [4]int{2, 3, 5, 3}, 896),
+		mk("B2f", [4]int{2, 3, 5, 3}, 512),
+	}
+}

@@ -1,0 +1,271 @@
+package prune
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vitdyn/internal/nn"
+)
+
+func b2cfg(t *testing.T) nn.SegFormerConfig {
+	t.Helper()
+	cfg, err := nn.SegFormerB("B2", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestFullPathIsIdentity(t *testing.T) {
+	cfg := b2cfg(t)
+	full, err := nn.SegFormer(cfg, 512, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FullSegFormerPath(cfg)
+	pruned, err := ApplySegFormer(cfg, 512, 512, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.TotalMACs() != full.TotalMACs() {
+		t.Errorf("full path changed MACs: %d vs %d", pruned.TotalMACs(), full.TotalMACs())
+	}
+	if pruned.TotalParams() != full.TotalParams() {
+		t.Errorf("full path changed params")
+	}
+}
+
+// TestTableIIIB2f checks the paper's Section V-E quantitative claims for
+// configuration B2f: ~60% fewer FLOPs than the full model with Conv2DFuse
+// under 25% of the remainder.
+func TestTableIIIB2f(t *testing.T) {
+	cfg := b2cfg(t)
+	full, _ := nn.SegFormer(cfg, 512, 512)
+	paths := TableIII()
+	b2f := paths[len(paths)-1]
+	if b2f.Label != "B2f" {
+		t.Fatalf("last Table III entry = %s", b2f.Label)
+	}
+	g, err := ApplySegFormer(cfg, 512, 512, b2f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduction := 1 - float64(g.TotalMACs())/float64(full.TotalMACs())
+	if reduction < 0.54 || reduction > 0.64 {
+		t.Errorf("B2f FLOP reduction = %.3f, paper reports ~0.60", reduction)
+	}
+	fuse := g.Find("dec.conv2dfuse")
+	if fuse == nil {
+		t.Fatal("fuse layer missing")
+	}
+	share := float64(fuse.MACs()) / float64(g.TotalMACs())
+	if share >= 0.25 {
+		t.Errorf("B2f Conv2DFuse share = %.3f, paper reports < 0.25", share)
+	}
+	// Convolutions still dominate the pruned configuration (Section V-E:
+	// "even in smaller model configurations... convolutions still dominate").
+	if cs := g.ConvFLOPShare(); cs < 0.40 {
+		t.Errorf("B2f conv share = %.3f, should remain dominant", cs)
+	}
+}
+
+func TestTableIIIOrderedByCost(t *testing.T) {
+	cfg := b2cfg(t)
+	var prev int64 = 1 << 62
+	for _, p := range TableIII() {
+		g, err := ApplySegFormer(cfg, 512, 512, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label, err)
+		}
+		if g.TotalMACs() >= prev {
+			t.Errorf("%s: MACs %d not strictly decreasing", p.Label, g.TotalMACs())
+		}
+		prev = g.TotalMACs()
+	}
+}
+
+func TestSegFormerPathValidation(t *testing.T) {
+	cfg := b2cfg(t)
+	bad := []SegFormerPath{
+		{Label: "zeroblocks", EncoderBlocks: [4]int{0, 4, 6, 3}, FuseInCh: 3072, PredInCh: 768, DecodeLinear0Ch: 64},
+		{Label: "overblocks", EncoderBlocks: [4]int{3, 5, 6, 3}, FuseInCh: 3072, PredInCh: 768, DecodeLinear0Ch: 64},
+		{Label: "fuse0", EncoderBlocks: [4]int{3, 4, 6, 3}, FuseInCh: 0, PredInCh: 768, DecodeLinear0Ch: 64},
+		{Label: "fusebig", EncoderBlocks: [4]int{3, 4, 6, 3}, FuseInCh: 4000, PredInCh: 768, DecodeLinear0Ch: 64},
+		{Label: "predbig", EncoderBlocks: [4]int{3, 4, 6, 3}, FuseInCh: 3072, PredInCh: 769, DecodeLinear0Ch: 64},
+		{Label: "dl0big", EncoderBlocks: [4]int{3, 4, 6, 3}, FuseInCh: 3072, PredInCh: 768, DecodeLinear0Ch: 65},
+	}
+	for _, p := range bad {
+		if err := p.Validate(cfg); err == nil {
+			t.Errorf("path %s accepted", p.Label)
+		}
+		if _, err := ApplySegFormer(cfg, 512, 512, p); err == nil {
+			t.Errorf("ApplySegFormer accepted %s", p.Label)
+		}
+	}
+}
+
+func TestPredPruningPropagatesBackwards(t *testing.T) {
+	cfg := b2cfg(t)
+	p := FullSegFormerPath(cfg)
+	p.PredInCh = 512
+	g, err := ApplySegFormer(cfg, 512, 512, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conv2DFuse output must shrink with Conv2DPred input (single-consumer
+	// decoder chain, Section V-A).
+	fuse := g.Find("dec.conv2dfuse")
+	if fuse.OutC != 512 {
+		t.Errorf("fuse OutC = %d, want 512 (propagated)", fuse.OutC)
+	}
+	bn := g.Find("dec.fuse.bn")
+	if bn.Channels != 512 {
+		t.Errorf("bn channels = %d, want 512", bn.Channels)
+	}
+	pred := g.Find("dec.conv2dpred")
+	if pred.InC != 512 {
+		t.Errorf("pred InC = %d", pred.InC)
+	}
+}
+
+func TestFusePruningDoesNotTouchEncoder(t *testing.T) {
+	cfg := b2cfg(t)
+	full, _ := nn.SegFormer(cfg, 512, 512)
+	p := FullSegFormerPath(cfg)
+	p.FuseInCh = 512
+	g, err := ApplySegFormer(cfg, 512, 512, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullEnc, prunedEnc int64
+	for _, gr := range []struct {
+		g   interface{ ModuleMACs() map[string]int64 }
+		dst *int64
+	}{{full, &fullEnc}, {g, &prunedEnc}} {
+		*gr.dst = gr.g.ModuleMACs()["encoder"]
+	}
+	if fullEnc != prunedEnc {
+		t.Errorf("fuse-channel pruning must not change encoder MACs: %d vs %d", fullEnc, prunedEnc)
+	}
+}
+
+func TestSegFormerSweepValidAndDiverse(t *testing.T) {
+	cfg := b2cfg(t)
+	paths := SegFormerSweep(cfg, 128)
+	if len(paths) < 100 {
+		t.Fatalf("sweep produced only %d paths", len(paths))
+	}
+	seen := map[string]bool{}
+	blockVariants := map[[4]int]bool{}
+	for _, p := range paths {
+		if err := p.Validate(cfg); err != nil {
+			t.Fatalf("sweep emitted invalid path %s: %v", p.Label, err)
+		}
+		if seen[p.Label] {
+			t.Fatalf("duplicate label %s", p.Label)
+		}
+		seen[p.Label] = true
+		blockVariants[p.EncoderBlocks] = true
+	}
+	if len(blockVariants) < 4 {
+		t.Errorf("sweep explores only %d block combinations", len(blockVariants))
+	}
+	// Default step when non-positive.
+	if d := SegFormerSweep(cfg, 0); len(d) == 0 {
+		t.Error("default-step sweep empty")
+	}
+}
+
+func TestSwinPathsAndSweep(t *testing.T) {
+	cfg, err := nn.SwinVariant("Tiny", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := FullSwinPath(cfg)
+	if full.Stage2Blocks != 6 || full.FPNBottleneckCh != 2048 {
+		t.Errorf("full Swin path = %+v", full)
+	}
+	fullG, _ := nn.Swin(cfg, 512, 512)
+	ident, err := ApplySwin(cfg, 512, 512, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ident.TotalMACs() != fullG.TotalMACs() {
+		t.Error("full Swin path changed MACs")
+	}
+
+	p := full
+	p.Stage2Blocks = 4
+	p.FPNBottleneckCh = 1536
+	g, err := ApplySwin(cfg, 512, 512, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalMACs() >= fullG.TotalMACs() {
+		t.Error("pruned Swin must have fewer MACs")
+	}
+	if fpn := g.Find("dec.fpnbottleneck"); fpn.InC != 1536 {
+		t.Errorf("fpn InC = %d", fpn.InC)
+	}
+	if g.Find("dec.fuse.up3") != nil {
+		t.Error("fully pruned level-3 upsample should be removed")
+	}
+	if g.Find("dec.fuse.up1") == nil {
+		t.Error("kept level-1 upsample should remain")
+	}
+
+	bad := full
+	bad.Stage3Blocks = 0
+	if _, err := ApplySwin(cfg, 512, 512, bad); err == nil {
+		t.Error("zero stage-3 blocks accepted")
+	}
+	bad = full
+	bad.FPNBottleneckCh = 4096
+	if err := bad.Validate(cfg); err == nil {
+		t.Error("oversized fpn channels accepted")
+	}
+
+	sweep := SwinSweep(cfg, 256)
+	if len(sweep) < 20 {
+		t.Errorf("Swin sweep produced only %d paths", len(sweep))
+	}
+	for _, p := range sweep {
+		if err := p.Validate(cfg); err != nil {
+			t.Fatalf("invalid sweep path %s: %v", p.Label, err)
+		}
+	}
+	if d := SwinSweep(cfg, 0); len(d) == 0 {
+		t.Error("default-step Swin sweep empty")
+	}
+}
+
+// Property: any valid path yields MACs no greater than the full model, with
+// equality only for the identity path.
+func TestPrunedNeverLargerQuick(t *testing.T) {
+	cfg, _ := nn.SegFormerB("B2", 150)
+	fullG, _ := nn.SegFormer(cfg, 512, 512)
+	fullMACs := fullG.TotalMACs()
+	f := func(a, b, c, d uint8) bool {
+		p := SegFormerPath{
+			Label:           "q",
+			EncoderBlocks:   [4]int{int(a)%3 + 1, int(b)%4 + 1, int(c)%6 + 1, 3},
+			FuseInCh:        int(d)%24*128 + 128,
+			PredInCh:        768,
+			DecodeLinear0Ch: 64,
+		}
+		if p.Validate(cfg) != nil {
+			return true
+		}
+		g, err := ApplySegFormer(cfg, 512, 512, p)
+		if err != nil {
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		return g.TotalMACs() <= fullMACs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

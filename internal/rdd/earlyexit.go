@@ -1,0 +1,142 @@
+package rdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarlyExitModel is the input-dependent dynamic-inference baseline the
+// paper contrasts with (Sections I and VI, refs [48]-[60]): a model
+// augmented with exit heads that stop computation early when the internal
+// prediction has stabilized for an "easy" input. Its cost depends on the
+// input, not on the resource budget, so it reduces *average* cost but
+// cannot guarantee that any particular inference fits a budget — the
+// paper's core argument for RDD inference.
+type EarlyExitModel struct {
+	// Exits are ordered by depth: Cost is the cumulative execution cost up
+	// to the exit, Accuracy the accuracy when exiting there, and EasyFrac
+	// the fraction of inputs that exit at (or before) it.
+	Exits []ExitPoint
+}
+
+// ExitPoint is one exit head.
+type ExitPoint struct {
+	Cost     float64
+	Accuracy float64
+	EasyFrac float64 // cumulative fraction of inputs that exit here or earlier
+}
+
+// NewEarlyExitModel validates and constructs the baseline.
+func NewEarlyExitModel(exits []ExitPoint) (*EarlyExitModel, error) {
+	if len(exits) == 0 {
+		return nil, fmt.Errorf("rdd: early-exit model needs at least one exit")
+	}
+	prevCost, prevFrac := 0.0, 0.0
+	for i, e := range exits {
+		if e.Cost <= prevCost {
+			return nil, fmt.Errorf("rdd: exit %d cost %v not increasing", i, e.Cost)
+		}
+		if e.EasyFrac < prevFrac || e.EasyFrac > 1 {
+			return nil, fmt.Errorf("rdd: exit %d easy fraction %v invalid", i, e.EasyFrac)
+		}
+		if e.Accuracy < 0 || e.Accuracy > 1 {
+			return nil, fmt.Errorf("rdd: exit %d accuracy %v invalid", i, e.Accuracy)
+		}
+		prevCost, prevFrac = e.Cost, e.EasyFrac
+	}
+	if exits[len(exits)-1].EasyFrac != 1 {
+		return nil, fmt.Errorf("rdd: final exit must cover all inputs")
+	}
+	return &EarlyExitModel{Exits: exits}, nil
+}
+
+// MeanCost returns the input-averaged execution cost.
+func (m *EarlyExitModel) MeanCost() float64 {
+	var c, prev float64
+	for _, e := range m.Exits {
+		c += (e.EasyFrac - prev) * e.Cost
+		prev = e.EasyFrac
+	}
+	return c
+}
+
+// MeanAccuracy returns the input-averaged accuracy.
+func (m *EarlyExitModel) MeanAccuracy() float64 {
+	var a, prev float64
+	for _, e := range m.Exits {
+		a += (e.EasyFrac - prev) * e.Accuracy
+		prev = e.EasyFrac
+	}
+	return a
+}
+
+// WorstCaseCost returns the cost of the deepest exit — what a real-time
+// system must budget for, since exit depth is decided by the input.
+func (m *EarlyExitModel) WorstCaseCost() float64 {
+	return m.Exits[len(m.Exits)-1].Cost
+}
+
+// Simulate replays a budget trace. Each frame draws an input difficulty
+// from the exit distribution (deterministic LCG seeded per run): the input
+// decides the cost. Frames whose input-determined cost exceeds the budget
+// are deadline misses (skipped) — early exit cannot adapt to the budget.
+func (m *EarlyExitModel) Simulate(tr Trace, seed uint64) SimResult {
+	r := lcg(seed)
+	res := SimResult{Frames: len(tr)}
+	var accSum, costSum float64
+	for _, budget := range tr {
+		u := r.next()
+		exit := m.Exits[len(m.Exits)-1]
+		for _, e := range m.Exits {
+			if u <= e.EasyFrac {
+				exit = e
+				break
+			}
+		}
+		if exit.Cost > budget {
+			res.Skipped++
+			continue
+		}
+		res.Completed++
+		accSum += exit.Accuracy
+		costSum += exit.Cost
+	}
+	if res.Completed > 0 {
+		res.MeanAccuracy = accSum / float64(res.Completed)
+		res.MeanCost = costSum / float64(res.Completed)
+	}
+	return res
+}
+
+// EarlyExitFromCatalog derives a plausible early-exit baseline from an RDD
+// catalog: exits at the catalog's path depths with the same cost/accuracy
+// frontier, and a difficulty distribution where easyShare of inputs resolve
+// at the cheapest exit, the rest spread geometrically toward the full
+// model. This gives the baseline the same hardware frontier as RDD so the
+// comparison isolates the *policy* difference.
+func EarlyExitFromCatalog(c *Catalog, easyShare float64) (*EarlyExitModel, error) {
+	if easyShare <= 0 || easyShare >= 1 {
+		return nil, fmt.Errorf("rdd: easy share %v outside (0,1)", easyShare)
+	}
+	n := len(c.Paths)
+	exits := make([]ExitPoint, n)
+	// Geometric residual split over the deeper exits.
+	remaining := 1 - easyShare
+	ratio := 0.5
+	frac := easyShare
+	for i, p := range c.Paths {
+		share := remaining * math.Pow(ratio, float64(n-1-i)) * (1 - ratio) / (1 - math.Pow(ratio, float64(n-1)))
+		if i == 0 {
+			share = easyShare
+		}
+		frac = math.Min(1, frac)
+		if i > 0 {
+			frac += share
+		}
+		if i == n-1 {
+			frac = 1
+		}
+		exits[i] = ExitPoint{Cost: p.Cost, Accuracy: p.Accuracy, EasyFrac: frac}
+	}
+	return NewEarlyExitModel(exits)
+}

@@ -1,0 +1,138 @@
+package rdd
+
+import "testing"
+
+func exitModel(t *testing.T) *EarlyExitModel {
+	t.Helper()
+	m, err := NewEarlyExitModel([]ExitPoint{
+		{Cost: 1.5, Accuracy: 0.40, EasyFrac: 0.5},
+		{Cost: 2.5, Accuracy: 0.44, EasyFrac: 0.8},
+		{Cost: 3.9, Accuracy: 0.4651, EasyFrac: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEarlyExitValidation(t *testing.T) {
+	bad := [][]ExitPoint{
+		nil,
+		{{Cost: 1, Accuracy: 0.4, EasyFrac: 0.5}},                                          // last exit not covering all inputs
+		{{Cost: 2, Accuracy: 0.4, EasyFrac: 0.5}, {Cost: 1, Accuracy: 0.5, EasyFrac: 1}},   // cost not increasing
+		{{Cost: 1, Accuracy: 0.4, EasyFrac: 0.9}, {Cost: 2, Accuracy: 0.5, EasyFrac: 0.5}}, // fraction decreasing
+		{{Cost: 1, Accuracy: 1.4, EasyFrac: 1}},                                            // accuracy out of range
+		{{Cost: 1, Accuracy: 0.4, EasyFrac: 0.5}, {Cost: 2, Accuracy: 0.5, EasyFrac: 1.5}}, // fraction > 1
+	}
+	for i, exits := range bad {
+		if _, err := NewEarlyExitModel(exits); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEarlyExitAverages(t *testing.T) {
+	m := exitModel(t)
+	wantCost := 0.5*1.5 + 0.3*2.5 + 0.2*3.9
+	if got := m.MeanCost(); got < wantCost-1e-9 || got > wantCost+1e-9 {
+		t.Errorf("mean cost = %v, want %v", got, wantCost)
+	}
+	wantAcc := 0.5*0.40 + 0.3*0.44 + 0.2*0.4651
+	if got := m.MeanAccuracy(); got < wantAcc-1e-9 || got > wantAcc+1e-9 {
+		t.Errorf("mean accuracy = %v, want %v", got, wantAcc)
+	}
+	if m.WorstCaseCost() != 3.9 {
+		t.Errorf("worst case = %v", m.WorstCaseCost())
+	}
+}
+
+// TestEarlyExitMissesDeadlines is the paper's Section I argument: early
+// exit reduces average cost but cannot meet a budget below its
+// input-determined cost, while RDD completes every feasible frame.
+func TestEarlyExitMissesDeadlines(t *testing.T) {
+	m := exitModel(t)
+	cat, err := NewCatalog("m", []Path{
+		{Label: "small", Cost: 1.5, Accuracy: 0.40},
+		{Label: "mid", Cost: 2.5, Accuracy: 0.44},
+		{Label: "full", Cost: 3.9, Accuracy: 0.4651},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget alternates between tight (fits only the small path) and ample.
+	tr := StepTrace(2000, 1.6, 4.0, 50)
+
+	ee := m.Simulate(tr, 42)
+	dyn := cat.Simulate(tr)
+
+	if ee.Skipped == 0 {
+		t.Error("early exit must miss deadlines on tight frames with hard inputs")
+	}
+	if dyn.Skipped != 0 {
+		t.Error("RDD must complete every feasible frame")
+	}
+	if dyn.EffectiveAccuracy() <= ee.EffectiveAccuracy() {
+		t.Errorf("RDD effective accuracy %.4f should beat early exit %.4f under budgets",
+			dyn.EffectiveAccuracy(), ee.EffectiveAccuracy())
+	}
+}
+
+// TestEarlyExitBetterOnAverageWithoutBudgets: with unconstrained budgets,
+// early exit legitimately wins on average cost — the two techniques are
+// complementary, as the paper notes (Section VI).
+func TestEarlyExitBetterOnAverageWithoutBudgets(t *testing.T) {
+	m := exitModel(t)
+	if m.MeanCost() >= m.WorstCaseCost() {
+		t.Error("average cost must be below worst case")
+	}
+	// RDD under no pressure always runs the full model: higher accuracy,
+	// higher cost.
+	cat, _ := NewCatalog("m", []Path{
+		{Label: "small", Cost: 1.5, Accuracy: 0.40},
+		{Label: "full", Cost: 3.9, Accuracy: 0.4651},
+	})
+	tr := SinusoidTrace(500, 4.0, 5.0, 100)
+	dyn := cat.Simulate(tr)
+	if dyn.MeanCost <= m.MeanCost() {
+		t.Error("unconstrained RDD runs the full model and costs more than early exit")
+	}
+	if dyn.MeanAccuracy <= m.MeanAccuracy() {
+		t.Error("unconstrained RDD should be more accurate than early exit")
+	}
+}
+
+func TestEarlyExitSimulateDeterministic(t *testing.T) {
+	m := exitModel(t)
+	tr := SinusoidTrace(300, 1, 5, 60)
+	a := m.Simulate(tr, 7)
+	b := m.Simulate(tr, 7)
+	if a != b {
+		t.Error("simulation must be deterministic per seed")
+	}
+}
+
+func TestEarlyExitFromCatalog(t *testing.T) {
+	cat, _ := NewCatalog("m", []Path{
+		{Label: "a", Cost: 1, Accuracy: 0.40},
+		{Label: "b", Cost: 2, Accuracy: 0.44},
+		{Label: "c", Cost: 3, Accuracy: 0.4651},
+	})
+	m, err := EarlyExitFromCatalog(cat, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Exits) != 3 {
+		t.Fatalf("exits = %d", len(m.Exits))
+	}
+	if m.Exits[0].EasyFrac != 0.5 || m.Exits[2].EasyFrac != 1 {
+		t.Errorf("fractions = %+v", m.Exits)
+	}
+	if m.WorstCaseCost() != cat.Full().Cost {
+		t.Error("deepest exit must match the full path")
+	}
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		if _, err := EarlyExitFromCatalog(cat, bad); err == nil {
+			t.Errorf("easy share %v accepted", bad)
+		}
+	}
+}

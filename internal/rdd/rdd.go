@@ -1,0 +1,224 @@
+// Package rdd implements resource-dependent dynamic inference (Section II-A
+// and V-E): a catalog of alternative execution paths with known cost and
+// accuracy, a controller that selects the most accurate path whose cost fits
+// the instantaneous resource budget, and a simulator that replays synthetic
+// resource-availability traces to measure average accuracy and deadline
+// behaviour against a static worst-case baseline.
+//
+// Substitution note (DESIGN.md): the paper targets real-time systems with
+// fluctuating load; with no such system available, traces are synthetic
+// (sinusoidal, bursty Markov, step). The controller logic itself — an
+// image-independent table lookup per inference — is exactly the paper's.
+package rdd
+
+import (
+	"fmt"
+	"math"
+
+	"vitdyn/internal/pareto"
+)
+
+// Path is one executable configuration of a model.
+type Path struct {
+	Label    string
+	Cost     float64 // execution time (or energy) per inference, arbitrary units
+	Accuracy float64 // mIoU / AP / top-1
+}
+
+// Catalog is a set of alternative execution paths for one model.
+type Catalog struct {
+	Model string
+	Paths []Path
+}
+
+// NewCatalog builds a catalog, dropping Pareto-dominated paths so lookups
+// are over the efficient frontier only.
+func NewCatalog(model string, paths []Path) (*Catalog, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("rdd: catalog %q needs at least one path", model)
+	}
+	pts := make([]pareto.Point, 0, len(paths))
+	for _, p := range paths {
+		if p.Cost <= 0 {
+			return nil, fmt.Errorf("rdd: path %q has non-positive cost", p.Label)
+		}
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			return nil, fmt.Errorf("rdd: path %q accuracy %v outside [0,1]", p.Label, p.Accuracy)
+		}
+		pts = append(pts, pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label})
+	}
+	frontier := pareto.Frontier(pts)
+	c := &Catalog{Model: model}
+	seen := map[string]bool{}
+	for _, f := range frontier {
+		if seen[f.Tag] {
+			continue
+		}
+		seen[f.Tag] = true
+		c.Paths = append(c.Paths, Path{Label: f.Tag, Cost: f.Cost, Accuracy: f.Value})
+	}
+	return c, nil
+}
+
+// Full returns the most accurate (most expensive) path.
+func (c *Catalog) Full() Path { return c.Paths[len(c.Paths)-1] }
+
+// Cheapest returns the least expensive path.
+func (c *Catalog) Cheapest() Path { return c.Paths[0] }
+
+// Select returns the most accurate path whose cost fits the budget, and
+// false when even the cheapest path exceeds it (the frame must be skipped).
+// Selection is input-independent, as in the paper.
+func (c *Catalog) Select(budget float64) (Path, bool) {
+	pts := make([]pareto.Point, len(c.Paths))
+	for i, p := range c.Paths {
+		pts[i] = pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label}
+	}
+	best, ok := pareto.BestValueUnderCost(pts, budget)
+	if !ok {
+		return Path{}, false
+	}
+	return Path{Label: best.Tag, Cost: best.Cost, Accuracy: best.Value}, true
+}
+
+// Trace is a sequence of per-frame resource budgets (in the same units as
+// path costs).
+type Trace []float64
+
+// SinusoidTrace models a smoothly varying load: budget oscillates between
+// lo and hi over the given period (frames).
+func SinusoidTrace(frames int, lo, hi float64, period int) Trace {
+	if period <= 0 {
+		period = 100
+	}
+	tr := make(Trace, frames)
+	for i := range tr {
+		phase := 2 * math.Pi * float64(i) / float64(period)
+		tr[i] = lo + (hi-lo)*(0.5+0.5*math.Sin(phase))
+	}
+	return tr
+}
+
+// StepTrace alternates between hi and lo budgets every stride frames —
+// the paper's scenario of other tasks periodically claiming the platform.
+func StepTrace(frames int, lo, hi float64, stride int) Trace {
+	if stride <= 0 {
+		stride = 50
+	}
+	tr := make(Trace, frames)
+	for i := range tr {
+		if (i/stride)%2 == 0 {
+			tr[i] = hi
+		} else {
+			tr[i] = lo
+		}
+	}
+	return tr
+}
+
+// BurstyTrace models a two-state Markov load (normal/contended) with a
+// deterministic linear-congruential sequence so runs are reproducible.
+type lcg uint64
+
+func (r *lcg) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(*r>>11) / float64(1<<53)
+}
+
+// BurstyTrace returns a trace that spends roughly busyFrac of its frames in
+// a contended state with only lo budget, and hi budget otherwise.
+func BurstyTrace(frames int, lo, hi, busyFrac float64, seed uint64) Trace {
+	r := lcg(seed)
+	tr := make(Trace, frames)
+	contended := false
+	for i := range tr {
+		// Flip state with probability tuned to the target duty cycle.
+		u := r.next()
+		if contended {
+			if u < 0.2 {
+				contended = false
+			}
+		} else {
+			if u < 0.2*busyFrac/math.Max(1e-9, 1-busyFrac) {
+				contended = true
+			}
+		}
+		if contended {
+			tr[i] = lo
+		} else {
+			tr[i] = hi
+		}
+	}
+	return tr
+}
+
+// SimResult summarizes replaying a trace through a policy.
+type SimResult struct {
+	Frames        int
+	Completed     int     // frames where some path fit the budget
+	Skipped       int     // frames with no feasible path
+	MeanAccuracy  float64 // over completed frames
+	MeanCost      float64 // over completed frames
+	FullPathShare float64 // fraction of completed frames using the full path
+}
+
+// Simulate replays the trace with dynamic path selection.
+func (c *Catalog) Simulate(tr Trace) SimResult {
+	res := SimResult{Frames: len(tr)}
+	full := c.Full()
+	var accSum, costSum float64
+	fullCount := 0
+	for _, budget := range tr {
+		p, ok := c.Select(budget)
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		res.Completed++
+		accSum += p.Accuracy
+		costSum += p.Cost
+		if p.Label == full.Label {
+			fullCount++
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanAccuracy = accSum / float64(res.Completed)
+		res.MeanCost = costSum / float64(res.Completed)
+		res.FullPathShare = float64(fullCount) / float64(res.Completed)
+	}
+	return res
+}
+
+// SimulateStatic replays the trace always running one fixed path: frames
+// whose budget cannot fit it are skipped (accuracy 0 contribution is NOT
+// averaged in; Skipped counts them, mirroring the paper's "skip a frame and
+// perform no inference").
+func SimulateStatic(p Path, tr Trace) SimResult {
+	res := SimResult{Frames: len(tr)}
+	for _, budget := range tr {
+		if p.Cost > budget {
+			res.Skipped++
+			continue
+		}
+		res.Completed++
+	}
+	if res.Completed > 0 {
+		res.MeanAccuracy = p.Accuracy
+		res.MeanCost = p.Cost
+		if res.Skipped == 0 {
+			res.FullPathShare = 1
+		}
+	}
+	return res
+}
+
+// EffectiveAccuracy scores a result counting skipped frames as zero-accuracy
+// outcomes — the metric under which RDD inference beats both a static full
+// model (which skips contended frames) and a static worst-case model (which
+// wastes accuracy on uncontended frames).
+func (r SimResult) EffectiveAccuracy() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return r.MeanAccuracy * float64(r.Completed) / float64(r.Frames)
+}

@@ -1,0 +1,200 @@
+package rdd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := NewCatalog("segformer", []Path{
+		{Label: "full", Cost: 3.9, Accuracy: 0.4651},
+		{Label: "B2a", Cost: 3.4, Accuracy: 0.4565},
+		{Label: "B2c", Cost: 2.9, Accuracy: 0.4374},
+		{Label: "B2f", Cost: 1.6, Accuracy: 0.3345},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCatalogDropsDominated(t *testing.T) {
+	c, err := NewCatalog("m", []Path{
+		{Label: "good", Cost: 1, Accuracy: 0.5},
+		{Label: "bad", Cost: 2, Accuracy: 0.4}, // dominated
+		{Label: "big", Cost: 3, Accuracy: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Paths) != 2 {
+		t.Fatalf("catalog kept %d paths, want 2", len(c.Paths))
+	}
+	for _, p := range c.Paths {
+		if p.Label == "bad" {
+			t.Error("dominated path survived")
+		}
+	}
+	if c.Cheapest().Label != "good" || c.Full().Label != "big" {
+		t.Errorf("ordering wrong: %v", c.Paths)
+	}
+}
+
+func TestNewCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog("m", nil); err == nil {
+		t.Error("empty catalog accepted")
+	}
+	if _, err := NewCatalog("m", []Path{{Label: "x", Cost: 0, Accuracy: 0.5}}); err == nil {
+		t.Error("zero-cost path accepted")
+	}
+	if _, err := NewCatalog("m", []Path{{Label: "x", Cost: 1, Accuracy: 1.5}}); err == nil {
+		t.Error("accuracy > 1 accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	c := testCatalog(t)
+	if p, ok := c.Select(10); !ok || p.Label != "full" {
+		t.Errorf("ample budget -> %v", p)
+	}
+	if p, ok := c.Select(3.5); !ok || p.Label != "B2a" {
+		t.Errorf("budget 3.5 -> %v", p)
+	}
+	if p, ok := c.Select(2.0); !ok || p.Label != "B2f" {
+		t.Errorf("budget 2.0 -> %v", p)
+	}
+	if _, ok := c.Select(1.0); ok {
+		t.Error("infeasible budget must fail")
+	}
+}
+
+func TestTraces(t *testing.T) {
+	sin := SinusoidTrace(200, 1, 5, 50)
+	if len(sin) != 200 {
+		t.Fatalf("trace length %d", len(sin))
+	}
+	min, max := sin[0], sin[0]
+	for _, v := range sin {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min < 1-1e-9 || max > 5+1e-9 || max-min < 3 {
+		t.Errorf("sinusoid range [%v,%v]", min, max)
+	}
+
+	step := StepTrace(100, 1, 5, 10)
+	if step[0] != 5 || step[10] != 1 || step[20] != 5 {
+		t.Errorf("step trace wrong: %v %v %v", step[0], step[10], step[20])
+	}
+
+	b1 := BurstyTrace(1000, 1, 5, 0.3, 42)
+	b2 := BurstyTrace(1000, 1, 5, 0.3, 42)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("bursty trace must be deterministic per seed")
+		}
+	}
+	lowCount := 0
+	for _, v := range b1 {
+		if v == 1 {
+			lowCount++
+		}
+	}
+	if lowCount == 0 || lowCount == len(b1) {
+		t.Errorf("bursty trace has %d contended frames of %d", lowCount, len(b1))
+	}
+
+	// Defaulted parameters do not panic.
+	if len(SinusoidTrace(10, 1, 2, 0)) != 10 || len(StepTrace(10, 1, 2, 0)) != 10 {
+		t.Error("default-period traces wrong length")
+	}
+}
+
+// TestRDDBeatsStaticChoices is the paper's Section II-A argument: dynamic
+// selection beats (a) the static full model, which skips contended frames,
+// and (b) the static worst-case model, which wastes accuracy the rest of
+// the time.
+func TestRDDBeatsStaticChoices(t *testing.T) {
+	c := testCatalog(t)
+	tr := StepTrace(1000, 2.0, 5.0, 25) // half the frames fit only cheap paths
+
+	dyn := c.Simulate(tr)
+	staticFull := SimulateStatic(c.Full(), tr)
+	staticWorst := SimulateStatic(Path{Label: "worst", Cost: c.Cheapest().Cost, Accuracy: c.Cheapest().Accuracy}, tr)
+
+	if dyn.Skipped != 0 {
+		t.Errorf("dynamic policy skipped %d frames with feasible paths", dyn.Skipped)
+	}
+	if staticFull.Skipped == 0 {
+		t.Error("static full model should miss contended frames in this trace")
+	}
+	if dyn.EffectiveAccuracy() <= staticFull.EffectiveAccuracy() {
+		t.Errorf("dynamic %.4f should beat static-full %.4f", dyn.EffectiveAccuracy(), staticFull.EffectiveAccuracy())
+	}
+	if dyn.EffectiveAccuracy() <= staticWorst.EffectiveAccuracy() {
+		t.Errorf("dynamic %.4f should beat static-worst-case %.4f", dyn.EffectiveAccuracy(), staticWorst.EffectiveAccuracy())
+	}
+}
+
+// TestAverageLossBelowWorstConfig (Section V-E): because the full model runs
+// whenever resources allow, the average accuracy loss is smaller than the
+// loss of any particular degraded configuration.
+func TestAverageLossBelowWorstConfig(t *testing.T) {
+	c := testCatalog(t)
+	tr := SinusoidTrace(1000, 1.8, 6, 100)
+	dyn := c.Simulate(tr)
+	full := c.Full().Accuracy
+	cheapest := c.Cheapest().Accuracy
+	if dyn.MeanAccuracy <= cheapest || dyn.MeanAccuracy >= full {
+		t.Errorf("mean accuracy %.4f should lie strictly between %.4f and %.4f",
+			dyn.MeanAccuracy, cheapest, full)
+	}
+	if dyn.FullPathShare <= 0 {
+		t.Error("full path should run on uncontended frames")
+	}
+}
+
+func TestSimulateStaticFit(t *testing.T) {
+	p := Path{Label: "p", Cost: 2, Accuracy: 0.5}
+	res := SimulateStatic(p, Trace{3, 3, 3})
+	if res.Skipped != 0 || res.Completed != 3 || res.MeanAccuracy != 0.5 || res.FullPathShare != 1 {
+		t.Errorf("static fit result = %+v", res)
+	}
+	res = SimulateStatic(p, Trace{1, 1, 1})
+	if res.Completed != 0 || res.EffectiveAccuracy() != 0 {
+		t.Errorf("static miss result = %+v", res)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	c := testCatalog(t)
+	res := c.Simulate(nil)
+	if res.Frames != 0 || res.EffectiveAccuracy() != 0 {
+		t.Errorf("empty trace result = %+v", res)
+	}
+}
+
+// Property: the dynamic policy's effective accuracy is at least that of any
+// static path choice, for any trace.
+func TestDynamicDominatesStaticQuick(t *testing.T) {
+	c := testCatalog(t)
+	f := func(seed uint16, frac uint8) bool {
+		busy := float64(frac%90+5) / 100
+		tr := BurstyTrace(300, 1.8, 5, busy, uint64(seed)+1)
+		dyn := c.Simulate(tr).EffectiveAccuracy()
+		for _, p := range c.Paths {
+			if s := SimulateStatic(p, tr).EffectiveAccuracy(); dyn < s-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

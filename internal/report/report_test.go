@@ -1,0 +1,94 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := NewTable("demo", "Name", "Value")
+	tbl.AddRow("short", "1")
+	tbl.AddRow("much-longer-name", "22")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Header and rows align on the column boundary.
+	idx := strings.Index(lines[1], "Value")
+	if idx < 0 {
+		t.Fatal("header missing Value")
+	}
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Errorf("row %q shorter than column offset", l)
+		}
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRow("only-one")
+	if got := len(tbl.Rows[0]); got != 3 {
+		t.Errorf("row padded to %d cells, want 3", got)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tbl := NewTable("t", "s", "f", "i", "i64", "other")
+	tbl.AddRowf("x", 3.14159, 42, int64(7), []int{1})
+	row := tbl.Rows[0]
+	if row[0] != "x" || row[1] != "3.142" || row[2] != "42" || row[3] != "7" {
+		t.Errorf("formatted row = %v", row)
+	}
+	if !strings.Contains(row[4], "1") {
+		t.Errorf("fallback formatting = %q", row[4])
+	}
+}
+
+func TestEmptyTitleOmitted(t *testing.T) {
+	tbl := NewTable("", "h")
+	tbl.AddRow("v")
+	if strings.Contains(tbl.String(), "==") {
+		t.Error("empty title must not render a banner")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("plain", "1")
+	tbl.AddRow("with,comma", `with"quote`)
+	var b strings.Builder
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"with,comma","with""quote"` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestRenderPropagatesWriteErrors(t *testing.T) {
+	tbl := NewTable("t", "a")
+	tbl.AddRow("v")
+	if err := tbl.Render(failWriter{}); err == nil {
+		t.Error("write error swallowed")
+	}
+	if err := tbl.CSV(failWriter{}); err == nil {
+		t.Error("CSV write error swallowed")
+	}
+}

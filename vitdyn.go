@@ -1,0 +1,298 @@
+// Package vitdyn is the public API of this repository: a full
+// reproduction, in pure Go, of "Vision Transformer Computation and
+// Resilience for Dynamic Inference" (ISPASS 2024).
+//
+// It exposes four capabilities:
+//
+//  1. An analytical model zoo (SegFormer, Swin+UPerNet, the DETR family,
+//     ResNet-50/OFA, ViT) whose layer graphs reproduce the paper's FLOP and
+//     parameter counts (Table I).
+//  2. Execution-cost models: an NVIDIA RTX A5000 latency model and a
+//     MAGNet accelerator simulator with the paper's thirteen Table II
+//     parameterizations (Sections III-C and IV).
+//  3. The alternative-execution-path machinery of Section V: pruning
+//     pretrained SegFormer/Swin models, paper-anchored accuracy resilience
+//     surfaces, and the Once-For-All ResNet-50 subnet family.
+//  4. The RDD (resource-dependent dynamic) inference runtime: path
+//     catalogs, budget-driven path selection, and trace-replay simulation.
+//
+// The subpackage types are re-exported here as aliases so downstream code
+// only imports vitdyn. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results of every table and
+// figure.
+package vitdyn
+
+import (
+	"vitdyn/internal/accuracy"
+	"vitdyn/internal/core"
+	"vitdyn/internal/flops"
+	"vitdyn/internal/gpu"
+	"vitdyn/internal/graph"
+	"vitdyn/internal/magnet"
+	"vitdyn/internal/nn"
+	"vitdyn/internal/pareto"
+	"vitdyn/internal/prune"
+	"vitdyn/internal/rdd"
+	"vitdyn/internal/report"
+)
+
+// --- Layer graph IR ---
+
+// Graph is an ordered list of layers describing one inference.
+type Graph = graph.Graph
+
+// Layer is one operator instance with concrete shapes.
+type Layer = graph.Layer
+
+// Kind identifies an operator class.
+type Kind = graph.Kind
+
+// Operator kinds.
+const (
+	Conv2D      = graph.Conv2D
+	DWConv2D    = graph.DWConv2D
+	Linear      = graph.Linear
+	MatMul      = graph.MatMul
+	Softmax     = graph.Softmax
+	LayerNorm   = graph.LayerNorm
+	BatchNorm   = graph.BatchNorm
+	ReLU        = graph.ReLU
+	GELU        = graph.GELU
+	Add         = graph.Add
+	Interpolate = graph.Interpolate
+	Concat      = graph.Concat
+	Pool        = graph.Pool
+	Reshape     = graph.Reshape
+)
+
+// --- Model zoo ---
+
+// SegFormerConfig configures a MiT encoder + all-MLP decoder build.
+type SegFormerConfig = nn.SegFormerConfig
+
+// SwinConfig configures a Swin + UPerNet build.
+type SwinConfig = nn.SwinConfig
+
+// ResNetConfig configures a (possibly elastic) ResNet build.
+type ResNetConfig = nn.ResNetConfig
+
+// OFASubnet is one Once-For-All ResNet-50 subnet with its top-1 accuracy.
+type OFASubnet = nn.OFASubnet
+
+// DETRVariant selects a DETR-family detector.
+type DETRVariant = nn.DETRVariant
+
+// DETR-family variants.
+const (
+	DETR            = nn.DETR
+	DABDETR         = nn.DABDETR
+	AnchorDETR      = nn.AnchorDETR
+	ConditionalDETR = nn.ConditionalDETR
+)
+
+// NewSegFormer builds a SegFormer variant ("B0".."B5") for numClasses at
+// the given input size.
+func NewSegFormer(variant string, numClasses, imgH, imgW int) (*Graph, error) {
+	cfg, err := nn.SegFormerB(variant, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	return nn.SegFormer(cfg, imgH, imgW)
+}
+
+// NewSwin builds a Swin variant ("Tiny", "Small", "Base") with the UPerNet
+// decode head.
+func NewSwin(variant string, numClasses, imgH, imgW int) (*Graph, error) {
+	cfg, err := nn.SwinVariant(variant, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	return nn.Swin(cfg, imgH, imgW)
+}
+
+// NewDETR builds a DETR-family detector with its ResNet-50 backbone.
+func NewDETR(variant DETRVariant, imgH, imgW int) (*Graph, error) {
+	return nn.DETRModel(variant, imgH, imgW)
+}
+
+// NewResNet50 builds the standard ResNet-50.
+func NewResNet50(imgH, imgW int, includeHead bool) (*Graph, error) {
+	return nn.ResNet(nn.ResNet50(1000, includeHead), imgH, imgW)
+}
+
+// NewOFAResNet builds one OFA subnet.
+func NewOFAResNet(sub OFASubnet, imgH, imgW int) (*Graph, error) {
+	return nn.OFAResNet(sub, imgH, imgW)
+}
+
+// OFASubnets returns the Fig. 13 subnet catalog, largest first.
+func OFASubnets() []OFASubnet { return nn.OFACatalog() }
+
+// --- Profiling ---
+
+// Profile is an analytical FLOP/parameter/traffic profile.
+type Profile = flops.Profile
+
+// ProfileFLOPs analyzes a graph at the given datatype width in bytes.
+func ProfileFLOPs(g *Graph, bytesPerElem int) *Profile {
+	return flops.Analyze(g, bytesPerElem)
+}
+
+// GPUDevice is an analytical GPU latency model.
+type GPUDevice = gpu.Device
+
+// GPUResult is a modeled GPU execution profile.
+type GPUResult = gpu.Result
+
+// A5000 returns the calibrated NVIDIA RTX A5000 model.
+func A5000() GPUDevice { return gpu.A5000() }
+
+// --- Accelerator simulation ---
+
+// AcceleratorConfig is one MAGNet parameterization.
+type AcceleratorConfig = magnet.Config
+
+// AcceleratorResult is a simulated accelerator execution.
+type AcceleratorResult = magnet.Result
+
+// TableIIAccelerators returns the paper's thirteen parameterizations A-M.
+func TableIIAccelerators() []AcceleratorConfig { return magnet.TableII() }
+
+// AcceleratorE returns the paper's balanced design point.
+func AcceleratorE() AcceleratorConfig { return magnet.AcceleratorE() }
+
+// AcceleratorByName returns a Table II configuration by label.
+func AcceleratorByName(name string) (AcceleratorConfig, error) { return magnet.ByName(name) }
+
+// --- Pruning and resilience ---
+
+// SegFormerPath is one SegFormer execution-path configuration.
+type SegFormerPath = prune.SegFormerPath
+
+// SwinPath is one Swin execution-path configuration.
+type SwinPath = prune.SwinPath
+
+// SegFormerResilience is the anchored SegFormer accuracy surface.
+type SegFormerResilience = accuracy.SegFormerResilience
+
+// SwinResilience is the Swin accuracy surface.
+type SwinResilience = accuracy.SwinResilience
+
+// TableIIIPaths returns the paper's named B2..B2f configurations.
+func TableIIIPaths() []SegFormerPath { return prune.TableIII() }
+
+// ApplySegFormerPath builds the pruned SegFormer graph for a path.
+func ApplySegFormerPath(cfg SegFormerConfig, imgH, imgW int, p SegFormerPath) (*Graph, error) {
+	return prune.ApplySegFormer(cfg, imgH, imgW, p)
+}
+
+// ApplySwinPath builds the pruned Swin graph for a path.
+func ApplySwinPath(cfg SwinConfig, imgH, imgW int, p SwinPath) (*Graph, error) {
+	return prune.ApplySwin(cfg, imgH, imgW, p)
+}
+
+// SegFormerADEResilience returns the Table III-anchored ADE20K surface.
+func SegFormerADEResilience() *SegFormerResilience { return accuracy.NewSegFormerADE() }
+
+// SegFormerCityResilience returns the Cityscapes surface.
+func SegFormerCityResilience() *SegFormerResilience { return accuracy.NewSegFormerCity() }
+
+// --- RDD inference ---
+
+// RDDPath is one executable configuration with cost and accuracy.
+type RDDPath = rdd.Path
+
+// RDDCatalog is a Pareto-reduced set of execution paths.
+type RDDCatalog = rdd.Catalog
+
+// ResourceTrace is a sequence of per-frame budgets.
+type ResourceTrace = rdd.Trace
+
+// RDDSimResult summarizes replaying a trace.
+type RDDSimResult = rdd.SimResult
+
+// ExecutionTarget selects GPU or accelerator costing for path catalogs.
+type ExecutionTarget = core.Target
+
+// TargetGPU costs paths on the modeled A5000.
+func TargetGPU() ExecutionTarget { return core.TargetGPU() }
+
+// TargetAcceleratorE costs paths by time on accelerator E.
+func TargetAcceleratorE() ExecutionTarget { return core.TargetAcceleratorE() }
+
+// TargetAcceleratorEEnergy costs paths by energy on accelerator E.
+func TargetAcceleratorEEnergy() ExecutionTarget { return core.TargetAcceleratorEEnergy() }
+
+// SegFormerRDDCatalog builds the pretrained-pruning catalog for SegFormer
+// B2 on "ADE" or "City". channelStep controls sweep granularity (0 for the
+// default).
+func SegFormerRDDCatalog(dataset string, target ExecutionTarget, channelStep int) (*RDDCatalog, error) {
+	return core.SegFormerCatalog(dataset, target, channelStep)
+}
+
+// SegFormerRetrainedRDDCatalog builds the B0/B1/B2 switching catalog.
+func SegFormerRetrainedRDDCatalog(dataset string, target ExecutionTarget) (*RDDCatalog, error) {
+	return core.SegFormerRetrainedCatalog(dataset, target)
+}
+
+// SwinRDDCatalog builds the Swin pruning catalog.
+func SwinRDDCatalog(variant string, target ExecutionTarget, channelStep int) (*RDDCatalog, error) {
+	return core.SwinCatalog(variant, target, channelStep)
+}
+
+// SwinRetrainedRDDCatalog builds the Tiny/Small/Base switching catalog.
+func SwinRetrainedRDDCatalog(target ExecutionTarget) (*RDDCatalog, error) {
+	return core.SwinRetrainedCatalog(target)
+}
+
+// OFARDDCatalog builds the Once-For-All ResNet-50 switching catalog.
+func OFARDDCatalog(target ExecutionTarget) (*RDDCatalog, error) {
+	return core.OFACatalog(target)
+}
+
+// SinusoidTrace, StepTrace and BurstyTrace generate synthetic resource
+// budgets; see internal/rdd for semantics.
+func SinusoidTrace(frames int, lo, hi float64, period int) ResourceTrace {
+	return rdd.SinusoidTrace(frames, lo, hi, period)
+}
+
+// StepTrace alternates between hi and lo budgets every stride frames.
+func StepTrace(frames int, lo, hi float64, stride int) ResourceTrace {
+	return rdd.StepTrace(frames, lo, hi, stride)
+}
+
+// BurstyTrace is a reproducible two-state Markov load.
+func BurstyTrace(frames int, lo, hi, busyFrac float64, seed uint64) ResourceTrace {
+	return rdd.BurstyTrace(frames, lo, hi, busyFrac, seed)
+}
+
+// SimulateStaticPath replays a trace with one fixed path.
+func SimulateStaticPath(p RDDPath, tr ResourceTrace) RDDSimResult {
+	return rdd.SimulateStatic(p, tr)
+}
+
+// EarlyExitModel is the input-dependent dynamic-inference baseline the
+// paper contrasts with (Sections I and VI).
+type EarlyExitModel = rdd.EarlyExitModel
+
+// NewEarlyExitBaseline derives an early-exit baseline sharing a catalog's
+// cost/accuracy frontier, with easyShare of inputs exiting at the first head.
+func NewEarlyExitBaseline(c *RDDCatalog, easyShare float64) (*EarlyExitModel, error) {
+	return rdd.EarlyExitFromCatalog(c, easyShare)
+}
+
+// --- Pareto / reporting utilities ---
+
+// ParetoPoint is a cost/value candidate.
+type ParetoPoint = pareto.Point
+
+// ParetoFrontier extracts the non-dominated subset.
+func ParetoFrontier(points []ParetoPoint) []ParetoPoint { return pareto.Frontier(points) }
+
+// ReportTable is an aligned text/CSV table.
+type ReportTable = report.Table
+
+// NewReportTable creates a table with a title and column headers.
+func NewReportTable(title string, headers ...string) *ReportTable {
+	return report.NewTable(title, headers...)
+}

@@ -1,0 +1,101 @@
+package vitdyn
+
+import "testing"
+
+// TestPublicAPIEndToEnd walks the quickstart flow through the façade:
+// build, profile, simulate, catalog, select.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := NewSegFormer("B2", 150, 512, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ProfileFLOPs(g, 1)
+	if gf := p.GFLOPs(); gf < 61 || gf > 65 {
+		t.Errorf("GFLOPs = %.1f", gf)
+	}
+	if r := A5000().Run(g); r.Total <= 0 || r.ConvTimeShare() <= 0 {
+		t.Error("GPU model failed")
+	}
+	ar, err := AcceleratorE().Simulate(g)
+	if err != nil || ar.TotalSeconds <= 0 {
+		t.Fatalf("accelerator simulation failed: %v", err)
+	}
+	cat, err := SegFormerRDDCatalog("ADE", TargetAcceleratorE(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat.Select(cat.Full().Cost); !ok {
+		t.Error("selection at full budget failed")
+	}
+	tr := StepTrace(100, cat.Cheapest().Cost, cat.Full().Cost, 10)
+	if sim := cat.Simulate(tr); sim.Completed != 100 {
+		t.Errorf("completed %d of 100 frames", sim.Completed)
+	}
+}
+
+func TestPublicModelBuilders(t *testing.T) {
+	if _, err := NewSwin("Tiny", 150, 512, 512); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewDETR(DETR, 800, 1216); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewResNet50(224, 224, true); err != nil {
+		t.Error(err)
+	}
+	subs := OFASubnets()
+	if len(subs) < 8 {
+		t.Fatalf("OFA catalog size %d", len(subs))
+	}
+	if _, err := NewOFAResNet(subs[0], 224, 224); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewSegFormer("B9", 150, 512, 512); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if _, err := NewSwin("Huge", 150, 512, 512); err == nil {
+		t.Error("bad variant accepted")
+	}
+}
+
+func TestPublicPruningFlow(t *testing.T) {
+	paths := TableIIIPaths()
+	if len(paths) != 7 {
+		t.Fatalf("Table III paths = %d", len(paths))
+	}
+	cfg := SegFormerConfig{}
+	if _, err := ApplySegFormerPath(cfg, 512, 512, paths[0]); err == nil {
+		t.Error("zero config accepted")
+	}
+	res := SegFormerADEResilience()
+	if m := res.Pretrained(paths[6]); m < 0.33 || m > 0.34 {
+		t.Errorf("B2f mIoU = %.4f, want 0.3345", m)
+	}
+	if SegFormerCityResilience().Baseline != 0.8098 {
+		t.Error("City baseline wrong")
+	}
+}
+
+func TestPublicAccelerators(t *testing.T) {
+	if len(TableIIAccelerators()) != 13 {
+		t.Error("Table II size")
+	}
+	if c, err := AcceleratorByName("G"); err != nil || c.WeightBufKB != 64 {
+		t.Errorf("accelerator G lookup: %+v, %v", c, err)
+	}
+	if _, err := AcceleratorByName("Z"); err == nil {
+		t.Error("bad name accepted")
+	}
+}
+
+func TestPublicParetoAndReport(t *testing.T) {
+	pts := []ParetoPoint{{Cost: 1, Value: 1, Tag: "a"}, {Cost: 2, Value: 0.5, Tag: "b"}}
+	if f := ParetoFrontier(pts); len(f) != 1 || f[0].Tag != "a" {
+		t.Errorf("frontier = %v", f)
+	}
+	tbl := NewReportTable("t", "x", "y")
+	tbl.AddRowf("v", 1.5)
+	if s := tbl.String(); s == "" {
+		t.Error("empty render")
+	}
+}

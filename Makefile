@@ -1,0 +1,31 @@
+# Developer entry points. `make ci` is what the repository considers a
+# green build: vet + race-enabled tests + one pass over every benchmark.
+
+GO ?= go
+
+.PHONY: all build test race bench vet ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: regenerates every paper table/figure via
+# the root harness and exercises the sequential-vs-parallel sweep
+# comparison in internal/engine.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: vet race bench
+
+clean:
+	$(GO) clean ./...

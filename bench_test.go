@@ -49,7 +49,7 @@ func BenchmarkTable1ModelOverview(b *testing.B) {
 func BenchmarkFig1DETRConvShare(b *testing.B) {
 	sizes := []int{128, 256, 512, 800, 1024, 2048}
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig1DETRConvShare(sizes)
+		rows, err := experiments.Fig1DETRConvShare(sizes, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func BenchmarkFig3FLOPsDistribution(b *testing.B) {
 func BenchmarkFig4ConvGPUTimeShare(b *testing.B) {
 	sizes := []int{128, 256, 512, 1024}
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig4ConvGPUTime(sizes)
+		rows, err := experiments.Fig4ConvGPUTime(sizes, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +87,7 @@ func BenchmarkTable2AcceleratorAreas(b *testing.B) {
 
 func BenchmarkFig6EnergyVsThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig6EnergyVsThroughput()
+		rows, err := experiments.Fig6EnergyVsThroughput(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func BenchmarkFig9SwinOnE(b *testing.B) {
 func BenchmarkFig10SegFormerGPUTradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, ds := range []string{"ADE", "City"} {
-			rows, err := experiments.Fig10SegFormerGPUTradeoff(ds)
+			rows, err := experiments.Fig10SegFormerGPUTradeoff(ds, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -161,7 +161,7 @@ func BenchmarkTable3SegFormerConfigs(b *testing.B) {
 
 func BenchmarkFig11SegFormerAccelTradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig11SegFormerAccelTradeoff()
+		rows, err := experiments.Fig11SegFormerAccelTradeoff(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func BenchmarkFig11SegFormerAccelTradeoff(b *testing.B) {
 
 func BenchmarkFig12SwinTradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig12SwinTradeoff()
+		rows, err := experiments.Fig12SwinTradeoff(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +183,7 @@ func BenchmarkFig12SwinTradeoff(b *testing.B) {
 
 func BenchmarkFig13OFASwitching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig13OFASwitching()
+		rows, err := experiments.Fig13OFASwitching(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +193,7 @@ func BenchmarkFig13OFASwitching(b *testing.B) {
 
 func BenchmarkHeadlineClaims(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		claims, err := experiments.HeadlineClaims()
+		claims, err := experiments.HeadlineClaims(0)
 		if err != nil {
 			b.Fatal(err)
 		}

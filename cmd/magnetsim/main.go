@@ -2,17 +2,20 @@
 // Table II (parameterizations and areas), Fig. 6 (energy/FLOP versus
 // throughput/mm²), Fig. 7/9 (accelerator-E distributions) and Fig. 8
 // (per-layer energy per FLOP). It can also simulate any model on any
-// Table II accelerator.
+// Table II accelerator. The Fig. 6 design-space sweep runs across
+// -workers goroutines (0 = GOMAXPROCS).
 //
 // Usage:
 //
-//	magnetsim -exp table2|fig6|fig7|fig8|fig9|all [-csv]
+//	magnetsim -exp table2|fig6|fig7|fig8|fig9|all [-csv] [-workers N]
 //	magnetsim -model swin-tiny -accel G
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vitdyn/internal/experiments"
@@ -22,18 +25,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, fig6, fig7, fig8, fig9, all")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	model := flag.String("model", "", "ad-hoc run: segformer-ade-b2, swin-tiny or resnet-50")
-	accel := flag.String("accel", "E", "accelerator label (A..M) for -model runs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with the given arguments and streams; it
+// returns the process exit code (factored out of main so tests can drive
+// the whole binary in-process).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("magnetsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment: table2, fig6, fig7, fig8, fig9, all")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	model := fs.String("model", "", "ad-hoc run: segformer-ade-b2, swin-tiny or resnet-50")
+	accel := fs.String("accel", "E", "accelerator label (A..M) for -model runs")
+	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *model != "" {
-		if err := adhoc(*model, *accel); err != nil {
-			fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
-			os.Exit(1)
+		if err := adhoc(stdout, *model, *accel); err != nil {
+			fmt.Fprintf(stderr, "magnetsim: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	names := []string{*exp}
@@ -41,32 +59,33 @@ func main() {
 		names = []string{"table2", "fig6", "fig7", "fig8", "fig9"}
 	}
 	for _, n := range names {
-		t, err := build(n)
+		t, err := build(n, *workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "magnetsim: %v\n", err)
+			return 1
 		}
 		if *csv {
-			if err := t.CSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
-				os.Exit(1)
+			if err := t.CSV(stdout); err != nil {
+				fmt.Fprintf(stderr, "magnetsim: %v\n", err)
+				return 1
 			}
 			continue
 		}
-		if err := t.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "magnetsim: %v\n", err)
-			os.Exit(1)
+		if err := t.Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "magnetsim: %v\n", err)
+			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }
 
-func build(name string) (*report.Table, error) {
+func build(name string, workers int) (*report.Table, error) {
 	switch name {
 	case "table2":
 		return experiments.RenderTable2(experiments.Table2AcceleratorAreas()), nil
 	case "fig6":
-		rows, err := experiments.Fig6EnergyVsThroughput()
+		rows, err := experiments.Fig6EnergyVsThroughput(workers)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +112,7 @@ func build(name string) (*report.Table, error) {
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }
 
-func adhoc(model, accel string) error {
+func adhoc(w io.Writer, model, accel string) error {
 	cfg, err := magnet.ByName(accel)
 	if err != nil {
 		return err
@@ -112,7 +131,7 @@ func adhoc(model, accel string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on accelerator %s: %.3f ms, %.3f mJ, %.4f pJ/MAC, conv %.1f%% time / %.1f%% energy\n",
+	fmt.Fprintf(w, "%s on accelerator %s: %.3f ms, %.3f mJ, %.4f pJ/MAC, conv %.1f%% time / %.1f%% energy\n",
 		sim.Model, accel, sim.TotalSeconds*1e3, sim.EnergyJ()*1e3, sim.EnergyPerMAC(),
 		100*sim.ConvTimeShare(), 100*sim.ConvEnergyShare())
 	return nil

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Table II", "NumPE", "mm2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFig6Workers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig6", "-workers", "4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	// All thirteen design points A..M appear, in order.
+	if !strings.Contains(out.String(), "pJ/MAC") {
+		t.Errorf("fig6 output missing pJ/MAC header:\n%s", out.String())
+	}
+	for _, label := range []string{"A", "E", "M"} {
+		if !strings.Contains(out.String(), "\n"+label+" ") {
+			t.Errorf("fig6 output missing accelerator %s", label)
+		}
+	}
+}
+
+func TestRunAdhocModel(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-model", "resnet-50", "-accel", "E"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "on accelerator E:") {
+		t.Errorf("ad-hoc output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-model", "alexnet"}, &out, &errb); code != 1 {
+		t.Errorf("unknown model: exit code %d, want 1", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-model", "resnet-50", "-accel", "Z"}, &out, &errb); code != 1 {
+		t.Errorf("unknown accelerator: exit code %d, want 1", code)
+	}
+	if code := run([]string{"-exp", "fig99"}, &out, &errb); code != 1 {
+		t.Errorf("unknown experiment: exit code %d, want 1", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit code %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit code %d, want 0", code)
+	}
+}

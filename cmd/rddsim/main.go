@@ -1,17 +1,21 @@
 // Command rddsim regenerates the paper's dynamic-inference experiments:
 // Fig. 10 (SegFormer GPU tradeoff), Table III (named configurations),
 // Fig. 11 (accelerator-E tradeoff), Fig. 12 (Swin), Fig. 13 (OFA
-// switching), the headline claims, and an RDD trace-replay demo.
+// switching), the headline claims, and an RDD trace-replay demo. Sweeps
+// are costed by the concurrent engine in internal/engine; -workers
+// bounds the pool (0 = GOMAXPROCS, 1 = sequential).
 //
 // Usage:
 //
-//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv]
+//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N]
 //	rddsim -exp replay -trace bursty -frames 2000
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vitdyn/internal/core"
@@ -21,18 +25,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig10, table3, fig11, fig12, fig13, claims, replay, all")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	trace := flag.String("trace", "bursty", "replay trace: sinusoid, step, bursty")
-	frames := flag.Int("frames", 2000, "replay frame count")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with the given arguments and streams; it
+// returns the process exit code (factored out of main so tests can drive
+// the whole binary in-process).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rddsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment: fig10, table3, fig11, fig12, fig13, claims, replay, all")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	trace := fs.String("trace", "bursty", "replay trace: sinusoid, step, bursty")
+	frames := fs.Int("frames", 2000, "replay frame count")
+	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *exp == "replay" {
-		if err := replay(*trace, *frames); err != nil {
-			fmt.Fprintf(os.Stderr, "rddsim: %v\n", err)
-			os.Exit(1)
+		if err := replay(stdout, *trace, *frames, *workers); err != nil {
+			fmt.Fprintf(stderr, "rddsim: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	names := []string{*exp}
@@ -40,29 +59,30 @@ func main() {
 		names = []string{"fig10", "table3", "fig11", "fig12", "fig13", "claims"}
 	}
 	for _, n := range names {
-		t, err := build(n)
+		t, err := build(n, *workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rddsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rddsim: %v\n", err)
+			return 1
 		}
 		var renderErr error
 		if *csv {
-			renderErr = t.CSV(os.Stdout)
+			renderErr = t.CSV(stdout)
 		} else {
-			renderErr = t.Render(os.Stdout)
-			fmt.Println()
+			renderErr = t.Render(stdout)
+			fmt.Fprintln(stdout)
 		}
 		if renderErr != nil {
-			fmt.Fprintf(os.Stderr, "rddsim: %v\n", renderErr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rddsim: %v\n", renderErr)
+			return 1
 		}
 	}
+	return 0
 }
 
-func build(name string) (*report.Table, error) {
+func build(name string, workers int) (*report.Table, error) {
 	switch name {
 	case "fig10":
-		rows, err := experiments.Fig10SegFormerGPUTradeoff("ADE")
+		rows, err := experiments.Fig10SegFormerGPUTradeoff("ADE", workers)
 		if err != nil {
 			return nil, err
 		}
@@ -80,25 +100,25 @@ func build(name string) (*report.Table, error) {
 		}
 		return experiments.RenderTable3(rows), nil
 	case "fig11":
-		rows, err := experiments.Fig11SegFormerAccelTradeoff()
+		rows, err := experiments.Fig11SegFormerAccelTradeoff(workers)
 		if err != nil {
 			return nil, err
 		}
 		return experiments.RenderTradeoff("Fig 11: accelerator E time/energy vs mIoU", rows), nil
 	case "fig12":
-		rows, err := experiments.Fig12SwinTradeoff()
+		rows, err := experiments.Fig12SwinTradeoff(workers)
 		if err != nil {
 			return nil, err
 		}
 		return experiments.RenderFig12(rows), nil
 	case "fig13":
-		rows, err := experiments.Fig13OFASwitching()
+		rows, err := experiments.Fig13OFASwitching(workers)
 		if err != nil {
 			return nil, err
 		}
 		return experiments.RenderFig13(rows), nil
 	case "claims":
-		claims, err := experiments.HeadlineClaims()
+		claims, err := experiments.HeadlineClaims(workers)
 		if err != nil {
 			return nil, err
 		}
@@ -107,8 +127,8 @@ func build(name string) (*report.Table, error) {
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }
 
-func replay(traceKind string, frames int) error {
-	cat, err := core.SegFormerCatalog("ADE", core.TargetAcceleratorE(), 512)
+func replay(w io.Writer, traceKind string, frames, workers int) error {
+	cat, err := core.SegFormerCatalog("ADE", core.TargetAcceleratorE(), 512, workers)
 	if err != nil {
 		return err
 	}
@@ -138,5 +158,5 @@ func replay(traceKind string, frames int) error {
 	add("dynamic (RDD)", dyn)
 	add("static full", stFull)
 	add("static worst-case", stWorst)
-	return t.Render(os.Stdout)
+	return t.Render(w)
 }

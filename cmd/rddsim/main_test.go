@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable3(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table3"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Table III", "B2", "GFLOPs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table3", "-csv"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.Contains(first, ",") {
+		t.Errorf("CSV output has no commas in first line: %q", first)
+	}
+}
+
+func TestRunFig13Workers(t *testing.T) {
+	// The OFA ladder is the cheapest real sweep; exercise an explicit
+	// worker count through the full binary path.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig13", "-workers", "4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ofa-full") {
+		t.Errorf("fig13 output missing ofa-full:\n%s", out.String())
+	}
+}
+
+func TestRunReplay(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "replay", "-trace", "step", "-frames", "200"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"RDD replay", "dynamic (RDD)", "static full", "static worst-case"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("replay output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig99"}, &out, &errb); code != 1 {
+		t.Errorf("unknown experiment: exit code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnosis: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-exp", "replay", "-trace", "nope"}, &out, &errb); code != 1 {
+		t.Errorf("unknown trace: exit code %d, want 1", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit code %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit code %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "Usage of rddsim") {
+		t.Errorf("-h did not print usage: %s", errb.String())
+	}
+}

@@ -1,15 +1,19 @@
 // Command vitprof regenerates the paper's profiling experiments: Table I
 // (model overview), Fig. 1 (DETR conv/backbone shares vs image size),
-// Fig. 3 (FLOPs distributions) and Fig. 4 (GPU conv time vs pixels).
+// Fig. 3 (FLOPs distributions) and Fig. 4 (GPU conv time vs pixels). The
+// Fig. 1 and Fig. 4 image-size grids are profiled across -workers
+// goroutines (0 = GOMAXPROCS).
 //
 // Usage:
 //
-//	vitprof -exp table1|fig1|fig3|fig4|all [-csv] [-top N]
+//	vitprof -exp table1|fig1|fig3|fig4|all [-csv] [-top N] [-workers N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vitdyn/internal/experiments"
@@ -17,23 +21,38 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate: table1, fig1, fig3, fig4, all")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	top := flag.Int("top", 8, "layers per distribution (fig3)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	run := func(name string) error {
-		t, err := build(name, *top)
+// run executes the command with the given arguments and streams; it
+// returns the process exit code (factored out of main so tests can drive
+// the whole binary in-process).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vitprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to regenerate: table1, fig1, fig3, fig4, all")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	top := fs.Int("top", 8, "layers per distribution (fig3)")
+	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	one := func(name string) error {
+		t, err := build(name, *top, *workers)
 		if err != nil {
 			return err
 		}
 		if *csv {
-			return t.CSV(os.Stdout)
+			return t.CSV(stdout)
 		}
-		if err := t.Render(os.Stdout); err != nil {
+		if err := t.Render(stdout); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		return nil
 	}
 
@@ -42,14 +61,15 @@ func main() {
 		names = []string{"table1", "fig1", "fig3", "fig4"}
 	}
 	for _, n := range names {
-		if err := run(n); err != nil {
-			fmt.Fprintf(os.Stderr, "vitprof: %v\n", err)
-			os.Exit(1)
+		if err := one(n); err != nil {
+			fmt.Fprintf(stderr, "vitprof: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
-func build(name string, top int) (*report.Table, error) {
+func build(name string, top, workers int) (*report.Table, error) {
 	switch name {
 	case "table1":
 		rows, err := experiments.Table1ModelOverview()
@@ -58,7 +78,7 @@ func build(name string, top int) (*report.Table, error) {
 		}
 		return experiments.RenderTable1(rows), nil
 	case "fig1":
-		rows, err := experiments.Fig1DETRConvShare(nil)
+		rows, err := experiments.Fig1DETRConvShare(nil, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +90,7 @@ func build(name string, top int) (*report.Table, error) {
 		}
 		return experiments.RenderFig3(res), nil
 	case "fig4":
-		rows, err := experiments.Fig4ConvGPUTime(nil)
+		rows, err := experiments.Fig4ConvGPUTime(nil, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Table I", "SegFormer ADE B2", "Swin", "GFLOPs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFig3Top(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig3", "-top", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Fig 3") {
+		t.Errorf("fig3 output missing title:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table1", "-csv"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.Contains(first, ",") {
+		t.Errorf("CSV output has no commas in first line: %q", first)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig99"}, &out, &errb); code != 1 {
+		t.Errorf("unknown experiment: exit code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnosis: %s", errb.String())
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit code %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit code %d, want 0", code)
+	}
+}

@@ -6,58 +6,68 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"vitdyn"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example, writing its narrative to w (separated from
+// main so the example is testable in-process).
+func run(w io.Writer) error {
 	g, err := vitdyn.NewSegFormer("B2", 150, 512, 512)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 1. Table II sweep with Pareto extraction (Fig. 6).
-	fmt.Println("Table II sweep on SegFormer ADE B2:")
+	fmt.Fprintln(w, "Table II sweep on SegFormer ADE B2:")
 	var pts []vitdyn.ParetoPoint
 	results := map[string]*vitdyn.AcceleratorResult{}
 	for _, c := range vitdyn.TableIIAccelerators() {
 		r, err := c.Simulate(g)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		results[c.Name] = r
 		pts = append(pts, vitdyn.ParetoPoint{
 			Cost: r.EnergyPerMAC(), Value: r.ThroughputPerArea(c), Tag: c.Name,
 		})
-		fmt.Printf("  %s: %.4f pJ/MAC, %7.0f GMAC/s/mm2, %.2f ms\n",
+		fmt.Fprintf(w, "  %s: %.4f pJ/MAC, %7.0f GMAC/s/mm2, %.2f ms\n",
 			c.Name, r.EnergyPerMAC(), r.ThroughputPerArea(c), r.TotalSeconds*1e3)
 	}
-	fmt.Print("Pareto-optimal: ")
+	fmt.Fprint(w, "Pareto-optimal: ")
 	for _, p := range vitdyn.ParetoFrontier(pts) {
-		fmt.Printf("%s ", p.Tag)
+		fmt.Fprintf(w, "%s ", p.Tag)
 	}
-	fmt.Println("(paper: the D/E/G cluster)")
+	fmt.Fprintln(w, "(paper: the D/E/G cluster)")
 
 	// 2. Why are some layers expensive? (Fig. 8)
 	e := results["E"]
-	fmt.Println("\nMost expensive layers by energy/MAC on accelerator E:")
+	fmt.Fprintln(w, "\nMost expensive layers by energy/MAC on accelerator E:")
 	worstShown := 0
 	for _, name := range []string{"enc.s0.b0.mlp.dwconv", "enc.patchembed0", "dec.conv2dfuse"} {
 		for i := range e.Layers {
 			if e.Layers[i].Name == name && e.Layers[i].MACs > 0 {
-				fmt.Printf("  %-22s %.4f pJ/MAC (utilization %.2f)\n",
+				fmt.Fprintf(w, "  %-22s %.4f pJ/MAC (utilization %.2f)\n",
 					name, e.Layers[i].EnergyPerMAC(), e.Layers[i].Utilization)
 				worstShown++
 			}
 		}
 	}
 	if worstShown == 0 {
-		log.Fatal("expected layers missing")
+		return fmt.Errorf("expected layers missing")
 	}
 
 	// 3. Beyond the paper: a custom weight-buffer sweep around E.
-	fmt.Println("\nCustom weight-buffer sweep (beyond Table II):")
+	fmt.Fprintln(w, "\nCustom weight-buffer sweep (beyond Table II):")
 	base := vitdyn.AcceleratorE()
 	for _, wb := range []int{32, 64, 128, 256, 512, 1024} {
 		c := base
@@ -66,10 +76,11 @@ func main() {
 		c.WeightBufKB = wb
 		r, err := c.Simulate(g)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %-12s %.4f pJ/MAC, area %.2f mm2\n", c.Name, r.EnergyPerMAC(), c.AreaMM2())
+		fmt.Fprintf(w, "  %-12s %.4f pJ/MAC, area %.2f mm2\n", c.Name, r.EnergyPerMAC(), c.AreaMM2())
 	}
-	fmt.Println("The paper's 64-128 B/MAC weight-buffer sweet spot emerges: smaller")
-	fmt.Println("buffers stream weights repeatedly, larger ones pay per-read energy.")
+	fmt.Fprintln(w, "The paper's 64-128 B/MAC weight-buffer sweet spot emerges: smaller")
+	fmt.Fprintln(w, "buffers stream weights repeatedly, larger ones pay per-read energy.")
+	return nil
 }

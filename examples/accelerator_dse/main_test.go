@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAcceleratorDSERuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table II sweep on SegFormer ADE B2:",
+		"Pareto-optimal:",
+		"Most expensive layers by energy/MAC",
+		"Custom weight-buffer sweep",
+		"E/wb=1024KB",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

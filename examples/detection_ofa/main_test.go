@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDetectionOFARuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"DETR-family FLOP split",
+		"OFA ResNet-50 subnets on accelerator E",
+		"ofa-full",
+		"bursty energy budget over 2000 frames:",
+		"dynamic OFA switching",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

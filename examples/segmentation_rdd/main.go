@@ -7,30 +7,40 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"vitdyn"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example, writing its narrative to w (separated from
+// main so the example is testable in-process).
+func run(w io.Writer) error {
 	target := vitdyn.TargetAcceleratorE()
 
 	// Pretrained pruning catalog (no retraining required: one set of
 	// weights, subsets used at runtime — Section V-E).
 	pre, err := vitdyn.SegFormerRDDCatalog("ADE", target, 256)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Retrained switching catalog (B0/B1/B2: three stored weight sets).
 	ret, err := vitdyn.SegFormerRetrainedRDDCatalog("ADE", target)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("pretrained catalog: %d Pareto paths, %.2f..%.2f ms, mIoU %.4f..%.4f\n",
+	fmt.Fprintf(w, "pretrained catalog: %d Pareto paths, %.2f..%.2f ms, mIoU %.4f..%.4f\n",
 		len(pre.Paths), pre.Cheapest().Cost, pre.Full().Cost,
 		pre.Cheapest().Accuracy, pre.Full().Accuracy)
-	fmt.Printf("retrained catalog:  %d models,      %.2f..%.2f ms, mIoU %.4f..%.4f\n\n",
+	fmt.Fprintf(w, "retrained catalog:  %d models,      %.2f..%.2f ms, mIoU %.4f..%.4f\n\n",
 		len(ret.Paths), ret.Cheapest().Cost, ret.Full().Cost,
 		ret.Cheapest().Accuracy, ret.Full().Accuracy)
 
@@ -52,11 +62,12 @@ func main() {
 		stFull := vitdyn.SimulateStaticPath(pre.Full(), tc.trace)
 		stWorst := vitdyn.SimulateStaticPath(pre.Cheapest(), tc.trace)
 
-		fmt.Printf("trace %-9s dynamic(pretrained) eff-mIoU %.4f | dynamic(retrained) %.4f | static-full %.4f (skips %d) | static-worst %.4f\n",
+		fmt.Fprintf(w, "trace %-9s dynamic(pretrained) eff-mIoU %.4f | dynamic(retrained) %.4f | static-full %.4f (skips %d) | static-worst %.4f\n",
 			tc.name, dyn.EffectiveAccuracy(), retDyn.EffectiveAccuracy(),
 			stFull.EffectiveAccuracy(), stFull.Skipped, stWorst.EffectiveAccuracy())
 	}
 
-	fmt.Println("\nThe dynamic policies dominate both static choices on every trace;")
-	fmt.Println("retrained switching is the ceiling, pretrained pruning the floor (Section V-E).")
+	fmt.Fprintln(w, "\nThe dynamic policies dominate both static choices on every trace;")
+	fmt.Fprintln(w, "retrained switching is the ceiling, pretrained pruning the floor (Section V-E).")
+	return nil
 }

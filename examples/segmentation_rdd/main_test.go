@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSegmentationRDDRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pretrained catalog:",
+		"retrained catalog:",
+		"trace sinusoid",
+		"trace step",
+		"trace bursty",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

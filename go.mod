@@ -1,0 +1,3 @@
+module vitdyn
+
+go 1.24

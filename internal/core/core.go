@@ -2,15 +2,24 @@
 // contribution: resource-dependent dynamic (RDD) inference for vision
 // transformers. It builds execution-path catalogs — pretrained pruning
 // paths, retrained model-family switches, and OFA subnet ladders — with
-// costs from either the GPU model or a MAGNet accelerator simulation and
-// accuracies from the anchored resilience surfaces, ready for the RDD
-// controller in internal/rdd.
+// costs from a pluggable engine.CostBackend (GPU latency model, MAGNet
+// time or energy simulation, or the cheap FLOPs proxy) and accuracies
+// from the anchored resilience surfaces, ready for the RDD controller in
+// internal/rdd.
+//
+// Every catalog builder routes through internal/engine's worker-pool
+// sweep, so construction parallelizes across graphs while the resulting
+// catalog remains byte-identical to a sequential build. Each builder
+// comes in two halves: a *Candidates function producing the labeled
+// (graph constructor, accuracy) list, and a *Catalog function sweeping it
+// on a backend with a bounded number of workers (0 = GOMAXPROCS).
 package core
 
 import (
 	"fmt"
 
 	"vitdyn/internal/accuracy"
+	"vitdyn/internal/engine"
 	"vitdyn/internal/gpu"
 	"vitdyn/internal/graph"
 	"vitdyn/internal/magnet"
@@ -19,200 +28,203 @@ import (
 	"vitdyn/internal/rdd"
 )
 
-// Target selects the execution substrate for path costs.
-type Target struct {
-	// GPU, when set, costs paths with the A5000 latency model.
-	GPU *gpu.Device
-	// Accel, when set, costs paths with a MAGNet simulation. Exactly one of
-	// GPU/Accel must be set.
-	Accel *magnet.Config
-	// UseEnergy costs accelerator paths by energy instead of time.
-	UseEnergy bool
-}
+// TargetGPU returns an A5000 latency backend (cost in milliseconds).
+func TargetGPU() engine.CostBackend { return engine.GPU(gpu.A5000()) }
 
-// TargetGPU returns an A5000 target.
-func TargetGPU() Target {
-	d := gpu.A5000()
-	return Target{GPU: &d}
-}
+// TargetAcceleratorE returns an accelerator-E backend costing by
+// simulated time (milliseconds).
+func TargetAcceleratorE() engine.CostBackend { return engine.MagnetTime(magnet.AcceleratorE()) }
 
-// TargetAcceleratorE returns an accelerator-E target costing by time.
-func TargetAcceleratorE() Target {
-	c := magnet.AcceleratorE()
-	return Target{Accel: &c}
-}
+// TargetAcceleratorEEnergy returns an accelerator-E backend costing by
+// simulated energy (millijoules).
+func TargetAcceleratorEEnergy() engine.CostBackend { return engine.MagnetEnergy(magnet.AcceleratorE()) }
 
-// TargetAcceleratorEEnergy returns an accelerator-E target costing by energy.
-func TargetAcceleratorEEnergy() Target {
-	c := magnet.AcceleratorE()
-	return Target{Accel: &c, UseEnergy: true}
-}
+// TargetFLOPs returns the FLOPs-proxy backend (cost in GMACs): no
+// latency or energy model, just analytical op counts, for fast smoke
+// costing of large sweeps.
+func TargetFLOPs() engine.CostBackend { return engine.FLOPs() }
 
-func (t Target) validate() error {
-	if (t.GPU == nil) == (t.Accel == nil) {
-		return fmt.Errorf("core: target must set exactly one of GPU or Accel")
-	}
-	if t.UseEnergy && t.Accel == nil {
-		return fmt.Errorf("core: energy costing requires an accelerator target")
-	}
-	return nil
-}
-
-// cost returns the path cost of a graph on the target (ms or mJ).
-func (t Target) cost(g *graph.Graph) (float64, error) {
-	if t.GPU != nil {
-		return t.GPU.Run(g).Total * 1e3, nil
-	}
-	r, err := t.Accel.Simulate(g)
-	if err != nil {
-		return 0, err
-	}
-	if t.UseEnergy {
-		return r.EnergyJ() * 1e3, nil
-	}
-	return r.TotalSeconds * 1e3, nil
-}
-
-// SegFormerCatalog builds the RDD path catalog for a pretrained SegFormer
-// B2 on the given dataset: the paper's joint sweep of encoder-block bypass
-// and decoder channel pruning, costed on the target, scored with the
-// anchored resilience surface, and reduced to its Pareto frontier.
-func SegFormerCatalog(dataset string, target Target, channelStep int) (*rdd.Catalog, error) {
-	if err := target.validate(); err != nil {
-		return nil, err
-	}
-	classes, size := 150, 512
-	var res *accuracy.SegFormerResilience
+// SegFormerDataset resolves a dataset name ("ADE" or "City") to its
+// resilience surface, class count and square input size — the single
+// source of the paper's dataset parameterization, shared with
+// internal/experiments.
+func SegFormerDataset(dataset string) (*accuracy.SegFormerResilience, int, int, error) {
 	switch dataset {
 	case "ADE":
-		res = accuracy.NewSegFormerADE()
+		return accuracy.NewSegFormerADE(), 150, 512, nil
 	case "City":
-		res = accuracy.NewSegFormerCity()
-		classes, size = 19, 1024
-	default:
-		return nil, fmt.Errorf("core: unknown dataset %q (want ADE or City)", dataset)
+		return accuracy.NewSegFormerCity(), 19, 1024, nil
+	}
+	return nil, 0, 0, fmt.Errorf("core: unknown dataset %q (want ADE or City)", dataset)
+}
+
+// SegFormerCandidates enumerates the pretrained SegFormer B2 pruning
+// sweep for a dataset: the paper's joint sweep of encoder-block bypass
+// and decoder channel pruning, scored with the anchored resilience
+// surface. It returns the catalog name and the candidate list.
+func SegFormerCandidates(dataset string, channelStep int) (string, []engine.Candidate, error) {
+	res, classes, size, err := SegFormerDataset(dataset)
+	if err != nil {
+		return "", nil, err
 	}
 	cfg, err := nn.SegFormerB("B2", classes)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
-	var paths []rdd.Path
+	var cands []engine.Candidate
 	for _, p := range prune.SegFormerSweep(cfg, channelStep) {
-		g, err := prune.ApplySegFormer(cfg, size, size, p)
-		if err != nil {
-			return nil, err
-		}
-		c, err := target.cost(g)
-		if err != nil {
-			return nil, err
-		}
-		paths = append(paths, rdd.Path{Label: p.Label, Cost: c, Accuracy: res.Pretrained(p)})
+		p := p
+		cands = append(cands, engine.Candidate{
+			Label:    p.Label,
+			Accuracy: res.Pretrained(p),
+			Build: func() (*graph.Graph, error) {
+				return prune.ApplySegFormer(cfg, size, size, p)
+			},
+		})
 	}
-	return rdd.NewCatalog("SegFormer-"+dataset+"-B2", paths)
+	return "SegFormer-" + dataset + "-B2", cands, nil
 }
 
-// SegFormerRetrainedCatalog builds the retrained switching catalog
-// (B0/B1/B2) on the target.
-func SegFormerRetrainedCatalog(dataset string, target Target) (*rdd.Catalog, error) {
-	if err := target.validate(); err != nil {
+// SegFormerCatalog builds the RDD path catalog for a pretrained SegFormer
+// B2 on the given dataset, costed concurrently on the backend and reduced
+// to its Pareto frontier. workers <= 0 selects GOMAXPROCS.
+func SegFormerCatalog(dataset string, backend engine.CostBackend, channelStep, workers int) (*rdd.Catalog, error) {
+	model, cands, err := SegFormerCandidates(dataset, channelStep)
+	if err != nil {
 		return nil, err
 	}
-	classes, size := 150, 512
-	if dataset == "City" {
-		classes, size = 19, 1024
+	return engine.New(backend, workers).Catalog(model, cands)
+}
+
+// SegFormerRetrainedCandidates enumerates the retrained switching family
+// (B0/B1/B2) for a dataset.
+func SegFormerRetrainedCandidates(dataset string) (string, []engine.Candidate, error) {
+	_, classes, size, err := SegFormerDataset(dataset)
+	if err != nil {
+		return "", nil, err
 	}
-	var paths []rdd.Path
+	var cands []engine.Candidate
 	for _, v := range []string{"B0", "B1", "B2"} {
+		v := v
 		cfg, err := nn.SegFormerB(v, classes)
 		if err != nil {
-			return nil, err
-		}
-		g, err := nn.SegFormer(cfg, size, size)
-		if err != nil {
-			return nil, err
-		}
-		c, err := target.cost(g)
-		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
 		acc, err := accuracy.SegFormerBaseline(v, dataset)
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
-		paths = append(paths, rdd.Path{Label: "SegFormer-" + v, Cost: c, Accuracy: acc})
+		cands = append(cands, engine.Candidate{
+			Label:    "SegFormer-" + v,
+			Accuracy: acc,
+			Build: func() (*graph.Graph, error) {
+				return nn.SegFormer(cfg, size, size)
+			},
+		})
 	}
-	return rdd.NewCatalog("SegFormer-"+dataset+"-retrained", paths)
+	return "SegFormer-" + dataset + "-retrained", cands, nil
 }
 
-// SwinCatalog builds the Swin pruning catalog for a variant. The paper
-// recommends retrained switching for Swin; this catalog exists to quantify
-// why (its frontier is steep).
-func SwinCatalog(variant string, target Target, channelStep int) (*rdd.Catalog, error) {
-	if err := target.validate(); err != nil {
-		return nil, err
-	}
-	cfg, err := nn.SwinVariant(variant, 150)
+// SegFormerRetrainedCatalog builds the retrained switching catalog
+// (B0/B1/B2) on the backend.
+func SegFormerRetrainedCatalog(dataset string, backend engine.CostBackend, workers int) (*rdd.Catalog, error) {
+	model, cands, err := SegFormerRetrainedCandidates(dataset)
 	if err != nil {
 		return nil, err
+	}
+	return engine.New(backend, workers).Catalog(model, cands)
+}
+
+// SwinCandidates enumerates the Swin pruning sweep for a variant. The
+// paper recommends retrained switching for Swin; this sweep exists to
+// quantify why (its frontier is steep).
+func SwinCandidates(variant string, channelStep int) (string, []engine.Candidate, error) {
+	cfg, err := nn.SwinVariant(variant, 150)
+	if err != nil {
+		return "", nil, err
 	}
 	res, err := accuracy.NewSwin(variant)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	full := prune.FullSwinPath(cfg)
-	var paths []rdd.Path
+	var cands []engine.Candidate
 	for _, p := range prune.SwinSweep(cfg, channelStep) {
-		g, err := prune.ApplySwin(cfg, 512, 512, p)
-		if err != nil {
-			return nil, err
-		}
-		c, err := target.cost(g)
-		if err != nil {
-			return nil, err
-		}
-		paths = append(paths, rdd.Path{Label: p.Label, Cost: c, Accuracy: res.Pretrained(p, full)})
+		p := p
+		cands = append(cands, engine.Candidate{
+			Label:    p.Label,
+			Accuracy: res.Pretrained(p, full),
+			Build: func() (*graph.Graph, error) {
+				return prune.ApplySwin(cfg, 512, 512, p)
+			},
+		})
 	}
-	return rdd.NewCatalog("Swin-"+variant, paths)
+	return "Swin-" + variant, cands, nil
+}
+
+// SwinCatalog builds the Swin pruning catalog for a variant on the
+// backend.
+func SwinCatalog(variant string, backend engine.CostBackend, channelStep, workers int) (*rdd.Catalog, error) {
+	model, cands, err := SwinCandidates(variant, channelStep)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(backend, workers).Catalog(model, cands)
+}
+
+// SwinRetrainedCandidates enumerates the Tiny/Small/Base switching
+// family.
+func SwinRetrainedCandidates() (string, []engine.Candidate, error) {
+	var cands []engine.Candidate
+	for _, v := range []string{"Tiny", "Small", "Base"} {
+		v := v
+		acc, err := accuracy.SwinBaseline(v)
+		if err != nil {
+			return "", nil, err
+		}
+		cands = append(cands, engine.Candidate{
+			Label:    "Swin-" + v,
+			Accuracy: acc,
+			Build: func() (*graph.Graph, error) {
+				return nn.MustSwin(v, 150, 512, 512), nil
+			},
+		})
+	}
+	return "Swin-retrained", cands, nil
 }
 
 // SwinRetrainedCatalog builds the Tiny/Small/Base switching catalog.
-func SwinRetrainedCatalog(target Target) (*rdd.Catalog, error) {
-	if err := target.validate(); err != nil {
+func SwinRetrainedCatalog(backend engine.CostBackend, workers int) (*rdd.Catalog, error) {
+	model, cands, err := SwinRetrainedCandidates()
+	if err != nil {
 		return nil, err
 	}
-	var paths []rdd.Path
-	for _, v := range []string{"Tiny", "Small", "Base"} {
-		g := nn.MustSwin(v, 150, 512, 512)
-		c, err := target.cost(g)
-		if err != nil {
-			return nil, err
-		}
-		acc, err := accuracy.SwinBaseline(v)
-		if err != nil {
-			return nil, err
-		}
-		paths = append(paths, rdd.Path{Label: "Swin-" + v, Cost: c, Accuracy: acc})
-	}
-	return rdd.NewCatalog("Swin-retrained", paths)
+	return engine.New(backend, workers).Catalog(model, cands)
 }
 
-// OFACatalog builds the Once-For-All ResNet-50 switching catalog (the
-// paper's Fig. 13 ladder) on the target.
-func OFACatalog(target Target) (*rdd.Catalog, error) {
-	if err := target.validate(); err != nil {
+// OFACandidates enumerates the Once-For-All ResNet-50 subnet ladder (the
+// paper's Fig. 13).
+func OFACandidates() (string, []engine.Candidate, error) {
+	var cands []engine.Candidate
+	for _, sub := range nn.OFACatalog() {
+		sub := sub
+		cands = append(cands, engine.Candidate{
+			Label:    sub.ID,
+			Accuracy: sub.Top1,
+			Build: func() (*graph.Graph, error) {
+				return nn.OFAResNet(sub, 224, 224)
+			},
+		})
+	}
+	return "OFA-ResNet-50", cands, nil
+}
+
+// OFACatalog builds the Once-For-All ResNet-50 switching catalog on the
+// backend.
+func OFACatalog(backend engine.CostBackend, workers int) (*rdd.Catalog, error) {
+	model, cands, err := OFACandidates()
+	if err != nil {
 		return nil, err
 	}
-	var paths []rdd.Path
-	for _, sub := range nn.OFACatalog() {
-		g, err := nn.OFAResNet(sub, 224, 224)
-		if err != nil {
-			return nil, err
-		}
-		c, err := target.cost(g)
-		if err != nil {
-			return nil, err
-		}
-		paths = append(paths, rdd.Path{Label: sub.ID, Cost: c, Accuracy: sub.Top1})
-	}
-	return rdd.NewCatalog("OFA-ResNet-50", paths)
+	return engine.New(backend, workers).Catalog(model, cands)
 }

@@ -1,35 +1,32 @@
 package core
 
 import (
+	"runtime"
+	"strings"
 	"testing"
 
+	"vitdyn/internal/engine"
 	"vitdyn/internal/rdd"
 )
 
-func TestTargetValidation(t *testing.T) {
-	if err := (Target{}).validate(); err == nil {
-		t.Error("empty target accepted")
-	}
-	g := TargetGPU()
-	a := TargetAcceleratorE()
-	both := Target{GPU: g.GPU, Accel: a.Accel}
-	if err := both.validate(); err == nil {
-		t.Error("double target accepted")
-	}
-	energyOnGPU := Target{GPU: g.GPU, UseEnergy: true}
-	if err := energyOnGPU.validate(); err == nil {
-		t.Error("energy costing on GPU accepted")
-	}
-	if err := g.validate(); err != nil {
-		t.Errorf("GPU target rejected: %v", err)
-	}
-	if err := TargetAcceleratorEEnergy().validate(); err != nil {
-		t.Errorf("energy target rejected: %v", err)
+func TestTargetBackends(t *testing.T) {
+	for _, tc := range []struct {
+		backend engine.CostBackend
+		prefix  string
+	}{
+		{TargetGPU(), "gpu/"},
+		{TargetAcceleratorE(), "magnet-time/"},
+		{TargetAcceleratorEEnergy(), "magnet-energy/"},
+		{TargetFLOPs(), "flops-proxy"},
+	} {
+		if !strings.HasPrefix(tc.backend.Name(), tc.prefix) {
+			t.Errorf("backend name %q does not start with %q", tc.backend.Name(), tc.prefix)
+		}
 	}
 }
 
 func TestSegFormerCatalogGPU(t *testing.T) {
-	cat, err := SegFormerCatalog("ADE", TargetGPU(), 512)
+	cat, err := SegFormerCatalog("ADE", TargetGPU(), 512, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +53,11 @@ func TestSegFormerCatalogGPU(t *testing.T) {
 }
 
 func TestSegFormerCatalogEnergyVsTime(t *testing.T) {
-	tc, err := SegFormerCatalog("ADE", TargetAcceleratorE(), 1024)
+	tc, err := SegFormerCatalog("ADE", TargetAcceleratorE(), 1024, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ec, err := SegFormerCatalog("ADE", TargetAcceleratorEEnergy(), 1024)
+	ec, err := SegFormerCatalog("ADE", TargetAcceleratorEEnergy(), 1024, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +71,11 @@ func TestRetrainedBeatsPretrainedCeiling(t *testing.T) {
 	// savings. Compare the accuracy of the cheapest retrained point with a
 	// pretrained point of comparable cost.
 	target := TargetAcceleratorE()
-	pre, err := SegFormerCatalog("ADE", target, 512)
+	pre, err := SegFormerCatalog("ADE", target, 512, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ret, err := SegFormerRetrainedCatalog("ADE", target)
+	ret, err := SegFormerRetrainedCatalog("ADE", target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +90,14 @@ func TestRetrainedBeatsPretrainedCeiling(t *testing.T) {
 }
 
 func TestSwinCatalogs(t *testing.T) {
-	cat, err := SwinCatalog("Tiny", TargetAcceleratorE(), 512)
+	cat, err := SwinCatalog("Tiny", TargetAcceleratorE(), 512, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cat.Paths) < 2 {
 		t.Fatalf("Swin catalog too small")
 	}
-	ret, err := SwinRetrainedCatalog(TargetGPU())
+	ret, err := SwinRetrainedCatalog(TargetGPU(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,13 +109,13 @@ func TestSwinCatalogs(t *testing.T) {
 	if save < 0.25 || save > 0.50 {
 		t.Errorf("Swin Base->Tiny GPU time saving = %.3f, paper reports 0.36", save)
 	}
-	if _, err := SwinCatalog("Huge", TargetGPU(), 512); err == nil {
+	if _, err := SwinCatalog("Huge", TargetGPU(), 512, 0); err == nil {
 		t.Error("unknown variant accepted")
 	}
 }
 
 func TestOFACatalogOnE(t *testing.T) {
-	cat, err := OFACatalog(TargetAcceleratorEEnergy())
+	cat, err := OFACatalog(TargetAcceleratorEEnergy(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,19 +139,131 @@ func TestOFACatalogOnE(t *testing.T) {
 }
 
 func TestCatalogErrors(t *testing.T) {
-	if _, err := SegFormerCatalog("KITTI", TargetGPU(), 512); err == nil {
+	if _, err := SegFormerCatalog("KITTI", TargetGPU(), 512, 0); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if _, err := SegFormerCatalog("ADE", Target{}, 512); err == nil {
-		t.Error("invalid target accepted")
+	if _, err := SegFormerRetrainedCatalog("KITTI", TargetGPU(), 0); err == nil {
+		t.Error("unknown dataset accepted for retrained")
 	}
-	if _, err := OFACatalog(Target{}); err == nil {
-		t.Error("invalid target accepted for OFA")
+	if _, err := SwinCatalog("Huge", TargetFLOPs(), 512, 0); err == nil {
+		t.Error("unknown Swin variant accepted")
 	}
-	if _, err := SwinRetrainedCatalog(Target{}); err == nil {
-		t.Error("invalid target accepted for Swin retrained")
+}
+
+// seedSequentialCatalog replicates the seed's strictly sequential catalog
+// construction: one goroutine, one backend call per candidate in input
+// order, no cache, then the Pareto reduction.
+func seedSequentialCatalog(t *testing.T, model string, cands []engine.Candidate, backend engine.CostBackend) *rdd.Catalog {
+	t.Helper()
+	var paths []rdd.Path
+	for _, c := range cands {
+		g, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := backend.Cost(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, rdd.Path{Label: c.Label, Cost: cost, Accuracy: c.Accuracy})
 	}
-	if _, err := SegFormerRetrainedCatalog("ADE", Target{}); err == nil {
-		t.Error("invalid target accepted for retrained")
+	cat, err := rdd.NewCatalog(model, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// assertCatalogsIdentical requires exact equality: same model name, same
+// frontier length and order, bit-identical costs and accuracies.
+func assertCatalogsIdentical(t *testing.T, want, got *rdd.Catalog) {
+	t.Helper()
+	if want.Model != got.Model {
+		t.Fatalf("model %q != %q", got.Model, want.Model)
+	}
+	if len(want.Paths) != len(got.Paths) {
+		t.Fatalf("frontier size %d != %d", len(got.Paths), len(want.Paths))
+	}
+	for i := range want.Paths {
+		w, g := want.Paths[i], got.Paths[i]
+		if w.Label != g.Label || w.Cost != g.Cost || w.Accuracy != g.Accuracy {
+			t.Errorf("path %d: got {%s %v %v}, want {%s %v %v}",
+				i, g.Label, g.Cost, g.Accuracy, w.Label, w.Cost, w.Accuracy)
+		}
+	}
+}
+
+// TestGoldenEquivalence proves the parallel engine produces exactly the
+// catalog the seed's sequential construction produced, for every catalog
+// builder on its paper substrate.
+func TestGoldenEquivalence(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		name    string
+		backend engine.CostBackend
+		cands   func() (string, []engine.Candidate, error)
+		build   func() (*rdd.Catalog, error)
+	}{
+		{
+			name:    "SegFormerADE-accelE",
+			backend: TargetAcceleratorE(),
+			cands:   func() (string, []engine.Candidate, error) { return SegFormerCandidates("ADE", 512) },
+			build: func() (*rdd.Catalog, error) {
+				return SegFormerCatalog("ADE", TargetAcceleratorE(), 512, workers)
+			},
+		},
+		{
+			name:    "SegFormerCity-gpu",
+			backend: TargetGPU(),
+			cands:   func() (string, []engine.Candidate, error) { return SegFormerCandidates("City", 1024) },
+			build: func() (*rdd.Catalog, error) {
+				return SegFormerCatalog("City", TargetGPU(), 1024, workers)
+			},
+		},
+		{
+			name:    "SegFormerRetrained-gpu",
+			backend: TargetGPU(),
+			cands:   func() (string, []engine.Candidate, error) { return SegFormerRetrainedCandidates("ADE") },
+			build: func() (*rdd.Catalog, error) {
+				return SegFormerRetrainedCatalog("ADE", TargetGPU(), workers)
+			},
+		},
+		{
+			name:    "SwinTiny-accelE",
+			backend: TargetAcceleratorE(),
+			cands:   func() (string, []engine.Candidate, error) { return SwinCandidates("Tiny", 512) },
+			build: func() (*rdd.Catalog, error) {
+				return SwinCatalog("Tiny", TargetAcceleratorE(), 512, workers)
+			},
+		},
+		{
+			name:    "SwinRetrained-accelE",
+			backend: TargetAcceleratorE(),
+			cands:   func() (string, []engine.Candidate, error) { return SwinRetrainedCandidates() },
+			build: func() (*rdd.Catalog, error) {
+				return SwinRetrainedCatalog(TargetAcceleratorE(), workers)
+			},
+		},
+		{
+			name:    "OFA-accelE-energy",
+			backend: TargetAcceleratorEEnergy(),
+			cands:   func() (string, []engine.Candidate, error) { return OFACandidates() },
+			build: func() (*rdd.Catalog, error) {
+				return OFACatalog(TargetAcceleratorEEnergy(), workers)
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			model, cands, err := tc.cands()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := seedSequentialCatalog(t, model, cands, tc.backend)
+			got, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertCatalogsIdentical(t, want, got)
+		})
 	}
 }

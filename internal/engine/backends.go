@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"vitdyn/internal/gpu"
+	"vitdyn/internal/graph"
+	"vitdyn/internal/magnet"
+)
+
+// gpuBackend costs graphs in milliseconds on an analytical GPU latency
+// model. gpu.Device.Run only reads the device tables, so one device can
+// serve all workers.
+type gpuBackend struct {
+	dev gpu.Device
+}
+
+// GPU returns a backend costing paths on the device (milliseconds).
+func GPU(dev gpu.Device) CostBackend { return gpuBackend{dev: dev} }
+
+func (b gpuBackend) Name() string { return "gpu/" + b.dev.Name }
+
+func (b gpuBackend) Cost(g *graph.Graph) (float64, error) {
+	return b.dev.Run(g).Total * 1e3, nil
+}
+
+// magnetBackend costs graphs on a MAGNet accelerator simulation, by time
+// (milliseconds) or energy (millijoules).
+type magnetBackend struct {
+	cfg    magnet.Config
+	energy bool
+}
+
+// MagnetTime returns a backend costing paths by simulated execution time
+// on the accelerator (milliseconds).
+func MagnetTime(cfg magnet.Config) CostBackend { return magnetBackend{cfg: cfg} }
+
+// MagnetEnergy returns a backend costing paths by simulated energy on the
+// accelerator (millijoules).
+func MagnetEnergy(cfg magnet.Config) CostBackend { return magnetBackend{cfg: cfg, energy: true} }
+
+func (b magnetBackend) Name() string {
+	if b.energy {
+		return "magnet-energy/" + b.cfg.Name
+	}
+	return "magnet-time/" + b.cfg.Name
+}
+
+func (b magnetBackend) Cost(g *graph.Graph) (float64, error) {
+	r, err := b.cfg.Simulate(g)
+	if err != nil {
+		return 0, err
+	}
+	if b.energy {
+		return r.EnergyJ() * 1e3, nil
+	}
+	return r.TotalSeconds * 1e3, nil
+}
+
+// flopsBackend is the cheap smoke-costing proxy: cost equals the graph's
+// GMAC count. It preserves the FLOP ordering of a sweep without running
+// any latency or energy model, which makes it ideal for fast tests and
+// for pre-filtering huge sweeps before an expensive backend pass.
+type flopsBackend struct{}
+
+// FLOPs returns the FLOPs-proxy backend (cost in GMACs).
+func FLOPs() CostBackend { return flopsBackend{} }
+
+func (flopsBackend) Name() string { return "flops-proxy" }
+
+func (flopsBackend) Cost(g *graph.Graph) (float64, error) {
+	return float64(g.TotalMACs()) / 1e9, nil
+}

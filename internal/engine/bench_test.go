@@ -1,0 +1,137 @@
+package engine_test
+
+// Sequential-vs-parallel sweep benchmarks over the real paper workload:
+// the SegFormer ADE B2 pruning sweep costed on a MAGNet accelerator-E
+// simulation. Run with
+//
+//	go test -bench=Sweep -benchtime=5x ./internal/engine/
+//
+// and compare BenchmarkSweepSequential against BenchmarkSweepParallel:
+// at workers=GOMAXPROCS the parallel engine wins by roughly the core
+// count (fresh engine per iteration, so the memo cache never hides the
+// work).
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"vitdyn/internal/core"
+	"vitdyn/internal/engine"
+	"vitdyn/internal/graph"
+)
+
+func segformerSweep(b *testing.B) []engine.Candidate {
+	b.Helper()
+	_, cands, err := core.SegFormerCandidates("ADE", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cands
+}
+
+func BenchmarkSweepSequential(b *testing.B) {
+	cands := segformerSweep(b)
+	backend := core.TargetAcceleratorE()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.New(backend, 1).SweepSequential(cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "graphs/op")
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	cands := segformerSweep(b)
+	backend := core.TargetAcceleratorE()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.New(backend, workers).Sweep(cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "graphs/op")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkSweepParallelCached measures the steady-state cost of a sweep
+// whose graphs were all costed before (pure cache hits plus graph
+// construction and hashing).
+func BenchmarkSweepParallelCached(b *testing.B) {
+	cands := segformerSweep(b)
+	e := engine.New(core.TargetAcceleratorE(), 0)
+	if _, err := e.Sweep(cands); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Sweep(cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// latencyBackend models a cost substrate dominated by per-graph latency
+// rather than CPU (a remote simulation service, a licensed simulator
+// behind RPC): Cost blocks ~1ms per distinct graph. It isolates the
+// worker pool's concurrency win from raw core count, so the parallel
+// speedup is visible even on a single-core machine.
+type latencyBackend struct{}
+
+func (latencyBackend) Name() string { return "latency-1ms" }
+
+func (latencyBackend) Cost(g *graph.Graph) (float64, error) {
+	time.Sleep(time.Millisecond)
+	return float64(g.TotalMACs()) / 1e9, nil
+}
+
+func BenchmarkSweepLatencyBoundSequential(b *testing.B) {
+	cands := segformerSweep(b)[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.New(latencyBackend{}, 1).SweepSequential(cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepLatencyBoundParallel16(b *testing.B) {
+	cands := segformerSweep(b)[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.New(latencyBackend{}, 16).Sweep(cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogParallelSpeedup builds the full SegFormer RDD catalog
+// both ways in one benchmark run and reports the measured speedup, so
+// `make bench` demonstrates the engine win without cross-run math.
+func BenchmarkCatalogParallelSpeedup(b *testing.B) {
+	backend := core.TargetAcceleratorE()
+	for i := 0; i < b.N; i++ {
+		seqNS := timeOnce(b, func() {
+			if _, err := core.SegFormerCatalog("ADE", backend, 256, 1); err != nil {
+				b.Fatal(err)
+			}
+		})
+		parNS := timeOnce(b, func() {
+			if _, err := core.SegFormerCatalog("ADE", backend, 256, runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if i == 0 {
+			b.ReportMetric(seqNS/parNS, "speedup")
+		}
+	}
+}
+
+func timeOnce(b *testing.B, fn func()) float64 {
+	b.Helper()
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Nanoseconds())
+}

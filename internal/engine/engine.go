@@ -1,0 +1,243 @@
+// Package engine is the concurrent sweep engine behind every RDD path
+// catalog: it fans candidate graph construction and costing out across a
+// bounded worker pool, memoizes repeated graph costs behind a
+// signature-keyed cache, and returns results in deterministic input order,
+// so parallel catalogs are byte-identical to a sequential construction.
+//
+// The execution substrate is abstracted behind CostBackend (see
+// backends.go for the GPU, MAGNet-time, MAGNet-energy and FLOPs-proxy
+// implementations), replacing the closed Target struct that used to live
+// in internal/core. Anything that can price a graph — a latency model, an
+// accelerator simulation, a cloud billing table — can drive a sweep.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vitdyn/internal/graph"
+	"vitdyn/internal/rdd"
+)
+
+// CostBackend prices one inference of a model graph on some execution
+// substrate. Implementations must be safe for concurrent use: Cost is
+// called from many worker goroutines at once. Cost must be a pure
+// function of the graph's cost-relevant shape (see graph.Signature), as
+// the engine memoizes results across shape-identical graphs.
+type CostBackend interface {
+	// Cost returns the execution cost of one inference (milliseconds or
+	// millijoules, backend-dependent; always positive for valid graphs).
+	Cost(g *graph.Graph) (float64, error)
+	// Name identifies the substrate, e.g. "gpu/NVIDIA RTX A5000".
+	Name() string
+}
+
+// Candidate is one execution path to be swept: a label, a known accuracy,
+// and a constructor for the graph to be costed. Build runs on a worker
+// goroutine and must not share mutable state with other candidates.
+type Candidate struct {
+	Label    string
+	Accuracy float64
+	Build    func() (*graph.Graph, error)
+}
+
+// Result is one costed candidate.
+type Result struct {
+	Label    string
+	Cost     float64
+	Accuracy float64
+}
+
+// Engine sweeps candidate sets over one backend with a bounded worker
+// pool and a shared cost cache. An Engine is safe for concurrent use; the
+// zero value is not valid — use New.
+type Engine struct {
+	backend CostBackend
+	workers int
+
+	mu    sync.Mutex
+	cache map[uint64]*cacheEntry
+}
+
+// cacheEntry memoizes one graph signature's cost. The entry is published
+// under the engine mutex; the once guarantees the backend is invoked at
+// most once per signature even when many workers race on the same graph.
+type cacheEntry struct {
+	once sync.Once
+	cost float64
+	err  error
+}
+
+// New returns an engine over the backend. workers <= 0 selects
+// GOMAXPROCS; workers == 1 degenerates to a sequential sweep (same code
+// path, same results).
+func New(backend CostBackend, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if backend == nil {
+		// Surface the misconfiguration as an ordinary sweep error instead
+		// of a nil-interface panic inside a worker goroutine.
+		backend = nilBackend{}
+	}
+	return &Engine{
+		backend: backend,
+		workers: workers,
+		cache:   make(map[uint64]*cacheEntry),
+	}
+}
+
+// nilBackend stands in for a nil CostBackend passed to New.
+type nilBackend struct{}
+
+func (nilBackend) Name() string { return "nil" }
+
+func (nilBackend) Cost(*graph.Graph) (float64, error) {
+	return 0, fmt.Errorf("engine: nil CostBackend")
+}
+
+// Backend returns the engine's cost backend.
+func (e *Engine) Backend() CostBackend { return e.backend }
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// CachedCosts returns how many distinct graph signatures have been
+// costed so far (for tests and instrumentation).
+func (e *Engine) CachedCosts() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Cost prices one graph through the memo cache.
+func (e *Engine) Cost(g *graph.Graph) (float64, error) {
+	key := g.Signature()
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if !ok {
+		ent = &cacheEntry{}
+		e.cache[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.cost, ent.err = e.backend.Cost(g) })
+	return ent.cost, ent.err
+}
+
+// Sweep builds and costs every candidate concurrently, returning results
+// in the exact order the candidates were given. On failure it returns the
+// error of the lowest-index failing candidate, wrapped with its label, so
+// error reporting is deterministic regardless of goroutine scheduling;
+// remaining candidates stop being dispatched once a failure is observed.
+func (e *Engine) Sweep(cands []Candidate) ([]Result, error) {
+	results := make([]Result, len(cands))
+	if err := ForEach(e.workers, len(cands), func(i int) error {
+		c := cands[i]
+		g, err := c.Build()
+		if err != nil {
+			return fmt.Errorf("candidate %q: %w", c.Label, err)
+		}
+		cost, err := e.Cost(g)
+		if err != nil {
+			return fmt.Errorf("candidate %q: %w", c.Label, err)
+		}
+		results[i] = Result{Label: c.Label, Cost: cost, Accuracy: c.Accuracy}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SweepSequential is the reference implementation: a plain loop on the
+// calling goroutine with no pool and no cache. Golden tests and the
+// benchmarks compare Sweep against it.
+func (e *Engine) SweepSequential(cands []Candidate) ([]Result, error) {
+	results := make([]Result, len(cands))
+	for i, c := range cands {
+		g, err := c.Build()
+		if err != nil {
+			return nil, fmt.Errorf("candidate %q: %w", c.Label, err)
+		}
+		cost, err := e.backend.Cost(g)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %q: %w", c.Label, err)
+		}
+		results[i] = Result{Label: c.Label, Cost: cost, Accuracy: c.Accuracy}
+	}
+	return results, nil
+}
+
+// Catalog sweeps the candidates and reduces them to a Pareto-frontier RDD
+// catalog, preserving the deterministic sweep order through the frontier
+// reduction.
+func (e *Engine) Catalog(model string, cands []Candidate) (*rdd.Catalog, error) {
+	results, err := e.Sweep(cands)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]rdd.Path, len(results))
+	for i, r := range results {
+		paths[i] = rdd.Path{Label: r.Label, Cost: r.Cost, Accuracy: r.Accuracy}
+	}
+	return rdd.NewCatalog(model, paths)
+}
+
+// ForEach runs fn(0..n-1) across a bounded pool of workers and returns
+// the error of the lowest failing index (so callers see the same error a
+// sequential loop would report first); indices not yet dispatched when a
+// failure is observed are skipped. workers <= 0 selects GOMAXPROCS.
+// fn must confine its writes to index-i slots of preallocated slices (or
+// otherwise synchronize); ForEach itself guarantees all writes made by fn
+// happen-before it returns.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	// Stop dispatching once any job fails: undispatched jobs all have
+	// higher indices than every dispatched one, so the lowest failing
+	// index — the error a sequential loop would hit first — is already
+	// in flight and the deterministic error choice below is unaffected.
+	for i := 0; i < n && !failed.Load(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

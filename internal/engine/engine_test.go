@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vitdyn/internal/graph"
+)
+
+// linearGraph returns a tiny graph whose signature is determined by n, so
+// tests can mint arbitrary families of distinct (or shared) shapes.
+func linearGraph(n int) *graph.Graph {
+	g := &graph.Graph{Name: fmt.Sprintf("toy-%d", n), InputH: 8, InputW: 8}
+	g.Add(graph.Layer{
+		Name: "fc", Kind: graph.Linear,
+		Tokens: 4, InF: n, OutF: 2 * n,
+	})
+	return g
+}
+
+// countingBackend counts Cost invocations; cost is a pure function of
+// the graph's single layer width, so results are reproducible.
+type countingBackend struct {
+	calls atomic.Int64
+}
+
+func (b *countingBackend) Name() string { return "counting" }
+
+func (b *countingBackend) Cost(g *graph.Graph) (float64, error) {
+	b.calls.Add(1)
+	return float64(g.Layers[0].InF), nil
+}
+
+// failingBackend fails on one specific width.
+type failingBackend struct {
+	failInF int
+}
+
+func (b failingBackend) Name() string { return "failing" }
+
+func (b failingBackend) Cost(g *graph.Graph) (float64, error) {
+	if g.Layers[0].InF == b.failInF {
+		return 0, fmt.Errorf("backend rejected width %d", b.failInF)
+	}
+	return float64(g.Layers[0].InF), nil
+}
+
+func toyCandidates(n int, width func(i int) int) []Candidate {
+	cands := make([]Candidate, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cands[i] = Candidate{
+			Label:    fmt.Sprintf("cand-%03d", i),
+			Accuracy: float64(i) / float64(n),
+			Build:    func() (*graph.Graph, error) { return linearGraph(width(i)), nil },
+		}
+	}
+	return cands
+}
+
+func TestSweepDeterministicOrder(t *testing.T) {
+	backend := &countingBackend{}
+	cands := toyCandidates(64, func(i int) int { return i + 1 })
+	seq, err := New(backend, 1).SweepSequential(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := New(backend, workers).Sweep(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Fatalf("workers=%d: parallel sweep diverged from sequential reference", workers)
+		}
+	}
+	for i, r := range seq {
+		if want := fmt.Sprintf("cand-%03d", i); r.Label != want {
+			t.Fatalf("result %d has label %s, want %s", i, r.Label, want)
+		}
+	}
+}
+
+func TestSweepMemoizesSharedGraphs(t *testing.T) {
+	backend := &countingBackend{}
+	// 64 candidates collapsing onto 8 distinct shapes.
+	cands := toyCandidates(64, func(i int) int { return 10 + i%8 })
+	e := New(backend, 8)
+	res, err := e.Sweep(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.calls.Load(); got != 8 {
+		t.Errorf("backend invoked %d times, want 8 (one per distinct signature)", got)
+	}
+	if e.CachedCosts() != 8 {
+		t.Errorf("cache holds %d entries, want 8", e.CachedCosts())
+	}
+	for i, r := range res {
+		if want := float64(10 + i%8); r.Cost != want {
+			t.Errorf("result %d cost %v, want %v", i, r.Cost, want)
+		}
+	}
+	// A second sweep on the same engine is served entirely from cache.
+	if _, err := e.Sweep(cands); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.calls.Load(); got != 8 {
+		t.Errorf("second sweep invoked the backend (total %d calls)", got)
+	}
+}
+
+func TestCostCacheUnderContention(t *testing.T) {
+	// Hammer one engine from many goroutines over a small set of shared
+	// graphs; the backend must run once per distinct signature and every
+	// caller must observe the same cost.
+	backend := &countingBackend{}
+	e := New(backend, 0)
+	const goroutines, iters, distinct = 32, 200, 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := 100 + (w+i)%distinct
+				cost, err := e.Cost(linearGraph(n))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if cost != float64(n) {
+					errs[w] = fmt.Errorf("cost(%d) = %v", n, cost)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := backend.calls.Load(); got != distinct {
+		t.Errorf("backend invoked %d times under contention, want %d", got, distinct)
+	}
+}
+
+func TestSweepReportsLowestIndexError(t *testing.T) {
+	// Two failing candidates; the error must name the lower-index one no
+	// matter which worker hits it first.
+	cands := toyCandidates(32, func(i int) int { return i + 1 })
+	backend := failingBackend{failInF: 12} // candidate index 11 has width 12
+	for _, workers := range []int{1, 8} {
+		_, err := New(backend, workers).Sweep(cands)
+		if err == nil {
+			t.Fatalf("workers=%d: sweep succeeded despite failing backend", workers)
+		}
+		if want := `candidate "cand-011"`; !strings.Contains(err.Error(), want) {
+			t.Errorf("workers=%d: error %q does not name %s", workers, err, want)
+		}
+	}
+	// Build errors propagate the same way.
+	broken := toyCandidates(8, func(i int) int { return i + 1 })
+	broken[3].Build = func() (*graph.Graph, error) { return nil, errors.New("no such model") }
+	broken[5].Build = func() (*graph.Graph, error) { return nil, errors.New("also broken") }
+	_, err := New(&countingBackend{}, 4).Sweep(broken)
+	if err == nil || !strings.Contains(err.Error(), `candidate "cand-003"`) {
+		t.Errorf("build error = %v, want lowest-index candidate cand-003", err)
+	}
+}
+
+func TestCatalogFrontier(t *testing.T) {
+	// Costs grow with index while accuracies shrink, so only the first
+	// candidate is non-dominated.
+	cands := make([]Candidate, 4)
+	for i := range cands {
+		i := i
+		cands[i] = Candidate{
+			Label:    fmt.Sprintf("p%d", i),
+			Accuracy: 0.9 - 0.1*float64(i),
+			Build:    func() (*graph.Graph, error) { return linearGraph(10 + i), nil },
+		}
+	}
+	cat, err := New(&countingBackend{}, 2).Catalog("toy", cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Paths) != 1 || cat.Paths[0].Label != "p0" {
+		t.Fatalf("frontier = %+v, want the single non-dominated p0", cat.Paths)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		out := make([]int, 50)
+		if err := ForEach(workers, len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	// n = 0 is a no-op.
+	if err := ForEach(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Errorf("ForEach over zero items returned %v", err)
+	}
+	// Lowest-index error wins.
+	err := ForEach(8, 20, func(i int) error {
+		if i == 7 || i == 13 {
+			return fmt.Errorf("fail-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail-7" {
+		t.Errorf("ForEach error = %v, want fail-7", err)
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	if FLOPs().Name() != "flops-proxy" {
+		t.Errorf("FLOPs backend name = %q", FLOPs().Name())
+	}
+	cost, err := FLOPs().Cost(linearGraph(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(4*1000*2000) / 1e9; cost != want {
+		t.Errorf("FLOPs cost = %v, want %v (GMACs)", cost, want)
+	}
+}
+
+func TestNilBackendIsAnErrorNotAPanic(t *testing.T) {
+	cands := toyCandidates(4, func(i int) int { return i + 1 })
+	for _, workers := range []int{1, 4} {
+		_, err := New(nil, workers).Sweep(cands)
+		if err == nil || !strings.Contains(err.Error(), "nil CostBackend") {
+			t.Errorf("workers=%d: nil backend sweep returned %v, want nil-CostBackend error", workers, err)
+		}
+	}
+	if _, err := New(nil, 1).Cost(linearGraph(3)); err == nil {
+		t.Error("nil backend Cost succeeded")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if New(FLOPs(), -3).Workers() < 1 {
+		t.Error("negative workers not resolved to GOMAXPROCS")
+	}
+	if got := New(FLOPs(), 7).Workers(); got != 7 {
+		t.Errorf("workers = %d, want 7", got)
+	}
+	if New(FLOPs(), 7).Backend().Name() != "flops-proxy" {
+		t.Error("backend accessor broken")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vitdyn/internal/engine"
 	"vitdyn/internal/graph"
 	"vitdyn/internal/magnet"
 	"vitdyn/internal/nn"
@@ -68,23 +69,31 @@ type Fig6Row struct {
 }
 
 // Fig6EnergyVsThroughput sweeps all Table II accelerators over SegFormer
-// ADE B2 (paper Fig. 6).
-func Fig6EnergyVsThroughput() ([]Fig6Row, error) {
+// ADE B2 (paper Fig. 6), simulating the thirteen design points across
+// workers goroutines (0 = GOMAXPROCS).
+func Fig6EnergyVsThroughput(workers int) ([]Fig6Row, error) {
 	g := nn.MustSegFormer("B2", 150, 512, 512)
-	var rows []Fig6Row
-	var pts []pareto.Point
-	for _, c := range magnet.TableII() {
+	configs := magnet.TableII()
+	rows := make([]Fig6Row, len(configs))
+	if err := engine.ForEach(workers, len(configs), func(i int) error {
+		c := configs[i]
 		r, err := c.Simulate(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig6Row{
+		rows[i] = Fig6Row{
 			Name:         c.Name,
 			EnergyPerMAC: r.EnergyPerMAC(),
 			ThrPerArea:   r.ThroughputPerArea(c),
 			RuntimeMS:    r.TotalSeconds * 1e3,
-		})
-		pts = append(pts, pareto.Point{Cost: r.EnergyPerMAC(), Value: r.ThroughputPerArea(c), Tag: c.Name})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	pts := make([]pareto.Point, len(rows))
+	for i, r := range rows {
+		pts[i] = pareto.Point{Cost: r.EnergyPerMAC, Value: r.ThrPerArea, Tag: r.Name}
 	}
 	frontier := map[string]bool{}
 	for _, p := range pareto.Frontier(pts) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"vitdyn/internal/accuracy"
+	"vitdyn/internal/core"
+	"vitdyn/internal/engine"
 	"vitdyn/internal/gpu"
 	"vitdyn/internal/magnet"
 	"vitdyn/internal/nn"
@@ -41,18 +43,13 @@ func markPareto(rows []TradeoffRow) {
 
 // Fig10SegFormerGPUTradeoff sweeps pretrained SegFormer B2 pruning on the
 // modeled A5000 and overlays the retrained B0/B1/B2 switching points
-// (paper Fig. 10) for one dataset ("ADE" or "City").
-func Fig10SegFormerGPUTradeoff(dataset string) ([]TradeoffRow, error) {
-	classes, size := 150, 512
-	var res *accuracy.SegFormerResilience
-	switch dataset {
-	case "ADE":
-		res = accuracy.NewSegFormerADE()
-	case "City":
-		res = accuracy.NewSegFormerCity()
-		classes, size = 19, 1024
-	default:
-		return nil, fmt.Errorf("experiments: unknown dataset %q", dataset)
+// (paper Fig. 10) for one dataset ("ADE" or "City"). The sweep is costed
+// across workers goroutines (0 = GOMAXPROCS); row order is the
+// deterministic input order regardless of worker count.
+func Fig10SegFormerGPUTradeoff(dataset string, workers int) ([]TradeoffRow, error) {
+	res, classes, size, err := core.SegFormerDataset(dataset)
+	if err != nil {
+		return nil, err
 	}
 	cfg, err := nn.SegFormerB("B2", classes)
 	if err != nil {
@@ -66,48 +63,72 @@ func Fig10SegFormerGPUTradeoff(dataset string) ([]TradeoffRow, error) {
 	fullTime := dev.Run(fullGraph).Total * 1e3
 	fullAcc := res.Baseline
 
-	var rows []TradeoffRow
+	var jobs []func() (TradeoffRow, error)
 	for _, p := range prune.SegFormerSweep(cfg, 256) {
-		g, err := prune.ApplySegFormer(cfg, size, size, p)
-		if err != nil {
-			return nil, err
-		}
-		t := dev.Run(g).Total * 1e3
-		acc := res.Pretrained(p)
-		rows = append(rows, TradeoffRow{
-			Label:    p.Label,
-			Source:   "pretrained",
-			TimeMS:   t,
-			Accuracy: acc,
-			TimeSave: 1 - t/fullTime,
-			AccLoss:  fullAcc - acc,
+		p := p
+		jobs = append(jobs, func() (TradeoffRow, error) {
+			g, err := prune.ApplySegFormer(cfg, size, size, p)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			t := dev.Run(g).Total * 1e3
+			acc := res.Pretrained(p)
+			return TradeoffRow{
+				Label:    p.Label,
+				Source:   "pretrained",
+				TimeMS:   t,
+				Accuracy: acc,
+				TimeSave: 1 - t/fullTime,
+				AccLoss:  fullAcc - acc,
+			}, nil
 		})
 	}
 	// Retrained switching points: the B0/B1/B2 family.
 	for _, v := range []string{"B0", "B1", "B2"} {
-		vc, err := nn.SegFormerB(v, classes)
-		if err != nil {
-			return nil, err
-		}
-		g, err := nn.SegFormer(vc, size, size)
-		if err != nil {
-			return nil, err
-		}
-		t := dev.Run(g).Total * 1e3
-		acc, err := accuracy.SegFormerBaseline(v, dataset)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, TradeoffRow{
-			Label:    "SegFormer-" + v,
-			Source:   "retrained",
-			TimeMS:   t,
-			Accuracy: acc,
-			TimeSave: 1 - t/fullTime,
-			AccLoss:  fullAcc - acc,
+		v := v
+		jobs = append(jobs, func() (TradeoffRow, error) {
+			vc, err := nn.SegFormerB(v, classes)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			g, err := nn.SegFormer(vc, size, size)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			t := dev.Run(g).Total * 1e3
+			acc, err := accuracy.SegFormerBaseline(v, dataset)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			return TradeoffRow{
+				Label:    "SegFormer-" + v,
+				Source:   "retrained",
+				TimeMS:   t,
+				Accuracy: acc,
+				TimeSave: 1 - t/fullTime,
+				AccLoss:  fullAcc - acc,
+			}, nil
 		})
 	}
+	rows, err := runTradeoffJobs(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
 	markPareto(rows)
+	return rows, nil
+}
+
+// runTradeoffJobs executes row-producing closures across workers
+// goroutines, preserving enumeration order.
+func runTradeoffJobs(jobs []func() (TradeoffRow, error), workers int) ([]TradeoffRow, error) {
+	rows := make([]TradeoffRow, len(jobs))
+	if err := engine.ForEach(workers, len(jobs), func(i int) error {
+		var err error
+		rows[i], err = jobs[i]()
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
 
@@ -157,8 +178,9 @@ func RenderTable3(rows []Table3Row) *report.Table {
 }
 
 // Fig11SegFormerAccelTradeoff runs the Table III configurations (pretrained)
-// and the retrained B1/B2 models on accelerator E (paper Fig. 11).
-func Fig11SegFormerAccelTradeoff() ([]TradeoffRow, error) {
+// and the retrained B1/B2 models on accelerator E (paper Fig. 11),
+// simulating configurations across workers goroutines (0 = GOMAXPROCS).
+func Fig11SegFormerAccelTradeoff(workers int) ([]TradeoffRow, error) {
 	cfg, err := nn.SegFormerB("B2", 150)
 	if err != nil {
 		return nil, err
@@ -177,48 +199,58 @@ func Fig11SegFormerAccelTradeoff() ([]TradeoffRow, error) {
 	fullTime := fullRun.TotalSeconds * 1e3
 	fullEnergy := fullRun.EnergyJ() * 1e3
 
-	var rows []TradeoffRow
+	var jobs []func() (TradeoffRow, error)
 	for _, p := range prune.TableIII() {
-		g, err := prune.ApplySegFormer(cfg, 512, 512, p)
-		if err != nil {
-			return nil, err
-		}
-		r, err := accel.Simulate(g)
-		if err != nil {
-			return nil, err
-		}
-		t := r.TotalSeconds * 1e3
-		e := r.EnergyJ() * 1e3
-		acc := res.Pretrained(p)
-		rows = append(rows, TradeoffRow{
-			Label: p.Label, Source: "pretrained",
-			TimeMS: t, EnergyMJ: e, Accuracy: acc,
-			TimeSave: 1 - t/fullTime, EnergySave: 1 - e/fullEnergy,
-			AccLoss: res.Baseline - acc,
+		p := p
+		jobs = append(jobs, func() (TradeoffRow, error) {
+			g, err := prune.ApplySegFormer(cfg, 512, 512, p)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			r, err := accel.Simulate(g)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			t := r.TotalSeconds * 1e3
+			e := r.EnergyJ() * 1e3
+			acc := res.Pretrained(p)
+			return TradeoffRow{
+				Label: p.Label, Source: "pretrained",
+				TimeMS: t, EnergyMJ: e, Accuracy: acc,
+				TimeSave: 1 - t/fullTime, EnergySave: 1 - e/fullEnergy,
+				AccLoss: res.Baseline - acc,
+			}, nil
 		})
 	}
 	for _, v := range []string{"B1", "B2"} {
-		vc, err := nn.SegFormerB(v, 150)
-		if err != nil {
-			return nil, err
-		}
-		g, err := nn.SegFormer(vc, 512, 512)
-		if err != nil {
-			return nil, err
-		}
-		r, err := accel.Simulate(g)
-		if err != nil {
-			return nil, err
-		}
-		t := r.TotalSeconds * 1e3
-		e := r.EnergyJ() * 1e3
-		acc, _ := accuracy.SegFormerBaseline(v, "ADE")
-		rows = append(rows, TradeoffRow{
-			Label: "SegFormer-" + v, Source: "retrained",
-			TimeMS: t, EnergyMJ: e, Accuracy: acc,
-			TimeSave: 1 - t/fullTime, EnergySave: 1 - e/fullEnergy,
-			AccLoss: res.Baseline - acc,
+		v := v
+		jobs = append(jobs, func() (TradeoffRow, error) {
+			vc, err := nn.SegFormerB(v, 150)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			g, err := nn.SegFormer(vc, 512, 512)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			r, err := accel.Simulate(g)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
+			t := r.TotalSeconds * 1e3
+			e := r.EnergyJ() * 1e3
+			acc, _ := accuracy.SegFormerBaseline(v, "ADE")
+			return TradeoffRow{
+				Label: "SegFormer-" + v, Source: "retrained",
+				TimeMS: t, EnergyMJ: e, Accuracy: acc,
+				TimeSave: 1 - t/fullTime, EnergySave: 1 - e/fullEnergy,
+				AccLoss: res.Baseline - acc,
+			}, nil
 		})
+	}
+	rows, err := runTradeoffJobs(jobs, workers)
+	if err != nil {
+		return nil, err
 	}
 	markPareto(rows)
 	return rows, nil
@@ -236,12 +268,16 @@ type Fig12Row struct {
 	MIoU          float64
 }
 
-// Fig12SwinTradeoff builds the Swin pruning/switching points.
-func Fig12SwinTradeoff() ([]Fig12Row, error) {
+// Fig12SwinTradeoff builds the Swin pruning/switching points, simulating
+// every (variant, path) pair across workers goroutines (0 = GOMAXPROCS).
+func Fig12SwinTradeoff(workers int) ([]Fig12Row, error) {
 	dev := gpu.A5000()
 	accel := magnet.AcceleratorE()
-	var rows []Fig12Row
+	// Enumerate the jobs sequentially (cheap) so the parallel phase only
+	// carries graph construction and simulation.
+	var jobs []func() (Fig12Row, error)
 	for _, variant := range []string{"Tiny", "Small", "Base"} {
+		variant := variant
 		cfg, err := nn.SwinVariant(variant, 150)
 		if err != nil {
 			return nil, err
@@ -252,42 +288,55 @@ func Fig12SwinTradeoff() ([]Fig12Row, error) {
 		}
 		full := prune.FullSwinPath(cfg)
 		for _, p := range prune.SwinSweep(cfg, 512) {
-			g, err := prune.ApplySwin(cfg, 512, 512, p)
-			if err != nil {
-				return nil, err
-			}
-			r, err := accel.Simulate(g)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig12Row{
-				Variant:       variant,
-				Label:         p.Label,
-				Source:        "pretrained",
-				GPUTimeMS:     dev.Run(g).Total * 1e3,
-				AccelTimeMS:   r.TotalSeconds * 1e3,
-				AccelEnergyMJ: r.EnergyJ() * 1e3,
-				MIoU:          res.Pretrained(p, full),
+			p := p
+			jobs = append(jobs, func() (Fig12Row, error) {
+				g, err := prune.ApplySwin(cfg, 512, 512, p)
+				if err != nil {
+					return Fig12Row{}, err
+				}
+				r, err := accel.Simulate(g)
+				if err != nil {
+					return Fig12Row{}, err
+				}
+				return Fig12Row{
+					Variant:       variant,
+					Label:         p.Label,
+					Source:        "pretrained",
+					GPUTimeMS:     dev.Run(g).Total * 1e3,
+					AccelTimeMS:   r.TotalSeconds * 1e3,
+					AccelEnergyMJ: r.EnergyJ() * 1e3,
+					MIoU:          res.Pretrained(p, full),
+				}, nil
 			})
 		}
 		// Retrained point: the variant itself.
-		g, err := nn.Swin(cfg, 512, 512)
-		if err != nil {
-			return nil, err
-		}
-		r, err := accel.Simulate(g)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig12Row{
-			Variant:       variant,
-			Label:         "Swin-" + variant,
-			Source:        "retrained",
-			GPUTimeMS:     dev.Run(g).Total * 1e3,
-			AccelTimeMS:   r.TotalSeconds * 1e3,
-			AccelEnergyMJ: r.EnergyJ() * 1e3,
-			MIoU:          res.Baseline,
+		jobs = append(jobs, func() (Fig12Row, error) {
+			g, err := nn.Swin(cfg, 512, 512)
+			if err != nil {
+				return Fig12Row{}, err
+			}
+			r, err := accel.Simulate(g)
+			if err != nil {
+				return Fig12Row{}, err
+			}
+			return Fig12Row{
+				Variant:       variant,
+				Label:         "Swin-" + variant,
+				Source:        "retrained",
+				GPUTimeMS:     dev.Run(g).Total * 1e3,
+				AccelTimeMS:   r.TotalSeconds * 1e3,
+				AccelEnergyMJ: r.EnergyJ() * 1e3,
+				MIoU:          res.Baseline,
+			}, nil
 		})
+	}
+	rows := make([]Fig12Row, len(jobs))
+	if err := engine.ForEach(workers, len(jobs), func(i int) error {
+		var err error
+		rows[i], err = jobs[i]()
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -304,36 +353,43 @@ type Fig13Row struct {
 	AccLoss    float64
 }
 
-// Fig13OFASwitching runs the OFA subnet catalog on accelerator E.
-func Fig13OFASwitching() ([]Fig13Row, error) {
+// Fig13OFASwitching runs the OFA subnet catalog on accelerator E,
+// simulating subnets across workers goroutines (0 = GOMAXPROCS).
+func Fig13OFASwitching(workers int) ([]Fig13Row, error) {
 	accel := magnet.AcceleratorE()
 	cat := nn.OFACatalog()
-	var rows []Fig13Row
-	var fullTime, fullEnergy, fullAcc float64
-	for i, sub := range cat {
+	if len(cat) == 0 {
+		return nil, fmt.Errorf("experiments: empty OFA catalog")
+	}
+	rows := make([]Fig13Row, len(cat))
+	if err := engine.ForEach(workers, len(cat), func(i int) error {
+		sub := cat[i]
 		g, err := nn.OFAResNet(sub, 224, 224)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := accel.Simulate(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t := r.TotalSeconds * 1e3
-		e := r.EnergyJ() * 1e3
-		if i == 0 {
-			fullTime, fullEnergy, fullAcc = t, e, sub.Top1
+		rows[i] = Fig13Row{
+			Subnet:   sub.ID,
+			GMACs:    float64(g.TotalMACs()) / 1e9,
+			TimeMS:   r.TotalSeconds * 1e3,
+			EnergyMJ: r.EnergyJ() * 1e3,
+			Top1:     sub.Top1,
 		}
-		rows = append(rows, Fig13Row{
-			Subnet:     sub.ID,
-			GMACs:      float64(g.TotalMACs()) / 1e9,
-			TimeMS:     t,
-			EnergyMJ:   e,
-			Top1:       sub.Top1,
-			TimeSave:   1 - t/fullTime,
-			EnergySave: 1 - e/fullEnergy,
-			AccLoss:    fullAcc - sub.Top1,
-		})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Savings are relative to the first (full) subnet, so they are filled
+	// in after the parallel phase.
+	fullTime, fullEnergy, fullAcc := rows[0].TimeMS, rows[0].EnergyMJ, rows[0].Top1
+	for i := range rows {
+		rows[i].TimeSave = 1 - rows[i].TimeMS/fullTime
+		rows[i].EnergySave = 1 - rows[i].EnergyMJ/fullEnergy
+		rows[i].AccLoss = fullAcc - rows[i].Top1
 	}
 	return rows, nil
 }

@@ -48,7 +48,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	rows, err := Fig1DETRConvShare([]int{128, 512, 1024})
+	rows, err := Fig1DETRConvShare([]int{128, 512, 1024}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestFig3MatchesPaper(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	rows, err := Fig4ConvGPUTime([]int{256, 512})
+	rows, err := Fig4ConvGPUTime([]int{256, 512}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestTable2Areas(t *testing.T) {
 }
 
 func TestFig6Structure(t *testing.T) {
-	rows, err := Fig6EnergyVsThroughput()
+	rows, err := Fig6EnergyVsThroughput(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestFig8Ranking(t *testing.T) {
 }
 
 func TestFig10Tradeoff(t *testing.T) {
-	rows, err := Fig10SegFormerGPUTradeoff("ADE")
+	rows, err := Fig10SegFormerGPUTradeoff("ADE", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestFig10Tradeoff(t *testing.T) {
 	if paretoCount < 5 {
 		t.Errorf("only %d Pareto points", paretoCount)
 	}
-	if _, err := Fig10SegFormerGPUTradeoff("KITTI"); err == nil {
+	if _, err := Fig10SegFormerGPUTradeoff("KITTI", 0); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 	if !strings.Contains(RenderTradeoff("Fig 10", rows).String(), "Fig 10") {
@@ -295,7 +295,7 @@ func TestTable3MatchesPaper(t *testing.T) {
 }
 
 func TestFig11EnergyExceedsTimeSavings(t *testing.T) {
-	rows, err := Fig11SegFormerAccelTradeoff()
+	rows, err := Fig11SegFormerAccelTradeoff(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestFig11EnergyExceedsTimeSavings(t *testing.T) {
 }
 
 func TestFig12SwinShape(t *testing.T) {
-	rows, err := Fig12SwinTradeoff()
+	rows, err := Fig12SwinTradeoff(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestFig12SwinShape(t *testing.T) {
 }
 
 func TestFig13OFA(t *testing.T) {
-	rows, err := Fig13OFASwitching()
+	rows, err := Fig13OFASwitching(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +393,7 @@ func TestFig13OFA(t *testing.T) {
 // TestHeadlineClaims: every paper headline reproduces directionally with
 // bounded relative error; the core abstract claims (H1, H4) land within 15%.
 func TestHeadlineClaims(t *testing.T) {
-	claims, err := HeadlineClaims()
+	claims, err := HeadlineClaims(0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,20 +79,23 @@ func savingsAtLoss(rows []TradeoffRow, source string, maxLoss float64, energy bo
 //	H9  45% accelerator time/energy saved at 4.3% loss, pruning without
 //	    retraining (Section V-A)
 //	H10 55% accelerator time/energy saved at 4.3% loss with retraining
-func HeadlineClaims() ([]Claim, error) {
-	fig11, err := Fig11SegFormerAccelTradeoff()
+//
+// The four underlying experiments each run their sweep across workers
+// goroutines (0 = GOMAXPROCS).
+func HeadlineClaims(workers int) ([]Claim, error) {
+	fig11, err := Fig11SegFormerAccelTradeoff(workers)
 	if err != nil {
 		return nil, err
 	}
-	fig13, err := Fig13OFASwitching()
+	fig13, err := Fig13OFASwitching(workers)
 	if err != nil {
 		return nil, err
 	}
-	fig10ADE, err := Fig10SegFormerGPUTradeoff("ADE")
+	fig10ADE, err := Fig10SegFormerGPUTradeoff("ADE", workers)
 	if err != nil {
 		return nil, err
 	}
-	fig10City, err := Fig10SegFormerGPUTradeoff("City")
+	fig10City, err := Fig10SegFormerGPUTradeoff("City", workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestClaimRelErr(t *testing.T) {
+	for _, tc := range []struct {
+		paper, measured, want float64
+	}{
+		{paper: 0.50, measured: 0.50, want: 0},
+		{paper: 0.50, measured: 0.60, want: 0.2},
+		{paper: 0.50, measured: 0.40, want: 0.2},
+		{paper: -0.50, measured: -0.60, want: 0.2},
+		// Zero paper value degrades to |measured| instead of dividing by 0.
+		{paper: 0, measured: 0.25, want: 0.25},
+		{paper: 0, measured: -0.25, want: 0.25},
+		{paper: 0, measured: 0, want: 0},
+	} {
+		c := Claim{Paper: tc.paper, Measured: tc.measured}
+		if got := c.RelErr(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RelErr(paper=%v, measured=%v) = %v, want %v",
+				tc.paper, tc.measured, got, tc.want)
+		}
+	}
+}
+
+// savingsRows is a small two-source tradeoff curve: pretrained points at
+// (loss, time save, energy save) and one retrained point.
+func savingsRows() []TradeoffRow {
+	return []TradeoffRow{
+		{Source: "pretrained", AccLoss: 0.00, TimeSave: 0.00, EnergySave: 0.00},
+		{Source: "pretrained", AccLoss: 0.01, TimeSave: 0.10, EnergySave: 0.15},
+		{Source: "pretrained", AccLoss: 0.03, TimeSave: 0.30, EnergySave: 0.35},
+		{Source: "pretrained", AccLoss: 0.05, TimeSave: 0.50, EnergySave: 0.55},
+		{Source: "retrained", AccLoss: 0.02, TimeSave: 0.40, EnergySave: 0.45},
+	}
+}
+
+func TestSavingsAtLossExactPoints(t *testing.T) {
+	rows := savingsRows()
+	// At a loss budget that lands exactly on a point, that point's saving
+	// is returned.
+	if got := savingsAtLoss(rows, "pretrained", 0.03, false); got != 0.30 {
+		t.Errorf("time saving at loss 0.03 = %v, want 0.30", got)
+	}
+	if got := savingsAtLoss(rows, "pretrained", 0.03, true); got != 0.35 {
+		t.Errorf("energy saving at loss 0.03 = %v, want 0.35", got)
+	}
+	// Source filtering: the retrained curve has its own, better point.
+	if got := savingsAtLoss(rows, "retrained", 0.02, false); got != 0.40 {
+		t.Errorf("retrained saving = %v, want 0.40", got)
+	}
+	// A budget below every point yields zero saving.
+	if got := savingsAtLoss(rows, "retrained", 0.001, false); got != 0 {
+		t.Errorf("saving under tiny budget = %v, want 0", got)
+	}
+	// Unknown source matches nothing.
+	if got := savingsAtLoss(rows, "distilled", 0.05, false); got != 0 {
+		t.Errorf("unknown source saving = %v, want 0", got)
+	}
+}
+
+func TestSavingsAtLossInterpolation(t *testing.T) {
+	rows := savingsRows()
+	// Loss 0.04 sits midway between the (0.03, 0.30) and (0.05, 0.50)
+	// pretrained points; the piecewise-linear curve gives 0.40.
+	got := savingsAtLoss(rows, "pretrained", 0.04, false)
+	if math.Abs(got-0.40) > 1e-12 {
+		t.Errorf("interpolated time saving at loss 0.04 = %v, want 0.40", got)
+	}
+	// Beyond the last point no over-bracketing point exists: the best
+	// under-budget saving is returned unextrapolated.
+	if got := savingsAtLoss(rows, "pretrained", 0.10, false); got != 0.50 {
+		t.Errorf("saving beyond curve end = %v, want 0.50", got)
+	}
+}
+
+func TestHeadlineClaimsWithinTolerance(t *testing.T) {
+	claims, err := HeadlineClaims(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != 10 {
+		t.Fatalf("HeadlineClaims returned %d claims, want 10", len(claims))
+	}
+	seen := map[string]bool{}
+	for _, c := range claims {
+		if seen[c.ID] {
+			t.Errorf("duplicate claim ID %s", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Paper <= 0 {
+			t.Errorf("%s: paper value %v", c.ID, c.Paper)
+		}
+		if c.Measured <= 0 || c.Measured > 1 {
+			t.Errorf("%s: measured %v outside (0,1]", c.ID, c.Measured)
+		}
+	}
+}
+
+func TestHeadlineClaimsDeterministicAcrossWorkerCounts(t *testing.T) {
+	seq, err := HeadlineClaims(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := HeadlineClaims(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("claim count differs: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("claim %s differs between workers=1 and workers=8: %+v vs %+v",
+				seq[i].ID, seq[i], par[i])
+		}
+	}
+}
+
+func TestSummaryAndRenderClaims(t *testing.T) {
+	claims := []Claim{
+		{ID: "H1", Text: "first", Paper: 0.28, Measured: 0.30},
+		{ID: "H2", Text: "second", Paper: 0.18, Measured: 0.18},
+	}
+	s := Summary(claims)
+	if !strings.Contains(s, "H1: paper 0.28 measured 0.30") {
+		t.Errorf("Summary missing H1 line:\n%s", s)
+	}
+	if !strings.Contains(s, "H2: paper 0.18 measured 0.18 (0% rel err)") {
+		t.Errorf("Summary missing H2 line:\n%s", s)
+	}
+	if lines := strings.Count(s, "\n"); lines != 2 {
+		t.Errorf("Summary has %d lines, want 2", lines)
+	}
+	tbl := RenderClaims(claims).String()
+	for _, want := range []string{"H1", "H2", "first", "second", "RelErr%"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("rendered claims table missing %q", want)
+		}
+	}
+}

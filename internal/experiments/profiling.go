@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vitdyn/internal/accuracy"
+	"vitdyn/internal/engine"
 	"vitdyn/internal/flops"
 	"vitdyn/internal/gpu"
 	"vitdyn/internal/graph"
@@ -112,30 +113,34 @@ type Fig1Row struct {
 
 // Fig1DETRConvShare sweeps image sizes for the four detection models,
 // reporting the conv/backbone FLOP shares and modeled GPU conv time share
-// (paper Fig. 1).
-func Fig1DETRConvShare(sizes []int) ([]Fig1Row, error) {
+// (paper Fig. 1). The (model, size) grid is profiled across workers
+// goroutines (0 = GOMAXPROCS).
+func Fig1DETRConvShare(sizes []int, workers int) ([]Fig1Row, error) {
 	if len(sizes) == 0 {
 		sizes = []int{64, 128, 256, 512, 800, 1024, 1536, 2048}
 	}
 	dev := gpu.A5000()
-	var rows []Fig1Row
-	for _, v := range []nn.DETRVariant{nn.DETR, nn.ConditionalDETR, nn.DABDETR, nn.AnchorDETR} {
-		for _, sz := range sizes {
-			g, err := nn.DETRModel(v, sz, sz)
-			if err != nil {
-				return nil, err
-			}
-			r := dev.Run(g)
-			rows = append(rows, Fig1Row{
-				Model:         string(v),
-				Pixels:        sz * sz,
-				GFLOPs:        float64(g.TotalMACs()) / 1e9,
-				ConvFLOPShare: g.ConvFLOPShare(),
-				BackboneShare: float64(nn.BackboneMACs(g)) / float64(g.TotalMACs()),
-				ConvTimeShare: r.ConvTimeShare(),
-				GPUTimeMS:     r.Total * 1e3,
-			})
+	variants := []nn.DETRVariant{nn.DETR, nn.ConditionalDETR, nn.DABDETR, nn.AnchorDETR}
+	rows := make([]Fig1Row, len(variants)*len(sizes))
+	if err := engine.ForEach(workers, len(rows), func(i int) error {
+		v, sz := variants[i/len(sizes)], sizes[i%len(sizes)]
+		g, err := nn.DETRModel(v, sz, sz)
+		if err != nil {
+			return err
 		}
+		r := dev.Run(g)
+		rows[i] = Fig1Row{
+			Model:         string(v),
+			Pixels:        sz * sz,
+			GFLOPs:        float64(g.TotalMACs()) / 1e9,
+			ConvFLOPShare: g.ConvFLOPShare(),
+			BackboneShare: float64(nn.BackboneMACs(g)) / float64(g.TotalMACs()),
+			ConvTimeShare: r.ConvTimeShare(),
+			GPUTimeMS:     r.Total * 1e3,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -238,8 +243,9 @@ type Fig4Row struct {
 }
 
 // Fig4ConvGPUTime sweeps the five segmentation models over image sizes
-// (paper Fig. 4).
-func Fig4ConvGPUTime(sizes []int) ([]Fig4Row, error) {
+// (paper Fig. 4). The (model, size) grid is profiled across workers
+// goroutines (0 = GOMAXPROCS).
+func Fig4ConvGPUTime(sizes []int, workers int) ([]Fig4Row, error) {
 	if len(sizes) == 0 {
 		sizes = []int{128, 256, 512, 768, 1024}
 	}
@@ -254,26 +260,28 @@ func Fig4ConvGPUTime(sizes []int) ([]Fig4Row, error) {
 		{"Swin-Small", func(sz int) *graph.Graph { return nn.MustSwin("Small", 150, sz, sz) }},
 		{"Swin-Base", func(sz int) *graph.Graph { return nn.MustSwin("Base", 150, sz, sz) }},
 	}
-	var rows []Fig4Row
-	for _, m := range models {
-		for _, sz := range sizes {
-			g := m.build(sz)
-			r := dev.Run(g)
-			var conv float64
-			for _, l := range r.Layers {
-				if l.Kind.IsConv() {
-					conv += l.Seconds
-				}
+	rows := make([]Fig4Row, len(models)*len(sizes))
+	if err := engine.ForEach(workers, len(rows), func(i int) error {
+		m, sz := models[i/len(sizes)], sizes[i%len(sizes)]
+		g := m.build(sz)
+		r := dev.Run(g)
+		var conv float64
+		for _, l := range r.Layers {
+			if l.Kind.IsConv() {
+				conv += l.Seconds
 			}
-			rows = append(rows, Fig4Row{
-				Model:         m.name,
-				Pixels:        sz * sz,
-				ConvTimeMS:    conv * 1e3,
-				TotalTimeMS:   r.Total * 1e3,
-				ConvTimeShare: r.ConvTimeShare(),
-				ConvFLOPShare: g.ConvFLOPShare(),
-			})
 		}
+		rows[i] = Fig4Row{
+			Model:         m.name,
+			Pixels:        sz * sz,
+			ConvTimeMS:    conv * 1e3,
+			TotalTimeMS:   r.Total * 1e3,
+			ConvTimeShare: r.ConvTimeShare(),
+			ConvFLOPShare: g.ConvFLOPShare(),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

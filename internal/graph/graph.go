@@ -176,3 +176,58 @@ func (g *Graph) Clone() *Graph {
 
 // Pixels returns the number of input image pixels.
 func (g *Graph) Pixels() int { return g.InputH * g.InputW }
+
+// Signature returns a 64-bit FNV-1a hash over the graph's cost-relevant
+// shape: input resolution, layer order, and every shape field of every
+// layer. Names, module tags and stage/block indices are deliberately
+// excluded — every cost substrate in this repository prices a layer from
+// its kind and dimensions alone — so shape-identical graphs built under
+// different labels share one signature. The sweep engine keys its cost
+// memo cache on this value.
+func (g *Graph) Signature() uint64 {
+	// Word-level FNV-1a: one xor/multiply round per field rather than per
+	// byte, keeping the hash an order of magnitude cheaper than the
+	// cheapest cost model that consumes it.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v int) {
+		h ^= uint64(int64(v))
+		h *= prime64
+	}
+	mix(g.InputH)
+	mix(g.InputW)
+	mix(len(g.Layers))
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		bias := 0
+		if l.HasBias {
+			bias = 1
+		}
+		mix(int(l.Kind))
+		mix(l.InC)
+		mix(l.OutC)
+		mix(l.KH)
+		mix(l.KW)
+		mix(l.SH)
+		mix(l.SW)
+		mix(l.InH)
+		mix(l.InW)
+		mix(l.OutH)
+		mix(l.OutW)
+		mix(l.Groups)
+		mix(bias)
+		mix(l.Tokens)
+		mix(l.InF)
+		mix(l.OutF)
+		mix(l.Batch)
+		mix(l.M)
+		mix(l.K)
+		mix(l.N)
+		mix(l.Elems)
+		mix(l.Channels)
+	}
+	return h
+}

@@ -132,3 +132,46 @@ func TestClone(t *testing.T) {
 		t.Error("mutated clone should differ in MACs")
 	}
 }
+
+func TestSignature(t *testing.T) {
+	g := twoLayerGraph()
+	if g.Signature() != g.Signature() {
+		t.Fatal("signature not deterministic")
+	}
+	if got := g.Clone().Signature(); got != g.Signature() {
+		t.Error("clone must share the original's signature")
+	}
+	// Cosmetic fields (names, modules, stages) are excluded: the cost
+	// substrates price layers from kind and shape alone.
+	cosmetic := g.Clone()
+	cosmetic.Name = "renamed"
+	cosmetic.Layers[0].Name = "conv-renamed"
+	cosmetic.Layers[0].Module = "backbone"
+	cosmetic.Layers[1].Stage = 7
+	if cosmetic.Signature() != g.Signature() {
+		t.Error("cosmetic changes must not alter the signature")
+	}
+	// Any shape change must.
+	wider := g.Clone()
+	wider.Layers[1].OutF = 17
+	if wider.Signature() == g.Signature() {
+		t.Error("shape change left the signature unchanged")
+	}
+	resized := g.Clone()
+	resized.InputH = 64
+	if resized.Signature() == g.Signature() {
+		t.Error("input-size change left the signature unchanged")
+	}
+	// So must layer order: execution order is part of the cost model.
+	swapped := g.Clone()
+	swapped.Layers[0], swapped.Layers[1] = swapped.Layers[1], swapped.Layers[0]
+	if swapped.Signature() == g.Signature() {
+		t.Error("layer reordering left the signature unchanged")
+	}
+	// Kind changes at identical element counts must be visible too.
+	relabeled := g.Clone()
+	relabeled.Layers[2].Kind = GELU
+	if relabeled.Signature() == g.Signature() {
+		t.Error("kind change left the signature unchanged")
+	}
+}

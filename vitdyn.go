@@ -25,6 +25,7 @@ package vitdyn
 import (
 	"vitdyn/internal/accuracy"
 	"vitdyn/internal/core"
+	"vitdyn/internal/engine"
 	"vitdyn/internal/flops"
 	"vitdyn/internal/gpu"
 	"vitdyn/internal/graph"
@@ -211,43 +212,113 @@ type ResourceTrace = rdd.Trace
 // RDDSimResult summarizes replaying a trace.
 type RDDSimResult = rdd.SimResult
 
-// ExecutionTarget selects GPU or accelerator costing for path catalogs.
-type ExecutionTarget = core.Target
+// CostBackend prices one inference of a graph on an execution substrate.
+// It replaced the closed execution-target struct: any implementation —
+// the built-in GPU latency model, the MAGNet time/energy simulations, the
+// FLOPs proxy, or user code — can drive catalog construction.
+type CostBackend = engine.CostBackend
+
+// ExecutionTarget is the legacy name for CostBackend.
+type ExecutionTarget = engine.CostBackend
+
+// SweepCandidate is one labeled execution path awaiting costing.
+type SweepCandidate = engine.Candidate
+
+// SweepResult is one costed candidate.
+type SweepResult = engine.Result
+
+// SweepEngine fans candidate costing out across a worker pool with a
+// memoized, signature-keyed cost cache and deterministic result order.
+type SweepEngine = engine.Engine
+
+// NewSweepEngine returns an engine over the backend; workers <= 0 selects
+// GOMAXPROCS, workers == 1 is sequential.
+func NewSweepEngine(backend CostBackend, workers int) *SweepEngine {
+	return engine.New(backend, workers)
+}
 
 // TargetGPU costs paths on the modeled A5000.
-func TargetGPU() ExecutionTarget { return core.TargetGPU() }
+func TargetGPU() CostBackend { return core.TargetGPU() }
 
 // TargetAcceleratorE costs paths by time on accelerator E.
-func TargetAcceleratorE() ExecutionTarget { return core.TargetAcceleratorE() }
+func TargetAcceleratorE() CostBackend { return core.TargetAcceleratorE() }
 
 // TargetAcceleratorEEnergy costs paths by energy on accelerator E.
-func TargetAcceleratorEEnergy() ExecutionTarget { return core.TargetAcceleratorEEnergy() }
+func TargetAcceleratorEEnergy() CostBackend { return core.TargetAcceleratorEEnergy() }
+
+// TargetFLOPs costs paths by analytical GMACs — the fast smoke-costing
+// proxy backend.
+func TargetFLOPs() CostBackend { return core.TargetFLOPs() }
+
+// GPUBackend costs paths on an arbitrary GPU device model.
+func GPUBackend(d GPUDevice) CostBackend { return engine.GPU(d) }
+
+// AcceleratorTimeBackend costs paths by simulated time on an arbitrary
+// accelerator configuration.
+func AcceleratorTimeBackend(c AcceleratorConfig) CostBackend { return engine.MagnetTime(c) }
+
+// AcceleratorEnergyBackend costs paths by simulated energy.
+func AcceleratorEnergyBackend(c AcceleratorConfig) CostBackend { return engine.MagnetEnergy(c) }
 
 // SegFormerRDDCatalog builds the pretrained-pruning catalog for SegFormer
 // B2 on "ADE" or "City". channelStep controls sweep granularity (0 for the
-// default).
-func SegFormerRDDCatalog(dataset string, target ExecutionTarget, channelStep int) (*RDDCatalog, error) {
-	return core.SegFormerCatalog(dataset, target, channelStep)
+// default). Construction is parallel across GOMAXPROCS workers; for
+// explicit worker control, sweep the corresponding *Candidates list with
+// NewSweepEngine — e.g.
+//
+//	name, cands, _ := vitdyn.SegFormerSweepCandidates("ADE", 512)
+//	cat, err := vitdyn.NewSweepEngine(backend, 4).Catalog(name, cands)
+func SegFormerRDDCatalog(dataset string, target CostBackend, channelStep int) (*RDDCatalog, error) {
+	return core.SegFormerCatalog(dataset, target, channelStep, 0)
+}
+
+// SegFormerSweepCandidates enumerates the pretrained SegFormer B2
+// pruning sweep (catalog name + candidates) for sweeping with a custom
+// engine.
+func SegFormerSweepCandidates(dataset string, channelStep int) (string, []SweepCandidate, error) {
+	return core.SegFormerCandidates(dataset, channelStep)
+}
+
+// SegFormerRetrainedSweepCandidates enumerates the B0/B1/B2 switching
+// family.
+func SegFormerRetrainedSweepCandidates(dataset string) (string, []SweepCandidate, error) {
+	return core.SegFormerRetrainedCandidates(dataset)
+}
+
+// SwinSweepCandidates enumerates the Swin pruning sweep for a variant.
+func SwinSweepCandidates(variant string, channelStep int) (string, []SweepCandidate, error) {
+	return core.SwinCandidates(variant, channelStep)
+}
+
+// SwinRetrainedSweepCandidates enumerates the Tiny/Small/Base switching
+// family.
+func SwinRetrainedSweepCandidates() (string, []SweepCandidate, error) {
+	return core.SwinRetrainedCandidates()
+}
+
+// OFASweepCandidates enumerates the Once-For-All ResNet-50 subnet ladder.
+func OFASweepCandidates() (string, []SweepCandidate, error) {
+	return core.OFACandidates()
 }
 
 // SegFormerRetrainedRDDCatalog builds the B0/B1/B2 switching catalog.
-func SegFormerRetrainedRDDCatalog(dataset string, target ExecutionTarget) (*RDDCatalog, error) {
-	return core.SegFormerRetrainedCatalog(dataset, target)
+func SegFormerRetrainedRDDCatalog(dataset string, target CostBackend) (*RDDCatalog, error) {
+	return core.SegFormerRetrainedCatalog(dataset, target, 0)
 }
 
 // SwinRDDCatalog builds the Swin pruning catalog.
-func SwinRDDCatalog(variant string, target ExecutionTarget, channelStep int) (*RDDCatalog, error) {
-	return core.SwinCatalog(variant, target, channelStep)
+func SwinRDDCatalog(variant string, target CostBackend, channelStep int) (*RDDCatalog, error) {
+	return core.SwinCatalog(variant, target, channelStep, 0)
 }
 
 // SwinRetrainedRDDCatalog builds the Tiny/Small/Base switching catalog.
-func SwinRetrainedRDDCatalog(target ExecutionTarget) (*RDDCatalog, error) {
-	return core.SwinRetrainedCatalog(target)
+func SwinRetrainedRDDCatalog(target CostBackend) (*RDDCatalog, error) {
+	return core.SwinRetrainedCatalog(target, 0)
 }
 
 // OFARDDCatalog builds the Once-For-All ResNet-50 switching catalog.
-func OFARDDCatalog(target ExecutionTarget) (*RDDCatalog, error) {
-	return core.OFACatalog(target)
+func OFARDDCatalog(target CostBackend) (*RDDCatalog, error) {
+	return core.OFACatalog(target, 0)
 }
 
 // SinusoidTrace, StepTrace and BurstyTrace generate synthetic resource

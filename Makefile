@@ -1,9 +1,10 @@
 # Developer entry points. `make ci` is what the repository considers a
-# green build: vet + race-enabled tests + one pass over every benchmark.
+# green build: vet + race-enabled tests + one pass over every benchmark
+# + the vitdynd daemon smoke test.
 
 GO ?= go
 
-.PHONY: all build test race bench vet ci clean
+.PHONY: all build test race bench vet smoke ci clean
 
 all: build
 
@@ -25,7 +26,12 @@ bench:
 vet:
 	$(GO) vet ./...
 
-ci: vet race bench
+# Daemon smoke test: boots vitdynd on a random port, hits /healthz and
+# one /v1/profile, and shuts it down gracefully.
+smoke:
+	$(GO) test -count=1 -run TestDaemonSmoke ./cmd/vitdynd
+
+ci: vet race bench smoke
 
 clean:
 	$(GO) clean ./...

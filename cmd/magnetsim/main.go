@@ -5,9 +5,13 @@
 // Table II accelerator. The Fig. 6 design-space sweep runs across
 // -workers goroutines (0 = GOMAXPROCS).
 //
+// -cache N installs one process-wide cost store shared by every
+// engine-routed sweep of the run (currently the Fig. 6 design-space
+// sweep).
+//
 // Usage:
 //
-//	magnetsim -exp table2|fig6|fig7|fig8|fig9|all [-csv] [-workers N]
+//	magnetsim -exp table2|fig6|fig7|fig8|fig9|all [-csv] [-workers N] [-cache N]
 //	magnetsim -model swin-tiny -accel G
 package main
 
@@ -22,6 +26,7 @@ import (
 	"vitdyn/internal/magnet"
 	"vitdyn/internal/nn"
 	"vitdyn/internal/report"
+	"vitdyn/internal/serve"
 )
 
 func main() {
@@ -39,11 +44,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	model := fs.String("model", "", "ad-hoc run: segformer-ade-b2, swin-tiny or resnet-50")
 	accel := fs.String("accel", "E", "accelerator label (A..M) for -model runs")
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	cache := fs.Int("cache", 0, "shared cost-store capacity in entries, reused across engine-routed sweeps of this run (0 = per-sweep caches only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	if *cache > 0 {
+		defer serve.InstallProcessStore(*cache, "magnetsim", stderr)()
 	}
 
 	if *model != "" {

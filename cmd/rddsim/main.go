@@ -3,11 +3,15 @@
 // Fig. 11 (accelerator-E tradeoff), Fig. 12 (Swin), Fig. 13 (OFA
 // switching), the headline claims, and an RDD trace-replay demo. Sweeps
 // are costed by the concurrent engine in internal/engine; -workers
-// bounds the pool (0 = GOMAXPROCS, 1 = sequential).
+// bounds each sweep's pool (0 = GOMAXPROCS, 1 = sequential). With
+// -exp all the six tables themselves fan out concurrently, and -cache N
+// installs one process-wide cost store so overlapping experiments (the
+// claims table re-runs the Fig. 10/11/13 sweeps) reuse each other's
+// costed shapes.
 //
 // Usage:
 //
-//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N]
+//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N] [-cache N]
 //	rddsim -exp replay -trace bursty -frames 2000
 package main
 
@@ -19,9 +23,11 @@ import (
 	"os"
 
 	"vitdyn/internal/core"
+	"vitdyn/internal/engine"
 	"vitdyn/internal/experiments"
 	"vitdyn/internal/rdd"
 	"vitdyn/internal/report"
+	"vitdyn/internal/serve"
 )
 
 func main() {
@@ -39,11 +45,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace := fs.String("trace", "bursty", "replay trace: sinusoid, step, bursty")
 	frames := fs.Int("frames", 2000, "replay frame count")
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	cache := fs.Int("cache", 0, "shared cost-store capacity in entries, reused across all experiments of this run (0 = per-sweep caches only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	if *cache > 0 {
+		defer serve.InstallProcessStore(*cache, "rddsim", stderr)()
 	}
 
 	if *exp == "replay" {
@@ -58,12 +69,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *exp == "all" {
 		names = []string{"fig10", "table3", "fig11", "fig12", "fig13", "claims"}
 	}
-	for _, n := range names {
-		t, err := build(n, *workers)
-		if err != nil {
-			fmt.Fprintf(stderr, "rddsim: %v\n", err)
-			return 1
-		}
+	// The experiments themselves fan out, bounded by the same -workers
+	// budget as each inner sweep (so -workers 1 stays fully sequential);
+	// tables render afterwards in the fixed experiment order, so output
+	// is byte-identical to a sequential run.
+	tables := make([]*report.Table, len(names))
+	if err := engine.ForEach(*workers, len(names), func(i int) error {
+		t, err := build(names[i], *workers)
+		tables[i] = t
+		return err
+	}); err != nil {
+		fmt.Fprintf(stderr, "rddsim: %v\n", err)
+		return 1
+	}
+	for _, t := range tables {
 		var renderErr error
 		if *csv {
 			renderErr = t.CSV(stdout)

@@ -41,6 +41,29 @@ func TestRunFig13Workers(t *testing.T) {
 	}
 }
 
+func TestRunSharedCache(t *testing.T) {
+	// fig13 runs its sweep once standalone; with -cache the engines share
+	// one process-wide store and the run reports its stats on stderr.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig13", "-workers", "2", "-cache", "1024"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ofa-full") {
+		t.Errorf("fig13 output missing ofa-full:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "cost store:") {
+		t.Errorf("missing cost-store stats line on stderr: %s", errb.String())
+	}
+	// A cached run renders byte-identical tables.
+	var plain bytes.Buffer
+	if code := run([]string{"-exp", "fig13", "-workers", "2"}, &plain, &errb); code != 0 {
+		t.Fatalf("uncached run exit code %d", code)
+	}
+	if plain.String() != out.String() {
+		t.Error("-cache changed rendered output")
+	}
+}
+
 func TestRunReplay(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-exp", "replay", "-trace", "step", "-frames", "200"}, &out, &errb)

@@ -1,0 +1,83 @@
+// Command vitdynd is the vitdyn serving daemon: an HTTP front end over
+// the catalog builders and profilers, with one process-wide cost store
+// shared by every request so repeated or overlapping sweeps (the same
+// model family at a different channel step, a re-run figure) are
+// near-free.
+//
+// Endpoints:
+//
+//	GET /healthz        liveness + uptime
+//	GET /statsz         cost-store hit/miss/eviction counters + server stats
+//	GET /v1/backends    every servable cost backend spec
+//	GET /v1/catalog     family, dataset, variant, step, backend, workers →
+//	                    Pareto path catalog (JSON)
+//	GET /v1/profile     model, bytes, layers → analytical FLOPs profile
+//
+// Usage:
+//
+//	vitdynd [-addr 127.0.0.1:8080] [-cache N] [-workers N]
+//	        [-max-sweeps N] [-timeout 60s]
+//
+// The daemon drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vitdyn/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the daemon with the given arguments and streams until ctx
+// is cancelled; it returns the process exit code (factored out of main
+// so tests can drive the whole binary in-process on a random port).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vitdynd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	cache := fs.Int("cache", 0, "cost-store capacity in entries (0 = default)")
+	workers := fs.Int("workers", 0, "per-request worker cap (0 = GOMAXPROCS)")
+	maxSweeps := fs.Int("max-sweeps", 0, "server-wide concurrent sweep limit (0 = 2x GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	store := serve.NewStore(*cache)
+	opts := serve.Options{
+		Store:               store,
+		Workers:             *workers,
+		MaxConcurrentSweeps: *maxSweeps,
+		RequestTimeout:      *timeout,
+	}
+	err := serve.ListenAndServe(ctx, *addr, opts, func(a net.Addr) {
+		fmt.Fprintf(stdout, "vitdynd: listening on %s\n", a)
+	})
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "vitdynd: %v\n", err)
+		return 1
+	}
+	st := store.Stats()
+	fmt.Fprintf(stdout, "vitdynd: shut down; cost store served %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
+		st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+	return 0
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lineWriter forwards writes to a buffer and signals a channel once the
+// first full line (the listen banner) has arrived.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	ready chan struct{}
+	once  sync.Once
+}
+
+func newLineWriter() *lineWriter { return &lineWriter{ready: make(chan struct{})} }
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.buf.Write(p)
+	if strings.Contains(w.buf.String(), "\n") {
+		w.once.Do(func() { close(w.ready) })
+	}
+	return n, err
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestDaemonSmoke is the CI smoke test: start vitdynd on a random port,
+// hit /healthz and one /v1/profile, then shut it down cleanly.
+func TestDaemonSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := newLineWriter()
+	var stderr bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{"-addr", "127.0.0.1:0", "-cache", "1024", "-timeout", "30s"}, stdout, &stderr)
+	}()
+
+	select {
+	case <-stdout.ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never printed its listen banner; stderr: %s", stderr.String())
+	}
+	banner := strings.SplitN(stdout.String(), "\n", 2)[0]
+	addr := banner[strings.LastIndex(banner, " ")+1:]
+	if !strings.HasPrefix(banner, "vitdynd: listening on ") {
+		t.Fatalf("unexpected banner %q", banner)
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + addr + "/v1/profile?model=resnet-50")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: %d %s", resp.StatusCode, body)
+	}
+	var profile struct {
+		Model string  `json:"model"`
+		GMACs float64 `json:"gmacs"`
+	}
+	if err := json.Unmarshal(body, &profile); err != nil {
+		t.Fatalf("profile JSON: %v", err)
+	}
+	if profile.GMACs <= 0 {
+		t.Errorf("profile GMACs = %v, want > 0", profile.GMACs)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+	if !strings.Contains(stdout.String(), "shut down") {
+		t.Errorf("missing shutdown stats line in output: %s", stdout.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit code %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run(context.Background(), []string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit code %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "Usage of vitdynd") {
+		t.Errorf("-h did not print usage: %s", errb.String())
+	}
+	// An unbindable address is a startup error, not a hang.
+	if code := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out, &errb); code != 1 {
+		t.Errorf("bad addr: exit code %d, want 1", code)
+	}
+}

@@ -55,6 +55,41 @@ func (b magnetBackend) Cost(g *graph.Graph) (float64, error) {
 	return r.TotalSeconds * 1e3, nil
 }
 
+// magnetMultiBackend prices time and energy from one simulation pass.
+type magnetMultiBackend struct {
+	cfg magnet.Config
+}
+
+// MagnetTimeEnergy returns a vector backend producing execution time
+// (milliseconds) and energy (millijoules) on the accelerator from a
+// single MAGNet simulation — halving accelerator work for sweeps that
+// need both metrics (the Fig. 11/12/13 experiments). As a plain
+// CostBackend it costs by time, so it drops into time-ordered catalogs
+// unchanged.
+func MagnetTimeEnergy(cfg magnet.Config) MultiCostBackend { return magnetMultiBackend{cfg: cfg} }
+
+func (b magnetMultiBackend) Name() string { return "magnet-multi/" + b.cfg.Name }
+
+// Metrics names the vector components: time in milliseconds, then energy
+// in millijoules.
+func (magnetMultiBackend) Metrics() []string { return []string{"time_ms", "energy_mj"} }
+
+func (b magnetMultiBackend) CostVector(g *graph.Graph) ([]float64, error) {
+	r, err := b.cfg.Simulate(g)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{r.TotalSeconds * 1e3, r.EnergyJ() * 1e3}, nil
+}
+
+func (b magnetMultiBackend) Cost(g *graph.Graph) (float64, error) {
+	v, err := b.CostVector(g)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
 // flopsBackend is the cheap smoke-costing proxy: cost equals the graph's
 // GMAC count. It preserves the FLOP ordering of a sweep without running
 // any latency or energy model, which makes it ideal for fast tests and

@@ -5,13 +5,21 @@
 // so parallel catalogs are byte-identical to a sequential construction.
 //
 // The execution substrate is abstracted behind CostBackend (see
-// backends.go for the GPU, MAGNet-time, MAGNet-energy and FLOPs-proxy
-// implementations), replacing the closed Target struct that used to live
-// in internal/core. Anything that can price a graph — a latency model, an
-// accelerator simulation, a cloud billing table — can drive a sweep.
+// backends.go for the GPU, MAGNet-time, MAGNet-energy, MAGNet-multi and
+// FLOPs-proxy implementations), replacing the closed Target struct that
+// used to live in internal/core. Anything that can price a graph — a
+// latency model, an accelerator simulation, a cloud billing table — can
+// drive a sweep.
+//
+// Memoization has two tiers. Every engine owns a private in-process cache
+// keyed by graph signature; in addition a CostCache (canonically
+// serve.Store) can be injected with NewWithCache — or installed
+// process-wide with SetDefaultCache — so many engines across many
+// requests share one eviction-managed cost store.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +40,52 @@ type CostBackend interface {
 	Cost(g *graph.Graph) (float64, error)
 	// Name identifies the substrate, e.g. "gpu/NVIDIA RTX A5000".
 	Name() string
+}
+
+// MultiCostBackend prices several metrics of one inference from a single
+// evaluation — e.g. MAGNet time AND energy from one simulation pass,
+// halving accelerator work for experiments that need both axes. Cost
+// returns the first metric, so a MultiCostBackend drops into any
+// single-metric sweep unchanged.
+type MultiCostBackend interface {
+	CostBackend
+	// Metrics names the vector components in order, e.g.
+	// ["time_ms", "energy_mj"]. The slice is constant per backend.
+	Metrics() []string
+	// CostVector returns one value per metric, in Metrics() order.
+	CostVector(g *graph.Graph) ([]float64, error)
+}
+
+// CostCache is an externally owned memoization layer shared across
+// engines (and, through the serving layer, across requests). Keys are
+// (backend name, graph signature); values are full metric vectors, so
+// single- and multi-metric backends share one entry per shape.
+// Implementations must be safe for concurrent use and must invoke
+// compute at most once per key while it stays resident.
+type CostCache interface {
+	GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error)
+}
+
+// defaultCache is the process-wide cache installed by SetDefaultCache,
+// picked up by New (but not NewWithCache, which is explicit).
+var defaultCache atomic.Pointer[cacheBox]
+
+type cacheBox struct{ c CostCache }
+
+// SetDefaultCache installs (or, with nil, removes) a process-wide
+// CostCache adopted by every engine subsequently created with New. It
+// exists for the cmd binaries' -cache flag, which shares one store
+// across an entire -exp all run; servers should prefer the explicit
+// NewWithCache.
+func SetDefaultCache(c CostCache) {
+	defaultCache.Store(&cacheBox{c: c})
+}
+
+func currentDefaultCache() CostCache {
+	if box := defaultCache.Load(); box != nil {
+		return box.c
+	}
+	return nil
 }
 
 // Candidate is one execution path to be swept: a label, a known accuracy,
@@ -56,24 +110,36 @@ type Result struct {
 type Engine struct {
 	backend CostBackend
 	workers int
+	ext     CostCache // nil = private in-process cache only
 
 	mu    sync.Mutex
 	cache map[uint64]*cacheEntry
 }
 
-// cacheEntry memoizes one graph signature's cost. The entry is published
-// under the engine mutex; the once guarantees the backend is invoked at
-// most once per signature even when many workers race on the same graph.
+// cacheEntry memoizes one graph signature's cost vector. The entry is
+// published under the engine mutex; the once guarantees the backend is
+// invoked at most once per signature even when many workers race on the
+// same graph.
 type cacheEntry struct {
 	once sync.Once
-	cost float64
+	vals []float64
 	err  error
 }
 
 // New returns an engine over the backend. workers <= 0 selects
 // GOMAXPROCS; workers == 1 degenerates to a sequential sweep (same code
-// path, same results).
+// path, same results). If a process-wide cache was installed with
+// SetDefaultCache, the engine adopts it.
 func New(backend CostBackend, workers int) *Engine {
+	return NewWithCache(backend, workers, currentDefaultCache())
+}
+
+// NewWithCache returns an engine whose costs are memoized in the given
+// external cache (keyed by backend name and graph signature) instead of
+// a private map, so repeated or overlapping sweeps across many engines —
+// e.g. concurrent server requests — share one store. A nil cache falls
+// back to the private per-engine map.
+func NewWithCache(backend CostBackend, workers int, cache CostCache) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -85,6 +151,7 @@ func New(backend CostBackend, workers int) *Engine {
 	return &Engine{
 		backend: backend,
 		workers: workers,
+		ext:     cache,
 		cache:   make(map[uint64]*cacheEntry),
 	}
 }
@@ -104,26 +171,80 @@ func (e *Engine) Backend() CostBackend { return e.backend }
 // Workers returns the resolved worker count.
 func (e *Engine) Workers() int { return e.workers }
 
-// CachedCosts returns how many distinct graph signatures have been
-// costed so far (for tests and instrumentation).
+// CachedCosts returns how many distinct graph signatures the engine's
+// private cache holds (for tests and instrumentation). With an external
+// CostCache the private map is bypassed and this stays 0 — the store's
+// own stats are authoritative there.
 func (e *Engine) CachedCosts() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.cache)
 }
 
-// Cost prices one graph through the memo cache.
-func (e *Engine) Cost(g *graph.Graph) (float64, error) {
-	key := g.Signature()
+// compute prices g on the backend, as a vector: MultiCostBackends run
+// one evaluation for all metrics, plain backends yield a 1-vector. The
+// result is guaranteed non-empty on success, so Cost can take the first
+// component unconditionally.
+func (e *Engine) compute(g *graph.Graph) ([]float64, error) {
+	if mb, ok := e.backend.(MultiCostBackend); ok {
+		vals, err := mb.CostVector(g)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("engine: backend %q returned an empty cost vector", e.backend.Name())
+		}
+		return vals, nil
+	}
+	c, err := e.backend.Cost(g)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{c}, nil
+}
+
+// costVec prices one graph through whichever memo layer the engine owns.
+// The returned slice is shared with the cache and must not be mutated.
+func (e *Engine) costVec(g *graph.Graph) ([]float64, error) {
+	sig := g.Signature()
+	if e.ext != nil {
+		return e.ext.GetOrComputeVector(e.backend.Name(), sig, func() ([]float64, error) {
+			return e.compute(g)
+		})
+	}
 	e.mu.Lock()
-	ent, ok := e.cache[key]
+	ent, ok := e.cache[sig]
 	if !ok {
 		ent = &cacheEntry{}
-		e.cache[key] = ent
+		e.cache[sig] = ent
 	}
 	e.mu.Unlock()
-	ent.once.Do(func() { ent.cost, ent.err = e.backend.Cost(g) })
-	return ent.cost, ent.err
+	ent.once.Do(func() { ent.vals, ent.err = e.compute(g) })
+	return ent.vals, ent.err
+}
+
+// Cost prices one graph through the memo cache. For a MultiCostBackend
+// this evaluates (and caches) the full metric vector and returns its
+// first component.
+func (e *Engine) Cost(g *graph.Graph) (float64, error) {
+	vals, err := e.costVec(g)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// CostVector prices one graph through the memo cache and returns every
+// metric the backend produces — a fresh copy the caller may keep. Plain
+// single-metric backends yield a 1-vector.
+func (e *Engine) CostVector(g *graph.Graph) ([]float64, error) {
+	vals, err := e.costVec(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out, nil
 }
 
 // Sweep builds and costs every candidate concurrently, returning results
@@ -132,8 +253,17 @@ func (e *Engine) Cost(g *graph.Graph) (float64, error) {
 // error reporting is deterministic regardless of goroutine scheduling;
 // remaining candidates stop being dispatched once a failure is observed.
 func (e *Engine) Sweep(cands []Candidate) ([]Result, error) {
+	return e.SweepCtx(context.Background(), cands)
+}
+
+// SweepCtx is Sweep under a context: candidate dispatch stops once ctx is
+// cancelled or times out, and the context error is returned (candidate
+// errors, being deterministic, take precedence). Cancellation is
+// candidate-granular — an in-flight backend evaluation runs to completion
+// and stays cached for the next request.
+func (e *Engine) SweepCtx(ctx context.Context, cands []Candidate) ([]Result, error) {
 	results := make([]Result, len(cands))
-	if err := ForEach(e.workers, len(cands), func(i int) error {
+	if err := ForEachCtx(ctx, e.workers, len(cands), func(i int) error {
 		c := cands[i]
 		g, err := c.Build()
 		if err != nil {
@@ -174,7 +304,12 @@ func (e *Engine) SweepSequential(cands []Candidate) ([]Result, error) {
 // catalog, preserving the deterministic sweep order through the frontier
 // reduction.
 func (e *Engine) Catalog(model string, cands []Candidate) (*rdd.Catalog, error) {
-	results, err := e.Sweep(cands)
+	return e.CatalogCtx(context.Background(), model, cands)
+}
+
+// CatalogCtx is Catalog under a context (see SweepCtx).
+func (e *Engine) CatalogCtx(ctx context.Context, model string, cands []Candidate) (*rdd.Catalog, error) {
+	results, err := e.SweepCtx(ctx, cands)
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +328,19 @@ func (e *Engine) Catalog(model string, cands []Candidate) (*rdd.Catalog, error) 
 // otherwise synchronize); ForEach itself guarantees all writes made by fn
 // happen-before it returns.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is cancelled or times
+// out, no further indices are dispatched and the context error is
+// returned — unless some dispatched fn also failed, in which case the
+// lowest failing index's error wins, keeping error reporting
+// deterministic. fn is not interrupted mid-call; cancellation is
+// index-granular.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -204,6 +352,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -229,8 +380,23 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	// higher indices than every dispatched one, so the lowest failing
 	// index — the error a sequential loop would hit first — is already
 	// in flight and the deterministic error choice below is unaffected.
+	done := ctx.Done()
+	cancelled := false
+dispatch:
 	for i := 0; i < n && !failed.Load(); i++ {
-		jobs <- i
+		// Check cancellation before the select: with both channels ready
+		// the select picks randomly, so an already-expired context could
+		// otherwise keep dispatching (and, rarely, dispatch everything).
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-done:
+			cancelled = true
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -238,6 +404,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if cancelled {
+		return ctx.Err()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"vitdyn/internal/graph"
+	"vitdyn/internal/magnet"
 )
 
 // linearGraph returns a tiny graph whose signature is determined by n, so
@@ -265,5 +267,246 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	if New(FLOPs(), 7).Backend().Name() != "flops-proxy" {
 		t.Error("backend accessor broken")
+	}
+}
+
+// mapCache is a minimal CostCache: one flat map under a mutex, no
+// eviction, single-flight per key via a per-entry once.
+type mapCache struct {
+	mu      sync.Mutex
+	entries map[string]*mapCacheEntry
+}
+
+type mapCacheEntry struct {
+	once sync.Once
+	vals []float64
+	err  error
+}
+
+func newMapCache() *mapCache { return &mapCache{entries: map[string]*mapCacheEntry{}} }
+
+func (c *mapCache) GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
+	key := fmt.Sprintf("%s#%x", backend, sig)
+	c.mu.Lock()
+	ent, ok := c.entries[key]
+	if !ok {
+		ent = &mapCacheEntry{}
+		c.entries[key] = ent
+	}
+	c.mu.Unlock()
+	ent.once.Do(func() { ent.vals, ent.err = compute() })
+	return ent.vals, ent.err
+}
+
+func TestExternalCacheSharedAcrossEngines(t *testing.T) {
+	// Two engines over the same backend and cache: the second sweep is
+	// served entirely from the shared store.
+	backend := &countingBackend{}
+	cache := newMapCache()
+	cands := toyCandidates(32, func(i int) int { return 10 + i%8 })
+	e1 := NewWithCache(backend, 4, cache)
+	first, err := e1.Sweep(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.calls.Load(); got != 8 {
+		t.Fatalf("cold sweep invoked backend %d times, want 8", got)
+	}
+	if e1.CachedCosts() != 0 {
+		t.Errorf("private cache holds %d entries despite external store", e1.CachedCosts())
+	}
+	e2 := NewWithCache(backend, 4, cache)
+	second, err := e2.Sweep(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.calls.Load(); got != 8 {
+		t.Errorf("warm sweep on a fresh engine invoked the backend (total %d calls)", got)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("shared-cache sweep diverged from the cold sweep")
+	}
+}
+
+func TestDefaultCacheAdoptedByNew(t *testing.T) {
+	cache := newMapCache()
+	SetDefaultCache(cache)
+	defer SetDefaultCache(nil)
+	backend := &countingBackend{}
+	if _, err := New(backend, 2).Cost(linearGraph(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(backend, 2).Cost(linearGraph(42)); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.calls.Load(); got != 1 {
+		t.Errorf("backend invoked %d times across two default-cached engines, want 1", got)
+	}
+	SetDefaultCache(nil)
+	if _, err := New(backend, 2).Cost(linearGraph(42)); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.calls.Load(); got != 2 {
+		t.Errorf("engine created after SetDefaultCache(nil) still shared the store (%d calls)", got)
+	}
+}
+
+// countingMultiBackend returns [width, 2*width] per evaluation.
+type countingMultiBackend struct {
+	calls atomic.Int64
+}
+
+func (b *countingMultiBackend) Name() string      { return "counting-multi" }
+func (b *countingMultiBackend) Metrics() []string { return []string{"a", "b"} }
+
+func (b *countingMultiBackend) CostVector(g *graph.Graph) ([]float64, error) {
+	b.calls.Add(1)
+	w := float64(g.Layers[0].InF)
+	return []float64{w, 2 * w}, nil
+}
+
+func (b *countingMultiBackend) Cost(g *graph.Graph) (float64, error) {
+	v, err := b.CostVector(g)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+func TestMultiCostBackendSharesOneEvaluation(t *testing.T) {
+	backend := &countingMultiBackend{}
+	e := New(backend, 2)
+	vec, err := e.CostVector(linearGraph(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vec, []float64{7, 14}) {
+		t.Fatalf("CostVector = %v, want [7 14]", vec)
+	}
+	// Cost on the same shape reuses the vector evaluation.
+	c, err := e.Cost(linearGraph(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 7 {
+		t.Errorf("Cost = %v, want first metric 7", c)
+	}
+	if got := backend.calls.Load(); got != 1 {
+		t.Errorf("backend evaluated %d times for both metrics, want 1", got)
+	}
+	// The returned vector is a private copy.
+	vec[0] = -1
+	again, err := e.CostVector(linearGraph(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 7 {
+		t.Error("mutating a returned CostVector corrupted the cache")
+	}
+}
+
+// emptyVectorBackend is a misbehaving MultiCostBackend returning a
+// zero-length vector with no error.
+type emptyVectorBackend struct{}
+
+func (emptyVectorBackend) Name() string                               { return "empty" }
+func (emptyVectorBackend) Metrics() []string                          { return nil }
+func (emptyVectorBackend) CostVector(*graph.Graph) ([]float64, error) { return nil, nil }
+func (emptyVectorBackend) Cost(*graph.Graph) (float64, error)         { return 0, nil }
+
+func TestEmptyCostVectorIsAnErrorNotAPanic(t *testing.T) {
+	e := New(emptyVectorBackend{}, 1)
+	if _, err := e.Cost(linearGraph(3)); err == nil || !strings.Contains(err.Error(), "empty cost vector") {
+		t.Errorf("Cost on empty-vector backend = %v, want empty-cost-vector error", err)
+	}
+	if _, err := e.CostVector(linearGraph(3)); err == nil {
+		t.Error("CostVector on empty-vector backend succeeded")
+	}
+}
+
+func TestCostVectorOnScalarBackend(t *testing.T) {
+	e := New(&countingBackend{}, 1)
+	vec, err := e.CostVector(linearGraph(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vec, []float64{5}) {
+		t.Errorf("CostVector on scalar backend = %v, want [5]", vec)
+	}
+}
+
+func TestMagnetTimeEnergyMatchesScalarBackends(t *testing.T) {
+	// The vector backend must agree exactly with the two scalar MAGNet
+	// backends it replaces.
+	g := &graph.Graph{Name: "conv-toy", InputH: 16, InputW: 16}
+	g.Add(graph.Layer{
+		Name: "conv", Kind: graph.Conv2D,
+		InC: 8, OutC: 16, KH: 3, KW: 3, SH: 1, SW: 1,
+		InH: 16, InW: 16, OutH: 16, OutW: 16, Groups: 1,
+	})
+	cfg := magnet.AcceleratorE()
+	multi := MagnetTimeEnergy(cfg)
+	if want := "magnet-multi/" + cfg.Name; multi.Name() != want {
+		t.Errorf("name = %q, want %q", multi.Name(), want)
+	}
+	vec, err := multi.CostVector(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tms, err := MagnetTime(cfg).Cost(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emj, err := MagnetEnergy(cfg).Cost(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 2 || vec[0] != tms || vec[1] != emj {
+		t.Errorf("CostVector = %v, want [%v %v]", vec, tms, emj)
+	}
+	if c, _ := multi.Cost(g); c != tms {
+		t.Errorf("Cost = %v, want time metric %v", c, tms)
+	}
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 1000, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: all %d indices ran despite cancellation", workers, n)
+		}
+	}
+	// A job error observed before cancellation wins (deterministic).
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEachCtx(ctx, 4, 100, func(i int) error {
+		if i == 3 {
+			cancel()
+			return fmt.Errorf("boom-3")
+		}
+		return nil
+	})
+	cancel()
+	if err == nil || err.Error() != "boom-3" {
+		t.Errorf("err = %v, want boom-3 over context.Canceled", err)
+	}
+}
+
+func TestSweepCtxTimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired
+	cands := toyCandidates(16, func(i int) int { return i + 1 })
+	if _, err := New(&countingBackend{}, 4).SweepCtx(ctx, cands); !errors.Is(err, context.Canceled) {
+		t.Errorf("SweepCtx on cancelled context = %v, want context.Canceled", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"vitdyn/internal/core"
 	"vitdyn/internal/engine"
 	"vitdyn/internal/gpu"
+	"vitdyn/internal/graph"
 	"vitdyn/internal/magnet"
 	"vitdyn/internal/nn"
 	"vitdyn/internal/pareto"
@@ -44,8 +45,10 @@ func markPareto(rows []TradeoffRow) {
 // Fig10SegFormerGPUTradeoff sweeps pretrained SegFormer B2 pruning on the
 // modeled A5000 and overlays the retrained B0/B1/B2 switching points
 // (paper Fig. 10) for one dataset ("ADE" or "City"). The sweep is costed
-// across workers goroutines (0 = GOMAXPROCS); row order is the
-// deterministic input order regardless of worker count.
+// across workers goroutines (0 = GOMAXPROCS) through a memoizing engine
+// (so a process-wide cost store, when installed, is reused across
+// datasets and repeated figures); row order is the deterministic input
+// order regardless of worker count.
 func Fig10SegFormerGPUTradeoff(dataset string, workers int) ([]TradeoffRow, error) {
 	res, classes, size, err := core.SegFormerDataset(dataset)
 	if err != nil {
@@ -55,12 +58,15 @@ func Fig10SegFormerGPUTradeoff(dataset string, workers int) ([]TradeoffRow, erro
 	if err != nil {
 		return nil, err
 	}
-	dev := gpu.A5000()
+	eng := engine.New(engine.GPU(gpu.A5000()), workers)
 	fullGraph, err := nn.SegFormer(cfg, size, size)
 	if err != nil {
 		return nil, err
 	}
-	fullTime := dev.Run(fullGraph).Total * 1e3
+	fullTime, err := eng.Cost(fullGraph)
+	if err != nil {
+		return nil, err
+	}
 	fullAcc := res.Baseline
 
 	var jobs []func() (TradeoffRow, error)
@@ -71,7 +77,10 @@ func Fig10SegFormerGPUTradeoff(dataset string, workers int) ([]TradeoffRow, erro
 			if err != nil {
 				return TradeoffRow{}, err
 			}
-			t := dev.Run(g).Total * 1e3
+			t, err := eng.Cost(g)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
 			acc := res.Pretrained(p)
 			return TradeoffRow{
 				Label:    p.Label,
@@ -95,7 +104,10 @@ func Fig10SegFormerGPUTradeoff(dataset string, workers int) ([]TradeoffRow, erro
 			if err != nil {
 				return TradeoffRow{}, err
 			}
-			t := dev.Run(g).Total * 1e3
+			t, err := eng.Cost(g)
+			if err != nil {
+				return TradeoffRow{}, err
+			}
 			acc, err := accuracy.SegFormerBaseline(v, dataset)
 			if err != nil {
 				return TradeoffRow{}, err
@@ -180,24 +192,26 @@ func RenderTable3(rows []Table3Row) *report.Table {
 // Fig11SegFormerAccelTradeoff runs the Table III configurations (pretrained)
 // and the retrained B1/B2 models on accelerator E (paper Fig. 11),
 // simulating configurations across workers goroutines (0 = GOMAXPROCS).
+// Both axes come from one MAGNet pass per shape through the vector
+// backend, halving accelerator work versus separate time and energy
+// sweeps.
 func Fig11SegFormerAccelTradeoff(workers int) ([]TradeoffRow, error) {
 	cfg, err := nn.SegFormerB("B2", 150)
 	if err != nil {
 		return nil, err
 	}
 	res := accuracy.NewSegFormerADE()
-	accel := magnet.AcceleratorE()
+	eng := engine.New(engine.MagnetTimeEnergy(magnet.AcceleratorE()), workers)
 
 	fullGraph, err := nn.SegFormer(cfg, 512, 512)
 	if err != nil {
 		return nil, err
 	}
-	fullRun, err := accel.Simulate(fullGraph)
+	fullVec, err := eng.CostVector(fullGraph)
 	if err != nil {
 		return nil, err
 	}
-	fullTime := fullRun.TotalSeconds * 1e3
-	fullEnergy := fullRun.EnergyJ() * 1e3
+	fullTime, fullEnergy := fullVec[0], fullVec[1]
 
 	var jobs []func() (TradeoffRow, error)
 	for _, p := range prune.TableIII() {
@@ -207,12 +221,11 @@ func Fig11SegFormerAccelTradeoff(workers int) ([]TradeoffRow, error) {
 			if err != nil {
 				return TradeoffRow{}, err
 			}
-			r, err := accel.Simulate(g)
+			vec, err := eng.CostVector(g)
 			if err != nil {
 				return TradeoffRow{}, err
 			}
-			t := r.TotalSeconds * 1e3
-			e := r.EnergyJ() * 1e3
+			t, e := vec[0], vec[1]
 			acc := res.Pretrained(p)
 			return TradeoffRow{
 				Label: p.Label, Source: "pretrained",
@@ -233,12 +246,11 @@ func Fig11SegFormerAccelTradeoff(workers int) ([]TradeoffRow, error) {
 			if err != nil {
 				return TradeoffRow{}, err
 			}
-			r, err := accel.Simulate(g)
+			vec, err := eng.CostVector(g)
 			if err != nil {
 				return TradeoffRow{}, err
 			}
-			t := r.TotalSeconds * 1e3
-			e := r.EnergyJ() * 1e3
+			t, e := vec[0], vec[1]
 			acc, _ := accuracy.SegFormerBaseline(v, "ADE")
 			return TradeoffRow{
 				Label: "SegFormer-" + v, Source: "retrained",
@@ -270,9 +282,11 @@ type Fig12Row struct {
 
 // Fig12SwinTradeoff builds the Swin pruning/switching points, simulating
 // every (variant, path) pair across workers goroutines (0 = GOMAXPROCS).
+// Accelerator time and energy share one MAGNet pass per shape via the
+// vector backend; GPU latency runs through its own memoizing engine.
 func Fig12SwinTradeoff(workers int) ([]Fig12Row, error) {
-	dev := gpu.A5000()
-	accel := magnet.AcceleratorE()
+	gpuEng := engine.New(engine.GPU(gpu.A5000()), workers)
+	accelEng := engine.New(engine.MagnetTimeEnergy(magnet.AcceleratorE()), workers)
 	// Enumerate the jobs sequentially (cheap) so the parallel phase only
 	// carries graph construction and simulation.
 	var jobs []func() (Fig12Row, error)
@@ -294,7 +308,7 @@ func Fig12SwinTradeoff(workers int) ([]Fig12Row, error) {
 				if err != nil {
 					return Fig12Row{}, err
 				}
-				r, err := accel.Simulate(g)
+				gpuMS, accelVec, err := fig12Costs(gpuEng, accelEng, g)
 				if err != nil {
 					return Fig12Row{}, err
 				}
@@ -302,9 +316,9 @@ func Fig12SwinTradeoff(workers int) ([]Fig12Row, error) {
 					Variant:       variant,
 					Label:         p.Label,
 					Source:        "pretrained",
-					GPUTimeMS:     dev.Run(g).Total * 1e3,
-					AccelTimeMS:   r.TotalSeconds * 1e3,
-					AccelEnergyMJ: r.EnergyJ() * 1e3,
+					GPUTimeMS:     gpuMS,
+					AccelTimeMS:   accelVec[0],
+					AccelEnergyMJ: accelVec[1],
 					MIoU:          res.Pretrained(p, full),
 				}, nil
 			})
@@ -315,7 +329,7 @@ func Fig12SwinTradeoff(workers int) ([]Fig12Row, error) {
 			if err != nil {
 				return Fig12Row{}, err
 			}
-			r, err := accel.Simulate(g)
+			gpuMS, accelVec, err := fig12Costs(gpuEng, accelEng, g)
 			if err != nil {
 				return Fig12Row{}, err
 			}
@@ -323,9 +337,9 @@ func Fig12SwinTradeoff(workers int) ([]Fig12Row, error) {
 				Variant:       variant,
 				Label:         "Swin-" + variant,
 				Source:        "retrained",
-				GPUTimeMS:     dev.Run(g).Total * 1e3,
-				AccelTimeMS:   r.TotalSeconds * 1e3,
-				AccelEnergyMJ: r.EnergyJ() * 1e3,
+				GPUTimeMS:     gpuMS,
+				AccelTimeMS:   accelVec[0],
+				AccelEnergyMJ: accelVec[1],
 				MIoU:          res.Baseline,
 			}, nil
 		})
@@ -341,6 +355,20 @@ func Fig12SwinTradeoff(workers int) ([]Fig12Row, error) {
 	return rows, nil
 }
 
+// fig12Costs prices one Swin graph on both substrates: GPU latency (ms)
+// and the accelerator [time ms, energy mJ] vector.
+func fig12Costs(gpuEng, accelEng *engine.Engine, g *graph.Graph) (float64, []float64, error) {
+	gpuMS, err := gpuEng.Cost(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	vec, err := accelEng.CostVector(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	return gpuMS, vec, nil
+}
+
 // Fig13Row is one OFA ResNet-50 subnet on accelerator E (paper Fig. 13).
 type Fig13Row struct {
 	Subnet     string
@@ -354,9 +382,11 @@ type Fig13Row struct {
 }
 
 // Fig13OFASwitching runs the OFA subnet catalog on accelerator E,
-// simulating subnets across workers goroutines (0 = GOMAXPROCS).
+// simulating subnets across workers goroutines (0 = GOMAXPROCS); time
+// and energy come from one MAGNet pass per subnet via the vector
+// backend.
 func Fig13OFASwitching(workers int) ([]Fig13Row, error) {
-	accel := magnet.AcceleratorE()
+	eng := engine.New(engine.MagnetTimeEnergy(magnet.AcceleratorE()), workers)
 	cat := nn.OFACatalog()
 	if len(cat) == 0 {
 		return nil, fmt.Errorf("experiments: empty OFA catalog")
@@ -368,15 +398,15 @@ func Fig13OFASwitching(workers int) ([]Fig13Row, error) {
 		if err != nil {
 			return err
 		}
-		r, err := accel.Simulate(g)
+		vec, err := eng.CostVector(g)
 		if err != nil {
 			return err
 		}
 		rows[i] = Fig13Row{
 			Subnet:   sub.ID,
 			GMACs:    float64(g.TotalMACs()) / 1e9,
-			TimeMS:   r.TotalSeconds * 1e3,
-			EnergyMJ: r.EnergyJ() * 1e3,
+			TimeMS:   vec[0],
+			EnergyMJ: vec[1],
 			Top1:     sub.Top1,
 		}
 		return nil

@@ -1,0 +1,557 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vitdyn/internal/core"
+	"vitdyn/internal/engine"
+	"vitdyn/internal/flops"
+	"vitdyn/internal/gpu"
+	"vitdyn/internal/graph"
+	"vitdyn/internal/magnet"
+	"vitdyn/internal/nn"
+	"vitdyn/internal/rdd"
+)
+
+// Options configures a Server. The zero value is usable: it selects a
+// fresh DefaultStoreCapacity store, GOMAXPROCS workers, 2×GOMAXPROCS
+// concurrent sweeps and a 60-second request timeout.
+type Options struct {
+	// Store is the cross-request cost store shared by every engine the
+	// server creates. Nil selects a fresh NewStore(0).
+	Store *Store
+	// Workers caps the per-request worker budget: a request may ask for
+	// fewer via ?workers=N but never more. <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxConcurrentSweeps bounds how many catalog sweeps run at once
+	// server-wide; excess requests wait (up to their timeout) for a
+	// slot. <= 0 selects 2×GOMAXPROCS.
+	MaxConcurrentSweeps int
+	// RequestTimeout bounds each request, enforced through its context.
+	// <= 0 selects 60 seconds.
+	RequestTimeout time.Duration
+}
+
+// withDefaults resolves the zero-value conveniences.
+func (o Options) withDefaults() Options {
+	if o.Store == nil {
+		o.Store = NewStore(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxConcurrentSweeps <= 0 {
+		o.MaxConcurrentSweeps = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Server is the vitdynd HTTP serving layer: JSON endpoints over the
+// catalog builders and profilers, every sweep engine wired to one shared
+// Store so repeated or overlapping requests are near-free.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	sweep chan struct{} // server-wide concurrent-sweep semaphore
+	start time.Time
+
+	requests atomic.Int64 // requests accepted (all endpoints)
+	active   atomic.Int64 // requests currently in flight
+	sweeps   atomic.Int64 // catalog sweeps completed
+	rejected atomic.Int64 // sweeps that timed out waiting for a slot
+}
+
+// NewServer builds a server over the options (see Options for the
+// defaults).
+func NewServer(opts Options) *Server {
+	s := &Server{
+		opts:  opts.withDefaults(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.sweep = make(chan struct{}, s.opts.MaxConcurrentSweeps)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/v1/backends", s.handleBackends)
+	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	return s
+}
+
+// Store returns the server's shared cost store.
+func (s *Server) Store() *Store { return s.opts.Store }
+
+// Handler returns the server's HTTP handler: instrumentation plus a
+// per-request timeout context around the endpoint mux.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.active.Add(1)
+		defer s.active.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// errorResponse is the uniform JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// httpStatusFor maps an endpoint error to a status code: context
+// expiry means the request ran out of budget, anything else from the
+// builders is a server-side failure (bad parameters are rejected with
+// 400 before any sweep starts).
+func httpStatusFor(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// statszResponse is the /statsz envelope.
+type statszResponse struct {
+	Store  StoreStats  `json:"store"`
+	Server serverStats `json:"server"`
+}
+
+type serverStats struct {
+	Requests        int64   `json:"requests"`
+	Active          int64   `json:"active"`
+	SweepsCompleted int64   `json:"sweeps_completed"`
+	SweepsRejected  int64   `json:"sweeps_rejected"`
+	MaxSweeps       int     `json:"max_concurrent_sweeps"`
+	Workers         int     `json:"workers"`
+	UptimeMS        int64   `json:"uptime_ms"`
+	StoreHitRate    float64 `json:"store_hit_rate"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	st := s.opts.Store.Stats()
+	writeJSON(w, http.StatusOK, statszResponse{
+		Store: st,
+		Server: serverStats{
+			Requests:        s.requests.Load(),
+			Active:          s.active.Load(),
+			SweepsCompleted: s.sweeps.Load(),
+			SweepsRejected:  s.rejected.Load(),
+			MaxSweeps:       s.opts.MaxConcurrentSweeps,
+			Workers:         s.opts.Workers,
+			UptimeMS:        time.Since(s.start).Milliseconds(),
+			StoreHitRate:    st.HitRate(),
+		},
+	})
+}
+
+// BackendInfo describes one servable cost backend.
+type BackendInfo struct {
+	Spec string `json:"spec"` // the ?backend= value selecting it
+	Name string `json:"name"` // the CostBackend.Name() it resolves to
+	Unit string `json:"unit"` // cost unit of the catalog it produces
+}
+
+// Backends enumerates every backend spec the server accepts.
+func Backends() []BackendInfo {
+	infos := []BackendInfo{
+		{Spec: "gpu", Name: engine.GPU(gpu.A5000()).Name(), Unit: "ms"},
+		{Spec: "flops", Name: engine.FLOPs().Name(), Unit: "GMACs"},
+	}
+	for _, cfg := range magnet.TableII() {
+		infos = append(infos,
+			BackendInfo{Spec: "magnet-time:" + cfg.Name, Name: engine.MagnetTime(cfg).Name(), Unit: "ms"},
+			BackendInfo{Spec: "magnet-energy:" + cfg.Name, Name: engine.MagnetEnergy(cfg).Name(), Unit: "mJ"},
+		)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Spec < infos[j].Spec })
+	return infos
+}
+
+// ResolveBackend maps a ?backend= spec to a CostBackend:
+//
+//	gpu                     modeled RTX A5000 latency (default)
+//	flops                   analytical GMACs proxy
+//	magnet-time[:A..M]      simulated accelerator time (default label E)
+//	magnet-energy[:A..M]    simulated accelerator energy
+func ResolveBackend(spec string) (engine.CostBackend, error) {
+	kind, label, labelled := strings.Cut(spec, ":")
+	if labelled && label == "" {
+		return nil, fmt.Errorf("bad backend %q: empty accelerator label after colon", spec)
+	}
+	switch kind {
+	case "", "gpu", "flops":
+		if labelled {
+			return nil, fmt.Errorf("bad backend %q: %s takes no label", spec, kind)
+		}
+		if kind == "flops" {
+			return engine.FLOPs(), nil
+		}
+		return engine.GPU(gpu.A5000()), nil
+	case "magnet-time", "magnet-energy":
+		if !labelled {
+			label = "E"
+		}
+		cfg, err := magnet.ByName(label)
+		if err != nil {
+			return nil, err
+		}
+		if kind == "magnet-energy" {
+			return engine.MagnetEnergy(cfg), nil
+		}
+		return engine.MagnetTime(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown backend %q (want gpu, flops, magnet-time[:A-M], magnet-energy[:A-M])", spec)
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]BackendInfo{"backends": Backends()})
+}
+
+// CatalogRequest names one catalog build: an execution-path family plus
+// its sweep parameters. It is decoded from /v1/catalog query parameters.
+type CatalogRequest struct {
+	Family  string // segformer | segformer-retrained | swin | swin-retrained | ofa
+	Dataset string // segformer families: ADE (default) or City
+	Variant string // swin: Tiny (default), Small, Base
+	Step    int    // pruning sweeps: channel step (0 = family default)
+	Backend string // see ResolveBackend
+	Workers int    // per-request worker budget (0 = server default)
+}
+
+// Candidates resolves the request to a catalog name and candidate list
+// via the core builders.
+func (cr CatalogRequest) Candidates() (string, []engine.Candidate, error) {
+	dataset := cr.Dataset
+	if dataset == "" {
+		dataset = "ADE"
+	}
+	variant := cr.Variant
+	if variant == "" {
+		variant = "Tiny"
+	}
+	switch cr.Family {
+	case "segformer":
+		return core.SegFormerCandidates(dataset, cr.Step)
+	case "segformer-retrained":
+		return core.SegFormerRetrainedCandidates(dataset)
+	case "swin":
+		return core.SwinCandidates(variant, cr.Step)
+	case "swin-retrained":
+		return core.SwinRetrainedCandidates()
+	case "ofa":
+		return core.OFACandidates()
+	}
+	return "", nil, fmt.Errorf("unknown family %q (want segformer, segformer-retrained, swin, swin-retrained, ofa)", cr.Family)
+}
+
+// CatalogPath is one Pareto-frontier path in a catalog response.
+type CatalogPath struct {
+	Label    string  `json:"label"`
+	Cost     float64 `json:"cost"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// CatalogResponse is the /v1/catalog body. It carries no timing or
+// cache-stats fields by design: the body is a pure function of the
+// request, byte-identical whether served cold or from the store (reuse
+// is observable in /statsz instead).
+type CatalogResponse struct {
+	Model   string        `json:"model"`
+	Backend string        `json:"backend"`
+	Unit    string        `json:"unit,omitempty"`
+	Paths   []CatalogPath `json:"paths"`
+}
+
+// CatalogResponseFor converts a built catalog to the response body —
+// exported so tests can assert byte-identity against a direct
+// core/engine build.
+func CatalogResponseFor(cat *rdd.Catalog, backendName, unit string) CatalogResponse {
+	resp := CatalogResponse{Model: cat.Model, Backend: backendName, Unit: unit, Paths: []CatalogPath{}}
+	for _, p := range cat.Paths {
+		resp.Paths = append(resp.Paths, CatalogPath{Label: p.Label, Cost: p.Cost, Accuracy: p.Accuracy})
+	}
+	return resp
+}
+
+// unitFor maps a resolved backend name to its cost unit via the
+// published backend table.
+func unitFor(backendName string) string {
+	for _, b := range Backends() {
+		if b.Name == backendName {
+			return b.Unit
+		}
+	}
+	return ""
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, key string) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: not an integer", key, v)
+	}
+	return n, nil
+}
+
+// workerBudget clamps a requested per-request worker count to
+// [1, server cap]; 0 selects the cap.
+func (s *Server) workerBudget(requested int) int {
+	if requested <= 0 || requested > s.opts.Workers {
+		return s.opts.Workers
+	}
+	return requested
+}
+
+// acquireSweepSlot blocks until a server-wide sweep slot frees up or the
+// request context expires.
+func (s *Server) acquireSweepSlot(ctx context.Context) error {
+	select {
+	case s.sweep <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.rejected.Add(1)
+		return fmt.Errorf("timed out waiting for a sweep slot (%d in flight): %w",
+			s.opts.MaxConcurrentSweeps, ctx.Err())
+	}
+}
+
+func (s *Server) releaseSweepSlot() { <-s.sweep }
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	step, err := queryInt(r, "step")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers, err := queryInt(r, "workers")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req := CatalogRequest{
+		Family:  q.Get("family"),
+		Dataset: q.Get("dataset"),
+		Variant: q.Get("variant"),
+		Step:    step,
+		Backend: q.Get("backend"),
+		Workers: workers,
+	}
+	backend, err := ResolveBackend(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model, cands, err := req.Candidates()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx := r.Context()
+	if err := s.acquireSweepSlot(ctx); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer s.releaseSweepSlot()
+
+	eng := engine.NewWithCache(backend, s.workerBudget(req.Workers), s.opts.Store)
+	cat, err := eng.CatalogCtx(ctx, model, cands)
+	if err != nil {
+		writeError(w, httpStatusFor(err), "catalog %s: %v", model, err)
+		return
+	}
+	s.sweeps.Add(1)
+	writeJSON(w, http.StatusOK, CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name())))
+}
+
+// BuildModel maps a /v1/profile model spec to a graph:
+//
+//	segformer-ade-b0..b5    SegFormer at 512x512, 150 classes
+//	segformer-city-b0..b5   SegFormer at 1024x1024, 19 classes
+//	swin-tiny|small|base    Swin+UPerNet at 512x512, 150 classes
+//	resnet-50               ResNet-50 at 224x224 with head
+//	detr|dab-detr|anchor-detr|conditional-detr  at 800x1216 (Table I)
+func BuildModel(spec string) (*graph.Graph, error) {
+	switch spec {
+	case "resnet-50":
+		return nn.ResNet(nn.ResNet50(1000, true), 224, 224)
+	case "detr":
+		return nn.DETRModel(nn.DETR, 800, 1216)
+	case "dab-detr":
+		return nn.DETRModel(nn.DABDETR, 800, 1216)
+	case "anchor-detr":
+		return nn.DETRModel(nn.AnchorDETR, 800, 1216)
+	case "conditional-detr":
+		return nn.DETRModel(nn.ConditionalDETR, 800, 1216)
+	}
+	if v, ok := strings.CutPrefix(spec, "swin-"); ok && v != "" {
+		variant := strings.ToUpper(v[:1]) + v[1:]
+		cfg, err := nn.SwinVariant(variant, 150)
+		if err != nil {
+			return nil, err
+		}
+		return nn.Swin(cfg, 512, 512)
+	}
+	if rest, ok := strings.CutPrefix(spec, "segformer-"); ok {
+		dataset, variant, ok := strings.Cut(rest, "-")
+		if ok {
+			classes, size := 0, 0
+			switch dataset {
+			case "ade":
+				classes, size = 150, 512
+			case "city":
+				classes, size = 19, 1024
+			}
+			if classes > 0 {
+				cfg, err := nn.SegFormerB(strings.ToUpper(variant), classes)
+				if err != nil {
+					return nil, err
+				}
+				return nn.SegFormer(cfg, size, size)
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown model %q (want segformer-{ade,city}-b0..b5, swin-{tiny,small,base}, resnet-50, or a DETR variant)", spec)
+}
+
+// ProfileResponse is the /v1/profile body: the analytical FLOP/parameter
+// profile of one model, with per-layer rows included only on request.
+type ProfileResponse struct {
+	Model        string         `json:"model"`
+	Pixels       int            `json:"pixels"`
+	BytesPerElem int            `json:"bytes_per_elem"`
+	GMACs        float64        `json:"gmacs"`
+	MParams      float64        `json:"mparams"`
+	TotalMACs    int64          `json:"total_macs"`
+	TotalParams  int64          `json:"total_params"`
+	ConvMACs     int64          `json:"conv_macs"`
+	MatMulMACs   int64          `json:"matmul_macs"`
+	LinearMACs   int64          `json:"linear_macs"`
+	Layers       []ProfileLayer `json:"layers,omitempty"`
+}
+
+// ProfileLayer is one per-layer profile row.
+type ProfileLayer struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"`
+	MACs      int64   `json:"macs"`
+	Params    int64   `json:"params"`
+	Intensity float64 `json:"intensity"`
+	Frac      float64 `json:"frac"`
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	spec := q.Get("model")
+	if spec == "" {
+		writeError(w, http.StatusBadRequest, "missing model parameter")
+		return
+	}
+	bytesPerElem, err := queryInt(r, "bytes")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q.Get("bytes") == "" {
+		bytesPerElem = 2
+	}
+	if bytesPerElem < 1 || bytesPerElem > 8 {
+		writeError(w, http.StatusBadRequest, "bad bytes=%d: want 1..8", bytesPerElem)
+		return
+	}
+	g, err := BuildModel(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := flops.Analyze(g, bytesPerElem)
+	resp := ProfileResponse{
+		Model:        p.Model,
+		Pixels:       p.Pixels,
+		BytesPerElem: p.BytesPerElem,
+		GMACs:        float64(p.TotalMACs) / 1e9,
+		MParams:      float64(p.TotalParams) / 1e6,
+		TotalMACs:    p.TotalMACs,
+		TotalParams:  p.TotalParams,
+		ConvMACs:     p.ConvMACs,
+		MatMulMACs:   p.MatMulMACs,
+		LinearMACs:   p.LinearMACs,
+	}
+	if q.Get("layers") == "1" || q.Get("layers") == "true" {
+		for _, l := range p.Layers {
+			resp.Layers = append(resp.Layers, ProfileLayer{
+				Name: l.Name, Kind: l.Kind.String(),
+				MACs: l.MACs, Params: l.Params,
+				Intensity: l.Intensity, Frac: l.Frac,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ListenAndServe runs a server on addr until ctx is cancelled, then
+// drains in-flight requests (bounded by the request timeout) and
+// returns. onListen, if non-nil, is called with the bound address before
+// serving — callers use it to learn the port when addr ends in ":0".
+func ListenAndServe(ctx context.Context, addr string, opts Options, onListen func(net.Addr)) error {
+	srv := NewServer(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), srv.opts.RequestTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-errCh // always http.ErrServerClosed after Shutdown
+	return nil
+}

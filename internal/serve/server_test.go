@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vitdyn/internal/core"
+	"vitdyn/internal/engine"
+)
+
+// newTestServer returns a server with a fresh store and its httptest
+// front end.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// get fetches a URL and returns status and body.
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestCatalogEndToEndByteIdenticalAndCached(t *testing.T) {
+	// The acceptance check of this PR: a /v1/catalog request must be
+	// byte-identical to a direct SegFormer catalog build, and a second
+	// overlapping request must be served from the shared store (hit
+	// counter > 0, no new backend work).
+	srv, ts := newTestServer(t, Options{})
+	url := ts.URL + "/v1/catalog?family=segformer&dataset=ADE&step=512&backend=flops&workers=2"
+
+	status, cold := get(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, cold)
+	}
+	coldStats := srv.Store().Stats()
+	if coldStats.Misses == 0 {
+		t.Fatal("cold request computed nothing")
+	}
+
+	// Reference build, straight through core + engine, no server.
+	direct, err := core.SegFormerCatalog("ADE", engine.FLOPs(), 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBody bytes.Buffer
+	if err := json.NewEncoder(&wantBody).Encode(CatalogResponseFor(direct, "flops-proxy", "GMACs")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, wantBody.Bytes()) {
+		t.Errorf("served catalog differs from direct build:\n got: %s\nwant: %s", cold, wantBody.Bytes())
+	}
+
+	// Second, identical request: byte-identical output, all store hits,
+	// zero additional backend computations.
+	status, warm := get(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("warm status %d", status)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm response differs from cold response")
+	}
+	warmStats := srv.Store().Stats()
+	if warmStats.Hits <= coldStats.Hits {
+		t.Errorf("warm request produced no store hits (cold %d, warm %d)", coldStats.Hits, warmStats.Hits)
+	}
+	if warmStats.Misses != coldStats.Misses {
+		t.Errorf("warm request recomputed %d signatures", warmStats.Misses-coldStats.Misses)
+	}
+
+	// An overlapping-but-different sweep (coarser channel step: a subset
+	// of the same shapes) also reuses the store.
+	status, _ = get(t, ts.URL+"/v1/catalog?family=segformer&dataset=ADE&step=256&backend=flops&workers=2")
+	if status != http.StatusOK {
+		t.Fatalf("overlapping request status %d", status)
+	}
+	overlapStats := srv.Store().Stats()
+	if overlapStats.Hits <= warmStats.Hits {
+		t.Error("overlapping sweep shared no costed shapes with the store")
+	}
+}
+
+func TestCatalogFamilies(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, q := range []string{
+		"family=segformer-retrained&dataset=ADE&backend=flops",
+		"family=swin-retrained&backend=flops",
+		"family=ofa&backend=flops",
+	} {
+		status, body := get(t, ts.URL+"/v1/catalog?"+q)
+		if status != http.StatusOK {
+			t.Errorf("%s: status %d, body %s", q, status, body)
+			continue
+		}
+		var resp CatalogResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Errorf("%s: bad JSON: %v", q, err)
+			continue
+		}
+		if resp.Model == "" || len(resp.Paths) == 0 || resp.Backend != "flops-proxy" {
+			t.Errorf("%s: degenerate response %+v", q, resp)
+		}
+	}
+}
+
+func TestCatalogBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, q := range []string{
+		"family=nope&backend=flops",
+		"family=segformer&backend=warp-drive",
+		"family=segformer&dataset=Mars&backend=flops",
+		"family=segformer&backend=flops&step=abc",
+		"family=segformer&backend=magnet-time:Z",
+		"family=segformer&backend=gpu:A100",
+		"family=segformer&backend=magnet-time:",
+	} {
+		status, body := get(t, ts.URL+"/v1/catalog?"+q)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", q, status, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %s not a JSON error envelope", q, body)
+		}
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body := get(t, ts.URL+"/v1/profile?model=segformer-ade-b2")
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	var resp ProfileResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.GMACs <= 0 || resp.TotalParams <= 0 || resp.BytesPerElem != 2 {
+		t.Errorf("degenerate profile %+v", resp)
+	}
+	if resp.Layers != nil {
+		t.Error("layers included without layers=1")
+	}
+	// Per-layer rows on demand.
+	status, body = get(t, ts.URL+"/v1/profile?model=swin-tiny&bytes=1&layers=1")
+	if status != http.StatusOK {
+		t.Fatalf("layers request status %d", status)
+	}
+	var withLayers ProfileResponse
+	if err := json.Unmarshal(body, &withLayers); err != nil {
+		t.Fatal(err)
+	}
+	if len(withLayers.Layers) == 0 || withLayers.BytesPerElem != 1 {
+		t.Errorf("layers=1 returned %d layers, bytes %d", len(withLayers.Layers), withLayers.BytesPerElem)
+	}
+	// Bad specs are 400s.
+	for _, q := range []string{"", "model=hal-9000", "model=resnet-50&bytes=0"} {
+		if status, _ := get(t, ts.URL+"/v1/profile?"+q); status != http.StatusBadRequest {
+			t.Errorf("%q: status %d, want 400", q, status)
+		}
+	}
+}
+
+func TestBackendsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body := get(t, ts.URL+"/v1/backends")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var resp struct {
+		Backends []BackendInfo `json:"backends"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// gpu + flops + 13 accelerators x {time, energy}.
+	if len(resp.Backends) != 2+2*13 {
+		t.Errorf("%d backends listed, want 28", len(resp.Backends))
+	}
+	specs := map[string]bool{}
+	for _, b := range resp.Backends {
+		specs[b.Spec] = true
+		if be, err := ResolveBackend(b.Spec); err != nil || be.Name() != b.Name {
+			t.Errorf("spec %q does not round-trip: %v", b.Spec, err)
+		}
+	}
+	for _, want := range []string{"gpu", "flops", "magnet-time:E", "magnet-energy:A"} {
+		if !specs[want] {
+			t.Errorf("backend list missing %q", want)
+		}
+	}
+}
+
+func TestHealthzAndStatsz(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 3, MaxConcurrentSweeps: 5})
+	status, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz: %d %s", status, body)
+	}
+	// Drive one sweep so the counters move.
+	if status, _ := get(t, ts.URL+"/v1/catalog?family=ofa&backend=flops"); status != http.StatusOK {
+		t.Fatalf("catalog status %d", status)
+	}
+	status, body = get(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	var stats statszResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.Requests < 3 || stats.Server.SweepsCompleted != 1 {
+		t.Errorf("server stats %+v", stats.Server)
+	}
+	if stats.Server.Workers != 3 || stats.Server.MaxSweeps != 5 {
+		t.Errorf("options not reflected in statsz: %+v", stats.Server)
+	}
+	if stats.Store.Misses == 0 {
+		t.Errorf("store stats empty after a sweep: %+v", stats.Store)
+	}
+	if srv.Store().Stats().Misses != stats.Store.Misses {
+		t.Error("statsz store snapshot diverges from Store().Stats()")
+	}
+}
+
+func TestRequestTimeoutReturns504(t *testing.T) {
+	// A timeout far smaller than any real sweep forces the catalog
+	// request to die on its context deadline.
+	_, ts := newTestServer(t, Options{RequestTimeout: time.Nanosecond})
+	status, body := get(t, ts.URL+"/v1/catalog?family=ofa&backend=flops")
+	if status != http.StatusGatewayTimeout && status != http.StatusServiceUnavailable {
+		t.Errorf("status %d (%s), want 504 or 503", status, body)
+	}
+}
+
+func TestWorkerBudgetClamp(t *testing.T) {
+	srv := NewServer(Options{Workers: 4})
+	for requested, want := range map[int]int{0: 4, 1: 1, 3: 3, 4: 4, 99: 4, -2: 4} {
+		if got := srv.workerBudget(requested); got != want {
+			t.Errorf("workerBudget(%d) = %d, want %d", requested, got, want)
+		}
+	}
+}
+
+func TestListenAndServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- ListenAndServe(ctx, "127.0.0.1:0", Options{}, func(a net.Addr) {
+			addrCh <- a.String()
+		})
+	}()
+	addr := <-addrCh
+	if status, _ := get(t, "http://"+addr+"/healthz"); status != http.StatusOK {
+		t.Errorf("healthz over ListenAndServe: status %d", status)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after cancellation")
+	}
+}

@@ -15,6 +15,9 @@
 //     surfaces, and the Once-For-All ResNet-50 subnet family.
 //  4. The RDD (resource-dependent dynamic) inference runtime: path
 //     catalogs, budget-driven path selection, and trace-replay simulation.
+//  5. A serving layer (the vitdynd daemon): HTTP catalog/profiling
+//     endpoints over a process-wide, LRU-evicting cost store shared
+//     across requests.
 //
 // The subpackage types are re-exported here as aliases so downstream code
 // only imports vitdyn. See DESIGN.md for the system inventory and
@@ -23,6 +26,8 @@
 package vitdyn
 
 import (
+	"context"
+
 	"vitdyn/internal/accuracy"
 	"vitdyn/internal/core"
 	"vitdyn/internal/engine"
@@ -35,6 +40,7 @@ import (
 	"vitdyn/internal/prune"
 	"vitdyn/internal/rdd"
 	"vitdyn/internal/report"
+	"vitdyn/internal/serve"
 )
 
 // --- Layer graph IR ---
@@ -259,6 +265,61 @@ func AcceleratorTimeBackend(c AcceleratorConfig) CostBackend { return engine.Mag
 
 // AcceleratorEnergyBackend costs paths by simulated energy.
 func AcceleratorEnergyBackend(c AcceleratorConfig) CostBackend { return engine.MagnetEnergy(c) }
+
+// MultiCostBackend prices several metrics from one evaluation — e.g.
+// accelerator time AND energy from a single MAGNet simulation pass.
+type MultiCostBackend = engine.MultiCostBackend
+
+// AcceleratorTimeEnergyBackend returns a vector backend producing
+// [time ms, energy mJ] on the accelerator from one simulation, halving
+// accelerator work for sweeps needing both metrics. As a plain
+// CostBackend it costs by time.
+func AcceleratorTimeEnergyBackend(c AcceleratorConfig) MultiCostBackend {
+	return engine.MagnetTimeEnergy(c)
+}
+
+// --- Serving ---
+
+// CostStore is a process-wide, sharded, LRU-evicting (backend, graph
+// signature) → cost store with hit/miss/eviction counters. Engines built
+// with NewSweepEngineWithStore — and every engine the vitdynd server
+// creates — share one store, so overlapping sweeps across requests reuse
+// each other's costed shapes.
+type CostStore = serve.Store
+
+// CostStoreStats is a point-in-time snapshot of a store's counters.
+type CostStoreStats = serve.StoreStats
+
+// NewCostStore returns a store holding at most capacity entries,
+// rounded up to a multiple of the shard count (capacity <= 0 selects
+// the default).
+func NewCostStore(capacity int) *CostStore { return serve.NewStore(capacity) }
+
+// NewSweepEngineWithStore returns an engine whose costs are memoized in
+// the shared store instead of a private per-engine cache.
+func NewSweepEngineWithStore(backend CostBackend, workers int, store *CostStore) *SweepEngine {
+	return engine.NewWithCache(backend, workers, store)
+}
+
+// ServeOptions configures the serving layer: the shared store, the
+// per-request worker cap, the server-wide concurrent-sweep limit and the
+// request timeout. The zero value selects sensible defaults.
+type ServeOptions = serve.Options
+
+// RDDServer is the HTTP serving layer behind the vitdynd daemon:
+// /v1/catalog, /v1/profile, /v1/backends, /healthz and /statsz over one
+// shared cost store.
+type RDDServer = serve.Server
+
+// NewRDDServer builds a server; mount its Handler() on any http.Server.
+func NewRDDServer(opts ServeOptions) *RDDServer { return serve.NewServer(opts) }
+
+// Serve runs the serving layer on addr until ctx is cancelled, then
+// drains in-flight requests and returns — the programmatic equivalent of
+// the vitdynd daemon.
+func Serve(ctx context.Context, addr string, opts ServeOptions) error {
+	return serve.ListenAndServe(ctx, addr, opts, nil)
+}
 
 // SegFormerRDDCatalog builds the pretrained-pruning catalog for SegFormer
 // B2 on "ADE" or "City". channelStep controls sweep granularity (0 for the

@@ -1,6 +1,15 @@
 package vitdyn
 
-import "testing"
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
 
 // TestPublicAPIEndToEnd walks the quickstart flow through the façade:
 // build, profile, simulate, catalog, select.
@@ -85,6 +94,68 @@ func TestPublicAccelerators(t *testing.T) {
 	}
 	if _, err := AcceleratorByName("Z"); err == nil {
 		t.Error("bad name accepted")
+	}
+}
+
+// TestPublicServingSurface walks the serving additions through the
+// façade: a shared cost store across two engines, the HTTP server, and
+// graceful Serve shutdown.
+func TestPublicServingSurface(t *testing.T) {
+	store := NewCostStore(512)
+	name, cands, err := OFASweepCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewSweepEngineWithStore(TargetFLOPs(), 2, store).Catalog(name, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats := store.Stats()
+	warm, err := NewSweepEngineWithStore(TargetFLOPs(), 2, store).Catalog(name, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStats := store.Stats()
+	if warmStats.Misses != coldStats.Misses || warmStats.Hits <= coldStats.Hits {
+		t.Errorf("second engine did not reuse the store: cold %+v, warm %+v", coldStats, warmStats)
+	}
+	if fmt.Sprint(cold.Paths) != fmt.Sprint(warm.Paths) {
+		t.Error("store-served catalog diverged from cold build")
+	}
+
+	// The HTTP layer over the same store: /statsz must reflect the
+	// engine traffic above.
+	ts := httptest.NewServer(NewRDDServer(ServeOptions{Store: store, Workers: 2}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Store CostStoreStats `json:"store"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("statsz JSON: %v", err)
+	}
+	if stats.Store.Misses != warmStats.Misses {
+		t.Errorf("statsz store snapshot %+v diverges from engine-side stats %+v", stats.Store, warmStats)
+	}
+
+	// The programmatic Serve entry point shuts down on cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, "127.0.0.1:0", ServeOptions{Store: store}) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v after cancellation", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not shut down")
 	}
 }
 

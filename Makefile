@@ -3,8 +3,12 @@
 # + the vitdynd daemon smoke test.
 
 GO ?= go
+# Commit id stamped into the bench artifact name (bench-json target).
+SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
+# Previous artifact to diff against (missing file = no delta, not an error).
+BENCH_BASELINE ?= .benchcache/BENCH_latest.json
 
-.PHONY: all build test race bench vet smoke ci clean
+.PHONY: all build test race bench bench-json vet smoke ci clean
 
 all: build
 
@@ -22,6 +26,12 @@ race:
 # comparison in internal/engine.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Persist the bench run as BENCH_<sha>.json and print a delta against
+# $(BENCH_BASELINE) when that file exists (CI caches it between runs).
+bench-json:
+	$(GO) test -bench=. -benchtime=1x ./... | tee bench.txt
+	$(GO) run ./tools/benchjson -in bench.txt -out BENCH_$(SHA).json -baseline $(BENCH_BASELINE)
 
 vet:
 	$(GO) vet ./...

@@ -7,11 +7,14 @@
 // -exp all the six tables themselves fan out concurrently, and -cache N
 // installs one process-wide cost store so overlapping experiments (the
 // claims table re-runs the Fig. 10/11/13 sweeps) reuse each other's
-// costed shapes.
+// costed shapes. -stream-stats reports how many candidates the streaming
+// catalog pipeline generated, pre-filtered before backend costing, costed
+// and admitted (catalog-routed sweeps — e.g. -exp replay — stream; the
+// figure sweeps price every candidate for their tradeoff tables).
 //
 // Usage:
 //
-//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N] [-cache N]
+//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N] [-cache N] [-stream-stats]
 //	rddsim -exp replay -trace bursty -frames 2000
 package main
 
@@ -46,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	frames := fs.Int("frames", 2000, "replay frame count")
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	cache := fs.Int("cache", 0, "shared cost-store capacity in entries, reused across all experiments of this run (0 = per-sweep caches only)")
+	streamStats := fs.Bool("stream-stats", false, "report the streaming catalog pipeline's generated/prefiltered/costed/admitted counters on stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -55,6 +59,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *cache > 0 {
 		defer serve.InstallProcessStore(*cache, "rddsim", stderr)()
+	}
+	if *streamStats {
+		// Deltas, not totals: in-process reruns (tests, library embedding)
+		// must not see earlier runs' counters.
+		before := engine.GlobalStreamStats()
+		defer func() {
+			st := engine.GlobalStreamStats()
+			st.Prefiltered -= before.Prefiltered
+			st.Generated -= before.Generated
+			st.Costed -= before.Costed
+			st.Admitted -= before.Admitted
+			fmt.Fprintf(stderr, "rddsim: stream: %d generated, %d prefiltered (%.0f%% saved before costing), %d costed, %d admitted\n",
+				st.Generated, st.Prefiltered, 100*st.PrefilterRate(), st.Costed, st.Admitted)
+		}()
 	}
 
 	if *exp == "replay" {

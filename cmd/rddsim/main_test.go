@@ -77,6 +77,27 @@ func TestRunReplay(t *testing.T) {
 	}
 }
 
+func TestRunStreamStats(t *testing.T) {
+	// The replay experiment builds its catalog through the streaming
+	// pipeline; -stream-stats must report its counters on stderr without
+	// changing stdout.
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "replay", "-trace", "step", "-frames", "100", "-stream-stats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "stream:") || !strings.Contains(errb.String(), "generated") {
+		t.Errorf("missing stream-stats line on stderr: %s", errb.String())
+	}
+	var plain, plainErr bytes.Buffer
+	if code := run([]string{"-exp", "replay", "-trace", "step", "-frames", "100"}, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exit code %d", code)
+	}
+	if plain.String() != out.String() {
+		t.Error("-stream-stats changed rendered output")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-exp", "fig99"}, &out, &errb); code != 1 {

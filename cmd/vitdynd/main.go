@@ -7,16 +7,18 @@
 // Endpoints:
 //
 //	GET /healthz        liveness + uptime
-//	GET /statsz         cost-store hit/miss/eviction counters + server stats
+//	GET /statsz         cost-store + streaming-pipeline counters + server stats
 //	GET /v1/backends    every servable cost backend spec
 //	GET /v1/catalog     family, dataset, variant, step, backend, workers →
-//	                    Pareto path catalog (JSON)
+//	                    Pareto path catalog (JSON), built streaming
+//	POST /v1/batch      many catalog specs in one request, fanned out
+//	                    through the shared cost store
 //	GET /v1/profile     model, bytes, layers → analytical FLOPs profile
 //
 // Usage:
 //
 //	vitdynd [-addr 127.0.0.1:8080] [-cache N] [-workers N]
-//	        [-max-sweeps N] [-timeout 60s]
+//	        [-max-sweeps N] [-timeout 60s] [-stream-stats]
 //
 // The daemon drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
@@ -55,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "per-request worker cap (0 = GOMAXPROCS)")
 	maxSweeps := fs.Int("max-sweeps", 0, "server-wide concurrent sweep limit (0 = 2x GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout")
+	streamStats := fs.Bool("stream-stats", false, "report the streaming catalog pipeline's generated/prefiltered/costed/admitted totals at shutdown (also live in /statsz)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -63,13 +66,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	store := serve.NewStore(*cache)
-	opts := serve.Options{
+	srv := serve.NewServer(serve.Options{
 		Store:               store,
 		Workers:             *workers,
 		MaxConcurrentSweeps: *maxSweeps,
 		RequestTimeout:      *timeout,
-	}
-	err := serve.ListenAndServe(ctx, *addr, opts, func(a net.Addr) {
+	})
+	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Fprintf(stdout, "vitdynd: listening on %s\n", a)
 	})
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -79,5 +82,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	st := store.Stats()
 	fmt.Fprintf(stdout, "vitdynd: shut down; cost store served %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+	if *streamStats {
+		ss := srv.StreamStats()
+		fmt.Fprintf(stdout, "vitdynd: stream: %d generated, %d prefiltered (%.0f%% saved before costing), %d costed, %d admitted\n",
+			ss.Generated, ss.Prefiltered, 100*ss.PrefilterRate(), ss.Costed, ss.Admitted)
+	}
 	return 0
 }

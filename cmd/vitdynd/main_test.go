@@ -106,6 +106,50 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 }
 
+// TestDaemonStreamStats boots the daemon with -stream-stats, drives one
+// streamed catalog build, and checks the shutdown report carries the
+// pipeline counters.
+func TestDaemonStreamStats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := newLineWriter()
+	var stderr bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{"-addr", "127.0.0.1:0", "-stream-stats", "-timeout", "30s"}, stdout, &stderr)
+	}()
+	select {
+	case <-stdout.ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never printed its listen banner; stderr: %s", stderr.String())
+	}
+	banner := strings.SplitN(stdout.String(), "\n", 2)[0]
+	addr := banner[strings.LastIndex(banner, " ")+1:]
+
+	resp, err := http.Get("http://" + addr + "/v1/catalog?family=ofa&backend=flops")
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("catalog status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+	if !strings.Contains(stdout.String(), "stream:") || !strings.Contains(stdout.String(), "generated") {
+		t.Errorf("missing stream-stats shutdown line: %s", stdout.String())
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(context.Background(), []string{"-nosuchflag"}, &out, &errb); code != 2 {

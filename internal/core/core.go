@@ -7,15 +7,22 @@
 // from the anchored resilience surfaces, ready for the RDD controller in
 // internal/rdd.
 //
-// Every catalog builder routes through internal/engine's worker-pool
-// sweep, so construction parallelizes across graphs while the resulting
-// catalog remains byte-identical to a sequential build. Each builder
-// comes in two halves: a *Candidates function producing the labeled
-// (graph constructor, accuracy) list, and a *Catalog function sweeping it
-// on a backend with a bounded number of workers (0 = GOMAXPROCS).
+// Every catalog builder routes through internal/engine's streaming
+// pipeline (generate → pre-filter → cost → frontier): candidates are
+// emitted one at a time by a generator, costed across a worker pool as
+// they arrive, and reduced into an incremental Pareto frontier — the
+// resulting catalog is byte-identical to a batch sequential build while
+// the full candidate set is never materialized and provably dominated
+// candidates skip the backend entirely. Each builder comes in three
+// forms: a *CandidateSeq generator of the labeled (graph constructor,
+// accuracy) stream, a *Candidates collector for slice-based callers, and
+// a *Catalog function building the frontier on a backend with a bounded
+// number of workers (0 = GOMAXPROCS); *CatalogStream variants additionally
+// report the pipeline's StreamStats.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vitdyn/internal/accuracy"
@@ -58,11 +65,22 @@ func SegFormerDataset(dataset string) (*accuracy.SegFormerResilience, int, int, 
 	return nil, 0, 0, fmt.Errorf("core: unknown dataset %q (want ADE or City)", dataset)
 }
 
-// SegFormerCandidates enumerates the pretrained SegFormer B2 pruning
-// sweep for a dataset: the paper's joint sweep of encoder-block bypass
-// and decoder channel pruning, scored with the anchored resilience
-// surface. It returns the catalog name and the candidate list.
-func SegFormerCandidates(dataset string, channelStep int) (string, []engine.Candidate, error) {
+// streamCatalog runs a candidate generator through the engine's streaming
+// pipeline — the shared back half of every catalog builder. Default
+// StreamOptions enable the FLOPs-proxy admission pre-filter for the
+// shipped backends (all engine.FLOPsMonotone) and cost every candidate
+// on backends that make no such guarantee.
+func streamCatalog(ctx context.Context, model string, seq engine.CandidateSeq, backend engine.CostBackend, workers int) (*rdd.Catalog, engine.StreamStats, error) {
+	return engine.New(backend, workers).CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
+}
+
+// SegFormerCandidateSeq enumerates the pretrained SegFormer B2 pruning
+// sweep for a dataset as a push generator: the paper's joint sweep of
+// encoder-block bypass and decoder channel pruning, scored with the
+// anchored resilience surface. It returns the catalog name and the
+// candidate stream; configurations are produced one at a time, so the
+// streaming pipeline never holds the whole sweep.
+func SegFormerCandidateSeq(dataset string, channelStep int) (string, engine.CandidateSeq, error) {
 	res, classes, size, err := SegFormerDataset(dataset)
 	if err != nil {
 		return "", nil, err
@@ -71,74 +89,124 @@ func SegFormerCandidates(dataset string, channelStep int) (string, []engine.Cand
 	if err != nil {
 		return "", nil, err
 	}
-	var cands []engine.Candidate
-	for _, p := range prune.SegFormerSweep(cfg, channelStep) {
-		p := p
-		cands = append(cands, engine.Candidate{
-			Label:    p.Label,
-			Accuracy: res.Pretrained(p),
-			Build: func() (*graph.Graph, error) {
-				return prune.ApplySegFormer(cfg, size, size, p)
-			},
-		})
+	seq := func(yield func(engine.Candidate) bool) {
+		for p := range prune.SegFormerSweepSeq(cfg, channelStep) {
+			p := p
+			ok := yield(engine.Candidate{
+				Label:    p.Label,
+				Accuracy: res.Pretrained(p),
+				Build: func() (*graph.Graph, error) {
+					return prune.ApplySegFormer(cfg, size, size, p)
+				},
+			})
+			if !ok {
+				return
+			}
+		}
 	}
-	return "SegFormer-" + dataset + "-B2", cands, nil
+	return "SegFormer-" + dataset + "-B2", seq, nil
+}
+
+// SegFormerCandidates materializes SegFormerCandidateSeq into a slice,
+// for slice-based sweep callers.
+func SegFormerCandidates(dataset string, channelStep int) (string, []engine.Candidate, error) {
+	model, seq, err := SegFormerCandidateSeq(dataset, channelStep)
+	if err != nil {
+		return "", nil, err
+	}
+	return model, engine.CollectSeq(seq), nil
+}
+
+// SegFormerCatalogStream builds the RDD path catalog for a pretrained
+// SegFormer B2 on the given dataset through the streaming pipeline,
+// reporting how many candidates were generated, pre-filtered, costed and
+// admitted. workers <= 0 selects GOMAXPROCS.
+func SegFormerCatalogStream(ctx context.Context, dataset string, backend engine.CostBackend, channelStep, workers int) (*rdd.Catalog, engine.StreamStats, error) {
+	model, seq, err := SegFormerCandidateSeq(dataset, channelStep)
+	if err != nil {
+		return nil, engine.StreamStats{}, err
+	}
+	return streamCatalog(ctx, model, seq, backend, workers)
 }
 
 // SegFormerCatalog builds the RDD path catalog for a pretrained SegFormer
-// B2 on the given dataset, costed concurrently on the backend and reduced
-// to its Pareto frontier. workers <= 0 selects GOMAXPROCS.
+// B2 on the given dataset, streamed and costed concurrently on the
+// backend and reduced incrementally to its Pareto frontier. workers <= 0
+// selects GOMAXPROCS.
 func SegFormerCatalog(dataset string, backend engine.CostBackend, channelStep, workers int) (*rdd.Catalog, error) {
-	model, cands, err := SegFormerCandidates(dataset, channelStep)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(backend, workers).Catalog(model, cands)
+	cat, _, err := SegFormerCatalogStream(context.Background(), dataset, backend, channelStep, workers)
+	return cat, err
 }
 
-// SegFormerRetrainedCandidates enumerates the retrained switching family
-// (B0/B1/B2) for a dataset.
-func SegFormerRetrainedCandidates(dataset string) (string, []engine.Candidate, error) {
+// SegFormerRetrainedCandidateSeq enumerates the retrained switching
+// family (B0/B1/B2) for a dataset as a push generator.
+func SegFormerRetrainedCandidateSeq(dataset string) (string, engine.CandidateSeq, error) {
 	_, classes, size, err := SegFormerDataset(dataset)
 	if err != nil {
 		return "", nil, err
 	}
-	var cands []engine.Candidate
-	for _, v := range []string{"B0", "B1", "B2"} {
-		v := v
-		cfg, err := nn.SegFormerB(v, classes)
-		if err != nil {
+	// Resolve configs and accuracies eagerly: lookup failures surface as a
+	// builder error, not a mid-stream candidate failure.
+	variants := []string{"B0", "B1", "B2"}
+	cfgs := make([]nn.SegFormerConfig, len(variants))
+	accs := make([]float64, len(variants))
+	for i, v := range variants {
+		if cfgs[i], err = nn.SegFormerB(v, classes); err != nil {
 			return "", nil, err
 		}
-		acc, err := accuracy.SegFormerBaseline(v, dataset)
-		if err != nil {
+		if accs[i], err = accuracy.SegFormerBaseline(v, dataset); err != nil {
 			return "", nil, err
 		}
-		cands = append(cands, engine.Candidate{
-			Label:    "SegFormer-" + v,
-			Accuracy: acc,
-			Build: func() (*graph.Graph, error) {
-				return nn.SegFormer(cfg, size, size)
-			},
-		})
 	}
-	return "SegFormer-" + dataset + "-retrained", cands, nil
+	seq := func(yield func(engine.Candidate) bool) {
+		for i, v := range variants {
+			cfg := cfgs[i]
+			ok := yield(engine.Candidate{
+				Label:    "SegFormer-" + v,
+				Accuracy: accs[i],
+				Build: func() (*graph.Graph, error) {
+					return nn.SegFormer(cfg, size, size)
+				},
+			})
+			if !ok {
+				return
+			}
+		}
+	}
+	return "SegFormer-" + dataset + "-retrained", seq, nil
+}
+
+// SegFormerRetrainedCandidates materializes SegFormerRetrainedCandidateSeq
+// into a slice.
+func SegFormerRetrainedCandidates(dataset string) (string, []engine.Candidate, error) {
+	model, seq, err := SegFormerRetrainedCandidateSeq(dataset)
+	if err != nil {
+		return "", nil, err
+	}
+	return model, engine.CollectSeq(seq), nil
+}
+
+// SegFormerRetrainedCatalogStream builds the retrained switching catalog
+// (B0/B1/B2) through the streaming pipeline, with stats.
+func SegFormerRetrainedCatalogStream(ctx context.Context, dataset string, backend engine.CostBackend, workers int) (*rdd.Catalog, engine.StreamStats, error) {
+	model, seq, err := SegFormerRetrainedCandidateSeq(dataset)
+	if err != nil {
+		return nil, engine.StreamStats{}, err
+	}
+	return streamCatalog(ctx, model, seq, backend, workers)
 }
 
 // SegFormerRetrainedCatalog builds the retrained switching catalog
 // (B0/B1/B2) on the backend.
 func SegFormerRetrainedCatalog(dataset string, backend engine.CostBackend, workers int) (*rdd.Catalog, error) {
-	model, cands, err := SegFormerRetrainedCandidates(dataset)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(backend, workers).Catalog(model, cands)
+	cat, _, err := SegFormerRetrainedCatalogStream(context.Background(), dataset, backend, workers)
+	return cat, err
 }
 
-// SwinCandidates enumerates the Swin pruning sweep for a variant. The
-// paper recommends retrained switching for Swin; this sweep exists to
-// quantify why (its frontier is steep).
-func SwinCandidates(variant string, channelStep int) (string, []engine.Candidate, error) {
+// SwinCandidateSeq enumerates the Swin pruning sweep for a variant as a
+// push generator. The paper recommends retrained switching for Swin; this
+// sweep exists to quantify why (its frontier is steep).
+func SwinCandidateSeq(variant string, channelStep int) (string, engine.CandidateSeq, error) {
 	cfg, err := nn.SwinVariant(variant, 150)
 	if err != nil {
 		return "", nil, err
@@ -148,83 +216,149 @@ func SwinCandidates(variant string, channelStep int) (string, []engine.Candidate
 		return "", nil, err
 	}
 	full := prune.FullSwinPath(cfg)
-	var cands []engine.Candidate
-	for _, p := range prune.SwinSweep(cfg, channelStep) {
-		p := p
-		cands = append(cands, engine.Candidate{
-			Label:    p.Label,
-			Accuracy: res.Pretrained(p, full),
-			Build: func() (*graph.Graph, error) {
-				return prune.ApplySwin(cfg, 512, 512, p)
-			},
-		})
+	seq := func(yield func(engine.Candidate) bool) {
+		for p := range prune.SwinSweepSeq(cfg, channelStep) {
+			p := p
+			ok := yield(engine.Candidate{
+				Label:    p.Label,
+				Accuracy: res.Pretrained(p, full),
+				Build: func() (*graph.Graph, error) {
+					return prune.ApplySwin(cfg, 512, 512, p)
+				},
+			})
+			if !ok {
+				return
+			}
+		}
 	}
-	return "Swin-" + variant, cands, nil
+	return "Swin-" + variant, seq, nil
+}
+
+// SwinCandidates materializes SwinCandidateSeq into a slice.
+func SwinCandidates(variant string, channelStep int) (string, []engine.Candidate, error) {
+	model, seq, err := SwinCandidateSeq(variant, channelStep)
+	if err != nil {
+		return "", nil, err
+	}
+	return model, engine.CollectSeq(seq), nil
+}
+
+// SwinCatalogStream builds the Swin pruning catalog for a variant through
+// the streaming pipeline, with stats.
+func SwinCatalogStream(ctx context.Context, variant string, backend engine.CostBackend, channelStep, workers int) (*rdd.Catalog, engine.StreamStats, error) {
+	model, seq, err := SwinCandidateSeq(variant, channelStep)
+	if err != nil {
+		return nil, engine.StreamStats{}, err
+	}
+	return streamCatalog(ctx, model, seq, backend, workers)
 }
 
 // SwinCatalog builds the Swin pruning catalog for a variant on the
 // backend.
 func SwinCatalog(variant string, backend engine.CostBackend, channelStep, workers int) (*rdd.Catalog, error) {
-	model, cands, err := SwinCandidates(variant, channelStep)
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(backend, workers).Catalog(model, cands)
+	cat, _, err := SwinCatalogStream(context.Background(), variant, backend, channelStep, workers)
+	return cat, err
 }
 
-// SwinRetrainedCandidates enumerates the Tiny/Small/Base switching
-// family.
-func SwinRetrainedCandidates() (string, []engine.Candidate, error) {
-	var cands []engine.Candidate
-	for _, v := range []string{"Tiny", "Small", "Base"} {
-		v := v
+// SwinRetrainedCandidateSeq enumerates the Tiny/Small/Base switching
+// family as a push generator.
+func SwinRetrainedCandidateSeq() (string, engine.CandidateSeq, error) {
+	variants := []string{"Tiny", "Small", "Base"}
+	accs := make([]float64, len(variants))
+	for i, v := range variants {
 		acc, err := accuracy.SwinBaseline(v)
 		if err != nil {
 			return "", nil, err
 		}
-		cands = append(cands, engine.Candidate{
-			Label:    "Swin-" + v,
-			Accuracy: acc,
-			Build: func() (*graph.Graph, error) {
-				return nn.MustSwin(v, 150, 512, 512), nil
-			},
-		})
+		accs[i] = acc
 	}
-	return "Swin-retrained", cands, nil
+	seq := func(yield func(engine.Candidate) bool) {
+		for i, v := range variants {
+			v := v
+			ok := yield(engine.Candidate{
+				Label:    "Swin-" + v,
+				Accuracy: accs[i],
+				Build: func() (*graph.Graph, error) {
+					return nn.MustSwin(v, 150, 512, 512), nil
+				},
+			})
+			if !ok {
+				return
+			}
+		}
+	}
+	return "Swin-retrained", seq, nil
+}
+
+// SwinRetrainedCandidates materializes SwinRetrainedCandidateSeq into a
+// slice.
+func SwinRetrainedCandidates() (string, []engine.Candidate, error) {
+	model, seq, err := SwinRetrainedCandidateSeq()
+	if err != nil {
+		return "", nil, err
+	}
+	return model, engine.CollectSeq(seq), nil
+}
+
+// SwinRetrainedCatalogStream builds the Tiny/Small/Base switching catalog
+// through the streaming pipeline, with stats.
+func SwinRetrainedCatalogStream(ctx context.Context, backend engine.CostBackend, workers int) (*rdd.Catalog, engine.StreamStats, error) {
+	model, seq, err := SwinRetrainedCandidateSeq()
+	if err != nil {
+		return nil, engine.StreamStats{}, err
+	}
+	return streamCatalog(ctx, model, seq, backend, workers)
 }
 
 // SwinRetrainedCatalog builds the Tiny/Small/Base switching catalog.
 func SwinRetrainedCatalog(backend engine.CostBackend, workers int) (*rdd.Catalog, error) {
-	model, cands, err := SwinRetrainedCandidates()
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(backend, workers).Catalog(model, cands)
+	cat, _, err := SwinRetrainedCatalogStream(context.Background(), backend, workers)
+	return cat, err
 }
 
-// OFACandidates enumerates the Once-For-All ResNet-50 subnet ladder (the
-// paper's Fig. 13).
-func OFACandidates() (string, []engine.Candidate, error) {
-	var cands []engine.Candidate
-	for _, sub := range nn.OFACatalog() {
-		sub := sub
-		cands = append(cands, engine.Candidate{
-			Label:    sub.ID,
-			Accuracy: sub.Top1,
-			Build: func() (*graph.Graph, error) {
-				return nn.OFAResNet(sub, 224, 224)
-			},
-		})
+// OFACandidateSeq enumerates the Once-For-All ResNet-50 subnet ladder
+// (the paper's Fig. 13) as a push generator.
+func OFACandidateSeq() (string, engine.CandidateSeq, error) {
+	seq := func(yield func(engine.Candidate) bool) {
+		for _, sub := range nn.OFACatalog() {
+			sub := sub
+			ok := yield(engine.Candidate{
+				Label:    sub.ID,
+				Accuracy: sub.Top1,
+				Build: func() (*graph.Graph, error) {
+					return nn.OFAResNet(sub, 224, 224)
+				},
+			})
+			if !ok {
+				return
+			}
+		}
 	}
-	return "OFA-ResNet-50", cands, nil
+	return "OFA-ResNet-50", seq, nil
+}
+
+// OFACandidates materializes OFACandidateSeq into a slice.
+func OFACandidates() (string, []engine.Candidate, error) {
+	model, seq, err := OFACandidateSeq()
+	if err != nil {
+		return "", nil, err
+	}
+	return model, engine.CollectSeq(seq), nil
+}
+
+// OFACatalogStream builds the Once-For-All ResNet-50 switching catalog
+// through the streaming pipeline, with stats.
+func OFACatalogStream(ctx context.Context, backend engine.CostBackend, workers int) (*rdd.Catalog, engine.StreamStats, error) {
+	model, seq, err := OFACandidateSeq()
+	if err != nil {
+		return nil, engine.StreamStats{}, err
+	}
+	return streamCatalog(ctx, model, seq, backend, workers)
 }
 
 // OFACatalog builds the Once-For-All ResNet-50 switching catalog on the
 // backend.
 func OFACatalog(backend engine.CostBackend, workers int) (*rdd.Catalog, error) {
-	model, cands, err := OFACandidates()
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(backend, workers).Catalog(model, cands)
+	cat, _, err := OFACatalogStream(context.Background(), backend, workers)
+	return cat, err
 }

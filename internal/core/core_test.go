@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -265,5 +266,109 @@ func TestGoldenEquivalence(t *testing.T) {
 			}
 			assertCatalogsIdentical(t, want, got)
 		})
+	}
+}
+
+// TestStreamingMatchesBatchAllBuilders proves, for every one of the five
+// catalog builders, that the streaming pipeline — generator candidates,
+// concurrent costing in arrival order, FLOPs-proxy pre-filtering,
+// incremental frontier reduction — produces a byte-identical catalog to
+// the batch path (materialized candidate slice, ordered parallel sweep,
+// batch Pareto reduction), and that the stream's accounting balances:
+// every generated candidate is either pre-filtered or costed.
+func TestStreamingMatchesBatchAllBuilders(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name    string
+		backend engine.CostBackend
+		cands   func() (string, []engine.Candidate, error)
+		stream  func() (*rdd.Catalog, engine.StreamStats, error)
+	}{
+		{
+			name:    "SegFormer",
+			backend: TargetAcceleratorE(),
+			cands:   func() (string, []engine.Candidate, error) { return SegFormerCandidates("ADE", 256) },
+			stream: func() (*rdd.Catalog, engine.StreamStats, error) {
+				return SegFormerCatalogStream(ctx, "ADE", TargetAcceleratorE(), 256, 0)
+			},
+		},
+		{
+			name:    "SegFormerRetrained",
+			backend: TargetGPU(),
+			cands:   func() (string, []engine.Candidate, error) { return SegFormerRetrainedCandidates("City") },
+			stream: func() (*rdd.Catalog, engine.StreamStats, error) {
+				return SegFormerRetrainedCatalogStream(ctx, "City", TargetGPU(), 0)
+			},
+		},
+		{
+			name:    "Swin",
+			backend: TargetGPU(),
+			cands:   func() (string, []engine.Candidate, error) { return SwinCandidates("Tiny", 256) },
+			stream: func() (*rdd.Catalog, engine.StreamStats, error) {
+				return SwinCatalogStream(ctx, "Tiny", TargetGPU(), 256, 0)
+			},
+		},
+		{
+			name:    "SwinRetrained",
+			backend: TargetAcceleratorE(),
+			cands:   func() (string, []engine.Candidate, error) { return SwinRetrainedCandidates() },
+			stream: func() (*rdd.Catalog, engine.StreamStats, error) {
+				return SwinRetrainedCatalogStream(ctx, TargetAcceleratorE(), 0)
+			},
+		},
+		{
+			name:    "OFA",
+			backend: TargetAcceleratorEEnergy(),
+			cands:   func() (string, []engine.Candidate, error) { return OFACandidates() },
+			stream: func() (*rdd.Catalog, engine.StreamStats, error) {
+				return OFACatalogStream(ctx, TargetAcceleratorEEnergy(), 0)
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			model, cands, err := tc.cands()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := engine.New(tc.backend, 0).Catalog(model, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := tc.stream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertCatalogsIdentical(t, want, got)
+			if st.Generated != int64(len(cands)) {
+				t.Errorf("generated %d candidates, want %d", st.Generated, len(cands))
+			}
+			if st.Generated != st.Prefiltered+st.Costed {
+				t.Errorf("stream accounting does not balance: %+v", st)
+			}
+			if st.Admitted < int64(len(got.Paths)) {
+				t.Errorf("admitted %d < %d frontier paths", st.Admitted, len(got.Paths))
+			}
+		})
+	}
+}
+
+// TestFineSweepPrefilterRate pins the headline saving of the streaming
+// pipeline: on a fine-step SegFormer sweep, at least 20% of generated
+// candidates must be pre-filtered by the FLOPs-proxy admission check
+// before any backend costing — while the catalog stays byte-identical to
+// the batch build (checked above and in TestGoldenEquivalence).
+func TestFineSweepPrefilterRate(t *testing.T) {
+	_, st, err := SegFormerCatalogStream(context.Background(), "ADE", TargetAcceleratorE(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generated < 1000 {
+		t.Fatalf("fine sweep generated only %d candidates", st.Generated)
+	}
+	if rate := st.PrefilterRate(); rate < 0.20 {
+		t.Errorf("prefilter rate %.3f (%d/%d), want >= 0.20", rate, st.Prefiltered, st.Generated)
+	}
+	if st.Generated != st.Prefiltered+st.Costed {
+		t.Errorf("stream accounting does not balance: %+v", st)
 	}
 }

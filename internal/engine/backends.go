@@ -18,6 +18,10 @@ func GPU(dev gpu.Device) CostBackend { return gpuBackend{dev: dev} }
 
 func (b gpuBackend) Name() string { return "gpu/" + b.dev.Name }
 
+// FLOPsMonotone: the latency model is roofline-shaped, so time ordering
+// tracks FLOPs once graphs differ by more than the default margin.
+func (gpuBackend) FLOPsMonotone() bool { return true }
+
 func (b gpuBackend) Cost(g *graph.Graph) (float64, error) {
 	return b.dev.Run(g).Total * 1e3, nil
 }
@@ -44,6 +48,9 @@ func (b magnetBackend) Name() string {
 	return "magnet-time/" + b.cfg.Name
 }
 
+// FLOPsMonotone: simulated time and energy are dominated by MAC counts.
+func (magnetBackend) FLOPsMonotone() bool { return true }
+
 func (b magnetBackend) Cost(g *graph.Graph) (float64, error) {
 	r, err := b.cfg.Simulate(g)
 	if err != nil {
@@ -69,6 +76,9 @@ type magnetMultiBackend struct {
 func MagnetTimeEnergy(cfg magnet.Config) MultiCostBackend { return magnetMultiBackend{cfg: cfg} }
 
 func (b magnetMultiBackend) Name() string { return "magnet-multi/" + b.cfg.Name }
+
+// FLOPsMonotone: see magnetBackend.
+func (magnetMultiBackend) FLOPsMonotone() bool { return true }
 
 // Metrics names the vector components: time in milliseconds, then energy
 // in millijoules.
@@ -100,6 +110,9 @@ type flopsBackend struct{}
 func FLOPs() CostBackend { return flopsBackend{} }
 
 func (flopsBackend) Name() string { return "flops-proxy" }
+
+// FLOPsMonotone: cost IS the FLOPs count, so the pre-filter is exact.
+func (flopsBackend) FLOPsMonotone() bool { return true }
 
 func (flopsBackend) Cost(g *graph.Graph) (float64, error) {
 	return float64(g.TotalMACs()) / 1e9, nil

@@ -97,11 +97,15 @@ type Candidate struct {
 	Build    func() (*graph.Graph, error)
 }
 
-// Result is one costed candidate.
+// Result is one costed candidate. Err is always nil in the slice-based
+// Sweep APIs (they return the error instead); in SweepStream, where
+// results flow on a channel as they complete, a candidate's failure
+// travels in-band here.
 type Result struct {
 	Label    string
 	Cost     float64
 	Accuracy float64
+	Err      error
 }
 
 // Engine sweeps candidate sets over one backend with a bounded worker

@@ -1,0 +1,376 @@
+package engine
+
+// This file is the streaming counterpart of Sweep/Catalog: candidates
+// flow through a channel, are costed as they arrive, and are reduced into
+// a pareto.FrontierBuilder immediately — no intermediate []Candidate,
+// []Result or []rdd.Path of the full sweep is ever materialized, and a
+// FLOPs-proxy admission pre-filter can skip the expensive backend for
+// candidates that are provably dominated already.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vitdyn/internal/pareto"
+	"vitdyn/internal/rdd"
+)
+
+// CandidateSeq is a push generator of candidates — the streaming
+// equivalent of a []Candidate. It must call yield once per candidate and
+// stop when yield returns false. The function type matches
+// iter.Seq[Candidate], so it supports range-over-func directly.
+type CandidateSeq = func(yield func(Candidate) bool)
+
+// CollectSeq materializes a generator into a slice — the bridge from the
+// streaming builders back to the slice-based Sweep APIs.
+func CollectSeq(seq CandidateSeq) []Candidate {
+	var out []Candidate
+	seq(func(c Candidate) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// StreamStats counts candidates through the streaming catalog pipeline:
+//
+//	generate → pre-filter → cost → frontier
+//
+// Generated counts every candidate that entered the pipeline; Prefiltered
+// the ones discarded by the FLOPs-proxy admission filter before any
+// backend evaluation; Costed the ones priced on the backend (so
+// Generated == Prefiltered + Costed); Admitted the costed results that
+// were non-dominated at the moment they reached the frontier builder
+// (later arrivals may still evict them).
+type StreamStats struct {
+	Generated   int64 `json:"generated"`
+	Prefiltered int64 `json:"prefiltered"`
+	Costed      int64 `json:"costed"`
+	Admitted    int64 `json:"admitted"`
+}
+
+// Add accumulates other into st.
+func (st *StreamStats) Add(other StreamStats) {
+	st.Generated += other.Generated
+	st.Prefiltered += other.Prefiltered
+	st.Costed += other.Costed
+	st.Admitted += other.Admitted
+}
+
+// PrefilterRate returns Prefiltered/Generated — the fraction of the sweep
+// whose backend evaluation the admission filter saved — or 0 before any
+// candidate was generated.
+func (st StreamStats) PrefilterRate() float64 {
+	if st.Generated == 0 {
+		return 0
+	}
+	return float64(st.Prefiltered) / float64(st.Generated)
+}
+
+// globalStream accumulates the stats of every completed CatalogStream in
+// the process, behind the cmd binaries' -stream-stats flag (mirroring how
+// SetDefaultCache serves their -cache flag).
+var globalStream struct {
+	generated, prefiltered, costed, admitted atomic.Int64
+}
+
+// GlobalStreamStats returns the process-wide accumulated stats of every
+// streaming catalog built so far.
+func GlobalStreamStats() StreamStats {
+	return StreamStats{
+		Generated:   globalStream.generated.Load(),
+		Prefiltered: globalStream.prefiltered.Load(),
+		Costed:      globalStream.costed.Load(),
+		Admitted:    globalStream.admitted.Load(),
+	}
+}
+
+func addGlobalStream(st StreamStats) {
+	globalStream.generated.Add(st.Generated)
+	globalStream.prefiltered.Add(st.Prefiltered)
+	globalStream.costed.Add(st.Costed)
+	globalStream.admitted.Add(st.Admitted)
+}
+
+// DefaultPrefilterMargin is the relative FLOPs slack granted to a
+// candidate before the admission filter declares it dominated: a
+// candidate is skipped only when a seen candidate matches its accuracy at
+// under 1/(1+margin) of its FLOPs. The margin absorbs backend
+// non-monotonicity in FLOPs (memory-bound layers make time and energy
+// track FLOPs only approximately). 0.4 is conservative for every shipped
+// backend — the GPU latency model, the least FLOPs-monotone of them,
+// diverges from the FLOPs ordering only below ~0.3 separation on the
+// shipped sweeps — keeping streamed catalogs byte-identical to batch ones
+// (internal/core's golden tests pin this on every model family) while
+// still pruning ~30% of a fine-step SegFormer sweep before costing.
+const DefaultPrefilterMargin = 0.4
+
+// FLOPsMonotone is an optional CostBackend marker: a backend implements
+// it (returning true) to declare that its cost ordering agrees with the
+// analytic FLOPs ordering whenever two graphs' FLOPs differ by more than
+// DefaultPrefilterMargin — the assumption the admission pre-filter rests
+// on. Every shipped backend (GPU latency, MAGNet time/energy/multi,
+// FLOPs proxy) declares it; arbitrary user backends (a cloud billing
+// table, a bandwidth-bound latency model) do not, so by default they
+// cost every candidate rather than risk silently dropping frontier paths
+// on a proxy that does not predict them.
+type FLOPsMonotone interface {
+	FLOPsMonotone() bool
+}
+
+// StreamOptions tunes CatalogStream.
+type StreamOptions struct {
+	// PrefilterMargin controls the FLOPs-proxy admission pre-filter.
+	// Positive enables it with that relative margin; negative disables
+	// it entirely (every candidate is costed). Zero — the default —
+	// enables it at DefaultPrefilterMargin only for backends declaring
+	// FLOPsMonotone, and disables it for all others. Larger margins are
+	// safer (skip less), smaller ones prune more aggressively.
+	PrefilterMargin float64
+}
+
+// resolveMargin maps the option to the effective margin for a backend
+// (negative = pre-filter disabled).
+func (o StreamOptions) resolveMargin(backend CostBackend) float64 {
+	if o.PrefilterMargin != 0 {
+		return o.PrefilterMargin
+	}
+	if fm, ok := backend.(FLOPsMonotone); ok && fm.FLOPsMonotone() {
+		return DefaultPrefilterMargin
+	}
+	return -1
+}
+
+// SweepStream costs candidates as they arrive on in, fanning the work
+// across the engine's worker pool, and emits one Result per candidate on
+// the returned channel in completion order — not input order; use Sweep
+// when deterministic ordering matters. A candidate's failure travels
+// in-band in Result.Err (the stream keeps going). The output channel
+// closes once in is closed and every in-flight candidate has drained, or
+// once ctx is cancelled.
+func (e *Engine) SweepStream(ctx context.Context, in <-chan Candidate) <-chan Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan Result)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var c Candidate
+				var ok bool
+				select {
+				case <-ctx.Done():
+					return
+				case c, ok = <-in:
+					if !ok {
+						return
+					}
+				}
+				r := Result{Label: c.Label, Accuracy: c.Accuracy}
+				if g, err := c.Build(); err != nil {
+					r.Err = fmt.Errorf("candidate %q: %w", c.Label, err)
+				} else if cost, err := e.Cost(g); err != nil {
+					r.Err = fmt.Errorf("candidate %q: %w", c.Label, err)
+				} else {
+					r.Cost = cost
+				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// CatalogStream consumes a candidate stream and reduces it directly to a
+// Pareto-frontier RDD catalog:
+//
+//	generate → pre-filter → cost → frontier
+//
+// Each worker builds an arriving candidate's graph, consults the running
+// FLOPs/accuracy admission frontier — a candidate whose optimistic
+// (FLOPs-proxy cost, accuracy) point is dominated with margin by an
+// already-seen candidate is discarded before the expensive backend runs —
+// then costs the survivors on the backend and inserts them into the
+// frontier builder as they complete. Because the Pareto-optimal subset of
+// a point set is order-independent and the final frontier is sorted
+// deterministically, the resulting catalog is byte-identical to the batch
+// Catalog over the same candidates (the golden tests in internal/core
+// prove this per model family), while dominated candidates cost no memory
+// and — when the pre-filter catches them — no backend work.
+//
+// The caller must close in (or cancel ctx) for CatalogStream to return.
+// On a candidate failure the first error observed wins — unlike Sweep's
+// deterministic lowest-index error, completion order decides — and the
+// pipeline shuts down early: workers stop pulling and an internal cancel
+// releases them. The producer must watch ctx on its sends (as
+// CatalogFromSeq's generator pump does), or it may be left blocked on an
+// abandoned channel.
+func (e *Engine) CatalogStream(ctx context.Context, model string, in <-chan Candidate, opts StreamOptions) (*rdd.Catalog, StreamStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	margin := opts.resolveMargin(e.backend)
+
+	// cctx aborts the workers on the first candidate failure; external
+	// cancellation arrives through it too (it descends from ctx).
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		generated, prefiltered, costed, admitted atomic.Int64
+
+		admissionMu sync.Mutex
+		admission   pareto.FrontierBuilder
+
+		frontierMu sync.Mutex
+		frontier   pareto.FrontierBuilder
+
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstEr = err })
+		failed.Store(true)
+		cancel()
+	}
+
+	process := func(c Candidate) error {
+		generated.Add(1)
+		if c.Accuracy < 0 || c.Accuracy > 1 {
+			return fmt.Errorf("candidate %q: accuracy %v outside [0,1]", c.Label, c.Accuracy)
+		}
+		g, err := c.Build()
+		if err != nil {
+			return fmt.Errorf("candidate %q: %w", c.Label, err)
+		}
+		if margin >= 0 {
+			pt := pareto.Point{Cost: float64(g.TotalMACs()) / 1e9, Value: c.Accuracy, Tag: c.Label}
+			admissionMu.Lock()
+			dominated := admission.DominatedWithMargin(pt, margin)
+			if !dominated {
+				admission.Insert(pt)
+			}
+			admissionMu.Unlock()
+			if dominated {
+				prefiltered.Add(1)
+				return nil
+			}
+		}
+		cost, err := e.Cost(g)
+		if err != nil {
+			return fmt.Errorf("candidate %q: %w", c.Label, err)
+		}
+		costed.Add(1)
+		p := rdd.Path{Label: c.Label, Cost: cost, Accuracy: c.Accuracy}
+		if err := rdd.ValidatePath(p); err != nil {
+			return err
+		}
+		frontierMu.Lock()
+		ok := frontier.Insert(pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label})
+		frontierMu.Unlock()
+		if ok {
+			admitted.Add(1)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var c Candidate
+				var ok bool
+				select {
+				case <-cctx.Done():
+					return
+				case c, ok = <-in:
+					if !ok {
+						return
+					}
+				}
+				if failed.Load() {
+					return
+				}
+				if err := process(c); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := StreamStats{
+		Generated:   generated.Load(),
+		Prefiltered: prefiltered.Load(),
+		Costed:      costed.Load(),
+		Admitted:    admitted.Load(),
+	}
+	if failed.Load() {
+		return nil, st, firstEr
+	}
+	// ctx, not cctx: the internal cancel fires on failure (handled above)
+	// and on normal return; only external expiry is a context error.
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+	cat, err := rdd.NewCatalogFromBuilder(model, &frontier)
+	if err != nil {
+		return nil, st, err
+	}
+	addGlobalStream(st)
+	return cat, st, nil
+}
+
+// CatalogFromSeq runs CatalogStream over a candidate generator: the
+// generator is pumped into the pipeline from its own goroutine, so
+// candidate enumeration overlaps pre-filtering and costing, and stops
+// early — at the generator's next yield — when ctx is cancelled or a
+// candidate fails.
+func (e *Engine) CatalogFromSeq(ctx context.Context, model string, seq CandidateSeq, opts StreamOptions) (*rdd.Catalog, StreamStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// gctx stops the generator once the pipeline bails: on candidate
+	// failure CatalogStream returns with its workers gone, and cancelling
+	// here makes the generator's next yield return false instead of
+	// enumerating (and handing off) the rest of the sweep.
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	in := make(chan Candidate)
+	go func() {
+		defer close(in)
+		seq(func(c Candidate) bool {
+			select {
+			case in <- c:
+				return true
+			case <-gctx.Done():
+				return false
+			}
+		})
+	}()
+	cat, st, err := e.CatalogStream(gctx, model, in, opts)
+	if err != nil {
+		cancel()
+		// Release the generator goroutine (it observes gctx at its next
+		// blocked send) and drain whatever it already emitted.
+		for range in {
+		}
+	}
+	return cat, st, err
+}

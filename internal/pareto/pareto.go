@@ -1,6 +1,13 @@
 // Package pareto provides small multi-objective frontier utilities used to
 // assemble the paper's tradeoff curves (Figs. 6, 10, 11, 12, 13): minimizing
 // cost (time, energy) while maximizing quality (accuracy, throughput).
+//
+// Two reduction modes share one implementation: the batch Frontier function
+// over a materialized point slice, and the incremental FrontierBuilder,
+// which learns on every Insert whether a point is dominated — the primitive
+// behind the streaming catalog pipeline, where dominated candidates are
+// discarded (or never even costed) without holding the full candidate set
+// in memory.
 package pareto
 
 import "sort"
@@ -15,32 +22,15 @@ type Point struct {
 
 // Frontier returns the Pareto-optimal subset: points for which no other
 // point has cost <= and value >= with at least one strict inequality.
-// The result is sorted by ascending cost. Duplicate-metric points are kept
-// (ties are not dominated).
+// The result is sorted by ascending cost (ties broken by descending value,
+// then tag, so the output is deterministic regardless of input order).
+// Duplicate-metric points are kept (ties are not dominated).
 func Frontier(points []Point) []Point {
-	out := make([]Point, 0, len(points))
-	for i, p := range points {
-		dominated := false
-		for j, q := range points {
-			if i == j {
-				continue
-			}
-			if q.Cost <= p.Cost && q.Value >= p.Value && (q.Cost < p.Cost || q.Value > p.Value) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, p)
-		}
+	b := NewFrontierBuilder()
+	for _, p := range points {
+		b.Insert(p)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Cost != out[j].Cost {
-			return out[i].Cost < out[j].Cost
-		}
-		return out[i].Value > out[j].Value
-	})
-	return out
+	return b.Frontier()
 }
 
 // Dominates reports whether a dominates b (weakly better on both axes,
@@ -65,4 +55,107 @@ func BestValueUnderCost(points []Point, budget float64) (Point, bool) {
 		}
 	}
 	return best, found
+}
+
+// FrontierBuilder maintains a Pareto frontier incrementally: Insert one
+// point at a time and learn immediately whether it is dominated, without
+// retaining any dominated point. The running frontier is kept sorted by
+// ascending cost, so dominance checks and insertions are O(log n) searches
+// plus slice surgery — inserting n points costs O(n log n) overall versus
+// the batch function's O(n²) pairwise scan.
+//
+// The invariant after every Insert: points are sorted by strictly
+// non-decreasing cost AND value, and two resident points with equal cost
+// have equal value (ties are kept — they do not dominate each other).
+//
+// The zero value is an empty builder ready for use. A FrontierBuilder is
+// not safe for concurrent use; callers sharing one across goroutines (the
+// streaming sweep does) must serialize access.
+type FrontierBuilder struct {
+	pts []Point
+}
+
+// NewFrontierBuilder returns an empty builder.
+func NewFrontierBuilder() *FrontierBuilder { return &FrontierBuilder{} }
+
+// Len returns the number of currently non-dominated points.
+func (b *FrontierBuilder) Len() int { return len(b.pts) }
+
+// groupEnd returns the index of the first resident point with cost > c
+// (equivalently: one past the last point with cost <= c).
+func (b *FrontierBuilder) groupEnd(c float64) int {
+	return sort.Search(len(b.pts), func(i int) bool { return b.pts[i].Cost > c })
+}
+
+// Dominated reports whether p is dominated by the current frontier: some
+// resident point has cost <= and value >= with at least one strict
+// inequality. Metric ties are not dominated.
+func (b *FrontierBuilder) Dominated(p Point) bool {
+	// Value is non-decreasing in cost across the frontier, so the best
+	// value among points with cost <= p.Cost sits at the last of them.
+	i := b.groupEnd(p.Cost) - 1
+	if i < 0 {
+		return false
+	}
+	q := b.pts[i]
+	return q.Value > p.Value || (q.Value == p.Value && q.Cost < p.Cost)
+}
+
+// DominatedWithMargin reports whether some resident point beats p's value
+// at a cost lower by more than the relative margin — q.Value >= p.Value
+// and q.Cost*(1+margin) < p.Cost. It is the streaming pipeline's admission
+// pre-filter: with cost measured on a cheap proxy (FLOPs), a point
+// dominated even after granting it the margin is dominated on any real
+// backend whose cost ordering agrees with the proxy to within that margin,
+// so the expensive backend evaluation can be skipped. Metric ties are
+// never margin-dominated (the strict cost gap excludes them).
+func (b *FrontierBuilder) DominatedWithMargin(p Point, margin float64) bool {
+	i := sort.Search(len(b.pts), func(i int) bool { return b.pts[i].Cost*(1+margin) >= p.Cost }) - 1
+	return i >= 0 && b.pts[i].Value >= p.Value
+}
+
+// Insert adds p to the frontier unless it is dominated, evicting any
+// resident points p dominates. It reports whether p was admitted.
+func (b *FrontierBuilder) Insert(p Point) bool {
+	if b.Dominated(p) {
+		return false
+	}
+	// Points dominated by p occupy a contiguous run: they have cost >=
+	// p.Cost (value non-decreasing with cost puts them right after p's
+	// insertion position) and value <= p.Value, excluding exact metric
+	// ties, which are kept.
+	lo := sort.Search(len(b.pts), func(i int) bool { return b.pts[i].Cost >= p.Cost })
+	hi := lo
+	for hi < len(b.pts) && b.pts[hi].Value <= p.Value &&
+		!(b.pts[hi].Cost == p.Cost && b.pts[hi].Value == p.Value) {
+		hi++
+	}
+	if lo == hi {
+		b.pts = append(b.pts, Point{})
+		copy(b.pts[lo+1:], b.pts[lo:])
+		b.pts[lo] = p
+		return true
+	}
+	b.pts[lo] = p
+	b.pts = append(b.pts[:lo+1], b.pts[hi:]...)
+	return true
+}
+
+// Frontier returns the current non-dominated set as a fresh slice, sorted
+// by ascending cost, ties broken by descending value then tag — the same
+// deterministic order as the batch Frontier function, independent of
+// insertion order.
+func (b *FrontierBuilder) Frontier() []Point {
+	out := make([]Point, len(b.pts))
+	copy(out, b.pts)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
 }

@@ -72,6 +72,114 @@ func TestBestValueUnderCost(t *testing.T) {
 	}
 }
 
+func TestFrontierBuilderIncremental(t *testing.T) {
+	b := NewFrontierBuilder()
+	if b.Len() != 0 || len(b.Frontier()) != 0 {
+		t.Fatal("fresh builder not empty")
+	}
+	if !b.Insert(Point{Cost: 2, Value: 2, Tag: "a"}) {
+		t.Error("first point must be admitted")
+	}
+	// Dominated: rejected, frontier unchanged.
+	if b.Insert(Point{Cost: 3, Value: 1, Tag: "dom"}) {
+		t.Error("dominated point admitted")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("frontier len %d after rejected insert", b.Len())
+	}
+	// Non-dominated on the cheap side.
+	if !b.Insert(Point{Cost: 1, Value: 1, Tag: "b"}) {
+		t.Error("cheaper lower-value point rejected")
+	}
+	// A dominating point evicts what it dominates ("a": cost 2 value 2).
+	if !b.Insert(Point{Cost: 1.5, Value: 2.5, Tag: "c"}) {
+		t.Error("dominating point rejected")
+	}
+	f := b.Frontier()
+	if len(f) != 2 || f[0].Tag != "b" || f[1].Tag != "c" {
+		t.Fatalf("frontier after eviction = %v, want [b c]", f)
+	}
+	// Exact metric ties are kept, in both directions.
+	if !b.Insert(Point{Cost: 1.5, Value: 2.5, Tag: "c2"}) {
+		t.Error("metric tie rejected")
+	}
+	if b.Len() != 3 {
+		t.Errorf("tie not retained: len %d", b.Len())
+	}
+}
+
+func TestFrontierBuilderDominatedQueries(t *testing.T) {
+	b := NewFrontierBuilder()
+	b.Insert(Point{Cost: 2, Value: 2, Tag: "mid"})
+	for _, tc := range []struct {
+		p    Point
+		want bool
+	}{
+		{Point{Cost: 3, Value: 2}, true},    // worse cost, equal value
+		{Point{Cost: 2, Value: 1}, true},    // equal cost, worse value
+		{Point{Cost: 2, Value: 2}, false},   // exact tie
+		{Point{Cost: 1, Value: 1}, false},   // cheaper
+		{Point{Cost: 3, Value: 3}, false},   // better value
+		{Point{Cost: 2.5, Value: 1}, true},  // strictly worse both
+		{Point{Cost: 1.9, Value: 2}, false}, // cheaper at equal value
+	} {
+		if got := b.Dominated(tc.p); got != tc.want {
+			t.Errorf("Dominated(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Margin: a point needs a cost gap beyond (1+margin) to be
+	// margin-dominated — 2*1.5 = 3, so cost 3 is NOT margin-dominated
+	// (strict inequality) but cost 3.01 is.
+	if b.DominatedWithMargin(Point{Cost: 3, Value: 2}, 0.5) {
+		t.Error("cost exactly at the margin boundary must not be margin-dominated")
+	}
+	if !b.DominatedWithMargin(Point{Cost: 3.01, Value: 2}, 0.5) {
+		t.Error("cost beyond the margin boundary must be margin-dominated")
+	}
+	if b.DominatedWithMargin(Point{Cost: 3.01, Value: 2.1}, 0.5) {
+		t.Error("higher-value point margin-dominated")
+	}
+	// A margin-dominated point is always plainly dominated too (the filter
+	// is strictly more conservative than dominance).
+	if b.DominatedWithMargin(Point{Cost: 2.0001, Value: 2}, 0.5) {
+		t.Error("margin filter fired inside the slack band")
+	}
+}
+
+// Property: the incremental builder agrees exactly with the batch
+// Frontier regardless of insertion order.
+func TestFrontierBuilderMatchesBatchQuick(t *testing.T) {
+	f := func(seeds []uint16, rot uint8) bool {
+		pts := make([]Point, 0, len(seeds))
+		for i, s := range seeds {
+			pts = append(pts, Point{
+				Cost:  float64(s%23) + 1,
+				Value: float64((s/23)%19) + 1,
+				Tag:   string(rune('a' + i%26)),
+			})
+		}
+		batch := Frontier(pts)
+		// Insert in a rotated order to decorrelate from input order.
+		b := NewFrontierBuilder()
+		for i := range pts {
+			b.Insert(pts[(i+int(rot))%max(1, len(pts))])
+		}
+		inc := b.Frontier()
+		if len(batch) != len(inc) {
+			return false
+		}
+		for i := range batch {
+			if batch[i] != inc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: frontier members are mutually non-dominating, every input point
 // is dominated by or equal to some frontier member, and the frontier is
 // sorted by cost with non-decreasing value going down in cost.

@@ -208,74 +208,97 @@ func ApplySwin(cfg nn.SwinConfig, imgH, imgW int, p SwinPath) (*graph.Graph, err
 	return g, nil
 }
 
-// SegFormerSweep enumerates the joint sweep the paper explores for Fig. 10:
-// trailing-block bypass per stage combined with Conv2DFuse/Conv2DPred
-// channel reduction. Channel counts step in units of step (the paper prunes
-// in vector-width multiples).
-func SegFormerSweep(cfg nn.SegFormerConfig, step int) []SegFormerPath {
+// SegFormerSweepSeq enumerates the joint sweep the paper explores for
+// Fig. 10 — trailing-block bypass per stage combined with
+// Conv2DFuse/Conv2DPred channel reduction — as a push generator, so the
+// streaming catalog pipeline consumes configurations one at a time
+// without materializing the sweep. Channel counts step in units of step
+// (the paper prunes in vector-width multiples). Enumeration order is
+// deterministic; the generator stops when yield returns false.
+func SegFormerSweepSeq(cfg nn.SegFormerConfig, step int) func(yield func(SegFormerPath) bool) {
 	if step <= 0 {
 		step = 128
 	}
-	full := FullSegFormerPath(cfg)
-	var out []SegFormerPath
-	blockChoices := [][4]int{full.EncoderBlocks}
-	// Bypass up to one trailing block in each of stages 0-2 and up to two in
-	// the deepest-redundancy stage 2 (the combinations Table III exercises).
-	for _, d0 := range []int{0, 1} {
-		for _, d1 := range []int{0, 1} {
-			for _, d2 := range []int{0, 1} {
-				if d0 == 0 && d1 == 0 && d2 == 0 {
-					continue
+	return func(yield func(SegFormerPath) bool) {
+		full := FullSegFormerPath(cfg)
+		blockChoices := [][4]int{full.EncoderBlocks}
+		// Bypass up to one trailing block in each of stages 0-2 and up to two in
+		// the deepest-redundancy stage 2 (the combinations Table III exercises).
+		for _, d0 := range []int{0, 1} {
+			for _, d1 := range []int{0, 1} {
+				for _, d2 := range []int{0, 1} {
+					if d0 == 0 && d1 == 0 && d2 == 0 {
+						continue
+					}
+					b := full.EncoderBlocks
+					b[0] -= d0
+					b[1] -= d1
+					b[2] -= d2
+					if b[0] >= 1 && b[1] >= 1 && b[2] >= 1 {
+						blockChoices = append(blockChoices, b)
+					}
 				}
-				b := full.EncoderBlocks
-				b[0] -= d0
-				b[1] -= d1
-				b[2] -= d2
-				if b[0] >= 1 && b[1] >= 1 && b[2] >= 1 {
-					blockChoices = append(blockChoices, b)
+			}
+		}
+		for _, blocks := range blockChoices {
+			for fuse := 4 * cfg.DecoderDim; fuse >= cfg.DecoderDim/2; fuse -= step {
+				for _, pred := range []int{cfg.DecoderDim, cfg.DecoderDim - 32, cfg.DecoderDim - 64} {
+					p := SegFormerPath{
+						Label:           fmt.Sprintf("b%d%d%d%d-f%d-p%d", blocks[0], blocks[1], blocks[2], blocks[3], fuse, pred),
+						EncoderBlocks:   blocks,
+						FuseInCh:        fuse,
+						PredInCh:        pred,
+						DecodeLinear0Ch: cfg.EmbedDims[0],
+					}
+					if p.Validate(cfg) == nil && !yield(p) {
+						return
+					}
 				}
 			}
 		}
 	}
-	for _, blocks := range blockChoices {
-		for fuse := 4 * cfg.DecoderDim; fuse >= cfg.DecoderDim/2; fuse -= step {
-			for _, pred := range []int{cfg.DecoderDim, cfg.DecoderDim - 32, cfg.DecoderDim - 64} {
-				p := SegFormerPath{
-					Label:           fmt.Sprintf("b%d%d%d%d-f%d-p%d", blocks[0], blocks[1], blocks[2], blocks[3], fuse, pred),
-					EncoderBlocks:   blocks,
-					FuseInCh:        fuse,
-					PredInCh:        pred,
-					DecodeLinear0Ch: cfg.EmbedDims[0],
-				}
-				if p.Validate(cfg) == nil {
-					out = append(out, p)
-				}
-			}
-		}
+}
+
+// SegFormerSweep materializes SegFormerSweepSeq into a slice, for callers
+// that need the whole configuration set at once.
+func SegFormerSweep(cfg nn.SegFormerConfig, step int) []SegFormerPath {
+	var out []SegFormerPath
+	for p := range SegFormerSweepSeq(cfg, step) {
+		out = append(out, p)
 	}
 	return out
 }
 
-// SwinSweep enumerates stage-2/3 block bypass with fpn channel reduction.
-func SwinSweep(cfg nn.SwinConfig, step int) []SwinPath {
+// SwinSweepSeq enumerates stage-2/3 block bypass with fpn channel
+// reduction as a push generator (see SegFormerSweepSeq).
+func SwinSweepSeq(cfg nn.SwinConfig, step int) func(yield func(SwinPath) bool) {
 	if step <= 0 {
 		step = 256
 	}
-	var out []SwinPath
-	for s2 := cfg.Depths[2]; s2 >= cfg.Depths[2]-3 && s2 >= 1; s2-- {
-		for s3 := cfg.Depths[3]; s3 >= 1; s3-- {
-			for fpn := 4 * cfg.DecoderChannels; fpn >= 2*cfg.DecoderChannels; fpn -= step {
-				p := SwinPath{
-					Label:           fmt.Sprintf("s2_%d-s3_%d-f%d", s2, s3, fpn),
-					Stage2Blocks:    s2,
-					Stage3Blocks:    s3,
-					FPNBottleneckCh: fpn,
-				}
-				if p.Validate(cfg) == nil {
-					out = append(out, p)
+	return func(yield func(SwinPath) bool) {
+		for s2 := cfg.Depths[2]; s2 >= cfg.Depths[2]-3 && s2 >= 1; s2-- {
+			for s3 := cfg.Depths[3]; s3 >= 1; s3-- {
+				for fpn := 4 * cfg.DecoderChannels; fpn >= 2*cfg.DecoderChannels; fpn -= step {
+					p := SwinPath{
+						Label:           fmt.Sprintf("s2_%d-s3_%d-f%d", s2, s3, fpn),
+						Stage2Blocks:    s2,
+						Stage3Blocks:    s3,
+						FPNBottleneckCh: fpn,
+					}
+					if p.Validate(cfg) == nil && !yield(p) {
+						return
+					}
 				}
 			}
 		}
+	}
+}
+
+// SwinSweep materializes SwinSweepSeq into a slice.
+func SwinSweep(cfg nn.SwinConfig, step int) []SwinPath {
+	var out []SwinPath
+	for p := range SwinSweepSeq(cfg, step) {
+		out = append(out, p)
 	}
 	return out
 }

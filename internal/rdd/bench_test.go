@@ -1,0 +1,87 @@
+package rdd
+
+import (
+	"fmt"
+	"testing"
+
+	"vitdyn/internal/pareto"
+)
+
+// benchCatalog builds a constructor-made catalog with an n-point frontier
+// (costs and accuracies strictly increasing, so nothing is dominated).
+func benchCatalog(b *testing.B, n int) *Catalog {
+	b.Helper()
+	paths := make([]Path, n)
+	for i := range paths {
+		paths[i] = Path{
+			Label:    fmt.Sprintf("p%03d", i),
+			Cost:     1 + float64(i),
+			Accuracy: float64(i+1) / float64(n+1),
+		}
+	}
+	c, err := NewCatalog("bench", paths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkCatalogSelect measures the per-frame selection primitive —
+// Simulate's hot loop calls it once per trace frame. Select scans Paths
+// directly and must run allocation-free (0 allocs/op); before this
+// change every call rebuilt a []pareto.Point.
+func BenchmarkCatalogSelect(b *testing.B) {
+	c := benchCatalog(b, 64)
+	budget := c.Full().Cost * 0.75
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Select(budget); !ok {
+			b.Fatal("selection failed")
+		}
+	}
+}
+
+// selectRebuilding is the pre-change implementation — rebuild the point
+// slice on every call, then reduce — kept here as the baseline the
+// allocation-free Select is measured against.
+func selectRebuilding(c *Catalog, budget float64) (Path, bool) {
+	pts := make([]pareto.Point, len(c.Paths))
+	for i, p := range c.Paths {
+		pts[i] = pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label}
+	}
+	best, ok := pareto.BestValueUnderCost(pts, budget)
+	if !ok {
+		return Path{}, false
+	}
+	return Path{Label: best.Tag, Cost: best.Cost, Accuracy: best.Value}, true
+}
+
+// BenchmarkCatalogSelectRebuilding is the old per-call-allocation
+// selection, for the delta in benchmark reports.
+func BenchmarkCatalogSelectRebuilding(b *testing.B) {
+	c := benchCatalog(b, 64)
+	budget := c.Full().Cost * 0.75
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := selectRebuilding(c, budget); !ok {
+			b.Fatal("selection failed")
+		}
+	}
+}
+
+// BenchmarkSimulate replays a full synthetic trace — the end-to-end path
+// the Select optimization serves.
+func BenchmarkSimulate(b *testing.B) {
+	c := benchCatalog(b, 64)
+	tr := SinusoidTrace(1000, c.Cheapest().Cost, c.Full().Cost*1.1, 120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.Simulate(tr)
+		if res.Completed == 0 {
+			b.Fatal("no frames completed")
+		}
+	}
+}

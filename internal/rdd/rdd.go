@@ -31,23 +31,46 @@ type Catalog struct {
 	Paths []Path
 }
 
+// ValidatePath checks a path's metrics: positive cost, accuracy in [0,1].
+// Both catalog constructors and the streaming pipeline apply it to every
+// candidate they admit.
+func ValidatePath(p Path) error {
+	if p.Cost <= 0 {
+		return fmt.Errorf("rdd: path %q has non-positive cost", p.Label)
+	}
+	if p.Accuracy < 0 || p.Accuracy > 1 {
+		return fmt.Errorf("rdd: path %q accuracy %v outside [0,1]", p.Label, p.Accuracy)
+	}
+	return nil
+}
+
 // NewCatalog builds a catalog, dropping Pareto-dominated paths so lookups
 // are over the efficient frontier only.
 func NewCatalog(model string, paths []Path) (*Catalog, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("rdd: catalog %q needs at least one path", model)
 	}
-	pts := make([]pareto.Point, 0, len(paths))
+	b := pareto.NewFrontierBuilder()
 	for _, p := range paths {
-		if p.Cost <= 0 {
-			return nil, fmt.Errorf("rdd: path %q has non-positive cost", p.Label)
+		if err := ValidatePath(p); err != nil {
+			return nil, err
 		}
-		if p.Accuracy < 0 || p.Accuracy > 1 {
-			return nil, fmt.Errorf("rdd: path %q accuracy %v outside [0,1]", p.Label, p.Accuracy)
-		}
-		pts = append(pts, pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label})
+		b.Insert(pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label})
 	}
-	frontier := pareto.Frontier(pts)
+	return NewCatalogFromBuilder(model, b)
+}
+
+// NewCatalogFromBuilder builds a catalog directly from an incrementally
+// reduced frontier — the streaming construction path, where candidates
+// were inserted (and dominated ones discarded) as they were costed, so no
+// intermediate []Path of the full sweep ever exists. The resulting catalog
+// is identical to NewCatalog over the same point set: same frontier, same
+// deterministic order, same per-path validation.
+func NewCatalogFromBuilder(model string, b *pareto.FrontierBuilder) (*Catalog, error) {
+	if b.Len() == 0 {
+		return nil, fmt.Errorf("rdd: catalog %q needs at least one path", model)
+	}
+	frontier := b.Frontier()
 	c := &Catalog{Model: model}
 	seen := map[string]bool{}
 	for _, f := range frontier {
@@ -55,7 +78,11 @@ func NewCatalog(model string, paths []Path) (*Catalog, error) {
 			continue
 		}
 		seen[f.Tag] = true
-		c.Paths = append(c.Paths, Path{Label: f.Tag, Cost: f.Cost, Accuracy: f.Value})
+		p := Path{Label: f.Tag, Cost: f.Cost, Accuracy: f.Value}
+		if err := ValidatePath(p); err != nil {
+			return nil, err
+		}
+		c.Paths = append(c.Paths, p)
 	}
 	return c, nil
 }
@@ -68,17 +95,25 @@ func (c *Catalog) Cheapest() Path { return c.Paths[0] }
 
 // Select returns the most accurate path whose cost fits the budget, and
 // false when even the cheapest path exceeds it (the frame must be skipped).
-// Selection is input-independent, as in the paper.
+// Selection is input-independent, as in the paper. The scan runs directly
+// over Paths with pareto.BestValueUnderCost's exact semantics (highest
+// accuracy under budget, ties to the cheaper path, first-seen on exact
+// ties) — it allocates nothing, which matters because Simulate calls it
+// once per trace frame, and always reads the current Paths, so catalogs
+// assembled or mutated by hand select correctly too.
 func (c *Catalog) Select(budget float64) (Path, bool) {
-	pts := make([]pareto.Point, len(c.Paths))
-	for i, p := range c.Paths {
-		pts[i] = pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label}
+	best := Path{}
+	found := false
+	for _, p := range c.Paths {
+		if p.Cost > budget {
+			continue
+		}
+		if !found || p.Accuracy > best.Accuracy || (p.Accuracy == best.Accuracy && p.Cost < best.Cost) {
+			best = p
+			found = true
+		}
 	}
-	best, ok := pareto.BestValueUnderCost(pts, budget)
-	if !ok {
-		return Path{}, false
-	}
-	return Path{Label: best.Tag, Cost: best.Cost, Accuracy: best.Value}, true
+	return best, found
 }
 
 // Trace is a sequence of per-frame resource budgets (in the same units as
@@ -126,20 +161,41 @@ func (r *lcg) next() float64 {
 }
 
 // BurstyTrace returns a trace that spends roughly busyFrac of its frames in
-// a contended state with only lo budget, and hi budget otherwise.
+// a contended state with only lo budget, and hi budget otherwise: a
+// two-state chain entering contention with per-frame probability k·busyFrac
+// and leaving it with k·(1-busyFrac), whose stationary contended fraction
+// is exactly busyFrac. k is scaled so the larger flip probability is 0.2
+// (mean burst lengths of ~5+ frames) and neither ever exceeds 1 — the
+// naive 0.2·busyFrac/(1-busyFrac) entry probability saturates above
+// busyFrac ≈ 0.83 and its denominator blows up at 1. busyFrac <= 0 yields
+// an uncontended (all-hi) trace and busyFrac >= 1 a fully contended
+// (all-lo) one.
 func BurstyTrace(frames int, lo, hi, busyFrac float64, seed uint64) Trace {
-	r := lcg(seed)
 	tr := make(Trace, frames)
+	if busyFrac <= 0 || busyFrac >= 1 {
+		budget := hi
+		if busyFrac >= 1 {
+			budget = lo
+		}
+		for i := range tr {
+			tr[i] = budget
+		}
+		return tr
+	}
+	r := lcg(seed)
 	contended := false
+	k := 0.2 / math.Max(busyFrac, 1-busyFrac)
+	enterProb := k * busyFrac
+	leaveProb := k * (1 - busyFrac)
 	for i := range tr {
 		// Flip state with probability tuned to the target duty cycle.
 		u := r.next()
 		if contended {
-			if u < 0.2 {
+			if u < leaveProb {
 				contended = false
 			}
 		} else {
-			if u < 0.2*busyFrac/math.Max(1e-9, 1-busyFrac) {
+			if u < enterProb {
 				contended = true
 			}
 		}

@@ -1,8 +1,11 @@
 package rdd
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
+
+	"vitdyn/internal/pareto"
 )
 
 func testCatalog(t *testing.T) *Catalog {
@@ -112,6 +115,118 @@ func TestTraces(t *testing.T) {
 	// Defaulted parameters do not panic.
 	if len(SinusoidTrace(10, 1, 2, 0)) != 10 || len(StepTrace(10, 1, 2, 0)) != 10 {
 		t.Error("default-period traces wrong length")
+	}
+}
+
+// TestBurstyTraceDutyCycle pins the contended-frame fraction to busyFrac:
+// the two-state chain's stationary contended probability is exactly
+// busyFrac, so over a long trace the realized fraction must sit near it
+// for any seed.
+func TestBurstyTraceDutyCycle(t *testing.T) {
+	const frames = 20000
+	for _, busy := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for _, seed := range []uint64{1, 7, 42} {
+			tr := BurstyTrace(frames, 1, 5, busy, seed)
+			contended := 0
+			for _, v := range tr {
+				if v == 1 {
+					contended++
+				}
+			}
+			frac := float64(contended) / frames
+			if math.Abs(frac-busy) > 0.05 {
+				t.Errorf("busyFrac=%.1f seed=%d: contended fraction %.3f off by more than 0.05", busy, seed, frac)
+			}
+		}
+	}
+}
+
+// TestBurstyTraceDegenerateDutyCycles: busyFrac at or beyond the [0,1]
+// endpoints must not blow up the flip-probability division — the trace
+// degenerates to all-contended (>= 1) or all-uncontended (<= 0).
+func TestBurstyTraceDegenerateDutyCycles(t *testing.T) {
+	for _, busy := range []float64{1, 1.5, math.Inf(1)} {
+		for i, v := range BurstyTrace(100, 1, 5, busy, 3) {
+			if v != 1 {
+				t.Fatalf("busyFrac=%v frame %d = %v, want all-contended lo budget", busy, i, v)
+			}
+		}
+	}
+	for _, busy := range []float64{0, -0.5, math.Inf(-1)} {
+		for i, v := range BurstyTrace(100, 1, 5, busy, 3) {
+			if v != 5 {
+				t.Fatalf("busyFrac=%v frame %d = %v, want all-uncontended hi budget", busy, i, v)
+			}
+		}
+	}
+}
+
+// TestNewCatalogFromBuilder: streaming construction (points inserted one
+// at a time into a FrontierBuilder) yields exactly the catalog the batch
+// constructor builds from the equivalent path slice.
+func TestNewCatalogFromBuilder(t *testing.T) {
+	paths := []Path{
+		{Label: "full", Cost: 3.9, Accuracy: 0.4651},
+		{Label: "dom", Cost: 4.2, Accuracy: 0.40}, // dominated
+		{Label: "B2a", Cost: 3.4, Accuracy: 0.4565},
+		{Label: "B2f", Cost: 1.6, Accuracy: 0.3345},
+	}
+	want, err := NewCatalog("m", paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert in a different order than the slice to prove order-independence.
+	b := pareto.NewFrontierBuilder()
+	for _, i := range []int{2, 0, 3, 1} {
+		b.Insert(pareto.Point{Cost: paths[i].Cost, Value: paths[i].Accuracy, Tag: paths[i].Label})
+	}
+	got, err := NewCatalogFromBuilder("m", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("builder catalog has %d paths, want %d", len(got.Paths), len(want.Paths))
+	}
+	for i := range want.Paths {
+		if got.Paths[i] != want.Paths[i] {
+			t.Errorf("path %d: %+v != %+v", i, got.Paths[i], want.Paths[i])
+		}
+	}
+	// Empty builder and invalid frontier points are rejected.
+	if _, err := NewCatalogFromBuilder("m", pareto.NewFrontierBuilder()); err == nil {
+		t.Error("empty builder accepted")
+	}
+	bad := pareto.NewFrontierBuilder()
+	bad.Insert(pareto.Point{Cost: -1, Value: 0.5, Tag: "neg"})
+	if _, err := NewCatalogFromBuilder("m", bad); err == nil {
+		t.Error("non-positive cost accepted from builder")
+	}
+}
+
+// TestSelectOnHandAssembledCatalog: a Catalog literal (no constructor)
+// and an in-place mutated one must both select over the current Paths.
+func TestSelectOnHandAssembledCatalog(t *testing.T) {
+	c := &Catalog{Model: "hand", Paths: []Path{
+		{Label: "cheap", Cost: 1, Accuracy: 0.3},
+		{Label: "full", Cost: 3, Accuracy: 0.5},
+	}}
+	if p, ok := c.Select(2); !ok || p.Label != "cheap" {
+		t.Errorf("hand-assembled Select -> %v %v", p, ok)
+	}
+	if p, ok := c.Select(5); !ok || p.Label != "full" {
+		t.Errorf("hand-assembled Select ample budget -> %v %v", p, ok)
+	}
+	// Mutating Paths in place (e.g. rescaling cost units) must be honored
+	// immediately — Select holds no stale precomputed state.
+	built := testCatalog(t)
+	for i := range built.Paths {
+		built.Paths[i].Cost *= 10
+	}
+	if _, ok := built.Select(5); ok {
+		t.Error("Select honored stale pre-mutation costs")
+	}
+	if p, ok := built.Select(40); !ok || p.Label != "full" {
+		t.Errorf("Select after rescale -> %v %v", p, ok)
 	}
 }
 

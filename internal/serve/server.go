@@ -62,7 +62,10 @@ func (o Options) withDefaults() Options {
 
 // Server is the vitdynd HTTP serving layer: JSON endpoints over the
 // catalog builders and profilers, every sweep engine wired to one shared
-// Store so repeated or overlapping requests are near-free.
+// Store so repeated or overlapping requests are near-free. Catalogs are
+// built through the streaming pipeline (generate → pre-filter → cost →
+// frontier); the server accumulates every request's StreamStats, exposed
+// in /statsz.
 type Server struct {
 	opts  Options
 	mux   *http.ServeMux
@@ -73,6 +76,12 @@ type Server struct {
 	active   atomic.Int64 // requests currently in flight
 	sweeps   atomic.Int64 // catalog sweeps completed
 	rejected atomic.Int64 // sweeps that timed out waiting for a slot
+
+	// streaming-pipeline totals across every catalog built by this server
+	streamGenerated   atomic.Int64
+	streamPrefiltered atomic.Int64
+	streamCosted      atomic.Int64
+	streamAdmitted    atomic.Int64
 }
 
 // NewServer builds a server over the options (see Options for the
@@ -88,8 +97,29 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
 	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	return s
+}
+
+// addStreamStats folds one catalog build's pipeline counters into the
+// server totals.
+func (s *Server) addStreamStats(st engine.StreamStats) {
+	s.streamGenerated.Add(st.Generated)
+	s.streamPrefiltered.Add(st.Prefiltered)
+	s.streamCosted.Add(st.Costed)
+	s.streamAdmitted.Add(st.Admitted)
+}
+
+// StreamStats returns the accumulated streaming-pipeline counters of
+// every catalog this server has built.
+func (s *Server) StreamStats() engine.StreamStats {
+	return engine.StreamStats{
+		Generated:   s.streamGenerated.Load(),
+		Prefiltered: s.streamPrefiltered.Load(),
+		Costed:      s.streamCosted.Load(),
+		Admitted:    s.streamAdmitted.Load(),
+	}
 }
 
 // Store returns the server's shared cost store.
@@ -146,6 +176,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statszResponse struct {
 	Store  StoreStats  `json:"store"`
 	Server serverStats `json:"server"`
+	Stream streamStats `json:"stream"`
 }
 
 type serverStats struct {
@@ -159,8 +190,18 @@ type serverStats struct {
 	StoreHitRate    float64 `json:"store_hit_rate"`
 }
 
+// streamStats is the /statsz view of the streaming catalog pipeline:
+// the engine counters plus the derived pre-filter rate (the fraction of
+// generated candidates whose backend evaluation the FLOPs-proxy admission
+// filter saved).
+type streamStats struct {
+	engine.StreamStats
+	PrefilterRate float64 `json:"prefilter_rate"`
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st := s.opts.Store.Stats()
+	stream := s.StreamStats()
 	writeJSON(w, http.StatusOK, statszResponse{
 		Store: st,
 		Server: serverStats{
@@ -173,6 +214,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			UptimeMS:        time.Since(s.start).Milliseconds(),
 			StoreHitRate:    st.HitRate(),
 		},
+		Stream: streamStats{StreamStats: stream, PrefilterRate: stream.PrefilterRate()},
 	})
 }
 
@@ -240,19 +282,21 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 }
 
 // CatalogRequest names one catalog build: an execution-path family plus
-// its sweep parameters. It is decoded from /v1/catalog query parameters.
+// its sweep parameters. It is decoded from /v1/catalog query parameters,
+// or from a /v1/batch JSON body item.
 type CatalogRequest struct {
-	Family  string // segformer | segformer-retrained | swin | swin-retrained | ofa
-	Dataset string // segformer families: ADE (default) or City
-	Variant string // swin: Tiny (default), Small, Base
-	Step    int    // pruning sweeps: channel step (0 = family default)
-	Backend string // see ResolveBackend
-	Workers int    // per-request worker budget (0 = server default)
+	Family  string `json:"family"`            // segformer | segformer-retrained | swin | swin-retrained | ofa
+	Dataset string `json:"dataset,omitempty"` // segformer families: ADE (default) or City
+	Variant string `json:"variant,omitempty"` // swin: Tiny (default), Small, Base
+	Step    int    `json:"step,omitempty"`    // pruning sweeps: channel step (0 = family default)
+	Backend string `json:"backend,omitempty"` // see ResolveBackend
+	Workers int    `json:"workers,omitempty"` // per-request worker budget (0 = server default)
 }
 
-// Candidates resolves the request to a catalog name and candidate list
-// via the core builders.
-func (cr CatalogRequest) Candidates() (string, []engine.Candidate, error) {
+// Seq resolves the request to a catalog name and candidate generator via
+// the core builders — the streaming form the server feeds into
+// engine.CatalogFromSeq.
+func (cr CatalogRequest) Seq() (string, engine.CandidateSeq, error) {
 	dataset := cr.Dataset
 	if dataset == "" {
 		dataset = "ADE"
@@ -263,17 +307,27 @@ func (cr CatalogRequest) Candidates() (string, []engine.Candidate, error) {
 	}
 	switch cr.Family {
 	case "segformer":
-		return core.SegFormerCandidates(dataset, cr.Step)
+		return core.SegFormerCandidateSeq(dataset, cr.Step)
 	case "segformer-retrained":
-		return core.SegFormerRetrainedCandidates(dataset)
+		return core.SegFormerRetrainedCandidateSeq(dataset)
 	case "swin":
-		return core.SwinCandidates(variant, cr.Step)
+		return core.SwinCandidateSeq(variant, cr.Step)
 	case "swin-retrained":
-		return core.SwinRetrainedCandidates()
+		return core.SwinRetrainedCandidateSeq()
 	case "ofa":
-		return core.OFACandidates()
+		return core.OFACandidateSeq()
 	}
 	return "", nil, fmt.Errorf("unknown family %q (want segformer, segformer-retrained, swin, swin-retrained, ofa)", cr.Family)
+}
+
+// Candidates resolves the request to a catalog name and materialized
+// candidate list — the slice form, retained for batch-sweep callers.
+func (cr CatalogRequest) Candidates() (string, []engine.Candidate, error) {
+	model, seq, err := cr.Seq()
+	if err != nil {
+		return "", nil, err
+	}
+	return model, engine.CollectSeq(seq), nil
 }
 
 // CatalogPath is one Pareto-frontier path in a catalog response.
@@ -378,7 +432,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	model, cands, err := req.Candidates()
+	model, seq, err := req.Seq()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -392,13 +446,113 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	defer s.releaseSweepSlot()
 
 	eng := engine.NewWithCache(backend, s.workerBudget(req.Workers), s.opts.Store)
-	cat, err := eng.CatalogCtx(ctx, model, cands)
+	cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
+	s.addStreamStats(st)
 	if err != nil {
 		writeError(w, httpStatusFor(err), "catalog %s: %v", model, err)
 		return
 	}
 	s.sweeps.Add(1)
 	writeJSON(w, http.StatusOK, CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name())))
+}
+
+// BatchRequest is the POST /v1/batch body: many catalog specs priced in
+// one round trip, fanned out through the server's shared cost store so
+// overlapping sweeps (trace-replay clients re-pricing a model zoo) reuse
+// each other's costed shapes without per-request HTTP overhead.
+type BatchRequest struct {
+	// Requests are the catalog specs; per-item Workers is ignored in
+	// favor of the batch-wide budget below.
+	Requests []CatalogRequest `json:"requests"`
+	// Workers is the batch-wide worker budget (0 = server default,
+	// clamped to the server cap), split between item-level fan-out and
+	// each item's sweep pool so the batch's total concurrency never
+	// exceeds it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResult is one /v1/batch item outcome: the catalog, or the error
+// that prevented it (items fail independently; the batch itself still
+// succeeds).
+type BatchResult struct {
+	Catalog *CatalogResponse `json:"catalog,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch body: one result per request, in
+// request order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// handleBatch prices many catalog specs in one request. The batch
+// occupies a single server-wide sweep slot and stays inside the request's
+// worker budget: the budget is split between item-level fan-out and each
+// item's sweep pool (fan × per-item workers <= budget), every engine
+// sharing the server store so identical shapes across items are costed
+// once.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body of catalog specs to /v1/batch")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: want requests=[{family: ...}, ...]")
+		return
+	}
+
+	ctx := r.Context()
+	if err := s.acquireSweepSlot(ctx); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer s.releaseSweepSlot()
+
+	workers := s.workerBudget(req.Workers)
+	// Split the budget so the batch never exceeds it in total: up to fan
+	// items in flight, each sweeping with workers/fan goroutines.
+	fan := workers
+	if len(req.Requests) < fan {
+		fan = len(req.Requests)
+	}
+	perItem := workers / fan
+	results := make([]BatchResult, len(req.Requests))
+	// Item errors land in their result slot, so ForEachCtx only ever sees
+	// the context expiring — that aborts the remaining items.
+	err := engine.ForEachCtx(ctx, fan, len(req.Requests), func(i int) error {
+		item := req.Requests[i]
+		backend, err := ResolveBackend(item.Backend)
+		if err != nil {
+			results[i] = BatchResult{Error: err.Error()}
+			return nil
+		}
+		model, seq, err := item.Seq()
+		if err != nil {
+			results[i] = BatchResult{Error: err.Error()}
+			return nil
+		}
+		eng := engine.NewWithCache(backend, perItem, s.opts.Store)
+		cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
+		s.addStreamStats(st)
+		if err != nil {
+			results[i] = BatchResult{Error: fmt.Sprintf("catalog %s: %v", model, err)}
+			return nil
+		}
+		s.sweeps.Add(1)
+		resp := CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name()))
+		results[i] = BatchResult{Catalog: &resp}
+		return nil
+	})
+	if err != nil {
+		writeError(w, httpStatusFor(err), "batch: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
 // BuildModel maps a /v1/profile model spec to a graph:
@@ -526,12 +680,18 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// ListenAndServe runs a server on addr until ctx is cancelled, then
-// drains in-flight requests (bounded by the request timeout) and
+// ListenAndServe runs a fresh server on addr until ctx is cancelled,
+// then drains in-flight requests (bounded by the request timeout) and
 // returns. onListen, if non-nil, is called with the bound address before
 // serving — callers use it to learn the port when addr ends in ":0".
 func ListenAndServe(ctx context.Context, addr string, opts Options, onListen func(net.Addr)) error {
-	srv := NewServer(opts)
+	return NewServer(opts).ListenAndServe(ctx, addr, onListen)
+}
+
+// ListenAndServe runs this server on addr until ctx is cancelled (see the
+// package-level ListenAndServe). Constructing the server first keeps its
+// counters — store, stream, request stats — readable after shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, onListen func(net.Addr)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -539,7 +699,7 @@ func ListenAndServe(ctx context.Context, addr string, opts Options, onListen fun
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {
@@ -547,7 +707,7 @@ func ListenAndServe(ctx context.Context, addr string, opts Options, onListen fun
 		return err
 	case <-ctx.Done():
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), srv.opts.RequestTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err

@@ -243,6 +243,158 @@ func TestHealthzAndStatsz(t *testing.T) {
 	}
 }
 
+// postJSON posts a JSON value and returns status and body.
+func postJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	req := BatchRequest{
+		Requests: []CatalogRequest{
+			{Family: "ofa", Backend: "flops"},
+			{Family: "swin-retrained", Backend: "flops"},
+			{Family: "segformer", Dataset: "ADE", Step: 512, Backend: "flops"},
+		},
+		Workers: 2,
+	}
+	status, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+	// Each item must match its single-request /v1/catalog body exactly.
+	for i, q := range []string{
+		"family=ofa&backend=flops",
+		"family=swin-retrained&backend=flops",
+		"family=segformer&dataset=ADE&step=512&backend=flops",
+	} {
+		if resp.Results[i].Error != "" || resp.Results[i].Catalog == nil {
+			t.Fatalf("item %d failed: %+v", i, resp.Results[i])
+		}
+		status, single := get(t, ts.URL+"/v1/catalog?"+q)
+		if status != http.StatusOK {
+			t.Fatalf("single request %d: status %d", i, status)
+		}
+		var want CatalogResponse
+		if err := json.Unmarshal(single, &want); err != nil {
+			t.Fatal(err)
+		}
+		got := *resp.Results[i].Catalog
+		if got.Model != want.Model || got.Backend != want.Backend || len(got.Paths) != len(want.Paths) {
+			t.Errorf("item %d diverges from single request: got %+v, want %+v", i, got, want)
+			continue
+		}
+		for j := range want.Paths {
+			if got.Paths[j] != want.Paths[j] {
+				t.Errorf("item %d path %d: %+v != %+v", i, j, got.Paths[j], want.Paths[j])
+			}
+		}
+	}
+	if srv.Store().Stats().Hits == 0 {
+		t.Error("batch items shared nothing through the store")
+	}
+	// The batch counted one sweep per successful item.
+	if got := srv.sweeps.Load(); got < 3 {
+		t.Errorf("sweeps counter %d after a 3-item batch", got)
+	}
+}
+
+func TestBatchEndpointPartialFailure(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := BatchRequest{Requests: []CatalogRequest{
+		{Family: "ofa", Backend: "flops"},
+		{Family: "nope", Backend: "flops"},
+		{Family: "segformer", Backend: "warp-drive"},
+	}}
+	status, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s (items fail independently)", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Catalog == nil {
+		t.Errorf("good item failed: %+v", resp.Results[0])
+	}
+	if !strings.Contains(resp.Results[1].Error, "unknown family") {
+		t.Errorf("bad family error = %q", resp.Results[1].Error)
+	}
+	if !strings.Contains(resp.Results[2].Error, "bad backend") && !strings.Contains(resp.Results[2].Error, "unknown backend") {
+		t.Errorf("bad backend error = %q", resp.Results[2].Error)
+	}
+}
+
+func TestBatchEndpointBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// GET is not allowed.
+	if status, _ := get(t, ts.URL+"/v1/batch"); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch status %d, want 405", status)
+	}
+	// Empty and malformed bodies are 400s.
+	if status, _ := postJSON(t, ts.URL+"/v1/batch", BatchRequest{}); status != http.StatusBadRequest {
+		t.Errorf("empty batch status %d, want 400", status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatszStreamSection(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	// A fine-step SegFormer sweep exercises the pre-filter.
+	if status, _ := get(t, ts.URL+"/v1/catalog?family=segformer&dataset=ADE&step=64&backend=flops"); status != http.StatusOK {
+		t.Fatal("catalog request failed")
+	}
+	status, body := get(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	var stats statszResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	st := stats.Stream
+	if st.Generated == 0 {
+		t.Fatal("stream stats empty after a streamed catalog")
+	}
+	if st.Generated != st.Prefiltered+st.Costed {
+		t.Errorf("stream accounting does not balance: %+v", st)
+	}
+	if st.Prefiltered == 0 || st.PrefilterRate <= 0 {
+		t.Errorf("fine-step sweep pre-filtered nothing: %+v", st)
+	}
+	if got := srv.StreamStats(); got != st.StreamStats {
+		t.Errorf("statsz stream snapshot %+v diverges from StreamStats() %+v", st.StreamStats, got)
+	}
+}
+
 func TestRequestTimeoutReturns504(t *testing.T) {
 	// A timeout far smaller than any real sweep forces the catalog
 	// request to die on its context deadline.

@@ -1,0 +1,188 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON artifact and, when a baseline artifact is supplied, prints a
+// per-benchmark delta table — the piece CI uses to persist a
+// BENCH_<sha>.json per run and report benchmark drift against the
+// previous run.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x ./... | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_abc123.json [-baseline BENCH_prev.json]
+//
+// A missing or unreadable baseline is not an error (the first run of a
+// repository has nothing to compare against); the tool notes it and
+// still writes the artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result row, e.g.
+//
+//	BenchmarkSweepParallel-8   	       5	 223456789 ns/op	  1234 B/op	  56 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// extraMetric matches trailing per-op metrics, e.g. "1234 B/op".
+var extraMetric = regexp.MustCompile(`([0-9.]+) (\S+)/op`)
+
+// Result is one benchmark's parsed metrics.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"` // unit → value, e.g. "B": 1234
+}
+
+// Artifact is the JSON file layout: benchmark name → metrics.
+type Artifact struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "bench output file (default: stdin)")
+	out := fs.String("out", "", "JSON artifact to write (required)")
+	baseline := fs.String("baseline", "", "previous artifact to diff against (missing file = no delta, not an error)")
+	threshold := fs.Float64("threshold", 0.10, "relative ns/op change below which a delta is reported as ~unchanged")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "benchjson: -out is required")
+		return 2
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	art, err := Parse(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+		return 1
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson: wrote %d benchmarks to %s\n", len(art.Benchmarks), *out)
+
+	if *baseline == "" {
+		return 0
+	}
+	prevData, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stdout, "benchjson: no baseline (%v) — skipping delta\n", err)
+		return 0
+	}
+	var prev Artifact
+	if err := json.Unmarshal(prevData, &prev); err != nil {
+		fmt.Fprintf(stdout, "benchjson: unreadable baseline (%v) — skipping delta\n", err)
+		return 0
+	}
+	PrintDelta(stdout, prev, art, *threshold)
+	return 0
+}
+
+// Parse extracts benchmark rows from `go test -bench` output.
+func Parse(r io.Reader) (Artifact, error) {
+	art := Artifact{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters, NsPerOp: ns}
+		for _, em := range extraMetric.FindAllStringSubmatch(m[4], -1) {
+			if v, err := strconv.ParseFloat(em[1], 64); err == nil {
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[em[2]] = v
+			}
+		}
+		art.Benchmarks[m[1]] = res
+	}
+	return art, sc.Err()
+}
+
+// PrintDelta reports, benchmark by benchmark, how cur moved relative to
+// prev: relative ns/op change beyond threshold, plus added/removed
+// benchmarks. Output order is sorted for stable CI logs.
+func PrintDelta(w io.Writer, prev, cur Artifact, threshold float64) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "benchmark delta vs baseline (threshold ±%.0f%%):\n", 100*threshold)
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		p, ok := prev.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-50s new (%.0f ns/op)\n", name, c.NsPerOp)
+			continue
+		}
+		if p.NsPerOp <= 0 {
+			continue
+		}
+		rel := (c.NsPerOp - p.NsPerOp) / p.NsPerOp
+		switch {
+		case rel > threshold:
+			fmt.Fprintf(w, "  %-50s SLOWER %+.1f%% (%.0f → %.0f ns/op)\n", name, 100*rel, p.NsPerOp, c.NsPerOp)
+		case rel < -threshold:
+			fmt.Fprintf(w, "  %-50s faster %+.1f%% (%.0f → %.0f ns/op)\n", name, 100*rel, p.NsPerOp, c.NsPerOp)
+		default:
+			fmt.Fprintf(w, "  %-50s ~unchanged (%+.1f%%)\n", name, 100*rel)
+		}
+	}
+	removed := make([]string, 0)
+	for name := range prev.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "  %-50s removed\n", name)
+	}
+}

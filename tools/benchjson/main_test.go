@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: vitdyn/internal/rdd
+BenchmarkCatalogSelect-8         	    1000	        90.94 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCatalogSelectFallback-8 	    1000	      1191 ns/op	    2304 B/op	       1 allocs/op
+BenchmarkSimulate                	    1000	     65534 ns/op
+PASS
+ok  	vitdyn/internal/rdd	0.070s
+`
+
+func TestParse(t *testing.T) {
+	art, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(art.Benchmarks))
+	}
+	sel, ok := art.Benchmarks["BenchmarkCatalogSelect"]
+	if !ok {
+		t.Fatal("BenchmarkCatalogSelect missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if sel.Iterations != 1000 || sel.NsPerOp != 90.94 {
+		t.Errorf("parsed %+v", sel)
+	}
+	if sel.Extra["B"] != 0 || sel.Extra["allocs"] != 0 {
+		t.Errorf("extra metrics %+v", sel.Extra)
+	}
+	if fb := art.Benchmarks["BenchmarkCatalogSelectFallback"]; fb.Extra["B"] != 2304 || fb.Extra["allocs"] != 1 {
+		t.Errorf("fallback extra metrics %+v", fb.Extra)
+	}
+	// Rows without -N suffix parse too.
+	if sim := art.Benchmarks["BenchmarkSimulate"]; sim.NsPerOp != 65534 {
+		t.Errorf("BenchmarkSimulate %+v", sim)
+	}
+}
+
+func TestPrintDelta(t *testing.T) {
+	prev := Artifact{Benchmarks: map[string]Result{
+		"BenchmarkA":    {NsPerOp: 100},
+		"BenchmarkB":    {NsPerOp: 100},
+		"BenchmarkC":    {NsPerOp: 100},
+		"BenchmarkGone": {NsPerOp: 5},
+	}}
+	cur := Artifact{Benchmarks: map[string]Result{
+		"BenchmarkA":   {NsPerOp: 150}, // slower
+		"BenchmarkB":   {NsPerOp: 50},  // faster
+		"BenchmarkC":   {NsPerOp: 104}, // within threshold
+		"BenchmarkNew": {NsPerOp: 7},
+	}}
+	var out bytes.Buffer
+	PrintDelta(&out, prev, cur, 0.10)
+	s := out.String()
+	for _, want := range []string{
+		"BenchmarkA", "SLOWER +50.0%",
+		"BenchmarkB", "faster -50.0%",
+		"BenchmarkC", "~unchanged",
+		"BenchmarkNew", "new",
+		"BenchmarkGone", "removed",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("delta output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out1 := filepath.Join(dir, "BENCH_one.json")
+	var stdout, stderr bytes.Buffer
+
+	// First run: no baseline yet — must still succeed and write the artifact.
+	if code := run([]string{"-in", in, "-out", out1, "-baseline", filepath.Join(dir, "missing.json")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "skipping delta") {
+		t.Errorf("missing-baseline run did not note the skip: %s", stdout.String())
+	}
+	var art Artifact
+	data, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &art); err != nil || len(art.Benchmarks) != 3 {
+		t.Fatalf("artifact unreadable (%v) or wrong size %d", err, len(art.Benchmarks))
+	}
+
+	// Second run against the first artifact: prints a delta.
+	stdout.Reset()
+	out2 := filepath.Join(dir, "BENCH_two.json")
+	if code := run([]string{"-in", in, "-out", out2, "-baseline", out1}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "benchmark delta vs baseline") ||
+		!strings.Contains(stdout.String(), "~unchanged") {
+		t.Errorf("identical-input delta missing or wrong:\n%s", stdout.String())
+	}
+
+	// Degenerate inputs fail loudly.
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644)
+	if code := run([]string{"-in", empty, "-out", filepath.Join(dir, "x.json")}, &stdout, &stderr); code != 1 {
+		t.Errorf("empty input exit %d, want 1", code)
+	}
+	if code := run([]string{"-in", in}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing -out exit %d, want 2", code)
+	}
+}

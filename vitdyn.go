@@ -230,8 +230,26 @@ type ExecutionTarget = engine.CostBackend
 // SweepCandidate is one labeled execution path awaiting costing.
 type SweepCandidate = engine.Candidate
 
-// SweepResult is one costed candidate.
+// SweepCandidateSeq is a push generator of candidates — the streaming
+// equivalent of a []SweepCandidate, consumable with range-over-func.
+type SweepCandidateSeq = engine.CandidateSeq
+
+// SweepResult is one costed candidate. In streaming sweeps a candidate's
+// failure travels in-band in Err; slice-based sweeps return the error
+// instead and leave Err nil.
 type SweepResult = engine.Result
+
+// StreamStats counts candidates through the streaming catalog pipeline:
+// generated, pre-filtered before backend costing, costed, and admitted to
+// the running Pareto frontier.
+type StreamStats = engine.StreamStats
+
+// StreamOptions tunes the streaming pipeline — chiefly the FLOPs-proxy
+// admission pre-filter margin: positive enables it, negative disables,
+// and 0 (the default) enables it only for backends declaring
+// engine.FLOPsMonotone (all built-in backends do; custom backends cost
+// every candidate unless they opt in).
+type StreamOptions = engine.StreamOptions
 
 // SweepEngine fans candidate costing out across a worker pool with a
 // memoized, signature-keyed cost cache and deterministic result order.
@@ -307,8 +325,9 @@ func NewSweepEngineWithStore(backend CostBackend, workers int, store *CostStore)
 type ServeOptions = serve.Options
 
 // RDDServer is the HTTP serving layer behind the vitdynd daemon:
-// /v1/catalog, /v1/profile, /v1/backends, /healthz and /statsz over one
-// shared cost store.
+// /v1/catalog, /v1/batch, /v1/profile, /v1/backends, /healthz and
+// /statsz over one shared cost store, every catalog built through the
+// streaming pipeline.
 type RDDServer = serve.Server
 
 // NewRDDServer builds a server; mount its Handler() on any http.Server.
@@ -323,14 +342,23 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) error {
 
 // SegFormerRDDCatalog builds the pretrained-pruning catalog for SegFormer
 // B2 on "ADE" or "City". channelStep controls sweep granularity (0 for the
-// default). Construction is parallel across GOMAXPROCS workers; for
-// explicit worker control, sweep the corresponding *Candidates list with
+// default). Construction streams: candidates are generated, pre-filtered
+// against a FLOPs-proxy frontier, costed across GOMAXPROCS workers and
+// reduced incrementally — byte-identical to a batch build. For explicit
+// worker control, sweep the corresponding *Candidates list with
 // NewSweepEngine — e.g.
 //
 //	name, cands, _ := vitdyn.SegFormerSweepCandidates("ADE", 512)
 //	cat, err := vitdyn.NewSweepEngine(backend, 4).Catalog(name, cands)
 func SegFormerRDDCatalog(dataset string, target CostBackend, channelStep int) (*RDDCatalog, error) {
 	return core.SegFormerCatalog(dataset, target, channelStep, 0)
+}
+
+// SegFormerRDDCatalogStream is SegFormerRDDCatalog with the streaming
+// pipeline's counters: how many candidates were generated, pre-filtered
+// before any backend evaluation, costed, and admitted to the frontier.
+func SegFormerRDDCatalogStream(ctx context.Context, dataset string, target CostBackend, channelStep int) (*RDDCatalog, StreamStats, error) {
+	return core.SegFormerCatalogStream(ctx, dataset, target, channelStep, 0)
 }
 
 // SegFormerSweepCandidates enumerates the pretrained SegFormer B2
@@ -372,6 +400,11 @@ func SwinRDDCatalog(variant string, target CostBackend, channelStep int) (*RDDCa
 	return core.SwinCatalog(variant, target, channelStep, 0)
 }
 
+// SwinRDDCatalogStream is SwinRDDCatalog with stream stats.
+func SwinRDDCatalogStream(ctx context.Context, variant string, target CostBackend, channelStep int) (*RDDCatalog, StreamStats, error) {
+	return core.SwinCatalogStream(ctx, variant, target, channelStep, 0)
+}
+
 // SwinRetrainedRDDCatalog builds the Tiny/Small/Base switching catalog.
 func SwinRetrainedRDDCatalog(target CostBackend) (*RDDCatalog, error) {
 	return core.SwinRetrainedCatalog(target, 0)
@@ -380,6 +413,11 @@ func SwinRetrainedRDDCatalog(target CostBackend) (*RDDCatalog, error) {
 // OFARDDCatalog builds the Once-For-All ResNet-50 switching catalog.
 func OFARDDCatalog(target CostBackend) (*RDDCatalog, error) {
 	return core.OFACatalog(target, 0)
+}
+
+// OFARDDCatalogStream is OFARDDCatalog with stream stats.
+func OFARDDCatalogStream(ctx context.Context, target CostBackend) (*RDDCatalog, StreamStats, error) {
+	return core.OFACatalogStream(ctx, target, 0)
 }
 
 // SinusoidTrace, StepTrace and BurstyTrace generate synthetic resource
@@ -420,6 +458,21 @@ type ParetoPoint = pareto.Point
 
 // ParetoFrontier extracts the non-dominated subset.
 func ParetoFrontier(points []ParetoPoint) []ParetoPoint { return pareto.Frontier(points) }
+
+// ParetoFrontierBuilder maintains a frontier incrementally: insert a
+// point, learn immediately whether it is dominated, read the sorted
+// frontier on demand — the primitive behind streaming catalog reduction.
+type ParetoFrontierBuilder = pareto.FrontierBuilder
+
+// NewParetoFrontierBuilder returns an empty incremental frontier.
+func NewParetoFrontierBuilder() *ParetoFrontierBuilder { return pareto.NewFrontierBuilder() }
+
+// NewRDDCatalogFromBuilder builds a catalog directly from an
+// incrementally reduced frontier — identical to batch construction over
+// the same points, with no intermediate path slice.
+func NewRDDCatalogFromBuilder(model string, b *ParetoFrontierBuilder) (*RDDCatalog, error) {
+	return rdd.NewCatalogFromBuilder(model, b)
+}
 
 // ReportTable is an aligned text/CSV table.
 type ReportTable = report.Table

@@ -3,10 +3,16 @@
 # + the vitdynd daemon smoke test.
 
 GO ?= go
+# bench-json pipes `go test` through tee; pipefail keeps a crashed
+# benchmark run from exiting 0 and sneaking past the regression gate.
+SHELL := /bin/bash
 # Commit id stamped into the bench artifact name (bench-json target).
 SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # Previous artifact to diff against (missing file = no delta, not an error).
 BENCH_BASELINE ?= .benchcache/BENCH_latest.json
+# Bench-regression gate: fail bench-json when any benchmark regresses
+# more than this percent vs the baseline (warn-only when no baseline).
+BENCH_GATE ?= 25
 
 .PHONY: all build test race bench bench-json vet smoke ci clean
 
@@ -27,14 +33,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Persist the bench run as BENCH_<sha>.json and print a delta against
-# $(BENCH_BASELINE) when that file exists (CI caches it between runs).
+# Persist the bench run as BENCH_<sha>.json, print a delta against
+# $(BENCH_BASELINE) when that file exists (CI caches it between runs),
+# and fail when any benchmark regressed more than $(BENCH_GATE)%.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x ./... | tee bench.txt
-	$(GO) run ./tools/benchjson -in bench.txt -out BENCH_$(SHA).json -baseline $(BENCH_BASELINE)
+	set -o pipefail; $(GO) test -bench=. -benchtime=1x ./... | tee bench.txt
+	$(GO) run ./tools/benchjson -in bench.txt -out BENCH_$(SHA).json -baseline $(BENCH_BASELINE) -gate $(BENCH_GATE)
 
+# Static checks: go vet plus gofmt drift (a non-empty gofmt -l listing
+# fails the build).
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # Daemon smoke test: boots vitdynd on a random port, hits /healthz and
 # one /v1/profile, and shuts it down gracefully.

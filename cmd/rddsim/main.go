@@ -16,9 +16,17 @@
 //
 //	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N] [-cache N] [-stream-stats]
 //	rddsim -exp replay -trace bursty -frames 2000
+//	rddsim -exp replay -trace-spec '{"kind":"bursty","frames":2000,"busy_frac":0.4,"seed":7}'
+//
+// -trace-spec takes the same declarative TraceSpec JSON the vitdynd
+// /v1/replay endpoint consumes (kinds sinusoid, step, bursty, values);
+// specs that leave lo/hi unset replay on a catalog-relative budget
+// scale. The plain -trace/-frames flags are shorthands for the
+// equivalent specs.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	trace := fs.String("trace", "bursty", "replay trace: sinusoid, step, bursty")
 	frames := fs.Int("frames", 2000, "replay frame count")
+	traceSpec := fs.String("trace-spec", "", `replay trace as declarative JSON, e.g. '{"kind":"bursty","frames":2000,"busy_frac":0.4,"seed":7}' (overrides -trace/-frames; same format as /v1/replay)`)
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	cache := fs.Int("cache", 0, "shared cost-store capacity in entries, reused across all experiments of this run (0 = per-sweep caches only)")
 	streamStats := fs.Bool("stream-stats", false, "report the streaming catalog pipeline's generated/prefiltered/costed/admitted counters on stderr after the run")
@@ -76,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *exp == "replay" {
-		if err := replay(stdout, *trace, *frames, *workers); err != nil {
+		if err := replay(stdout, *trace, *traceSpec, *frames, *workers); err != nil {
 			fmt.Fprintf(stderr, "rddsim: %v\n", err)
 			return 1
 		}
@@ -164,33 +173,61 @@ func build(name string, workers int) (*report.Table, error) {
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }
 
-func replay(w io.Writer, traceKind string, frames, workers int) error {
+// replaySpec resolves the -trace/-trace-spec flags into one TraceSpec —
+// the same declarative format /v1/replay consumes. The legacy -trace
+// shorthands map to their equivalent specs, so both routes replay
+// identical traces.
+func replaySpec(traceKind, traceSpecJSON string, frames int) (rdd.TraceSpec, error) {
+	if traceSpecJSON != "" {
+		var spec rdd.TraceSpec
+		if err := json.Unmarshal([]byte(traceSpecJSON), &spec); err != nil {
+			return rdd.TraceSpec{}, fmt.Errorf("bad -trace-spec: %v", err)
+		}
+		return spec, nil
+	}
+	switch traceKind {
+	case "sinusoid":
+		return rdd.TraceSpec{Kind: "sinusoid", Frames: frames, Period: 120}, nil
+	case "step":
+		return rdd.TraceSpec{Kind: "step", Frames: frames, Stride: 60}, nil
+	case "bursty":
+		return rdd.TraceSpec{Kind: "bursty", Frames: frames, BusyFrac: 0.4, Seed: 7}, nil
+	}
+	return rdd.TraceSpec{}, fmt.Errorf("unknown trace %q (want sinusoid, step, bursty, or -trace-spec JSON)", traceKind)
+}
+
+func replay(w io.Writer, traceKind, traceSpecJSON string, frames, workers int) error {
+	// Parse the spec first: a malformed flag must fail instantly, not
+	// after paying for the catalog sweep.
+	spec, err := replaySpec(traceKind, traceSpecJSON, frames)
+	if err != nil {
+		return err
+	}
 	cat, err := core.SegFormerCatalog("ADE", core.TargetAcceleratorE(), 512, workers)
 	if err != nil {
 		return err
 	}
-	lo, hi := cat.Cheapest().Cost*1.05, cat.Full().Cost*1.05
-	var tr rdd.Trace
-	switch traceKind {
-	case "sinusoid":
-		tr = rdd.SinusoidTrace(frames, lo, hi, 120)
-	case "step":
-		tr = rdd.StepTrace(frames, lo, hi, 60)
-	case "bursty":
-		tr = rdd.BurstyTrace(frames, lo, hi, 0.4, 7)
-	default:
-		return fmt.Errorf("unknown trace %q (want sinusoid, step, bursty)", traceKind)
+	// Specs without explicit budgets replay on a catalog-relative scale.
+	spec = spec.WithBudgetScale(cat.DefaultBudgetScale())
+	tr, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	// An infeasible trace (even its peak budget below the cheapest path)
+	// is an explicit error, not a silent all-skipped table.
+	if _, err := cat.SelectStrict(tr.Max()); err != nil {
+		return err
 	}
 
 	dyn := cat.Simulate(tr)
-	stFull := rdd.SimulateStatic(cat.Full(), tr)
-	stWorst := rdd.SimulateStatic(cat.Cheapest(), tr)
+	stFull := cat.SimulateStatic(cat.Full(), tr)
+	stWorst := cat.SimulateStatic(cat.Cheapest(), tr)
 
 	t := report.NewTable(
-		fmt.Sprintf("RDD replay: SegFormer ADE B2 on accelerator E, %s trace, %d frames", traceKind, frames),
-		"Policy", "Completed", "Skipped", "MeanAcc", "EffAcc", "FullPath%")
+		fmt.Sprintf("RDD replay: SegFormer ADE B2 on accelerator E, %s trace, %d frames", spec.Kind, len(tr)),
+		"Policy", "Completed", "Skipped", "Switches", "MeanAcc", "EffAcc", "FullPath%")
 	add := func(name string, r rdd.SimResult) {
-		t.AddRowf(name, r.Completed, r.Skipped, r.MeanAccuracy, r.EffectiveAccuracy(), 100*r.FullPathShare)
+		t.AddRowf(name, r.Completed, r.Skipped, r.Switches, r.MeanAccuracy, r.EffectiveAccuracy(), 100*r.FullPathShare)
 	}
 	add("dynamic (RDD)", dyn)
 	add("static full", stFull)

@@ -77,6 +77,46 @@ func TestRunReplay(t *testing.T) {
 	}
 }
 
+func TestRunReplayTraceSpec(t *testing.T) {
+	// -trace-spec consumes the same declarative JSON the /v1/replay
+	// endpoint does; a spec equivalent to the legacy -trace flags must
+	// replay the identical trace, byte-for-byte on stdout.
+	var specOut, legacyOut, errb bytes.Buffer
+	spec := `{"kind":"bursty","frames":200,"busy_frac":0.4,"seed":7}`
+	if code := run([]string{"-exp", "replay", "-trace-spec", spec}, &specOut, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-exp", "replay", "-trace", "bursty", "-frames", "200"}, &legacyOut, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if specOut.String() != legacyOut.String() {
+		t.Errorf("-trace-spec output differs from equivalent legacy flags:\n%s\nvs:\n%s",
+			specOut.String(), legacyOut.String())
+	}
+	if !strings.Contains(specOut.String(), "Switches") {
+		t.Errorf("replay table missing Switches column:\n%s", specOut.String())
+	}
+}
+
+func TestRunReplayTraceSpecErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "replay", "-trace-spec", "{bad json"}, &out, &errb); code != 1 {
+		t.Errorf("bad JSON: exit code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "bad -trace-spec") {
+		t.Errorf("stderr missing diagnosis: %s", errb.String())
+	}
+	// A trace whose best budget sits below the cheapest path is an
+	// explicit error, not a silent all-skipped table.
+	errb.Reset()
+	if code := run([]string{"-exp", "replay", "-trace-spec", `{"kind":"values","values":[0.0001]}`}, &out, &errb); code != 1 {
+		t.Errorf("infeasible trace: exit code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "below cheapest path") {
+		t.Errorf("stderr missing infeasibility diagnosis: %s", errb.String())
+	}
+}
+
 func TestRunStreamStats(t *testing.T) {
 	// The replay experiment builds its catalog through the streaming
 	// pipeline; -stream-stats must report its counters on stderr without

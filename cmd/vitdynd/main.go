@@ -13,6 +13,8 @@
 //	                    Pareto path catalog (JSON), built streaming
 //	POST /v1/batch      many catalog specs in one request, fanned out
 //	                    through the shared cost store
+//	POST /v1/replay     catalog spec + declarative trace spec(s) →
+//	                    server-side RDD replay (SimResult per policy)
 //	GET /v1/profile     model, bytes, layers → analytical FLOPs profile
 //
 // Usage:

@@ -92,6 +92,58 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Errorf("profile GMACs = %v, want > 0", profile.GMACs)
 	}
 
+	// Server-side RDD replay round trip: a 64-frame bursty trace against
+	// the OFA catalog, all three default policies in one response.
+	replayBody := `{"catalog":{"family":"ofa","backend":"flops"},` +
+		`"trace":{"kind":"bursty","frames":64,"busy_frac":0.4,"seed":7}}`
+	resp, err = http.Post("http://"+addr+"/v1/replay", "application/json", strings.NewReader(replayBody))
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: %d %s", resp.StatusCode, body)
+	}
+	var replay struct {
+		Results []struct {
+			Frames   int `json:"frames"`
+			Policies []struct {
+				Policy string `json:"policy"`
+				Result struct {
+					Frames   int `json:"frames"`
+					Switches int `json:"switches"`
+				} `json:"result"`
+			} `json:"policies"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &replay); err != nil {
+		t.Fatalf("replay JSON: %v", err)
+	}
+	if len(replay.Results) != 1 || replay.Results[0].Frames != 64 {
+		t.Fatalf("replay results: %s", body)
+	}
+	if len(replay.Results[0].Policies) != 3 {
+		t.Fatalf("replay policies: %s", body)
+	}
+	for _, pol := range replay.Results[0].Policies {
+		if pol.Result.Frames != 64 {
+			t.Errorf("policy %s simulated %d frames, want 64", pol.Policy, pol.Result.Frames)
+		}
+		switch pol.Policy {
+		case "dynamic":
+			if pol.Result.Switches == 0 {
+				t.Error("dynamic policy reported zero switches on a bursty trace")
+			}
+		case "static-full", "static-cheapest":
+			if pol.Result.Switches != 0 {
+				t.Errorf("policy %s reported %d switches, want 0", pol.Policy, pol.Result.Switches)
+			}
+		default:
+			t.Errorf("unexpected policy %q", pol.Policy)
+		}
+	}
+
 	cancel()
 	select {
 	case code := <-exit:

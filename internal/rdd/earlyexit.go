@@ -84,6 +84,7 @@ func (m *EarlyExitModel) Simulate(tr Trace, seed uint64) SimResult {
 	r := lcg(seed)
 	res := SimResult{Frames: len(tr)}
 	var accSum, costSum float64
+	prevCost := math.NaN() // exits carry no label; cost identifies the depth
 	for _, budget := range tr {
 		u := r.next()
 		exit := m.Exits[len(m.Exits)-1]
@@ -97,6 +98,10 @@ func (m *EarlyExitModel) Simulate(tr Trace, seed uint64) SimResult {
 			res.Skipped++
 			continue
 		}
+		if res.Completed > 0 && exit.Cost != prevCost {
+			res.Switches++
+		}
+		prevCost = exit.Cost
 		res.Completed++
 		accSum += exit.Accuracy
 		costSum += exit.Cost

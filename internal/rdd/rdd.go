@@ -12,6 +12,7 @@
 package rdd
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -93,6 +94,16 @@ func (c *Catalog) Full() Path { return c.Paths[len(c.Paths)-1] }
 // Cheapest returns the least expensive path.
 func (c *Catalog) Cheapest() Path { return c.Paths[0] }
 
+// DefaultBudgetScale is the catalog-relative trace budget range every
+// replay entry point (rddsim -exp replay, /v1/replay) substitutes when
+// a TraceSpec leaves lo/hi unset: cheapest·1.05 to full·1.05, so the
+// trace spans "barely fits the cheapest path" to "everything fits".
+// One definition keeps the CLI and the server replaying byte-identical
+// traces.
+func (c *Catalog) DefaultBudgetScale() (lo, hi float64) {
+	return c.Cheapest().Cost * 1.05, c.Full().Cost * 1.05
+}
+
 // Select returns the most accurate path whose cost fits the budget, and
 // false when even the cheapest path exceeds it (the frame must be skipped).
 // Selection is input-independent, as in the paper. The scan runs directly
@@ -116,9 +127,58 @@ func (c *Catalog) Select(budget float64) (Path, bool) {
 	return best, found
 }
 
+// ErrBudgetInfeasible reports a budget below the catalog's cheapest
+// path: no execution path fits, so the frame (or the whole request, at
+// the serving layer) cannot run. Match with errors.Is.
+var ErrBudgetInfeasible = errors.New("budget below cheapest path")
+
+// BudgetError is the concrete ErrBudgetInfeasible: which catalog, the
+// offending budget, and the cheapest cost it failed to cover — enough
+// for an HTTP layer to render an actionable 4xx instead of a silent
+// zero-accuracy fallback.
+type BudgetError struct {
+	Model    string
+	Budget   float64
+	Cheapest float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("rdd: catalog %q: budget %v below cheapest path cost %v", e.Model, e.Budget, e.Cheapest)
+}
+
+// Is makes errors.Is(err, ErrBudgetInfeasible) match.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetInfeasible }
+
+// SelectStrict is Select with the infeasible case surfaced as an
+// explicit *BudgetError instead of a false that is easy to drop on the
+// floor. Callers replaying whole traces still use Select (a skipped
+// frame is normal there); callers answering a single budget query — the
+// serving layer in particular — should use SelectStrict and map the
+// error to a client-side failure.
+func (c *Catalog) SelectStrict(budget float64) (Path, error) {
+	p, ok := c.Select(budget)
+	if !ok {
+		return Path{}, &BudgetError{Model: c.Model, Budget: budget, Cheapest: c.Cheapest().Cost}
+	}
+	return p, nil
+}
+
 // Trace is a sequence of per-frame resource budgets (in the same units as
 // path costs).
 type Trace []float64
+
+// Max returns the largest budget in the trace (0 for an empty trace) —
+// the feasibility bound: a catalog whose cheapest path exceeds it can
+// never complete a frame.
+func (tr Trace) Max() float64 {
+	max := 0.0
+	for i, v := range tr {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
 
 // SinusoidTrace models a smoothly varying load: budget oscillates between
 // lo and hi over the given period (frames).
@@ -208,14 +268,27 @@ func BurstyTrace(frames int, lo, hi, busyFrac float64, seed uint64) Trace {
 	return tr
 }
 
-// SimResult summarizes replaying a trace through a policy.
+// SimResult summarizes replaying a trace through a policy. The JSON
+// form is what /v1/replay serves, so the field tags are part of the
+// serving API.
 type SimResult struct {
-	Frames        int
-	Completed     int     // frames where some path fit the budget
-	Skipped       int     // frames with no feasible path
-	MeanAccuracy  float64 // over completed frames
-	MeanCost      float64 // over completed frames
-	FullPathShare float64 // fraction of completed frames using the full path
+	Frames        int     `json:"frames"`
+	Completed     int     `json:"completed"`       // frames where some path fit the budget
+	Skipped       int     `json:"skipped"`         // frames with no feasible path
+	Switches      int     `json:"switches"`        // path changes between consecutive completed frames
+	MeanAccuracy  float64 `json:"mean_accuracy"`   // over completed frames
+	MeanCost      float64 `json:"mean_cost"`       // over completed frames
+	FullPathShare float64 `json:"full_path_share"` // fraction of completed frames using the full path
+}
+
+// SwitchRate is the fraction of completed-frame transitions that changed
+// path — 0 for a static policy or a single-path catalog, approaching 1
+// when the controller flips every frame.
+func (r SimResult) SwitchRate() float64 {
+	if r.Completed < 2 {
+		return 0
+	}
+	return float64(r.Switches) / float64(r.Completed-1)
 }
 
 // Simulate replays the trace with dynamic path selection.
@@ -224,12 +297,17 @@ func (c *Catalog) Simulate(tr Trace) SimResult {
 	full := c.Full()
 	var accSum, costSum float64
 	fullCount := 0
+	prevLabel := ""
 	for _, budget := range tr {
 		p, ok := c.Select(budget)
 		if !ok {
 			res.Skipped++
 			continue
 		}
+		if res.Completed > 0 && p.Label != prevLabel {
+			res.Switches++
+		}
+		prevLabel = p.Label
 		res.Completed++
 		accSum += p.Accuracy
 		costSum += p.Cost
@@ -248,7 +326,10 @@ func (c *Catalog) Simulate(tr Trace) SimResult {
 // SimulateStatic replays the trace always running one fixed path: frames
 // whose budget cannot fit it are skipped (accuracy 0 contribution is NOT
 // averaged in; Skipped counts them, mirroring the paper's "skip a frame and
-// perform no inference").
+// perform no inference"). With no catalog in sight, FullPathShare can only
+// approximate "the pinned path was the whole model" as "no frame was
+// skipped"; catalog-aware callers should prefer Catalog.SimulateStatic,
+// which knows whether the pin IS the full path.
 func SimulateStatic(p Path, tr Trace) SimResult {
 	res := SimResult{Frames: len(tr)}
 	for _, budget := range tr {
@@ -264,6 +345,23 @@ func SimulateStatic(p Path, tr Trace) SimResult {
 		if res.Skipped == 0 {
 			res.FullPathShare = 1
 		}
+	}
+	return res
+}
+
+// SimulateStatic replays the trace pinned to path p like the package
+// function, but with catalog context: FullPathShare is exactly the
+// documented "fraction of completed frames using the full path" — 1
+// when the pin is this catalog's full path and any frame completed, 0
+// otherwise — instead of the package-level "no frame skipped"
+// approximation (which reports 100% for a cheapest-path pin that never
+// touches the full model).
+func (c *Catalog) SimulateStatic(p Path, tr Trace) SimResult {
+	res := SimulateStatic(p, tr)
+	if res.Completed > 0 && p.Label == c.Full().Label {
+		res.FullPathShare = 1
+	} else {
+		res.FullPathShare = 0
 	}
 	return res
 }

@@ -1,0 +1,157 @@
+package rdd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TraceSpec is the declarative form of a resource-availability trace: a
+// generator kind plus its parameters, decodable from JSON. It is the one
+// trace format both the rddsim CLI (-trace-spec) and the vitdynd server
+// (/v1/replay) consume, so any trace shape is a payload rather than a
+// code change:
+//
+//	{"kind":"sinusoid","frames":2000,"lo":4,"hi":9,"period":120}
+//	{"kind":"step","frames":2000,"lo":4,"hi":9,"stride":60}
+//	{"kind":"bursty","frames":2000,"lo":4,"hi":9,"busy_frac":0.4,"seed":7}
+//	{"kind":"values","values":[5,5,8,3]}
+//
+// Lo and Hi are budgets in the same units as catalog path costs. When
+// both are zero the replay entry points substitute a catalog-relative
+// scale (see WithBudgetScale), so a spec can stay cost-unit agnostic.
+type TraceSpec struct {
+	Kind     string    `json:"kind"`
+	Frames   int       `json:"frames,omitempty"`
+	Lo       float64   `json:"lo,omitempty"`
+	Hi       float64   `json:"hi,omitempty"`
+	Period   int       `json:"period,omitempty"`    // sinusoid: frames per oscillation (0 = 100)
+	Stride   int       `json:"stride,omitempty"`    // step: frames per level (0 = 50)
+	BusyFrac float64   `json:"busy_frac,omitempty"` // bursty: stationary contended fraction
+	Seed     uint64    `json:"seed,omitempty"`      // bursty: deterministic LCG seed
+	Values   []float64 `json:"values,omitempty"`    // values: inline per-frame budgets
+}
+
+// TraceGenerator materializes a trace from a spec. Implementations
+// should validate the parameters they consume and return an error for
+// impossible ones rather than silently clamping.
+type TraceGenerator func(TraceSpec) (Trace, error)
+
+var (
+	traceMu    sync.RWMutex
+	traceKinds = map[string]TraceGenerator{}
+)
+
+// RegisterTraceKind adds (or replaces) a generator under a kind name,
+// extending what TraceSpec.Build can resolve — user code can register
+// workload-specific trace shapes next to the built-in sinusoid, step,
+// bursty and values kinds. Empty kinds and nil generators are rejected.
+func RegisterTraceKind(kind string, gen TraceGenerator) error {
+	if kind == "" {
+		return fmt.Errorf("rdd: trace kind must be non-empty")
+	}
+	if gen == nil {
+		return fmt.Errorf("rdd: trace kind %q needs a non-nil generator", kind)
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	traceKinds[kind] = gen
+	return nil
+}
+
+// TraceKinds lists every registered trace kind, sorted.
+func TraceKinds() []string {
+	traceMu.RLock()
+	defer traceMu.RUnlock()
+	kinds := make([]string, 0, len(traceKinds))
+	for k := range traceKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Build resolves the spec's kind through the generator registry and
+// materializes the trace.
+func (s TraceSpec) Build() (Trace, error) {
+	traceMu.RLock()
+	gen, ok := traceKinds[s.Kind]
+	traceMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rdd: unknown trace kind %q (registered: %v)", s.Kind, TraceKinds())
+	}
+	return gen(s)
+}
+
+// WithBudgetScale returns the spec with Lo/Hi substituted when both are
+// zero — the catalog-relative default the replay entry points apply so a
+// spec need not know the cost units of the catalog it replays against.
+// Specs with either bound set, and inline-values specs, pass through
+// unchanged.
+func (s TraceSpec) WithBudgetScale(lo, hi float64) TraceSpec {
+	if s.Kind == "values" || s.Lo != 0 || s.Hi != 0 {
+		return s
+	}
+	s.Lo, s.Hi = lo, hi
+	return s
+}
+
+// validateSynthetic checks the parameters every generated (non-inline)
+// kind shares.
+func (s TraceSpec) validateSynthetic() error {
+	if s.Frames <= 0 {
+		return fmt.Errorf("rdd: trace kind %q needs frames > 0 (got %d)", s.Kind, s.Frames)
+	}
+	if s.Lo < 0 || s.Hi < 0 {
+		return fmt.Errorf("rdd: trace kind %q budgets must be non-negative (lo=%v hi=%v)", s.Kind, s.Lo, s.Hi)
+	}
+	if s.Lo > s.Hi {
+		return fmt.Errorf("rdd: trace kind %q needs lo <= hi (lo=%v hi=%v)", s.Kind, s.Lo, s.Hi)
+	}
+	return nil
+}
+
+func init() {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(RegisterTraceKind("sinusoid", func(s TraceSpec) (Trace, error) {
+		if err := s.validateSynthetic(); err != nil {
+			return nil, err
+		}
+		return SinusoidTrace(s.Frames, s.Lo, s.Hi, s.Period), nil
+	}))
+	must(RegisterTraceKind("step", func(s TraceSpec) (Trace, error) {
+		if err := s.validateSynthetic(); err != nil {
+			return nil, err
+		}
+		return StepTrace(s.Frames, s.Lo, s.Hi, s.Stride), nil
+	}))
+	must(RegisterTraceKind("bursty", func(s TraceSpec) (Trace, error) {
+		if err := s.validateSynthetic(); err != nil {
+			return nil, err
+		}
+		if s.BusyFrac < 0 || s.BusyFrac > 1 {
+			return nil, fmt.Errorf("rdd: bursty busy_frac %v outside [0,1]", s.BusyFrac)
+		}
+		return BurstyTrace(s.Frames, s.Lo, s.Hi, s.BusyFrac, s.Seed), nil
+	}))
+	must(RegisterTraceKind("values", func(s TraceSpec) (Trace, error) {
+		if len(s.Values) == 0 {
+			return nil, fmt.Errorf("rdd: values trace needs at least one budget")
+		}
+		if s.Frames != 0 && s.Frames != len(s.Values) {
+			return nil, fmt.Errorf("rdd: values trace frames=%d contradicts %d inline values (omit frames or make them agree)", s.Frames, len(s.Values))
+		}
+		for i, v := range s.Values {
+			if v < 0 {
+				return nil, fmt.Errorf("rdd: values trace budget %d is negative (%v)", i, v)
+			}
+		}
+		tr := make(Trace, len(s.Values))
+		copy(tr, s.Values)
+		return tr, nil
+	}))
+}

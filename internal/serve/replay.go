@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"vitdyn/internal/engine"
+	"vitdyn/internal/rdd"
+)
+
+// ReplayRequest is the POST /v1/replay body: one catalog spec plus one
+// or many declarative trace specs, replayed server-side so clients need
+// no local engine. The catalog is built once (one sweep slot, streamed
+// through the shared cost store); every trace then replays against it
+// under each requested path-selection policy.
+type ReplayRequest struct {
+	// Catalog names the catalog to replay against; its Workers field is
+	// ignored in favor of the request-wide budget below.
+	Catalog CatalogRequest `json:"catalog"`
+	// Trace is the single-trace form; errors surface as HTTP statuses.
+	Trace *rdd.TraceSpec `json:"trace,omitempty"`
+	// Traces is the batch form (many traces, one catalog): items fail
+	// independently, mirroring /v1/batch.
+	Traces []rdd.TraceSpec `json:"traces,omitempty"`
+	// Policies selects the path-selection policies to replay; the zero
+	// value selects all of dynamic, static-full and static-cheapest.
+	// "static:<label>" pins an arbitrary catalog path.
+	Policies []string `json:"policies,omitempty"`
+	// Workers is the request-wide budget: it caps the catalog sweep pool
+	// and, in the batch form, the trace fan-out (0 = server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ReplayPolicyResult is one policy's replay outcome over one trace.
+type ReplayPolicyResult struct {
+	Policy            string        `json:"policy"`
+	Path              string        `json:"path,omitempty"` // static policies: the pinned path
+	Result            rdd.SimResult `json:"result"`
+	EffectiveAccuracy float64       `json:"effective_accuracy"` // skipped frames count as zero accuracy
+	SwitchRate        float64       `json:"switch_rate"`        // completed-frame transitions that changed path
+}
+
+// ReplayTraceResult is one trace's replay across every policy. Trace
+// echoes the spec as replayed — with the catalog-relative budget scale
+// substituted when the spec left lo/hi unset — so results are
+// reproducible offline from the response alone. Batch items fail
+// independently: Error is set and Policies empty.
+type ReplayTraceResult struct {
+	Trace    rdd.TraceSpec        `json:"trace"`
+	Frames   int                  `json:"frames"`
+	Policies []ReplayPolicyResult `json:"policies,omitempty"`
+	Error    string               `json:"error,omitempty"`
+}
+
+// ReplayResponse is the POST /v1/replay response: the catalog that was
+// built, and one ReplayTraceResult per requested trace, in request
+// order.
+type ReplayResponse struct {
+	Model   string              `json:"model"`
+	Backend string              `json:"backend"`
+	Unit    string              `json:"unit,omitempty"`
+	Paths   int                 `json:"paths"` // catalog frontier size
+	Results []ReplayTraceResult `json:"results"`
+}
+
+// Replay request limits: one request replays at most maxReplayFrames
+// frames across ALL its traces (an 80 MB budget-slice ceiling however
+// wide the batch fans out — generous for any replay, small enough that
+// one request cannot exhaust the daemon's memory), and the body is at
+// most maxReplayBodyBytes (bounding inline values and batch width).
+const (
+	maxReplayFrames    = 10_000_000
+	maxReplayBodyBytes = 8 << 20
+)
+
+// specFrames is the frame count a spec will materialize — Frames for
+// the generated kinds, the inline length for values.
+func specFrames(s rdd.TraceSpec) int {
+	if len(s.Values) > 0 {
+		return len(s.Values)
+	}
+	return s.Frames
+}
+
+// replayPolicy is a resolved path-selection policy: dynamic Select, or
+// a static pin.
+type replayPolicy struct {
+	name    string
+	dynamic bool
+	pin     rdd.Path
+}
+
+// namedPolicyPins is the single table of fixed-name static policies —
+// validatePolicyNames and resolveReplayPolicies both consult it, so a
+// new policy kind lands in one place. "dynamic" and the "static:<label>"
+// form are handled structurally alongside it.
+var namedPolicyPins = map[string]func(*rdd.Catalog) rdd.Path{
+	"static-full":     (*rdd.Catalog).Full,
+	"static-cheapest": (*rdd.Catalog).Cheapest,
+}
+
+func unknownPolicyError(name string) error {
+	return fmt.Errorf("unknown policy %q (want dynamic, static-full, static-cheapest, static:<label>)", name)
+}
+
+// validatePolicyNames rejects unknown policy names. It needs no
+// catalog, so the handler runs it before paying for the sweep; only
+// static:<label> pin resolution waits for the built catalog.
+func validatePolicyNames(names []string) error {
+	for _, name := range names {
+		switch {
+		case name == "dynamic", namedPolicyPins[name] != nil:
+		case strings.HasPrefix(name, "static:") && len(name) > len("static:"):
+		default:
+			return unknownPolicyError(name)
+		}
+	}
+	return nil
+}
+
+// resolveReplayPolicies maps policy names to executable policies
+// against a built catalog. nil selects the default panel.
+func resolveReplayPolicies(cat *rdd.Catalog, names []string) ([]replayPolicy, error) {
+	if len(names) == 0 {
+		names = []string{"dynamic", "static-full", "static-cheapest"}
+	}
+	pols := make([]replayPolicy, 0, len(names))
+	for _, name := range names {
+		switch pin := namedPolicyPins[name]; {
+		case name == "dynamic":
+			pols = append(pols, replayPolicy{name: name, dynamic: true})
+		case pin != nil:
+			pols = append(pols, replayPolicy{name: name, pin: pin(cat)})
+		case strings.HasPrefix(name, "static:"):
+			label := strings.TrimPrefix(name, "static:")
+			found := false
+			for _, p := range cat.Paths {
+				if p.Label == label {
+					pols = append(pols, replayPolicy{name: name, pin: p})
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("policy %q: catalog %s has no path %q", name, cat.Model, label)
+			}
+		default:
+			return nil, unknownPolicyError(name)
+		}
+	}
+	return pols, nil
+}
+
+// simulateReplay replays one trace under every policy. An infeasible
+// trace — even its largest budget below the catalog's cheapest path, so
+// no policy could ever complete a frame — is an explicit *rdd.BudgetError
+// rather than a silent all-skipped result.
+func simulateReplay(cat *rdd.Catalog, tr rdd.Trace, pols []replayPolicy) ([]ReplayPolicyResult, error) {
+	if _, err := cat.SelectStrict(tr.Max()); err != nil {
+		return nil, err
+	}
+	out := make([]ReplayPolicyResult, len(pols))
+	for i, pol := range pols {
+		var res rdd.SimResult
+		path := ""
+		if pol.dynamic {
+			res = cat.Simulate(tr)
+		} else {
+			res = cat.SimulateStatic(pol.pin, tr)
+			path = pol.pin.Label
+		}
+		out[i] = ReplayPolicyResult{
+			Policy:            pol.name,
+			Path:              path,
+			Result:            res,
+			EffectiveAccuracy: res.EffectiveAccuracy(),
+			SwitchRate:        res.SwitchRate(),
+		}
+	}
+	return out, nil
+}
+
+// handleReplay serves POST /v1/replay: build the catalog once through
+// the streaming pipeline (one sweep slot, shared store), then replay
+// every requested trace against it. Trace specs that left lo/hi unset
+// replay on a catalog-relative budget scale (cheapest·1.05 .. full·1.05,
+// the same scale the rddsim replay experiment uses).
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON replay spec to /v1/replay")
+		return
+	}
+	var req ReplayRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxReplayBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad replay body: %v", err)
+		return
+	}
+	single := req.Trace != nil
+	if single && len(req.Traces) > 0 {
+		writeError(w, http.StatusBadRequest, "give either trace (single) or traces (batch), not both")
+		return
+	}
+	specs := req.Traces
+	if single {
+		specs = []rdd.TraceSpec{*req.Trace}
+	}
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty replay: want trace={kind: ...} or traces=[{kind: ...}, ...]")
+		return
+	}
+	// The frame ceiling is request-wide: a batch fanning out cannot
+	// multiply the per-trace allowance by the worker count.
+	totalFrames := 0
+	for _, sp := range specs {
+		totalFrames += specFrames(sp)
+	}
+	if totalFrames > maxReplayFrames {
+		writeError(w, http.StatusBadRequest, "request replays %d frames across %d trace(s), exceeding the server limit of %d",
+			totalFrames, len(specs), maxReplayFrames)
+		return
+	}
+	backend, err := ResolveBackend(req.Catalog.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model, seq, err := req.Catalog.Seq()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validatePolicyNames(req.Policies); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx := r.Context()
+	if err := s.acquireSweepSlot(ctx); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer s.releaseSweepSlot()
+
+	workers := s.workerBudget(req.Workers)
+	eng := engine.NewWithCache(backend, workers, s.opts.Store)
+	cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
+	s.addStreamStats(st)
+	if err != nil {
+		writeError(w, httpStatusFor(err), "catalog %s: %v", model, err)
+		return
+	}
+	s.sweeps.Add(1)
+
+	pols, err := resolveReplayPolicies(cat, req.Policies)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	lo, hi := cat.DefaultBudgetScale()
+	results := make([]ReplayTraceResult, len(specs))
+	itemErrs := make([]error, len(specs))
+	// Traces fan out under the same request budget the sweep used; each
+	// simulation is sequential, so fan-out is the only parallelism here.
+	fan := workers
+	if len(specs) < fan {
+		fan = len(specs)
+	}
+	// Item errors land in their slot, so ForEachCtx only ever sees the
+	// context expiring — that aborts the remaining traces.
+	err = engine.ForEachCtx(ctx, fan, len(specs), func(i int) error {
+		spec := specs[i].WithBudgetScale(lo, hi)
+		results[i].Trace = spec
+		tr, err := spec.Build()
+		if err != nil {
+			itemErrs[i] = err
+			return nil
+		}
+		results[i].Frames = len(tr)
+		polResults, err := simulateReplay(cat, tr, pols)
+		if err != nil {
+			s.replayInfeasible.Add(1)
+			itemErrs[i] = err
+			return nil
+		}
+		results[i].Policies = polResults
+		s.replayTraces.Add(1)
+		s.replayFrames.Add(int64(len(tr)))
+		return nil
+	})
+	if err != nil {
+		writeError(w, httpStatusFor(err), "replay: %v", err)
+		return
+	}
+
+	if single && itemErrs[0] != nil {
+		// The single-trace form maps trace failures to statuses: an
+		// infeasible budget is the client's mistake (422), as is a bad
+		// spec (400).
+		status := http.StatusBadRequest
+		if errors.Is(itemErrs[0], rdd.ErrBudgetInfeasible) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, "replay %s: %v", model, itemErrs[0])
+		return
+	}
+	for i, e := range itemErrs {
+		if e != nil {
+			results[i].Error = e.Error()
+		}
+	}
+	s.replays.Add(1)
+	writeJSON(w, http.StatusOK, ReplayResponse{
+		Model:   cat.Model,
+		Backend: backend.Name(),
+		Unit:    unitFor(backend.Name()),
+		Paths:   len(cat.Paths),
+		Results: results,
+	})
+}

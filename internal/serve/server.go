@@ -82,6 +82,12 @@ type Server struct {
 	streamPrefiltered atomic.Int64
 	streamCosted      atomic.Int64
 	streamAdmitted    atomic.Int64
+
+	// server-side RDD replay totals (/v1/replay)
+	replays          atomic.Int64 // replay requests served
+	replayTraces     atomic.Int64 // traces simulated
+	replayFrames     atomic.Int64 // frames simulated across all traces
+	replayInfeasible atomic.Int64 // traces rejected: budget below the cheapest path
 }
 
 // NewServer builds a server over the options (see Options for the
@@ -98,6 +104,7 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
 	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/replay", s.handleReplay)
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	return s
 }
@@ -177,6 +184,7 @@ type statszResponse struct {
 	Store  StoreStats  `json:"store"`
 	Server serverStats `json:"server"`
 	Stream streamStats `json:"stream"`
+	Replay replayStats `json:"replay"`
 }
 
 type serverStats struct {
@@ -199,6 +207,17 @@ type streamStats struct {
 	PrefilterRate float64 `json:"prefilter_rate"`
 }
 
+// replayStats is the /statsz view of server-side RDD replay: how many
+// /v1/replay requests completed, and how many traces and frames they
+// simulated. Infeasible counts traces rejected because even their
+// largest budget sat below the catalog's cheapest path.
+type replayStats struct {
+	Replays    int64 `json:"replays"`
+	Traces     int64 `json:"traces"`
+	Frames     int64 `json:"frames"`
+	Infeasible int64 `json:"infeasible"`
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st := s.opts.Store.Stats()
 	stream := s.StreamStats()
@@ -215,6 +234,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			StoreHitRate:    st.HitRate(),
 		},
 		Stream: streamStats{StreamStats: stream, PrefilterRate: stream.PrefilterRate()},
+		Replay: replayStats{
+			Replays:    s.replays.Load(),
+			Traces:     s.replayTraces.Load(),
+			Frames:     s.replayFrames.Load(),
+			Infeasible: s.replayInfeasible.Load(),
+		},
 	})
 }
 

@@ -12,6 +12,12 @@
 // A missing or unreadable baseline is not an error (the first run of a
 // repository has nothing to compare against); the tool notes it and
 // still writes the artifact.
+//
+// -gate <pct> turns the delta into a CI gate: when a baseline is
+// present and any benchmark's ns/op regressed more than pct percent,
+// the tool exits non-zero after printing the offenders. Without a
+// baseline the gate is warn-only, so first runs and cold caches never
+// fail the build.
 package main
 
 import (
@@ -57,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "JSON artifact to write (required)")
 	baseline := fs.String("baseline", "", "previous artifact to diff against (missing file = no delta, not an error)")
 	threshold := fs.Float64("threshold", 0.10, "relative ns/op change below which a delta is reported as ~unchanged")
+	gate := fs.Float64("gate", 0, "fail (exit 1) when any benchmark regresses more than this percent vs the baseline (0 = report only; missing baseline = warn only)")
+	gateFloor := fs.Float64("gate-floor-ns", 1e5, "exclude benchmarks whose baseline ns/op is below this from the gate (default 100µs: single-iteration timings below it — nanosecond micro-benchmarks especially — are noise at -benchtime=1x, while the replay/sweep hot paths all sit above it)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,24 +104,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "benchjson: wrote %d benchmarks to %s\n", len(art.Benchmarks), *out)
 
+	gateSkipped := func(why string) {
+		if *gate > 0 {
+			fmt.Fprintf(stdout, "benchjson: %s — gate is warn-only this run\n", why)
+		}
+	}
 	if *baseline == "" {
+		gateSkipped("no baseline supplied")
 		return 0
 	}
 	prevData, err := os.ReadFile(*baseline)
 	if err != nil {
 		fmt.Fprintf(stdout, "benchjson: no baseline (%v) — skipping delta\n", err)
+		gateSkipped("missing baseline")
 		return 0
 	}
 	var prev Artifact
 	if err := json.Unmarshal(prevData, &prev); err != nil {
 		fmt.Fprintf(stdout, "benchjson: unreadable baseline (%v) — skipping delta\n", err)
+		gateSkipped("unreadable baseline")
 		return 0
 	}
 	PrintDelta(stdout, prev, art, *threshold)
+	if *gate > 0 {
+		if viol := GateViolations(prev, art, *gate/100, *gateFloor); len(viol) > 0 {
+			for _, v := range viol {
+				fmt.Fprintf(stderr, "benchjson: GATE: %s\n", v)
+			}
+			fmt.Fprintf(stderr, "benchjson: bench-regression gate failed: %d benchmark(s) regressed more than %.0f%%\n", len(viol), *gate)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchjson: gate ok (no benchmark regressed more than %.0f%%)\n", *gate)
+	}
 	return 0
 }
 
+// GateViolations lists the benchmarks present in both artifacts whose
+// ns/op regressed beyond the relative threshold (0.25 = 25%), sorted by
+// name. Added and removed benchmarks never gate (there is nothing to
+// compare), and neither do degenerate zero-ns baselines or baselines
+// below floorNs — single-iteration timings of nanosecond-scale
+// micro-benchmarks swing far beyond any sane threshold on shared CI
+// runners, so only benchmarks slow enough to measure reliably gate
+// (at the default floor that includes the ~150µs replay-simulation hot
+// path and every sweep benchmark; sub-floor micro-benchmarks like
+// catalog Select need -benchtime well above 1x to gate meaningfully).
+func GateViolations(prev, cur Artifact, threshold, floorNs float64) []string {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var viol []string
+	for _, name := range names {
+		p, ok := prev.Benchmarks[name]
+		if !ok || p.NsPerOp <= 0 || p.NsPerOp < floorNs {
+			continue
+		}
+		c := cur.Benchmarks[name]
+		if rel := (c.NsPerOp - p.NsPerOp) / p.NsPerOp; rel > threshold {
+			viol = append(viol, fmt.Sprintf("%s regressed %+.1f%% (%.0f → %.0f ns/op)", name, 100*rel, p.NsPerOp, c.NsPerOp))
+		}
+	}
+	return viol
+}
+
 // Parse extracts benchmark rows from `go test -bench` output.
+// Zero-iteration rows are dropped: their ns/op is meaningless and would
+// poison both the delta table and the regression gate.
 func Parse(r io.Reader) (Artifact, error) {
 	art := Artifact{Benchmarks: map[string]Result{}}
 	sc := bufio.NewScanner(r)
@@ -124,7 +182,7 @@ func Parse(r io.Reader) (Artifact, error) {
 			continue
 		}
 		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
+		if err != nil || iters == 0 {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)

@@ -46,6 +46,102 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseZeroIterationLines(t *testing.T) {
+	// A zero-iteration row has no meaningful ns/op; it must not reach
+	// the artifact (where it would later poison deltas and the gate).
+	input := `BenchmarkDead-8      	       0	       0 ns/op
+BenchmarkAlive-8     	     100	     250 ns/op
+`
+	art, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := art.Benchmarks["BenchmarkDead"]; ok {
+		t.Error("zero-iteration benchmark made it into the artifact")
+	}
+	if r, ok := art.Benchmarks["BenchmarkAlive"]; !ok || r.NsPerOp != 250 {
+		t.Errorf("surviving benchmark parsed as %+v", art.Benchmarks)
+	}
+}
+
+func TestGateViolations(t *testing.T) {
+	prev := Artifact{Benchmarks: map[string]Result{
+		"BenchmarkRegressed": {NsPerOp: 100},
+		"BenchmarkOK":        {NsPerOp: 100},
+		"BenchmarkImproved":  {NsPerOp: 100},
+		"BenchmarkZeroBase":  {NsPerOp: 0}, // degenerate: never gates
+		"BenchmarkRemoved":   {NsPerOp: 100},
+	}}
+	cur := Artifact{Benchmarks: map[string]Result{
+		"BenchmarkRegressed": {NsPerOp: 160}, // +60% > 25%
+		"BenchmarkOK":        {NsPerOp: 110}, // +10% within gate
+		"BenchmarkImproved":  {NsPerOp: 40},
+		"BenchmarkZeroBase":  {NsPerOp: 50},
+		"BenchmarkAdded":     {NsPerOp: 9999}, // new: nothing to compare
+	}}
+	viol := GateViolations(prev, cur, 0.25, 0)
+	if len(viol) != 1 || !strings.Contains(viol[0], "BenchmarkRegressed") || !strings.Contains(viol[0], "+60.0%") {
+		t.Errorf("violations %v, want exactly the +60%% regression", viol)
+	}
+	if viol := GateViolations(prev, cur, 0.60, 0); len(viol) != 0 {
+		t.Errorf("60%% gate tripped: %v", viol)
+	}
+	// The noise floor excludes fast baselines: the same +60% regression
+	// on a 100 ns benchmark is measurement noise at one iteration, not
+	// a gate-worthy signal.
+	if viol := GateViolations(prev, cur, 0.25, 1e6); len(viol) != 0 {
+		t.Errorf("sub-floor benchmark tripped the gate: %v", viol)
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	dir := t.TempDir()
+	// Millisecond-scale timings: above the default -gate-floor-ns, so
+	// the end-to-end run exercises the gate proper.
+	fast := `BenchmarkHot-8	     100	     2000000 ns/op
+`
+	slow := `BenchmarkHot-8	     100	     4000000 ns/op
+`
+	fastIn := filepath.Join(dir, "fast.txt")
+	slowIn := filepath.Join(dir, "slow.txt")
+	os.WriteFile(fastIn, []byte(fast), 0o644)
+	os.WriteFile(slowIn, []byte(slow), 0o644)
+	baseline := filepath.Join(dir, "BENCH_base.json")
+	var stdout, stderr bytes.Buffer
+
+	// Missing baseline: gate is warn-only, exit 0.
+	if code := run([]string{"-in", fastIn, "-out", baseline, "-baseline", filepath.Join(dir, "none.json"), "-gate", "25"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("missing-baseline gate run exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "warn-only") {
+		t.Errorf("missing-baseline gate run did not note warn-only mode: %s", stdout.String())
+	}
+
+	// Within the gate: identical input, exit 0 and a gate-ok note.
+	stdout.Reset()
+	if code := run([]string{"-in", fastIn, "-out", filepath.Join(dir, "same.json"), "-baseline", baseline, "-gate", "25"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("within-gate run exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gate ok") {
+		t.Errorf("within-gate run missing gate-ok note: %s", stdout.String())
+	}
+
+	// A 2x regression against the baseline trips the gate.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-in", slowIn, "-out", filepath.Join(dir, "slow.json"), "-baseline", baseline, "-gate", "25"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed run exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "GATE: BenchmarkHot") || !strings.Contains(stderr.String(), "gate failed") {
+		t.Errorf("gate failure not diagnosed on stderr: %s", stderr.String())
+	}
+
+	// Same regression without -gate: report-only, exit 0.
+	if code := run([]string{"-in", slowIn, "-out", filepath.Join(dir, "slow2.json"), "-baseline", baseline}, &stdout, &stderr); code != 0 {
+		t.Errorf("ungated regressed run exit %d, want 0", code)
+	}
+}
+
 func TestPrintDelta(t *testing.T) {
 	prev := Artifact{Benchmarks: map[string]Result{
 		"BenchmarkA":    {NsPerOp: 100},

@@ -325,10 +325,25 @@ func NewSweepEngineWithStore(backend CostBackend, workers int, store *CostStore)
 type ServeOptions = serve.Options
 
 // RDDServer is the HTTP serving layer behind the vitdynd daemon:
-// /v1/catalog, /v1/batch, /v1/profile, /v1/backends, /healthz and
-// /statsz over one shared cost store, every catalog built through the
-// streaming pipeline.
+// /v1/catalog, /v1/batch, /v1/replay, /v1/profile, /v1/backends,
+// /healthz and /statsz over one shared cost store, every catalog built
+// through the streaming pipeline.
 type RDDServer = serve.Server
+
+// ReplayRequest is the POST /v1/replay body: one catalog spec plus one
+// (Trace) or many (Traces) declarative trace specs, replayed server-side
+// under each requested path-selection policy.
+type ReplayRequest = serve.ReplayRequest
+
+// ReplayResponse is the /v1/replay response: the built catalog's
+// identity plus one ReplayTraceResult per requested trace.
+type ReplayResponse = serve.ReplayResponse
+
+// ReplayTraceResult is one trace's replay across every policy.
+type ReplayTraceResult = serve.ReplayTraceResult
+
+// ReplayPolicyResult is one policy's replay outcome over one trace.
+type ReplayPolicyResult = serve.ReplayPolicyResult
 
 // NewRDDServer builds a server; mount its Handler() on any http.Server.
 func NewRDDServer(opts ServeOptions) *RDDServer { return serve.NewServer(opts) }
@@ -419,6 +434,37 @@ func OFARDDCatalog(target CostBackend) (*RDDCatalog, error) {
 func OFARDDCatalogStream(ctx context.Context, target CostBackend) (*RDDCatalog, StreamStats, error) {
 	return core.OFACatalogStream(ctx, target, 0)
 }
+
+// TraceSpec is the declarative form of a resource trace — a generator
+// kind plus its parameters, decodable from JSON. It is the one trace
+// format the rddsim CLI (-trace-spec) and the vitdynd /v1/replay
+// endpoint share.
+type TraceSpec = rdd.TraceSpec
+
+// TraceGenerator materializes a trace from a spec.
+type TraceGenerator = rdd.TraceGenerator
+
+// BuildTrace resolves a spec's kind through the trace-generator registry
+// and materializes the trace.
+func BuildTrace(s TraceSpec) (ResourceTrace, error) { return s.Build() }
+
+// RegisterTraceKind adds (or replaces) a trace generator under a kind
+// name, extending what BuildTrace — and every TraceSpec consumer, the
+// serving layer included — can resolve.
+func RegisterTraceKind(kind string, gen TraceGenerator) error {
+	return rdd.RegisterTraceKind(kind, gen)
+}
+
+// TraceKinds lists every registered trace kind, sorted.
+func TraceKinds() []string { return rdd.TraceKinds() }
+
+// ErrBudgetInfeasible reports a budget below a catalog's cheapest path;
+// match with errors.Is. The concrete error is *BudgetError.
+var ErrBudgetInfeasible = rdd.ErrBudgetInfeasible
+
+// BudgetError carries the catalog, the offending budget and the cheapest
+// cost it failed to cover.
+type BudgetError = rdd.BudgetError
 
 // SinusoidTrace, StepTrace and BurstyTrace generate synthetic resource
 // budgets; see internal/rdd for semantics.

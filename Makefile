@@ -13,6 +13,9 @@ BENCH_BASELINE ?= .benchcache/BENCH_latest.json
 # Bench-regression gate: fail bench-json when any benchmark regresses
 # more than this percent vs the baseline (warn-only when no baseline).
 BENCH_GATE ?= 25
+# Samples per benchmark for the gated run; benchjson keeps the fastest,
+# so min-of-N absorbs one-off scheduler noise on shared CI runners.
+BENCH_COUNT ?= 3
 
 .PHONY: all build test race bench bench-json vet smoke ci clean
 
@@ -36,8 +39,10 @@ bench:
 # Persist the bench run as BENCH_<sha>.json, print a delta against
 # $(BENCH_BASELINE) when that file exists (CI caches it between runs),
 # and fail when any benchmark regressed more than $(BENCH_GATE)%.
+# $(BENCH_COUNT) samples per benchmark, min-of-N at parse time: the
+# gate compares best-case timings, not one noisy sample.
 bench-json:
-	set -o pipefail; $(GO) test -bench=. -benchtime=1x ./... | tee bench.txt
+	set -o pipefail; $(GO) test -run '^$$' -bench=. -benchtime=1x -count=$(BENCH_COUNT) ./... | tee bench.txt
 	$(GO) run ./tools/benchjson -in bench.txt -out BENCH_$(SHA).json -baseline $(BENCH_BASELINE) -gate $(BENCH_GATE)
 
 # Static checks: go vet plus gofmt drift (a non-empty gofmt -l listing

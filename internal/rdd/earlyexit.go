@@ -84,24 +84,25 @@ func (m *EarlyExitModel) Simulate(tr Trace, seed uint64) SimResult {
 	r := lcg(seed)
 	res := SimResult{Frames: len(tr)}
 	var accSum, costSum float64
-	prevCost := math.NaN() // exits carry no label; cost identifies the depth
+	prevIdx := -1 // exit index of the last completed frame; exact even under cost ties
 	for _, budget := range tr {
 		u := r.next()
-		exit := m.Exits[len(m.Exits)-1]
-		for _, e := range m.Exits {
+		idx := len(m.Exits) - 1
+		for j, e := range m.Exits {
 			if u <= e.EasyFrac {
-				exit = e
+				idx = j
 				break
 			}
 		}
+		exit := m.Exits[idx]
 		if exit.Cost > budget {
 			res.Skipped++
 			continue
 		}
-		if res.Completed > 0 && exit.Cost != prevCost {
+		if res.Completed > 0 && idx != prevIdx {
 			res.Switches++
 		}
-		prevCost = exit.Cost
+		prevIdx = idx
 		res.Completed++
 		accSum += exit.Accuracy
 		costSum += exit.Cost

@@ -213,10 +213,20 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The frame ceiling is request-wide: a batch fanning out cannot
-	// multiply the per-trace allowance by the worker count.
+	// multiply the per-trace allowance by the worker count. Each spec is
+	// bounded BEFORE summing: a non-positive count is always invalid, and
+	// per-spec bounds keep the running total overflow-proof — otherwise a
+	// huge positive spec offset by a negative one sums under the ceiling
+	// yet still reaches the generator's allocation.
 	totalFrames := 0
-	for _, sp := range specs {
-		totalFrames += specFrames(sp)
+	for i, sp := range specs {
+		n := specFrames(sp)
+		if n < 1 || n > maxReplayFrames {
+			writeError(w, http.StatusBadRequest, "trace %d replays %d frames; each trace must replay between 1 and %d",
+				i, n, maxReplayFrames)
+			return
+		}
+		totalFrames += n
 	}
 	if totalFrames > maxReplayFrames {
 		writeError(w, http.StatusBadRequest, "request replays %d frames across %d trace(s), exceeding the server limit of %d",

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
@@ -241,8 +242,24 @@ func TestReplayFrameLimit(t *testing.T) {
 	if status != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400; body %s", status, body)
 	}
-	if !strings.Contains(string(body), "server limit") {
-		t.Errorf("error body %s does not name the limit", body)
+	if !strings.Contains(string(body), "between 1 and") {
+		t.Errorf("error body %s does not name the per-trace bound", body)
+	}
+	// Specs are bounded individually BEFORE summing: a huge positive
+	// frame count offset by a negative one would otherwise sum under the
+	// request-wide ceiling and reach the generator's allocation.
+	status, body = postReplay(t, ts.URL, ReplayRequest{
+		Catalog: CatalogRequest{Family: "ofa", Backend: "flops"},
+		Traces: []rdd.TraceSpec{
+			{Kind: "step", Frames: math.MaxInt / 2},
+			{Kind: "step", Frames: -math.MaxInt / 2},
+		},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("offsetting-frames batch status %d, want 400; body %s", status, body)
+	}
+	if !strings.Contains(string(body), "between 1 and") {
+		t.Errorf("offsetting-frames error body %s does not name the per-trace bound", body)
 	}
 	// The ceiling is request-wide: a batch of individually-legal traces
 	// whose frames sum past the limit is rejected the same way, so
@@ -306,10 +323,14 @@ func TestReplayRequestValidation(t *testing.T) {
 			Trace:    &rdd.TraceSpec{Kind: "step", Frames: 10},
 			Policies: []string{"static:nope"},
 		}, "no path"},
-		{"bad spec", ReplayRequest{
+		{"zero frames", ReplayRequest{
 			Catalog: CatalogRequest{Family: "ofa", Backend: "flops"},
 			Trace:   &rdd.TraceSpec{Kind: "step"},
-		}, "needs frames"},
+		}, "between 1 and"},
+		{"negative frames", ReplayRequest{
+			Catalog: CatalogRequest{Family: "ofa", Backend: "flops"},
+			Trace:   &rdd.TraceSpec{Kind: "step", Frames: -1},
+		}, "between 1 and"},
 	}
 	for _, tc := range cases {
 		status, body := postReplay(t, ts.URL, tc.req)

@@ -64,6 +64,30 @@ BenchmarkAlive-8     	     100	     250 ns/op
 	}
 }
 
+func TestParseMinOfN(t *testing.T) {
+	// A -count=N run repeats each benchmark; the fastest sample must win
+	// (with its own iteration count and extra metrics), so one slow
+	// sample on a shared runner cannot flake the regression gate.
+	input := `BenchmarkHot-8	     100	     3000000 ns/op	    4096 B/op	       8 allocs/op
+BenchmarkHot-8	     100	     2000000 ns/op	    2048 B/op	       4 allocs/op
+BenchmarkHot-8	      50	     2500000 ns/op	    3072 B/op	       6 allocs/op
+`
+	art, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, ok := art.Benchmarks["BenchmarkHot"]
+	if !ok || len(art.Benchmarks) != 1 {
+		t.Fatalf("parsed %+v, want exactly BenchmarkHot", art.Benchmarks)
+	}
+	if hot.NsPerOp != 2000000 || hot.Iterations != 100 {
+		t.Errorf("kept sample %+v, want the fastest (2000000 ns/op, 100 iters)", hot)
+	}
+	if hot.Extra["B"] != 2048 || hot.Extra["allocs"] != 4 {
+		t.Errorf("extra metrics %+v, want the fastest sample's", hot.Extra)
+	}
+}
+
 func TestGateViolations(t *testing.T) {
 	prev := Artifact{Benchmarks: map[string]Result{
 		"BenchmarkRegressed": {NsPerOp: 100},

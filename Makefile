@@ -17,7 +17,7 @@ BENCH_GATE ?= 25
 # so min-of-N absorbs one-off scheduler noise on shared CI runners.
 BENCH_COUNT ?= 3
 
-.PHONY: all build test race bench bench-json vet smoke ci clean
+.PHONY: all build test race bench bench-json vet smoke ci clean clean-store
 
 all: build
 
@@ -54,12 +54,20 @@ vet:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# Daemon smoke test: boots vitdynd on a random port, hits /healthz and
-# one /v1/profile, and shuts it down gracefully.
+# Daemon smoke tests: boot vitdynd on a random port, hit /healthz, one
+# /v1/profile and a /v1/replay round trip, shut it down gracefully —
+# then restart it against the same -store-path and assert the cost
+# store warm-boots (loaded entries in /statsz, first catalog request
+# all hits, zero backend evaluations).
 smoke:
-	$(GO) test -count=1 -run TestDaemonSmoke ./cmd/vitdynd
+	$(GO) test -count=1 -run 'TestDaemonSmoke|TestDaemonWarmBoot' ./cmd/vitdynd
 
 ci: vet race bench smoke
 
 clean:
 	$(GO) clean ./...
+
+# Local hygiene: remove the durable cost-store directories the README
+# examples use for vitdynd -store-path / rddsim -cache-path.
+clean-store:
+	rm -rf .vitdyn-store

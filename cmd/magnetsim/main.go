@@ -7,11 +7,14 @@
 //
 // -cache N installs one process-wide cost store shared by every
 // engine-routed sweep of the run (currently the Fig. 6 design-space
-// sweep).
+// sweep). -cache-path DIR additionally makes that store durable
+// (snapshot+WAL in DIR, warm-loaded at start and flushed at exit), so a
+// re-run of the same experiments skips the accelerator simulations it
+// already paid for.
 //
 // Usage:
 //
-//	magnetsim -exp table2|fig6|fig7|fig8|fig9|all [-csv] [-workers N] [-cache N]
+//	magnetsim -exp table2|fig6|fig7|fig8|fig9|all [-csv] [-workers N] [-cache N] [-cache-path DIR]
 //	magnetsim -model swin-tiny -accel G
 package main
 
@@ -45,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	accel := fs.String("accel", "E", "accelerator label (A..M) for -model runs")
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	cache := fs.Int("cache", 0, "shared cost-store capacity in entries, reused across engine-routed sweeps of this run (0 = per-sweep caches only)")
+	cachePath := fs.String("cache-path", "", "durable cost-store directory (snapshot+WAL), warm-loaded at start and flushed at exit so re-runs start warm (implies a shared store of -cache capacity)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -52,7 +56,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *cache > 0 {
+	if *cachePath != "" {
+		teardown, err := serve.InstallProcessCostDB(*cache, *cachePath, "magnetsim", stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "magnetsim: %v\n", err)
+			return 1
+		}
+		defer teardown()
+	} else if *cache > 0 {
 		defer serve.InstallProcessStore(*cache, "magnetsim", stderr)()
 	}
 

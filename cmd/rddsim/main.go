@@ -14,15 +14,24 @@
 //
 // Usage:
 //
-//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N] [-cache N] [-stream-stats]
-//	rddsim -exp replay -trace bursty -frames 2000
+//	rddsim -exp fig10|table3|fig11|fig12|fig13|claims|all [-csv] [-workers N] [-cache N] [-cache-path DIR] [-stream-stats] [-frontier-only]
+//	rddsim -exp replay -trace bursty -frames 2000 [-hysteresis K]
 //	rddsim -exp replay -trace-spec '{"kind":"bursty","frames":2000,"busy_frac":0.4,"seed":7}'
+//	rddsim -exp replay -trace-spec '{"kind":"values-file","path":"load.csv"}'
 //
 // -trace-spec takes the same declarative TraceSpec JSON the vitdynd
 // /v1/replay endpoint consumes (kinds sinusoid, step, bursty, values);
 // specs that leave lo/hi unset replay on a catalog-relative budget
 // scale. The plain -trace/-frames flags are shorthands for the
-// equivalent specs.
+// equivalent specs. The values-file kind additionally loads a recorded
+// per-frame load trace from a local CSV/newline file — file resolution
+// is client-side by design; the server accepts only inline values.
+// -hysteresis K adds a dynamic-hysteresis replay row whose controller
+// only switches after the selector prefers a different path for K
+// consecutive frames. -frontier-only renders the Fig. 10/11/12 tradeoff
+// tables as their Pareto frontiers via the streaming pre-filter instead
+// of sweeping every candidate. -cache-path makes the cost store durable
+// (snapshot+WAL in DIR), so re-runs start warm.
 package main
 
 import (
@@ -58,7 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceSpec := fs.String("trace-spec", "", `replay trace as declarative JSON, e.g. '{"kind":"bursty","frames":2000,"busy_frac":0.4,"seed":7}' (overrides -trace/-frames; same format as /v1/replay)`)
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	cache := fs.Int("cache", 0, "shared cost-store capacity in entries, reused across all experiments of this run (0 = per-sweep caches only)")
+	cachePath := fs.String("cache-path", "", "durable cost-store directory (snapshot+WAL), warm-loaded at start and flushed at exit so -exp all re-runs start warm (implies a shared store of -cache capacity)")
 	streamStats := fs.Bool("stream-stats", false, "report the streaming catalog pipeline's generated/prefiltered/costed/admitted counters on stderr after the run")
+	frontierOnly := fs.Bool("frontier-only", false, "render the fig10/fig11/fig12 tradeoff tables as their Pareto frontiers via the streaming pre-filter instead of sweeping every candidate")
+	hysteresis := fs.Int("hysteresis", 0, "replay: add a dynamic-hysteresis row that switches paths only after K consecutive frames prefer a different one (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -66,7 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *cache > 0 {
+	if *cachePath != "" {
+		teardown, err := serve.InstallProcessCostDB(*cache, *cachePath, "rddsim", stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "rddsim: %v\n", err)
+			return 1
+		}
+		defer teardown()
+	} else if *cache > 0 {
 		defer serve.InstallProcessStore(*cache, "rddsim", stderr)()
 	}
 	if *streamStats {
@@ -85,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *exp == "replay" {
-		if err := replay(stdout, *trace, *traceSpec, *frames, *workers); err != nil {
+		if err := replay(stdout, *trace, *traceSpec, *frames, *workers, *hysteresis); err != nil {
 			fmt.Fprintf(stderr, "rddsim: %v\n", err)
 			return 1
 		}
@@ -102,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// is byte-identical to a sequential run.
 	tables := make([]*report.Table, len(names))
 	if err := engine.ForEach(*workers, len(names), func(i int) error {
-		t, err := build(names[i], *workers)
+		t, err := build(names[i], *workers, *frontierOnly)
 		tables[i] = t
 		return err
 	}); err != nil {
@@ -125,9 +144,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func build(name string, workers int) (*report.Table, error) {
+func build(name string, workers int, frontierOnly bool) (*report.Table, error) {
 	switch name {
 	case "fig10":
+		if frontierOnly {
+			rows, _, err := experiments.Fig10FrontierRows("ADE", workers)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderTradeoff("Fig 10 (ADE): GPU time vs mIoU (frontier only)", rows), nil
+		}
 		rows, err := experiments.Fig10SegFormerGPUTradeoff("ADE", workers)
 		if err != nil {
 			return nil, err
@@ -146,12 +172,26 @@ func build(name string, workers int) (*report.Table, error) {
 		}
 		return experiments.RenderTable3(rows), nil
 	case "fig11":
+		if frontierOnly {
+			rows, _, err := experiments.Fig11FrontierRows(workers)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderTradeoff("Fig 11: accelerator E time/energy vs mIoU (frontier only)", rows), nil
+		}
 		rows, err := experiments.Fig11SegFormerAccelTradeoff(workers)
 		if err != nil {
 			return nil, err
 		}
 		return experiments.RenderTradeoff("Fig 11: accelerator E time/energy vs mIoU", rows), nil
 	case "fig12":
+		if frontierOnly {
+			rows, _, err := experiments.Fig12FrontierRows(workers)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderFig12Titled("Fig 12: Swin pruning/switching tradeoff (GPU + accelerator E, frontier only)", rows), nil
+		}
 		rows, err := experiments.Fig12SwinTradeoff(workers)
 		if err != nil {
 			return nil, err
@@ -196,7 +236,7 @@ func replaySpec(traceKind, traceSpecJSON string, frames int) (rdd.TraceSpec, err
 	return rdd.TraceSpec{}, fmt.Errorf("unknown trace %q (want sinusoid, step, bursty, or -trace-spec JSON)", traceKind)
 }
 
-func replay(w io.Writer, traceKind, traceSpecJSON string, frames, workers int) error {
+func replay(w io.Writer, traceKind, traceSpecJSON string, frames, workers, hysteresis int) error {
 	// Parse the spec first: a malformed flag must fail instantly, not
 	// after paying for the catalog sweep.
 	spec, err := replaySpec(traceKind, traceSpecJSON, frames)
@@ -230,6 +270,13 @@ func replay(w io.Writer, traceKind, traceSpecJSON string, frames, workers int) e
 		t.AddRowf(name, r.Completed, r.Skipped, r.Switches, r.MeanAccuracy, r.EffectiveAccuracy(), 100*r.FullPathShare)
 	}
 	add("dynamic (RDD)", dyn)
+	if hysteresis > 0 {
+		// The hysteretic controller only switches after `hysteresis`
+		// consecutive frames prefer a different path — fewer swaps at a
+		// small accuracy cost, for deployments where a path change is
+		// not free.
+		add(fmt.Sprintf("dynamic-hysteresis:%d", hysteresis), cat.SimulateHysteresis(tr, hysteresis))
+	}
 	add("static full", stFull)
 	add("static worst-case", stWorst)
 	return t.Render(w)

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -159,5 +162,119 @@ func TestRunErrors(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "Usage of rddsim") {
 		t.Errorf("-h did not print usage: %s", errb.String())
+	}
+}
+
+func TestRunReplayHysteresis(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "replay", "-trace", "bursty", "-frames", "500", "-hysteresis", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "dynamic-hysteresis:4") {
+		t.Fatalf("replay table missing hysteresis row:\n%s", out.String())
+	}
+	// Without the flag the row is absent and the rest of the table is
+	// unchanged.
+	var plain bytes.Buffer
+	if code := run([]string{"-exp", "replay", "-trace", "bursty", "-frames", "500"}, &plain, &errb); code != 0 {
+		t.Fatalf("plain replay exit code %d", code)
+	}
+	if strings.Contains(plain.String(), "hysteresis") {
+		t.Errorf("hysteresis row rendered without the flag:\n%s", plain.String())
+	}
+}
+
+func TestRunReplayValuesFile(t *testing.T) {
+	// values-file resolves a recorded load trace client-side: the same
+	// budgets inline and from a file replay byte-identically (modulo the
+	// trace-kind name in the title).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "load.csv")
+	// Budgets around the catalog's path costs would need unit knowledge;
+	// huge budgets make every frame complete on the full path, which is
+	// enough to prove the file was read.
+	if err := os.WriteFile(path, []byte("1e9\n1e9\n1e9\n1e9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	spec := fmt.Sprintf(`{"kind":"values-file","path":%q}`, path)
+	if code := run([]string{"-exp", "replay", "-trace-spec", spec}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "values-file trace, 4 frames") {
+		t.Errorf("replay title missing the recorded trace:\n%s", out.String())
+	}
+	var inline bytes.Buffer
+	if code := run([]string{"-exp", "replay", "-trace-spec", `{"kind":"values","values":[1e9,1e9,1e9,1e9]}`}, &inline, &errb); code != 0 {
+		t.Fatalf("inline replay exit code %d, stderr: %s", code, errb.String())
+	}
+	fileRows := strings.SplitN(out.String(), "\n", 2)[1]
+	inlineRows := strings.SplitN(inline.String(), "\n", 2)[1]
+	if fileRows != inlineRows {
+		t.Errorf("values-file rows differ from inline values:\n%s\nvs:\n%s", fileRows, inlineRows)
+	}
+	errb.Reset()
+	if code := run([]string{"-exp", "replay", "-trace-spec", `{"kind":"values-file","path":"/no/such/file.csv"}`, "-frames", "0"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit code %d, want 1 (stderr %s)", code, errb.String())
+	}
+}
+
+func TestRunFrontierOnly(t *testing.T) {
+	// -frontier-only renders the fig10 table as its Pareto frontier via
+	// the streaming pre-filter: fewer rows, every remaining row
+	// byte-identical to the full table's.
+	var full, frontier, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig10", "-workers", "2"}, &full, &errb); code != 0 {
+		t.Fatalf("full exit code %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-exp", "fig10", "-workers", "2", "-frontier-only"}, &frontier, &errb); code != 0 {
+		t.Fatalf("frontier exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(frontier.String(), "frontier only") {
+		t.Errorf("frontier table not labeled:\n%s", frontier.String())
+	}
+	fullLines := strings.Split(strings.TrimSpace(full.String()), "\n")
+	frontLines := strings.Split(strings.TrimSpace(frontier.String()), "\n")
+	if len(frontLines) >= len(fullLines) {
+		t.Errorf("frontier table has %d lines, full has %d — row count did not shrink", len(frontLines), len(fullLines))
+	}
+	// Every frontier data row appears verbatim in the full table (the
+	// full table renders Pareto + retrained rows; the frontier rows are
+	// exactly its Pareto subset).
+	fullSet := map[string]bool{}
+	for _, l := range fullLines {
+		fullSet[l] = true
+	}
+	for _, l := range frontLines[2:] { // skip title + header
+		if !fullSet[l] {
+			t.Errorf("frontier row not byte-identical to any full-table row: %q", l)
+		}
+	}
+}
+
+func TestRunCachePathWarmRerun(t *testing.T) {
+	// Two runs against the same -cache-path: the second starts warm and
+	// reports loaded entries, with byte-identical stdout.
+	dir := t.TempDir()
+	var cold, warm, errCold, errWarm bytes.Buffer
+	if code := run([]string{"-exp", "fig13", "-workers", "2", "-cache-path", dir}, &cold, &errCold); code != 0 {
+		t.Fatalf("cold exit code %d, stderr: %s", code, errCold.String())
+	}
+	if !strings.Contains(errCold.String(), "costdb "+dir) {
+		t.Fatalf("missing costdb stats line on stderr: %s", errCold.String())
+	}
+	if code := run([]string{"-exp", "fig13", "-workers", "2", "-cache-path", dir}, &warm, &errWarm); code != 0 {
+		t.Fatalf("warm exit code %d, stderr: %s", code, errWarm.String())
+	}
+	if warm.String() != cold.String() {
+		t.Error("-cache-path warm rerun changed rendered output")
+	}
+	if !strings.Contains(errWarm.String(), "loaded") || strings.Contains(errWarm.String(), " 0 loaded") {
+		t.Errorf("warm rerun did not report loaded entries: %s", errWarm.String())
+	}
+	// The warm run's store served hits (the sweep re-prices nothing).
+	if !strings.Contains(errWarm.String(), "hits") {
+		t.Errorf("warm rerun missing hit accounting: %s", errWarm.String())
 	}
 }

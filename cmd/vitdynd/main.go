@@ -16,14 +16,22 @@
 //	POST /v1/replay     catalog spec + declarative trace spec(s) →
 //	                    server-side RDD replay (SimResult per policy)
 //	GET /v1/profile     model, bytes, layers → analytical FLOPs profile
+//	GET /v1/store/export   full cost store as one checksummed snapshot stream
+//	POST /v1/store/import  merge a snapshot stream into the cost store
 //
 // Usage:
 //
 //	vitdynd [-addr 127.0.0.1:8080] [-cache N] [-workers N]
 //	        [-max-sweeps N] [-timeout 60s] [-stream-stats]
+//	        [-store-path DIR]
 //
-// The daemon drains in-flight requests and exits cleanly on SIGINT or
-// SIGTERM.
+// -store-path makes the cost store durable: the daemon warm-boots from
+// the directory's snapshot+WAL (a previously priced catalog spec serves
+// with zero backend evaluations), write-through persists every computed
+// cost, and flushes on graceful shutdown — SIGINT and SIGTERM both drain
+// in-flight requests and compact the store before exit. GET
+// /v1/store/export and POST /v1/store/import stream the same snapshot
+// format over HTTP, so one daemon can seed another.
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"vitdyn/internal/costdb"
 	"vitdyn/internal/serve"
 )
 
@@ -60,6 +69,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxSweeps := fs.Int("max-sweeps", 0, "server-wide concurrent sweep limit (0 = 2x GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout")
 	streamStats := fs.Bool("stream-stats", false, "report the streaming catalog pipeline's generated/prefiltered/costed/admitted totals at shutdown (also live in /statsz)")
+	storePath := fs.String("store-path", "", "durable cost-store directory (snapshot+WAL): warm-boot from it on start, write-through persist every computed cost, flush and compact on shutdown")
+	flushEvery := fs.Duration("flush-interval", 30*time.Second, "with -store-path: how often to fsync (or age-compact) the WAL, bounding what a hard crash can lose; 0 disables periodic flushing")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -68,22 +79,67 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	store := serve.NewStore(*cache)
+	var db *costdb.Persistent
+	if *storePath != "" {
+		var err error
+		if db, err = costdb.Open(*storePath, store, costdb.Options{}); err != nil {
+			fmt.Fprintf(stderr, "vitdynd: %v\n", err)
+			return 1
+		}
+		if *flushEvery > 0 {
+			// Bound what a hard crash (power loss, SIGKILL) can lose:
+			// appends are buffered by the OS until fsynced, and the
+			// age-based compaction trigger only fires from Flush. The
+			// graceful-shutdown path compacts in Close regardless.
+			go func() {
+				tick := time.NewTicker(*flushEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+						if err := db.Flush(); err != nil && ctx.Err() == nil {
+							fmt.Fprintf(stderr, "vitdynd: flushing cost store: %v\n", err)
+						}
+					}
+				}
+			}()
+		}
+	}
 	srv := serve.NewServer(serve.Options{
 		Store:               store,
+		DB:                  db,
 		Workers:             *workers,
 		MaxConcurrentSweeps: *maxSweeps,
 		RequestTimeout:      *timeout,
 	})
 	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Fprintf(stdout, "vitdynd: listening on %s\n", a)
+		if db != nil {
+			fmt.Fprintf(stdout, "vitdynd: cost store: warm-booted %d entries from %s\n",
+				db.Stats().LoadedEntries, *storePath)
+		}
 	})
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if db != nil {
+			db.Close()
+		}
 		fmt.Fprintf(stderr, "vitdynd: %v\n", err)
 		return 1
 	}
 	st := store.Stats()
 	fmt.Fprintf(stdout, "vitdynd: shut down; cost store served %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+	if db != nil {
+		dst := db.Stats()
+		if err := db.Close(); err != nil {
+			fmt.Fprintf(stderr, "vitdynd: flushing cost store: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "vitdynd: costdb %s: %d loaded, %d entries, %d appends, %d disk hits, %d compactions\n",
+			*storePath, dst.LoadedEntries, dst.Entries, dst.Appends, dst.DiskHits, dst.Compactions)
+	}
 	if *streamStats {
 		ss := srv.StreamStats()
 		fmt.Fprintf(stdout, "vitdynd: stream: %d generated, %d prefiltered (%.0f%% saved before costing), %d costed, %d admitted\n",

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"vitdyn/internal/engine"
 )
 
 // lineWriter forwards writes to a buffer and signals a channel once the
@@ -217,5 +219,137 @@ func TestRunFlagErrors(t *testing.T) {
 	// An unbindable address is a startup error, not a hang.
 	if code := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out, &errb); code != 1 {
 		t.Errorf("bad addr: exit code %d, want 1", code)
+	}
+}
+
+// bootDaemon starts the daemon in-process with the given extra args on
+// a random port and returns its address plus a shutdown func that stops
+// it and returns the exit code with the captured stdout.
+func bootDaemon(t *testing.T, extra ...string) (addr string, shutdown func() (int, string)) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout := newLineWriter()
+	var stderr bytes.Buffer
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-timeout", "30s"}, extra...)
+	go func() { exit <- run(ctx, args, stdout, &stderr) }()
+	select {
+	case <-stdout.ready:
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatalf("daemon never printed its listen banner; stderr: %s", stderr.String())
+	}
+	banner := strings.SplitN(stdout.String(), "\n", 2)[0]
+	if !strings.HasPrefix(banner, "vitdynd: listening on ") {
+		cancel()
+		t.Fatalf("unexpected banner %q", banner)
+	}
+	addr = banner[strings.LastIndex(banner, " ")+1:]
+	return addr, func() (int, string) {
+		cancel()
+		select {
+		case code := <-exit:
+			if stderr.Len() > 0 {
+				t.Logf("daemon stderr: %s", stderr.String())
+			}
+			return code, stdout.String()
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit after cancellation")
+			return -1, ""
+		}
+	}
+}
+
+// getJSON fetches a URL and decodes the JSON body into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}
+
+// daemonStatsz is the slice of /statsz these tests read.
+type daemonStatsz struct {
+	Store struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"store"`
+	Costdb *struct {
+		LoadedEntries int   `json:"loaded_entries"`
+		Entries       int   `json:"entries"`
+		Appends       int64 `json:"appends"`
+	} `json:"costdb"`
+}
+
+// TestDaemonWarmBoot is the restart half of the CI smoke test: boot
+// vitdynd against a -store-path, price a catalog, shut down, boot a
+// fresh daemon on the same path and assert the store is warm — loaded
+// entries in /statsz, and the first catalog request served entirely
+// from store hits with zero backend evaluations.
+func TestDaemonWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+	const catalogPath = "/v1/catalog?family=ofa&backend=flops"
+
+	addr, shutdown := bootDaemon(t, "-store-path", dir)
+	resp, err := http.Get("http://" + addr + catalogPath)
+	if err != nil {
+		t.Fatalf("cold catalog: %v", err)
+	}
+	cold, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold catalog: %d %s", resp.StatusCode, cold)
+	}
+	var st daemonStatsz
+	getJSON(t, "http://"+addr+"/statsz", &st)
+	if st.Costdb == nil || st.Costdb.Appends == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", st.Costdb)
+	}
+	if code, out := shutdown(); code != 0 || !strings.Contains(out, "costdb "+dir) {
+		t.Fatalf("cold shutdown: code %d, out %s", code, out)
+	}
+
+	// Restart on the same store path: warm boot.
+	addr, shutdown = bootDaemon(t, "-store-path", dir)
+	getJSON(t, "http://"+addr+"/statsz", &st)
+	if st.Costdb == nil || st.Costdb.LoadedEntries == 0 {
+		t.Fatalf("warm boot loaded nothing: %+v", st.Costdb)
+	}
+	missesBefore := st.Store.Misses
+	evalsBefore := engine.BackendEvals()
+
+	resp, err = http.Get("http://" + addr + catalogPath)
+	if err != nil {
+		t.Fatalf("warm catalog: %v", err)
+	}
+	warm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm catalog: %d %s", resp.StatusCode, warm)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm catalog differs from cold:\n cold %s\n warm %s", cold, warm)
+	}
+	if evals := engine.BackendEvals() - evalsBefore; evals != 0 {
+		t.Errorf("warm catalog ran %d backend evaluations, want 0", evals)
+	}
+	getJSON(t, "http://"+addr+"/statsz", &st)
+	if st.Store.Misses != missesBefore {
+		t.Errorf("warm catalog missed the store %d times, want all hits", st.Store.Misses-missesBefore)
+	}
+	if st.Store.Hits == 0 {
+		t.Error("warm catalog recorded no store hits")
+	}
+	if code, out := shutdown(); code != 0 || !strings.Contains(out, "warm-booted") {
+		t.Fatalf("warm shutdown: code %d, out %s", code, out)
 	}
 }

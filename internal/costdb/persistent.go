@@ -1,0 +1,412 @@
+package costdb
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vitdyn/internal/engine"
+)
+
+// File names inside a store directory.
+const (
+	SnapshotFile = "snapshot.vcdb"
+	WALFile      = "wal.vcdb"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultCompactWALBytes triggers auto-compaction once the WAL
+	// carries this many record bytes: large enough that steady-state
+	// serving compacts rarely, small enough that replay on boot stays
+	// trivially fast.
+	DefaultCompactWALBytes = 1 << 20
+	// DefaultCompactAge is how stale the last compaction may get before
+	// Flush folds outstanding WAL records into a fresh snapshot.
+	DefaultCompactAge = 5 * time.Minute
+)
+
+// Options tunes a Persistent store. The zero value selects the defaults
+// above; negative values disable the corresponding trigger (compaction
+// then only happens on Close).
+type Options struct {
+	// CompactWALBytes auto-compacts (fresh snapshot, truncated WAL) when
+	// the WAL exceeds this many bytes past its header. 0 selects
+	// DefaultCompactWALBytes; < 0 disables size-triggered compaction.
+	CompactWALBytes int64
+	// CompactAge makes Flush compact when the last compaction is older
+	// than this and the WAL is non-empty. 0 selects DefaultCompactAge;
+	// < 0 disables age-triggered compaction.
+	CompactAge time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactWALBytes == 0 {
+		o.CompactWALBytes = DefaultCompactWALBytes
+	}
+	if o.CompactAge == 0 {
+		o.CompactAge = DefaultCompactAge
+	}
+	return o
+}
+
+// Persistent is a durable tier under any engine.CostCache: lookups hit
+// the inner (fast, possibly LRU-bounded) cache first, fall back to the
+// durable contents loaded from disk, and only then run the real compute
+// — whose result is write-through appended to the WAL. It implements
+// engine.CostCache itself, so it drops into NewWithCache, SetDefaultCache
+// and the serving layer unchanged. A Persistent is safe for concurrent
+// use; Close (or at least Flush) should run before process exit to bound
+// the replay work of the next boot.
+type Persistent struct {
+	inner engine.CostCache
+	dir   string
+	opts  Options
+
+	mu          sync.RWMutex // guards entries, wal file state, compaction
+	entries     map[entryKey][]float64
+	wal         *os.File
+	walBytes    int64
+	walRecords  int64
+	lastCompact time.Time
+	closed      bool
+
+	loaded      int
+	diskHits    atomic.Int64
+	appends     atomic.Int64
+	compactions atomic.Int64
+	lastFlushMS atomic.Int64 // unix milliseconds
+}
+
+var _ engine.CostCache = (*Persistent)(nil)
+
+// Open loads (or initializes) the durable store in dir and composes it
+// under inner: the snapshot is read whole — a checksum or format error
+// rejects the store rather than serving a partial load — then the WAL is
+// replayed on top, truncating a torn tail. Every loaded entry pre-warms
+// inner, so a warm boot's first requests are fast-tier hits. A nil inner
+// selects a built-in unbounded map cache, making costdb usable without
+// the serving layer.
+func Open(dir string, inner engine.CostCache, opts Options) (*Persistent, error) {
+	if inner == nil {
+		inner = newMemCache()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("costdb: creating store directory: %w", err)
+	}
+	p := &Persistent{
+		inner:   inner,
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		entries: map[entryKey][]float64{},
+	}
+
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		// Commit the snapshot only if it verifies end to end.
+		scratch := map[entryKey][]float64{}
+		_, rerr := ReadSnapshot(f, func(e Entry) error {
+			scratch[entryKey{backend: e.Backend, sig: e.Sig}] = e.Vals
+			return nil
+		})
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("costdb: loading snapshot %s: %w", snapPath, rerr)
+		}
+		p.entries = scratch
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("costdb: opening snapshot: %w", err)
+	}
+
+	wal, records, walBytes, err := openWAL(filepath.Join(dir, WALFile), func(e Entry) error {
+		p.entries[entryKey{backend: e.Backend, sig: e.Sig}] = e.Vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.wal = wal
+	p.walRecords = records
+	p.walBytes = walBytes
+	p.loaded = len(p.entries)
+	p.lastCompact = time.Now()
+	p.lastFlushMS.Store(time.Now().UnixMilli())
+
+	// Pre-warm the fast tier so a warm boot's first catalog request is
+	// all inner-cache hits (the inserts register as one miss each in an
+	// accounting store — boot cost, visible once).
+	for k, vals := range p.entries {
+		vals := vals
+		if _, err := inner.GetOrComputeVector(k.backend, k.sig, func() ([]float64, error) {
+			return vals, nil
+		}); err != nil {
+			p.wal.Close()
+			return nil, fmt.Errorf("costdb: pre-warming inner cache: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Dir returns the store directory.
+func (p *Persistent) Dir() string { return p.dir }
+
+// GetOrComputeVector implements engine.CostCache with three tiers:
+// inner cache, durable contents, then compute — a genuine compute is
+// write-through appended to the WAL before it is returned, so anything
+// the process ever priced survives a restart. Append failures (disk
+// full, store closed) surface as errors rather than silently dropping
+// durability. The returned slice is shared and must not be mutated.
+func (p *Persistent) GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
+	return p.inner.GetOrComputeVector(backend, sig, func() ([]float64, error) {
+		k := entryKey{backend: backend, sig: sig}
+		p.mu.RLock()
+		vals, ok := p.entries[k]
+		p.mu.RUnlock()
+		if ok {
+			p.diskHits.Add(1)
+			return vals, nil
+		}
+		vals, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.append(backend, sig, vals, true); err != nil {
+			return nil, err
+		}
+		return vals, nil
+	})
+}
+
+// append durably records one insert: WAL first, then the in-memory
+// contents, then (when allowCompact) a size-triggered compaction. It
+// reports whether the entry was new — a concurrent racer may have
+// landed it already, in which case nothing is written. Bulk writers
+// (Import) pass allowCompact=false and compact once at the end; letting
+// every ~CompactWALBytes of a large import rewrite the ever-growing
+// snapshot would turn the import quadratic.
+func (p *Persistent) append(backend string, sig uint64, vals []float64, allowCompact bool) (bool, error) {
+	rec, err := encodeWALRecord(Entry{Backend: backend, Sig: sig, Vals: vals})
+	if err != nil {
+		return false, err
+	}
+	k := entryKey{backend: backend, sig: sig}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false, fmt.Errorf("costdb: store is closed")
+	}
+	if _, ok := p.entries[k]; ok {
+		return false, nil
+	}
+	if _, err := p.wal.Write(rec); err != nil {
+		return false, fmt.Errorf("costdb: wal append: %w", err)
+	}
+	p.walBytes += int64(len(rec))
+	p.walRecords++
+	p.entries[k] = vals
+	p.appends.Add(1)
+	if allowCompact && p.opts.CompactWALBytes > 0 && p.walBytes >= p.opts.CompactWALBytes {
+		if err := p.compactLocked(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// compactLocked folds the full contents into a fresh snapshot (atomic
+// rename) and truncates the WAL. Snapshot-then-truncate ordering makes a
+// crash between the two harmless: the stale WAL replays the same values
+// over the new snapshot. Caller holds p.mu.
+func (p *Persistent) compactLocked() error {
+	if err := writeSnapshotFile(filepath.Join(p.dir, SnapshotFile), p.sortedEntriesLocked()); err != nil {
+		return err
+	}
+	if err := p.wal.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("costdb: truncating wal after compaction: %w", err)
+	}
+	if _, err := p.wal.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("costdb: seeking wal after compaction: %w", err)
+	}
+	p.walBytes, p.walRecords = 0, 0
+	p.compactions.Add(1)
+	p.lastCompact = time.Now()
+	p.lastFlushMS.Store(time.Now().UnixMilli())
+	return nil
+}
+
+// sortedEntriesLocked materializes the contents in canonical order.
+// Caller holds p.mu (read or write).
+func (p *Persistent) sortedEntriesLocked() []Entry {
+	entries := make([]Entry, 0, len(p.entries))
+	for k, vals := range p.entries {
+		entries = append(entries, Entry{Backend: k.backend, Sig: k.sig, Vals: vals})
+	}
+	SortEntries(entries)
+	return entries
+}
+
+// Flush makes everything appended so far durable: it fsyncs the WAL, or
+// — when the last compaction is older than Options.CompactAge and the
+// WAL is non-empty — compacts instead, which is both durable and faster
+// to replay.
+func (p *Persistent) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("costdb: store is closed")
+	}
+	if p.opts.CompactAge > 0 && p.walRecords > 0 && time.Since(p.lastCompact) >= p.opts.CompactAge {
+		return p.compactLocked()
+	}
+	if err := p.wal.Sync(); err != nil {
+		return fmt.Errorf("costdb: syncing wal: %w", err)
+	}
+	p.lastFlushMS.Store(time.Now().UnixMilli())
+	return nil
+}
+
+// Compact forces a compaction now (a fresh snapshot of the full
+// contents and an empty WAL), regardless of thresholds.
+func (p *Persistent) Compact() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("costdb: store is closed")
+	}
+	return p.compactLocked()
+}
+
+// Close compacts outstanding WAL records into a fresh snapshot — the
+// next boot loads one checksummed file and replays nothing — then closes
+// the store. Close is idempotent; a closed store rejects inserts but its
+// Stats remain readable.
+func (p *Persistent) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	var firstErr error
+	if p.walRecords > 0 {
+		firstErr = p.compactLocked()
+	}
+	if err := p.wal.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("costdb: closing wal: %w", err)
+	}
+	p.closed = true
+	return firstErr
+}
+
+// ExportTo streams the full durable contents to w in the snapshot
+// format, in canonical order — identical contents always produce
+// identical bytes, so export/import round-trips are byte-comparable.
+// The stream a fresh daemon imports is exactly what ExportTo writes.
+func (p *Persistent) ExportTo(w io.Writer) error {
+	p.mu.RLock()
+	entries := p.sortedEntriesLocked()
+	p.mu.RUnlock()
+	return WriteSnapshot(w, entries)
+}
+
+// Import merges a snapshot stream (as produced by ExportTo, or a raw
+// snapshot file) into the store: new entries are WAL-appended and
+// pre-warm the inner cache, entries already present are left untouched
+// (first write wins — costs are pure functions of their key, so a
+// conflicting value for a known key would mean a backend changed, which
+// versioned backend names are expected to reflect). The whole stream is
+// verified — trailing checksum included — before anything commits, so a
+// snapshot corrupted in transit rejects cleanly instead of poisoning
+// the store with durable wrong costs. Returns how many entries the
+// stream held and how many were new.
+func (p *Persistent) Import(r io.Reader) (total, added int, err error) {
+	// Stage first: snapshot entries carry no per-entry checksum, only
+	// the stream-wide trailing CRC, so nothing may become durable until
+	// ReadSnapshot has verified every byte.
+	var staged []Entry
+	total, err = ReadSnapshot(r, func(e Entry) error {
+		staged = append(staged, e)
+		return nil
+	})
+	if err != nil {
+		return total, 0, err
+	}
+	for _, e := range staged {
+		// Compaction is deferred (see append) and run once below.
+		isNew, aerr := p.append(e.Backend, e.Sig, e.Vals, false)
+		if aerr != nil {
+			return total, added, aerr
+		}
+		if !isNew {
+			continue
+		}
+		added++
+		vals := e.Vals
+		if _, werr := p.inner.GetOrComputeVector(e.Backend, e.Sig, func() ([]float64, error) {
+			return vals, nil
+		}); werr != nil {
+			return total, added, werr
+		}
+	}
+	// Make the import durable in one step: compact if the WAL grew past
+	// its threshold, else just fsync the appended records.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return total, added, nil
+	}
+	if p.opts.CompactWALBytes > 0 && p.walBytes >= p.opts.CompactWALBytes {
+		return total, added, p.compactLocked()
+	}
+	if err := p.wal.Sync(); err != nil {
+		return total, added, fmt.Errorf("costdb: syncing wal after import: %w", err)
+	}
+	p.lastFlushMS.Store(time.Now().UnixMilli())
+	return total, added, nil
+}
+
+// Stats is a point-in-time view of the durable tier, exposed by the
+// vitdynd /statsz costdb section and the cmds' -cache-path teardown
+// line.
+type Stats struct {
+	// LoadedEntries is how many entries Open found on disk (snapshot +
+	// replayed WAL) — the warm-boot seed.
+	LoadedEntries int `json:"loaded_entries"`
+	// Entries is the current durable entry count.
+	Entries int `json:"entries"`
+	// WALBytes and WALRecords describe the un-compacted tail.
+	WALBytes   int64 `json:"wal_bytes"`
+	WALRecords int64 `json:"wal_records"`
+	// Appends counts write-through inserts since open; DiskHits counts
+	// lookups served from the durable contents after the fast tier
+	// missed (e.g. post-eviction, or lazily after a boot).
+	Appends  int64 `json:"appends"`
+	DiskHits int64 `json:"disk_hits"`
+	// Compactions counts snapshot rewrites (size- or age-triggered, and
+	// the one Close performs).
+	Compactions int64 `json:"compactions"`
+	// LastFlushAgeMS is how long ago the store last made its tail
+	// durable (fsync or compaction).
+	LastFlushAgeMS int64 `json:"last_flush_age_ms"`
+}
+
+// Stats returns a snapshot of the store's counters.
+func (p *Persistent) Stats() Stats {
+	p.mu.RLock()
+	entries := len(p.entries)
+	walBytes, walRecords := p.walBytes, p.walRecords
+	p.mu.RUnlock()
+	return Stats{
+		LoadedEntries:  p.loaded,
+		Entries:        entries,
+		WALBytes:       walBytes,
+		WALRecords:     walRecords,
+		Appends:        p.appends.Load(),
+		DiskHits:       p.diskHits.Load(),
+		Compactions:    p.compactions.Load(),
+		LastFlushAgeMS: time.Now().UnixMilli() - p.lastFlushMS.Load(),
+	}
+}

@@ -1,0 +1,107 @@
+package costdb
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{Backend: "gpu/test", Sig: 42, Vals: []float64{1.5}},
+		{Backend: "gpu/test", Sig: 7, Vals: []float64{0.25}},
+		{Backend: "magnet/E", Sig: 42, Vals: []float64{3.0, 4.5}},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := sampleEntries()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, in); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	var out []Entry
+	n, err := ReadSnapshot(&buf, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if n != len(in) || !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: got %d entries %+v, want %+v", n, out, in)
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	entries := sampleEntries()
+	SortEntries(entries)
+	var a, b bytes.Buffer
+	if err := WriteSnapshot(&a, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&b, entries); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two snapshots of identical contents differ")
+	}
+}
+
+func TestSnapshotChecksumMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt one payload byte (not the stored checksum itself).
+	b[len(snapshotMagic)+8+3] ^= 0xff
+	_, err := ReadSnapshot(bytes.NewReader(b), func(Entry) error { return nil })
+	if err == nil {
+		t.Fatal("corrupt snapshot read succeeded")
+	}
+	if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "length") {
+		t.Errorf("corruption error not actionable: %v", err)
+	}
+}
+
+func TestSnapshotTruncatedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-6]
+	if _, err := ReadSnapshot(bytes.NewReader(b), func(Entry) error { return nil }); err == nil {
+		t.Fatal("truncated snapshot read succeeded")
+	}
+}
+
+func TestSnapshotTrailingGarbageRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("junk")
+	if _, err := ReadSnapshot(&buf, func(Entry) error { return nil }); err == nil {
+		t.Fatal("snapshot with trailing garbage read succeeded")
+	}
+}
+
+func TestSnapshotBadMagicRejected(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("NOTADBSNAPSHOT??"), func(Entry) error { return nil }); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic error = %v", err)
+	}
+}
+
+func TestEntryCodecLimits(t *testing.T) {
+	if _, err := appendEntry(nil, Entry{Backend: "", Sig: 1, Vals: []float64{1}}); err == nil {
+		t.Error("empty backend name encoded")
+	}
+	if _, err := appendEntry(nil, Entry{Backend: "b", Sig: 1, Vals: nil}); err == nil {
+		t.Error("empty cost vector encoded")
+	}
+	if _, err := appendEntry(nil, Entry{Backend: "b", Sig: 1, Vals: make([]float64, maxVals+1)}); err == nil {
+		t.Error("oversized cost vector encoded")
+	}
+}

@@ -1,0 +1,149 @@
+package costdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// walMagic heads a WAL file, versioned like the snapshot magic.
+const walMagic = "VITCDBW1"
+
+// A WAL record is a length-prefixed entry payload with its own CRC:
+//
+//	payloadLen uint32 | payload (appendEntry encoding) | crc32(payload)
+//
+// Per-record checksums let replay distinguish "valid prefix, torn tail"
+// — the normal artifact of crashing between append and fsync — from a
+// file that was never ours. Replay truncates at the first bad record;
+// everything before it is intact by construction (records are written
+// whole, in order).
+const walRecordOverhead = 4 + 4 // length prefix + checksum
+
+// maxWALPayload bounds a decoded record length the same way the entry
+// codec bounds its fields — a length past it means garbage, not data.
+const maxWALPayload = 2 + maxBackendLen + 8 + 2 + 8*maxVals
+
+// encodeWALRecord serializes one insert as a WAL record.
+func encodeWALRecord(e Entry) ([]byte, error) {
+	payload, err := appendEntry(make([]byte, 0, encodedSize(e)), e)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]byte, 0, len(payload)+walRecordOverhead)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	return rec, nil
+}
+
+// replayWAL reads records from r, calling fn per decoded entry, and
+// returns the byte offset of the end of the last valid record (relative
+// to the start of r, i.e. excluding any header the caller already
+// consumed), how many records were applied, and whether a torn tail was
+// detected. A torn tail — truncated record, garbage length, or checksum
+// mismatch — ends replay without error; the caller truncates the file at
+// validEnd. Only fn errors and genuine read failures are returned.
+func replayWAL(r io.Reader, fn func(Entry) error) (validEnd int64, records int64, torn bool, err error) {
+	var lenBuf [4]byte
+	var buf []byte
+	for {
+		n, rerr := io.ReadFull(r, lenBuf[:])
+		if rerr == io.EOF {
+			return validEnd, records, false, nil
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			_ = n
+			return validEnd, records, true, nil
+		}
+		if rerr != nil {
+			return validEnd, records, false, fmt.Errorf("costdb: reading wal: %w", rerr)
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if payloadLen == 0 || payloadLen > maxWALPayload {
+			return validEnd, records, true, nil
+		}
+		need := payloadLen + 4
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		b := buf[:need]
+		if _, rerr := io.ReadFull(r, b); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return validEnd, records, true, nil
+			}
+			return validEnd, records, false, fmt.Errorf("costdb: reading wal: %w", rerr)
+		}
+		payload := b[:payloadLen]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[payloadLen:]) {
+			return validEnd, records, true, nil
+		}
+		e, consumed, derr := decodeEntry(payload)
+		if derr != nil || consumed != payloadLen {
+			// The checksum matched but the payload does not parse — a
+			// writer bug rather than a crash artifact; still recoverable
+			// by truncation, but flag it as torn for the caller's log.
+			return validEnd, records, true, nil
+		}
+		if err := fn(e); err != nil {
+			return validEnd, records, false, err
+		}
+		validEnd += int64(need + 4)
+		records++
+	}
+}
+
+// openWAL opens (creating if absent) the WAL at path, replays its
+// records through fn, repairs a torn tail by truncation, and returns the
+// file positioned for appends plus the replayed record count and payload
+// bytes beyond the header. A partial header is repaired like a torn tail
+// (the file is truncated and re-headed); a full header with the wrong
+// magic is a hard error — the file belongs to something else, and
+// clobbering it is not this package's call.
+func openWAL(path string, fn func(Entry) error) (f *os.File, records, walBytes int64, err error) {
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("costdb: opening wal: %w", err)
+	}
+	fail := func(err error) (*os.File, int64, int64, error) {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	head := make([]byte, len(walMagic))
+	n, rerr := io.ReadFull(f, head)
+	switch {
+	case rerr == io.EOF || rerr == io.ErrUnexpectedEOF:
+		// Empty or header-torn file: start fresh.
+		_ = n
+		if err := f.Truncate(0); err != nil {
+			return fail(fmt.Errorf("costdb: resetting wal: %w", err))
+		}
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			return fail(fmt.Errorf("costdb: writing wal header: %w", err))
+		}
+		if _, err := f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+			return fail(fmt.Errorf("costdb: seeking wal: %w", err))
+		}
+		return f, 0, 0, nil
+	case rerr != nil:
+		return fail(fmt.Errorf("costdb: reading wal header: %w", rerr))
+	case string(head) != walMagic:
+		return fail(fmt.Errorf("costdb: bad wal magic %q in %s (want %q): not a costdb wal or an incompatible version", head, path, walMagic))
+	}
+	validEnd, records, torn, err := replayWAL(f, fn)
+	if err != nil {
+		return fail(err)
+	}
+	end := int64(len(walMagic)) + validEnd
+	if torn {
+		if err := f.Truncate(end); err != nil {
+			return fail(fmt.Errorf("costdb: truncating torn wal tail: %w", err))
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		return fail(fmt.Errorf("costdb: seeking wal: %w", err))
+	}
+	return f, records, validEnd, nil
+}

@@ -1,0 +1,118 @@
+package costdb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// walFixture writes a WAL file at path holding the given records plus
+// optional raw tail bytes.
+func walFixture(t *testing.T, path string, entries []Entry, tail []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(walMagic)
+	for _, e := range entries {
+		rec, err := encodeWALRecord(e)
+		if err != nil {
+			t.Fatalf("encodeWALRecord: %v", err)
+		}
+		buf.Write(rec)
+	}
+	buf.Write(tail)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayFile(t *testing.T, path string) (entries []Entry, records int64, size int64) {
+	t.Helper()
+	f, records, walBytes, err := openWAL(path, func(e Entry) error {
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(walMagic)) + walBytes; got != st.Size() {
+		t.Errorf("walBytes accounting: header+%d = %d, file size %d", walBytes, got, st.Size())
+	}
+	return entries, records, st.Size()
+}
+
+func TestWALReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.vcdb")
+	in := sampleEntries()
+	walFixture(t, path, in, nil)
+	out, records, _ := replayFile(t, path)
+	if records != int64(len(in)) || !reflect.DeepEqual(in, out) {
+		t.Errorf("replayed %d records %+v, want %+v", records, out, in)
+	}
+}
+
+func TestWALTornTailTruncatedAndReplayed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.vcdb")
+	in := sampleEntries()
+	// A record cut off mid-payload: the crash window between append and
+	// sync.
+	torn, err := encodeWALRecord(Entry{Backend: "gpu/test", Sig: 99, Vals: []float64{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walFixture(t, path, in, torn[:len(torn)-3])
+	out, records, size := replayFile(t, path)
+	if records != int64(len(in)) || !reflect.DeepEqual(in, out) {
+		t.Fatalf("torn-tail replay: %d records %+v, want %+v", records, out, in)
+	}
+	// The tail must be gone from disk: reopening replays cleanly with no
+	// further truncation.
+	out2, records2, size2 := replayFile(t, path)
+	if records2 != records || size2 != size || !reflect.DeepEqual(out, out2) {
+		t.Errorf("second replay after repair: %d records, size %d (want %d, %d)", records2, size2, records, size)
+	}
+}
+
+func TestWALCorruptChecksumTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.vcdb")
+	in := sampleEntries()
+	bad, err := encodeWALRecord(Entry{Backend: "gpu/test", Sig: 99, Vals: []float64{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[6] ^= 0xff // flip a payload byte; stored crc no longer matches
+	walFixture(t, path, in, bad)
+	out, records, _ := replayFile(t, path)
+	if records != int64(len(in)) || !reflect.DeepEqual(in, out) {
+		t.Errorf("corrupt-record replay kept %d records %+v, want the %d valid ones", records, out, len(in))
+	}
+}
+
+func TestWALPartialHeaderReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.vcdb")
+	if err := os.WriteFile(path, []byte(walMagic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, records, size := replayFile(t, path)
+	if records != 0 || len(out) != 0 || size != int64(len(walMagic)) {
+		t.Errorf("partial header: %d records, size %d, want a fresh empty wal", records, size)
+	}
+}
+
+func TestWALForeignMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.vcdb")
+	if err := os.WriteFile(path, []byte("SOMEFILEthat is not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := openWAL(path, func(Entry) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("foreign file error = %v, want magic mismatch", err)
+	}
+}

@@ -88,6 +88,18 @@ func currentDefaultCache() CostCache {
 	return nil
 }
 
+// backendEvals counts actual CostBackend evaluations process-wide — the
+// work every cache tier above exists to avoid. Each increment is one
+// graph truly priced on a backend (memo hits at any tier do not count).
+var backendEvals atomic.Int64
+
+// BackendEvals returns the cumulative number of backend cost
+// evaluations this process has performed. It is the observability hook
+// behind the persistence tests ("a warm-booted store serves this
+// catalog with zero backend evaluations") and is monotone: take deltas
+// around the work being measured.
+func BackendEvals() int64 { return backendEvals.Load() }
+
 // Candidate is one execution path to be swept: a label, a known accuracy,
 // and a constructor for the graph to be costed. Build runs on a worker
 // goroutine and must not share mutable state with other candidates.
@@ -190,6 +202,7 @@ func (e *Engine) CachedCosts() int {
 // result is guaranteed non-empty on success, so Cost can take the first
 // component unconditionally.
 func (e *Engine) compute(g *graph.Graph) ([]float64, error) {
+	backendEvals.Add(1)
 	if mb, ok := e.backend.(MultiCostBackend); ok {
 		vals, err := mb.CostVector(g)
 		if err != nil {

@@ -441,7 +441,13 @@ func RenderTradeoff(title string, rows []TradeoffRow) *report.Table {
 
 // RenderFig12 renders the Swin tradeoff table.
 func RenderFig12(rows []Fig12Row) *report.Table {
-	t := report.NewTable("Fig 12: Swin pruning/switching tradeoff (GPU + accelerator E)",
+	return RenderFig12Titled("Fig 12: Swin pruning/switching tradeoff (GPU + accelerator E)", rows)
+}
+
+// RenderFig12Titled is RenderFig12 with an explicit title (the
+// frontier-only rendering names its pre-filtered variant).
+func RenderFig12Titled(title string, rows []Fig12Row) *report.Table {
+	t := report.NewTable(title,
 		"Variant", "Label", "Source", "GPU ms", "Accel ms", "Accel mJ", "mIoU")
 	for _, r := range rows {
 		t.AddRowf(r.Variant, r.Label, r.Source, r.GPUTimeMS, r.AccelTimeMS, r.AccelEnergyMJ, r.MIoU)

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sortRows orders tradeoff rows by (time, label, source) so frontier
+// output (cost-ascending) and filtered full-sweep output compare
+// deterministically.
+func sortRows(rows []TradeoffRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TimeMS != rows[j].TimeMS {
+			return rows[i].TimeMS < rows[j].TimeMS
+		}
+		if rows[i].Label != rows[j].Label {
+			return rows[i].Label < rows[j].Label
+		}
+		return rows[i].Source < rows[j].Source
+	})
+}
+
+func TestFig10FrontierOnlyMatchesFullPareto(t *testing.T) {
+	full, err := Fig10SegFormerGPUTradeoff("ADE", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRows []TradeoffRow
+	for _, r := range full {
+		if r.Pareto {
+			wantRows = append(wantRows, r)
+		}
+	}
+	got, st, err := Fig10FrontierRows("ADE", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(full) {
+		t.Errorf("frontier-only row count %d did not shrink from %d", len(got), len(full))
+	}
+	if int(st.Generated) != len(full) {
+		t.Errorf("stream generated %d candidates, full sweep has %d rows", st.Generated, len(full))
+	}
+	sortRows(wantRows)
+	sortRows(got)
+	if !reflect.DeepEqual(wantRows, got) {
+		t.Errorf("frontier rows differ from full-sweep Pareto rows:\n got %+v\nwant %+v", got, wantRows)
+	}
+}
+
+func TestFig11FrontierOnlyMatchesFullPareto(t *testing.T) {
+	full, err := Fig11SegFormerAccelTradeoff(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRows []TradeoffRow
+	for _, r := range full {
+		if r.Pareto {
+			wantRows = append(wantRows, r)
+		}
+	}
+	got, _, err := Fig11FrontierRows(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(full) {
+		t.Errorf("frontier-only row count %d did not shrink from %d", len(got), len(full))
+	}
+	sortRows(wantRows)
+	sortRows(got)
+	if !reflect.DeepEqual(wantRows, got) {
+		t.Errorf("frontier rows differ from full-sweep Pareto rows:\n got %+v\nwant %+v", got, wantRows)
+	}
+}
+
+func TestFig12FrontierOnlyRowsAreFullSweepRows(t *testing.T) {
+	full, err := Fig12SwinTradeoff(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSet := map[Fig12Row]bool{}
+	for _, r := range full {
+		fullSet[r] = true
+	}
+	got, st, err := Fig12FrontierRows(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= len(full) {
+		t.Errorf("frontier-only row count %d did not shrink from %d", len(got), len(full))
+	}
+	for _, r := range got {
+		if !fullSet[r] {
+			t.Errorf("frontier row %+v is not byte-identical to any full-sweep row", r)
+		}
+	}
+	if st.Generated == 0 {
+		t.Error("frontier rendering reported no generated candidates")
+	}
+	// Every variant keeps at least one frontier row.
+	seen := map[string]bool{}
+	for _, r := range got {
+		seen[r.Variant] = true
+	}
+	for _, v := range []string{"Tiny", "Small", "Base"} {
+		if !seen[v] {
+			t.Errorf("variant %s lost all rows in frontier-only mode", v)
+		}
+	}
+}

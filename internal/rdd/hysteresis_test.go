@@ -1,0 +1,117 @@
+package rdd
+
+import (
+	"reflect"
+	"testing"
+)
+
+func hystCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog("m", []Path{
+		{Label: "small", Cost: 2, Accuracy: 0.5},
+		{Label: "big", Cost: 8, Accuracy: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestSimulateHysteresisDegeneratesToSimulate(t *testing.T) {
+	cat := hystCatalog(t)
+	tr := SinusoidTrace(200, 2.1, 9, 30)
+	want := cat.Simulate(tr)
+	for _, k := range []int{0, 1} {
+		if got := cat.SimulateHysteresis(tr, k); !reflect.DeepEqual(got, want) {
+			t.Errorf("k=%d: %+v != Simulate %+v", k, got, want)
+		}
+	}
+}
+
+func TestSimulateHysteresisDelaysUpgrades(t *testing.T) {
+	cat := hystCatalog(t)
+	// Budget rises for exactly one frame: free switching upgrades (and
+	// immediately downgrades when the budget drops again); k=2 never
+	// upgrades because the preference lasts a single frame.
+	tr := Trace{3, 9, 3, 9, 3, 9, 3}
+	free := cat.Simulate(tr)
+	if free.Switches == 0 {
+		t.Fatal("free controller never switched on an oscillating trace")
+	}
+	damped := cat.SimulateHysteresis(tr, 2)
+	if damped.Switches != 0 {
+		t.Errorf("k=2 switched %d times on one-frame preferences, want 0", damped.Switches)
+	}
+	if damped.Completed != len(tr) || damped.MeanAccuracy != 0.5 {
+		t.Errorf("damped result %+v, want all frames on the small path", damped)
+	}
+	// A preference that persists k frames commits on the kth frame.
+	tr = Trace{3, 9, 9, 9}
+	damped = cat.SimulateHysteresis(tr, 2)
+	if damped.Switches != 1 {
+		t.Errorf("persistent preference: %d switches, want 1", damped.Switches)
+	}
+	// frames: small, small (streak 1), big (streak 2 → switch), big
+	wantAcc := (0.5 + 0.5 + 0.9 + 0.9) / 4
+	if damped.MeanAccuracy != wantAcc {
+		t.Errorf("mean accuracy %v, want %v", damped.MeanAccuracy, wantAcc)
+	}
+}
+
+func TestSimulateHysteresisForcedDowngrade(t *testing.T) {
+	cat := hystCatalog(t)
+	// Running on big; the budget collapses below big's cost. Hysteresis
+	// cannot hold an over-budget path: the switch is immediate.
+	tr := Trace{9, 9, 3, 3}
+	res := cat.SimulateHysteresis(tr, 5)
+	if res.Skipped != 0 {
+		t.Fatalf("skipped %d frames, want 0", res.Skipped)
+	}
+	if res.Switches != 1 {
+		t.Errorf("forced downgrade: %d switches, want exactly 1", res.Switches)
+	}
+	if want := (0.9 + 0.9 + 0.5 + 0.5) / 4; res.MeanAccuracy != want {
+		t.Errorf("mean accuracy %v, want %v", res.MeanAccuracy, want)
+	}
+}
+
+func TestSimulateHysteresisSkipBreaksStreak(t *testing.T) {
+	cat := hystCatalog(t)
+	// small; prefer big (streak 1); skip (streak broken); prefer big
+	// (streak 1 again); prefer big (streak 2 → switch).
+	tr := Trace{3, 9, 1, 9, 9}
+	res := cat.SimulateHysteresis(tr, 2)
+	if res.Skipped != 1 || res.Completed != 4 {
+		t.Fatalf("completed %d skipped %d", res.Completed, res.Skipped)
+	}
+	if res.Switches != 1 {
+		t.Errorf("switches %d, want 1 (skip must break the streak)", res.Switches)
+	}
+	// Without the skip the same preferences switch earlier.
+	noSkip := cat.SimulateHysteresis(Trace{3, 9, 9}, 2)
+	if noSkip.Switches != 1 {
+		t.Errorf("control run switches %d, want 1", noSkip.Switches)
+	}
+}
+
+func TestSimulateHysteresisReducesSwitchRate(t *testing.T) {
+	cat := hystCatalog(t)
+	tr := BurstyTrace(5000, 2.1, 9, 0.5, 11)
+	free := cat.Simulate(tr)
+	for _, k := range []int{2, 4, 8} {
+		damped := cat.SimulateHysteresis(tr, k)
+		if damped.Switches >= free.Switches {
+			t.Errorf("k=%d switches %d did not drop below the free controller's %d", k, damped.Switches, free.Switches)
+		}
+		if damped.Frames != free.Frames || damped.Completed != free.Completed {
+			t.Errorf("k=%d changed frame accounting: %+v vs %+v", k, damped, free)
+		}
+		// Damping trades accuracy for stability, never the reverse.
+		if damped.MeanAccuracy > free.MeanAccuracy {
+			t.Errorf("k=%d mean accuracy %v above free %v", k, damped.MeanAccuracy, free.MeanAccuracy)
+		}
+	}
+	if free.Switches == 0 {
+		t.Error("bursty trace produced no free-controller switches; test is vacuous")
+	}
+}

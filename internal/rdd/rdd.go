@@ -323,6 +323,77 @@ func (c *Catalog) Simulate(tr Trace) SimResult {
 	return res
 }
 
+// SimulateHysteresis replays the trace with dynamic path selection
+// damped by switching hysteresis: the controller leaves its current path
+// only once the budget-driven selector has preferred a different path
+// for k consecutive completed frames — the paper's controller switches
+// freely, but a real deployment pays a swap cost (weight reload, cache
+// refill) per transition, so damping trades a little per-frame accuracy
+// for far fewer switches. Two exceptions keep the replay honest: a frame
+// whose budget no longer covers the current path switches immediately
+// (running over budget is not an option), and a skipped frame (no path
+// fits at all) breaks the consecutive-preference streak. k <= 1
+// degenerates to Simulate exactly.
+func (c *Catalog) SimulateHysteresis(tr Trace, k int) SimResult {
+	if k <= 1 {
+		return c.Simulate(tr)
+	}
+	res := SimResult{Frames: len(tr)}
+	full := c.Full()
+	var accSum, costSum float64
+	fullCount := 0
+	var cur Path
+	haveCur := false
+	pendingLabel := ""
+	streak := 0
+	for _, budget := range tr {
+		want, ok := c.Select(budget)
+		if !ok {
+			res.Skipped++
+			pendingLabel, streak = "", 0
+			continue
+		}
+		run := want
+		switch {
+		case !haveCur:
+			// First completed frame: adopt the selection outright.
+		case want.Label == cur.Label:
+			run = cur
+			pendingLabel, streak = "", 0
+		case cur.Cost > budget:
+			// Forced switch: the current path no longer fits this frame.
+			pendingLabel, streak = "", 0
+		default:
+			if want.Label == pendingLabel {
+				streak++
+			} else {
+				pendingLabel, streak = want.Label, 1
+			}
+			if streak >= k {
+				pendingLabel, streak = "", 0 // commit the switch
+			} else {
+				run = cur // hold the line
+			}
+		}
+		if res.Completed > 0 && run.Label != cur.Label {
+			res.Switches++
+		}
+		cur, haveCur = run, true
+		res.Completed++
+		accSum += run.Accuracy
+		costSum += run.Cost
+		if run.Label == full.Label {
+			fullCount++
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanAccuracy = accSum / float64(res.Completed)
+		res.MeanCost = costSum / float64(res.Completed)
+		res.FullPathShare = float64(fullCount) / float64(res.Completed)
+	}
+	return res
+}
+
 // SimulateStatic replays the trace always running one fixed path: frames
 // whose budget cannot fit it are skipped (accuracy 0 contribution is NOT
 // averaged in; Skipped counts them, mirroring the paper's "skip a frame and

@@ -1,10 +1,59 @@
 package rdd
 
 import (
+	"bufio"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
+
+// ReadValuesFile parses a recorded per-frame load trace from a CSV or
+// newline-delimited text file: one budget per line, or several per line
+// separated by commas (flattened in reading order), blank lines and
+// #-comment lines skipped — tolerant enough to ingest a column dumped
+// from a metrics system without reshaping. Budgets must be non-negative
+// and the file must contain at least one.
+func ReadValuesFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: values-file trace: %w", err)
+	}
+	defer f.Close()
+	var tr Trace
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		for _, field := range strings.Split(text, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rdd: %s:%d: bad budget %q: %v", path, line, field, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("rdd: %s:%d: budget %v is negative", path, line, v)
+			}
+			tr = append(tr, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdd: reading %s: %w", path, err)
+	}
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("rdd: values-file trace %s holds no budgets", path)
+	}
+	return tr, nil
+}
 
 // TraceSpec is the declarative form of a resource-availability trace: a
 // generator kind plus its parameters, decodable from JSON. It is the one
@@ -16,10 +65,18 @@ import (
 //	{"kind":"step","frames":2000,"lo":4,"hi":9,"stride":60}
 //	{"kind":"bursty","frames":2000,"lo":4,"hi":9,"busy_frac":0.4,"seed":7}
 //	{"kind":"values","values":[5,5,8,3]}
+//	{"kind":"values-file","path":"load.csv"}
 //
 // Lo and Hi are budgets in the same units as catalog path costs. When
 // both are zero the replay entry points substitute a catalog-relative
 // scale (see WithBudgetScale), so a spec can stay cost-unit agnostic.
+//
+// values-file loads a recorded per-frame load trace from a local CSV or
+// newline-delimited file (see ReadValuesFile). The path resolves on the
+// machine that builds the trace — i.e. client-side, in rddsim — and the
+// vitdynd server refuses it: a remote caller naming server-local files
+// would be a disclosure primitive, and the inline values kind is the
+// wire form a client resolves a file into.
 type TraceSpec struct {
 	Kind     string    `json:"kind"`
 	Frames   int       `json:"frames,omitempty"`
@@ -30,6 +87,7 @@ type TraceSpec struct {
 	BusyFrac float64   `json:"busy_frac,omitempty"` // bursty: stationary contended fraction
 	Seed     uint64    `json:"seed,omitempty"`      // bursty: deterministic LCG seed
 	Values   []float64 `json:"values,omitempty"`    // values: inline per-frame budgets
+	Path     string    `json:"path,omitempty"`      // values-file: local trace file
 }
 
 // TraceGenerator materializes a trace from a spec. Implementations
@@ -86,10 +144,10 @@ func (s TraceSpec) Build() (Trace, error) {
 // WithBudgetScale returns the spec with Lo/Hi substituted when both are
 // zero — the catalog-relative default the replay entry points apply so a
 // spec need not know the cost units of the catalog it replays against.
-// Specs with either bound set, and inline-values specs, pass through
-// unchanged.
+// Specs with either bound set, and recorded-budget specs (inline values
+// or a values file), pass through unchanged.
 func (s TraceSpec) WithBudgetScale(lo, hi float64) TraceSpec {
-	if s.Kind == "values" || s.Lo != 0 || s.Hi != 0 {
+	if s.Kind == "values" || s.Kind == "values-file" || s.Lo != 0 || s.Hi != 0 {
 		return s
 	}
 	s.Lo, s.Hi = lo, hi
@@ -137,6 +195,19 @@ func init() {
 			return nil, fmt.Errorf("rdd: bursty busy_frac %v outside [0,1]", s.BusyFrac)
 		}
 		return BurstyTrace(s.Frames, s.Lo, s.Hi, s.BusyFrac, s.Seed), nil
+	}))
+	must(RegisterTraceKind("values-file", func(s TraceSpec) (Trace, error) {
+		if s.Path == "" {
+			return nil, fmt.Errorf("rdd: values-file trace needs a path")
+		}
+		tr, err := ReadValuesFile(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		if s.Frames != 0 && s.Frames != len(tr) {
+			return nil, fmt.Errorf("rdd: values-file trace frames=%d contradicts %d recorded values in %s (omit frames or make them agree)", s.Frames, len(tr), s.Path)
+		}
+		return tr, nil
 	}))
 	must(RegisterTraceKind("values", func(s TraceSpec) (Trace, error) {
 		if len(s.Values) == 0 {

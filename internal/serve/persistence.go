@@ -1,0 +1,154 @@
+package serve
+
+// This file wires the durable cost tier (internal/costdb) into the
+// serving layer: the /v1/store/export and /v1/store/import endpoints
+// stream the snapshot format over HTTP so one daemon can seed another —
+// fleet sharing of costed shapes without a coordination service — and
+// InstallProcessCostDB backs the cmd binaries' -cache-path flag the way
+// InstallProcessStore backs -cache.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"vitdyn/internal/costdb"
+	"vitdyn/internal/engine"
+)
+
+// maxImportBodyBytes bounds a /v1/store/import body. At ~30 bytes per
+// entry this admits millions of costed shapes — far past any store this
+// repository can fill — while keeping one request from exhausting the
+// daemon.
+const maxImportBodyBytes = 64 << 20
+
+// cache returns the CostCache every request engine shares: the durable
+// tier when the server was opened with one, else the in-memory store.
+func (s *Server) cache() engine.CostCache {
+	if s.opts.DB != nil {
+		return s.opts.DB
+	}
+	return s.opts.Store
+}
+
+// storeEntries materializes the server's full cost contents in the
+// canonical snapshot order: the durable tier when present (it is a
+// superset of the store, modulo eviction), else the resident store.
+func (s *Server) storeEntries() []costdb.Entry {
+	var entries []costdb.Entry
+	s.opts.Store.Range(func(backend string, sig uint64, vals []float64) bool {
+		entries = append(entries, costdb.Entry{Backend: backend, Sig: sig, Vals: vals})
+		return true
+	})
+	costdb.SortEntries(entries)
+	return entries
+}
+
+// handleStoreExport serves GET /v1/store/export: the full cost-store
+// contents as one checksummed snapshot stream — the exact bytes
+// /v1/store/import (or a costdb.Persistent import) accepts.
+func (s *Server) handleStoreExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /v1/store/export streams the cost store as a snapshot")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="vitdyn-store.vcdb"`)
+	var err error
+	if db := s.opts.DB; db != nil {
+		err = db.ExportTo(w)
+	} else {
+		err = costdb.WriteSnapshot(w, s.storeEntries())
+	}
+	if err != nil {
+		// Headers are gone; all we can do is cut the stream so the
+		// client's checksum verification fails loudly.
+		s.exportErrors.Add(1)
+		return
+	}
+	s.exports.Add(1)
+}
+
+// importResponse is the POST /v1/store/import body: how many entries
+// the snapshot held and how many were new to this server.
+type importResponse struct {
+	Entries  int `json:"entries"`
+	Imported int `json:"imported"`
+}
+
+// handleStoreImport serves POST /v1/store/import: merge a snapshot
+// stream into the server's cost store (and its durable tier, when
+// present). Entries already resident are left untouched, so seeding is
+// idempotent and two daemons can exchange stores in either order.
+func (s *Server) handleStoreImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a snapshot stream (see /v1/store/export) to /v1/store/import")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxImportBodyBytes)
+	var total, added int
+	var err error
+	if db := s.opts.DB; db != nil {
+		total, added, err = db.Import(r.Body)
+	} else {
+		// Stage the whole stream first: the snapshot's only integrity
+		// check is its trailing CRC, so nothing enters the store until
+		// every byte has verified — a snapshot corrupted in transit must
+		// reject cleanly, not seed wrong costs.
+		var staged []costdb.Entry
+		total, err = costdb.ReadSnapshot(r.Body, func(e costdb.Entry) error {
+			staged = append(staged, e)
+			return nil
+		})
+		if err == nil {
+			for _, e := range staged {
+				ran := false
+				vals := e.Vals
+				if _, gerr := s.opts.Store.GetOrComputeVector(e.Backend, e.Sig, func() ([]float64, error) {
+					ran = true
+					return vals, nil
+				}); gerr != nil {
+					err = gerr
+					break
+				}
+				if ran {
+					added++
+				}
+			}
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad snapshot stream after %d entries: %v", total, err)
+		return
+	}
+	s.imports.Add(1)
+	s.importedEntries.Add(int64(added))
+	writeJSON(w, http.StatusOK, importResponse{Entries: total, Imported: added})
+}
+
+// InstallProcessCostDB backs the cmd binaries' -cache-path flag: a
+// fresh store of the given capacity under a durable costdb tier at dir,
+// installed as the process-wide default engine cache. The returned
+// teardown uninstalls it, closes the durable tier (compacting the WAL
+// into a fresh snapshot) and prints the combined accounting to w — so
+// a re-run of the same experiments starts warm from disk.
+func InstallProcessCostDB(capacity int, dir, prefix string, w io.Writer) (func(), error) {
+	store := NewStore(capacity)
+	db, err := costdb.Open(dir, store, costdb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	engine.SetDefaultCache(db)
+	return func() {
+		engine.SetDefaultCache(nil)
+		st := store.Stats()
+		dst := db.Stats()
+		if err := db.Close(); err != nil {
+			fmt.Fprintf(w, "%s: cost store: close: %v\n", prefix, err)
+		}
+		fmt.Fprintf(w, "%s: cost store: %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries\n",
+			prefix, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions, st.Entries)
+		fmt.Fprintf(w, "%s: costdb %s: %d loaded, %d entries, %d appends, %d disk hits, %d compactions\n",
+			prefix, dir, dst.LoadedEntries, dst.Entries, dst.Appends, dst.DiskHits, dst.Compactions)
+	}, nil
+}

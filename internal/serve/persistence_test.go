@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vitdyn/internal/costdb"
+	"vitdyn/internal/engine"
+)
+
+// newPersistentServer builds a server whose store has a durable tier in
+// dir, wired the way cmd/vitdynd -store-path wires it.
+func newPersistentServer(t *testing.T, dir string) (*Server, *httptest.Server, *costdb.Persistent) {
+	t.Helper()
+	store := NewStore(0)
+	db, err := costdb.Open(dir, store, costdb.Options{})
+	if err != nil {
+		t.Fatalf("costdb.Open: %v", err)
+	}
+	srv, ts := newTestServer(t, Options{Store: store, DB: db})
+	return srv, ts, db
+}
+
+// TestWarmBootServesCatalogWithZeroBackendEvals is the acceptance check
+// of this PR: a killed-and-restarted server over the same -store-path
+// must serve a previously priced catalog spec with zero backend cost
+// evaluations — store hits only — and byte-identical to the cold build.
+func TestWarmBootServesCatalogWithZeroBackendEvals(t *testing.T) {
+	dir := t.TempDir()
+	const url = "/v1/catalog?family=ofa&backend=flops"
+
+	_, ts1, db1 := newPersistentServer(t, dir)
+	status, cold := get(t, ts1.URL+url)
+	if status != http.StatusOK {
+		t.Fatalf("cold catalog: %d %s", status, cold)
+	}
+	if st := db1.Stats(); st.Appends == 0 {
+		t.Fatalf("cold build persisted nothing: %+v", st)
+	}
+	// "Kill" the daemon: close the durable tier (flushing the WAL into a
+	// snapshot) and discard the server with its in-memory store.
+	if err := db1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	ts1.Close()
+
+	srv2, ts2, db2 := newPersistentServer(t, dir)
+	defer db2.Close()
+	if st := db2.Stats(); st.LoadedEntries == 0 {
+		t.Fatalf("warm boot loaded nothing: %+v", st)
+	}
+	before := engine.BackendEvals()
+	missesBefore := srv2.Store().Stats().Misses
+	status, warm := get(t, ts2.URL+url)
+	if status != http.StatusOK {
+		t.Fatalf("warm catalog: %d %s", status, warm)
+	}
+	if evals := engine.BackendEvals() - before; evals != 0 {
+		t.Errorf("warm-boot catalog ran %d backend evaluations, want 0", evals)
+	}
+	after := srv2.Store().Stats()
+	if after.Misses != missesBefore {
+		t.Errorf("warm-boot catalog missed the store %d times, want all hits", after.Misses-missesBefore)
+	}
+	if after.Hits == 0 {
+		t.Error("warm-boot catalog recorded no store hits")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm catalog differs from cold:\n cold %s\n warm %s", cold, warm)
+	}
+}
+
+// TestExportImportSeedsFreshServer: exporting one server's store and
+// importing it into a brand-new one (no shared disk) must let the fresh
+// server serve the same catalog with zero backend evaluations.
+func TestExportImportSeedsFreshServer(t *testing.T) {
+	const url = "/v1/catalog?family=ofa&backend=flops"
+	_, seedTS, seedDB := newPersistentServer(t, t.TempDir())
+	defer seedDB.Close()
+	status, cold := get(t, seedTS.URL+url)
+	if status != http.StatusOK {
+		t.Fatalf("seed catalog: %d %s", status, cold)
+	}
+	status, snapshot := get(t, seedTS.URL+"/v1/store/export")
+	if status != http.StatusOK || len(snapshot) == 0 {
+		t.Fatalf("export: %d (%d bytes)", status, len(snapshot))
+	}
+
+	freshSrv, freshTS, freshDB := newPersistentServer(t, t.TempDir())
+	defer freshDB.Close()
+	resp, err := http.Post(freshTS.URL+"/v1/store/import", "application/octet-stream", bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	var imp importResponse
+	if err := json.NewDecoder(resp.Body).Decode(&imp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || imp.Imported == 0 || imp.Entries != imp.Imported {
+		t.Fatalf("import: %d %+v", resp.StatusCode, imp)
+	}
+
+	before := engine.BackendEvals()
+	missesBefore := freshSrv.Store().Stats().Misses
+	status, warm := get(t, freshTS.URL+url)
+	if status != http.StatusOK {
+		t.Fatalf("seeded catalog: %d %s", status, warm)
+	}
+	if evals := engine.BackendEvals() - before; evals != 0 {
+		t.Errorf("seeded catalog ran %d backend evaluations, want 0", evals)
+	}
+	if m := freshSrv.Store().Stats().Misses - missesBefore; m != 0 {
+		t.Errorf("seeded catalog missed the store %d times, want all hits", m)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("seeded server's catalog differs from the seeding server's")
+	}
+
+	// A second import of the same snapshot is idempotent.
+	resp, err = http.Post(freshTS.URL+"/v1/store/import", "application/octet-stream", bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&imp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if imp.Imported != 0 {
+		t.Errorf("re-import added %d entries, want 0", imp.Imported)
+	}
+}
+
+// TestExportImportWithoutDurableTier: the endpoints also work on a
+// plain in-memory store — export walks the resident entries, import
+// inserts into the store — so memory-only daemons can still seed each
+// other.
+func TestExportImportWithoutDurableTier(t *testing.T) {
+	const url = "/v1/catalog?family=ofa&backend=flops"
+	_, seedTS := newTestServer(t, Options{})
+	status, cold := get(t, seedTS.URL+url)
+	if status != http.StatusOK {
+		t.Fatalf("seed catalog: %d %s", status, cold)
+	}
+	status, snapshot := get(t, seedTS.URL+"/v1/store/export")
+	if status != http.StatusOK {
+		t.Fatalf("export: %d", status)
+	}
+	if _, err := costdb.ReadSnapshot(bytes.NewReader(snapshot), func(costdb.Entry) error { return nil }); err != nil {
+		t.Fatalf("exported stream does not verify: %v", err)
+	}
+
+	freshSrv, freshTS := newTestServer(t, Options{})
+	resp, err := http.Post(freshTS.URL+"/v1/store/import", "application/octet-stream", bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imp importResponse
+	if err := json.NewDecoder(resp.Body).Decode(&imp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || imp.Imported == 0 {
+		t.Fatalf("import: %d %+v", resp.StatusCode, imp)
+	}
+	before := engine.BackendEvals()
+	if status, _ := get(t, freshTS.URL+url); status != http.StatusOK {
+		t.Fatalf("seeded catalog: %d", status)
+	}
+	if evals := engine.BackendEvals() - before; evals != 0 {
+		t.Errorf("seeded catalog ran %d backend evaluations, want 0", evals)
+	}
+	if freshSrv.Store().Len() == 0 {
+		t.Error("import left the store empty")
+	}
+}
+
+func TestStoreImportRejectsGarbage(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/v1/store/import", "application/octet-stream", strings.NewReader("this is not a snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage import: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+func TestStoreEndpointMethods(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/v1/store/export", "application/octet-stream", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST export: %d, want 405", resp.StatusCode)
+	}
+	status, _ := get(t, ts.URL+"/v1/store/import")
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("GET import: %d, want 405", status)
+	}
+}
+
+// TestStatszCostdbSection: /statsz grows a costdb section only when the
+// server runs over a durable tier.
+func TestStatszCostdbSection(t *testing.T) {
+	_, plainTS := newTestServer(t, Options{})
+	status, body := get(t, plainTS.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz: %d", status)
+	}
+	if strings.Contains(string(body), `"costdb"`) {
+		t.Errorf("memory-only statsz reports a costdb section: %s", body)
+	}
+
+	dir := t.TempDir()
+	_, ts, db := newPersistentServer(t, dir)
+	defer db.Close()
+	if status, _ := get(t, ts.URL+"/v1/catalog?family=ofa&backend=flops"); status != http.StatusOK {
+		t.Fatal("catalog failed")
+	}
+	status, body = get(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz: %d", status)
+	}
+	var st struct {
+		Costdb  *costdb.Stats `json:"costdb"`
+		Persist struct {
+			Exports int64 `json:"exports"`
+			Imports int64 `json:"imports"`
+		} `json:"persist"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz JSON: %v", err)
+	}
+	if st.Costdb == nil || st.Costdb.Entries == 0 || st.Costdb.Appends == 0 {
+		t.Errorf("costdb section missing or empty: %s", body)
+	}
+	if st.Costdb.LastFlushAgeMS < 0 {
+		t.Errorf("negative last-flush age: %+v", st.Costdb)
+	}
+}
+
+// TestStoreRange: Range yields exactly the resident, successfully
+// computed entries.
+func TestStoreRange(t *testing.T) {
+	s := NewStore(0)
+	if _, err := s.GetOrComputeVector("b1", 1, func() ([]float64, error) { return []float64{1.5}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetOrComputeVector("b2", 2, func() ([]float64, error) { return []float64{2.5, 3.5}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]float64{}
+	s.Range(func(backend string, sig uint64, vals []float64) bool {
+		got[backend] = append([]float64(nil), vals...)
+		return true
+	})
+	if len(got) != 2 || got["b1"][0] != 1.5 || got["b2"][1] != 3.5 {
+		t.Errorf("Range saw %v", got)
+	}
+	// Early exit stops iteration.
+	n := 0
+	s.Range(func(string, uint64, []float64) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-exit Range visited %d entries, want 1", n)
+	}
+}
+
+// TestStoreImportCorruptStreamCommitsNothing: a snapshot corrupted in
+// transit (checksum mismatch at the tail) must not seed any entries —
+// on the durable path or the memory-only path.
+func TestStoreImportCorruptStreamCommitsNothing(t *testing.T) {
+	entries := []costdb.Entry{
+		{Backend: "flops-proxy", Sig: 1, Vals: []float64{1}},
+		{Backend: "flops-proxy", Sig: 2, Vals: []float64{2}},
+	}
+	var snap bytes.Buffer
+	if err := costdb.WriteSnapshot(&snap, entries); err != nil {
+		t.Fatal(err)
+	}
+	b := snap.Bytes()
+	b[len(b)-2] ^= 0xff // corrupt the trailing checksum
+
+	plainSrv, plainTS := newTestServer(t, Options{})
+	resp, err := http.Post(plainTS.URL+"/v1/store/import", "application/octet-stream", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("memory-only corrupt import: %d, want 400", resp.StatusCode)
+	}
+	if n := plainSrv.Store().Len(); n != 0 {
+		t.Errorf("memory-only corrupt import committed %d entries", n)
+	}
+
+	_, dbTS, db := newPersistentServer(t, t.TempDir())
+	defer db.Close()
+	resp, err = http.Post(dbTS.URL+"/v1/store/import", "application/octet-stream", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("durable corrupt import: %d, want 400", resp.StatusCode)
+	}
+	if st := db.Stats(); st.Entries != 0 || st.Appends != 0 {
+		t.Errorf("durable corrupt import committed state: %+v", st)
+	}
+}

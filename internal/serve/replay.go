@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"vitdyn/internal/engine"
@@ -85,12 +86,28 @@ func specFrames(s rdd.TraceSpec) int {
 	return s.Frames
 }
 
-// replayPolicy is a resolved path-selection policy: dynamic Select, or
-// a static pin.
+// replayPolicy is a resolved path-selection policy: dynamic Select
+// (optionally damped by switching hysteresis), or a static pin.
 type replayPolicy struct {
-	name    string
-	dynamic bool
-	pin     rdd.Path
+	name       string
+	dynamic    bool
+	hysteresis int // dynamic-hysteresis:<k>; 0 = switch freely
+	pin        rdd.Path
+}
+
+// parseHysteresisPolicy recognizes the dynamic-hysteresis:<k> policy
+// form, returning (k, true) on a match. A matched-but-malformed k is an
+// error: the name was clearly meant as this policy.
+func parseHysteresisPolicy(name string) (int, bool, error) {
+	rest, ok := strings.CutPrefix(name, "dynamic-hysteresis:")
+	if !ok {
+		return 0, false, nil
+	}
+	k, err := strconv.Atoi(rest)
+	if err != nil || k < 1 {
+		return 0, true, fmt.Errorf("bad policy %q: want dynamic-hysteresis:<k> with integer k >= 1", name)
+	}
+	return k, true, nil
 }
 
 // namedPolicyPins is the single table of fixed-name static policies —
@@ -103,7 +120,7 @@ var namedPolicyPins = map[string]func(*rdd.Catalog) rdd.Path{
 }
 
 func unknownPolicyError(name string) error {
-	return fmt.Errorf("unknown policy %q (want dynamic, static-full, static-cheapest, static:<label>)", name)
+	return fmt.Errorf("unknown policy %q (want dynamic, dynamic-hysteresis:<k>, static-full, static-cheapest, static:<label>)", name)
 }
 
 // validatePolicyNames rejects unknown policy names. It needs no
@@ -111,6 +128,12 @@ func unknownPolicyError(name string) error {
 // static:<label> pin resolution waits for the built catalog.
 func validatePolicyNames(names []string) error {
 	for _, name := range names {
+		if _, matched, err := parseHysteresisPolicy(name); matched {
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		switch {
 		case name == "dynamic", namedPolicyPins[name] != nil:
 		case strings.HasPrefix(name, "static:") && len(name) > len("static:"):
@@ -129,6 +152,13 @@ func resolveReplayPolicies(cat *rdd.Catalog, names []string) ([]replayPolicy, er
 	}
 	pols := make([]replayPolicy, 0, len(names))
 	for _, name := range names {
+		if k, matched, err := parseHysteresisPolicy(name); matched {
+			if err != nil {
+				return nil, err
+			}
+			pols = append(pols, replayPolicy{name: name, dynamic: true, hysteresis: k})
+			continue
+		}
 		switch pin := namedPolicyPins[name]; {
 		case name == "dynamic":
 			pols = append(pols, replayPolicy{name: name, dynamic: true})
@@ -167,7 +197,11 @@ func simulateReplay(cat *rdd.Catalog, tr rdd.Trace, pols []replayPolicy) ([]Repl
 		var res rdd.SimResult
 		path := ""
 		if pol.dynamic {
-			res = cat.Simulate(tr)
+			if pol.hysteresis > 1 {
+				res = cat.SimulateHysteresis(tr, pol.hysteresis)
+			} else {
+				res = cat.Simulate(tr)
+			}
 		} else {
 			res = cat.SimulateStatic(pol.pin, tr)
 			path = pol.pin.Label
@@ -220,6 +254,14 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	// yet still reaches the generator's allocation.
 	totalFrames := 0
 	for i, sp := range specs {
+		// values-file resolves a path on the machine building the trace;
+		// honoring one here would read server-local files on a remote
+		// caller's behalf. Clients resolve the file and send inline values.
+		if sp.Kind == "values-file" || sp.Path != "" {
+			writeError(w, http.StatusBadRequest,
+				"trace %d: values-file traces are resolved client-side (rddsim -trace-spec); send the recorded budgets as an inline values trace", i)
+			return
+		}
 		n := specFrames(sp)
 		if n < 1 || n > maxReplayFrames {
 			writeError(w, http.StatusBadRequest, "trace %d replays %d frames; each trace must replay between 1 and %d",
@@ -256,7 +298,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	defer s.releaseSweepSlot()
 
 	workers := s.workerBudget(req.Workers)
-	eng := engine.NewWithCache(backend, workers, s.opts.Store)
+	eng := engine.NewWithCache(backend, workers, s.cache())
 	cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
 	s.addStreamStats(st)
 	if err != nil {

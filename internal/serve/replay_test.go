@@ -343,3 +343,95 @@ func TestReplayRequestValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayHysteresisPolicy: dynamic-hysteresis:<k> replays through
+// rdd.SimulateHysteresis — fewer switches than the free controller on
+// the same trace, identical frame accounting, same numbers as a local
+// simulation.
+func TestReplayHysteresisPolicy(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	spec := rdd.TraceSpec{Kind: "bursty", Frames: 500, BusyFrac: 0.5, Seed: 11}
+	status, body := postReplay(t, ts.URL, ReplayRequest{
+		Catalog:  CatalogRequest{Family: "ofa", Backend: "flops"},
+		Trace:    &spec,
+		Policies: []string{"dynamic", "dynamic-hysteresis:4"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	var resp ReplayResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || len(resp.Results[0].Policies) != 2 {
+		t.Fatalf("results %+v", resp.Results)
+	}
+	free, damped := resp.Results[0].Policies[0], resp.Results[0].Policies[1]
+	if damped.Policy != "dynamic-hysteresis:4" {
+		t.Fatalf("policy order %q, %q", free.Policy, damped.Policy)
+	}
+	if damped.Result.Switches >= free.Result.Switches {
+		t.Errorf("hysteresis switches %d did not drop below free %d", damped.Result.Switches, free.Result.Switches)
+	}
+	if damped.Result.Frames != free.Result.Frames || damped.Result.Completed != free.Result.Completed {
+		t.Errorf("frame accounting differs: %+v vs %+v", damped.Result, free.Result)
+	}
+
+	// Golden: the served numbers equal a local replay of the echoed spec.
+	cat, err := core.OFACatalog(engine.FLOPs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := resp.Results[0].Trace.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cat.SimulateHysteresis(tr, 4); want != damped.Result {
+		t.Errorf("served %+v != local %+v", damped.Result, want)
+	}
+}
+
+// TestReplayHysteresisPolicyValidation: malformed k values are 400s
+// before any sweep runs.
+func TestReplayHysteresisPolicyValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, name := range []string{"dynamic-hysteresis:", "dynamic-hysteresis:0", "dynamic-hysteresis:-2", "dynamic-hysteresis:two"} {
+		status, body := postReplay(t, ts.URL, ReplayRequest{
+			Catalog:  CatalogRequest{Family: "ofa", Backend: "flops"},
+			Trace:    &rdd.TraceSpec{Kind: "step", Frames: 10},
+			Policies: []string{name},
+		})
+		if status != http.StatusBadRequest || !strings.Contains(string(body), "dynamic-hysteresis") {
+			t.Errorf("%s: status %d body %s, want 400 naming the policy form", name, status, body)
+		}
+	}
+	// k=1 is valid (it is just the free controller).
+	status, body := postReplay(t, ts.URL, ReplayRequest{
+		Catalog:  CatalogRequest{Family: "ofa", Backend: "flops"},
+		Trace:    &rdd.TraceSpec{Kind: "step", Frames: 10},
+		Policies: []string{"dynamic-hysteresis:1"},
+	})
+	if status != http.StatusOK {
+		t.Errorf("k=1: status %d body %s", status, body)
+	}
+}
+
+// TestReplayRejectsValuesFile: the server must never resolve a
+// client-supplied file path; values-file specs are told to send inline
+// values instead.
+func TestReplayRejectsValuesFile(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, spec := range []rdd.TraceSpec{
+		{Kind: "values-file", Path: "/etc/passwd"},
+		{Kind: "values", Values: []float64{1, 2}, Path: "sneaky.csv"},
+	} {
+		spec := spec
+		status, body := postReplay(t, ts.URL, ReplayRequest{
+			Catalog: CatalogRequest{Family: "ofa", Backend: "flops"},
+			Trace:   &spec,
+		})
+		if status != http.StatusBadRequest || !strings.Contains(string(body), "client-side") {
+			t.Errorf("spec %+v: status %d body %s, want 400 pointing at inline values", spec, status, body)
+		}
+	}
+}

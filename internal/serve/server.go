@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vitdyn/internal/core"
+	"vitdyn/internal/costdb"
 	"vitdyn/internal/engine"
 	"vitdyn/internal/flops"
 	"vitdyn/internal/gpu"
@@ -31,6 +32,14 @@ type Options struct {
 	// Store is the cross-request cost store shared by every engine the
 	// server creates. Nil selects a fresh NewStore(0).
 	Store *Store
+	// DB is an optional durable tier (snapshot + WAL on disk) composed
+	// over Store: when set, every request engine routes through it, so
+	// computed costs survive restarts and /statsz grows a costdb
+	// section. Callers open it over the same Store they pass above
+	// (cmd/vitdynd's -store-path does) so the store's hit accounting
+	// stays coherent. The server never closes it — the owner flushes and
+	// closes after ListenAndServe returns.
+	DB *costdb.Persistent
 	// Workers caps the per-request worker budget: a request may ask for
 	// fewer via ?workers=N but never more. <= 0 selects GOMAXPROCS.
 	Workers int
@@ -88,6 +97,12 @@ type Server struct {
 	replayTraces     atomic.Int64 // traces simulated
 	replayFrames     atomic.Int64 // frames simulated across all traces
 	replayInfeasible atomic.Int64 // traces rejected: budget below the cheapest path
+
+	// store export/import totals (/v1/store/export, /v1/store/import)
+	exports         atomic.Int64 // snapshot exports completed
+	exportErrors    atomic.Int64 // exports cut off mid-stream
+	imports         atomic.Int64 // snapshot imports completed
+	importedEntries atomic.Int64 // entries new to this server across all imports
 }
 
 // NewServer builds a server over the options (see Options for the
@@ -106,6 +121,8 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/replay", s.handleReplay)
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	s.mux.HandleFunc("/v1/store/export", s.handleStoreExport)
+	s.mux.HandleFunc("/v1/store/import", s.handleStoreImport)
 	return s
 }
 
@@ -179,12 +196,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statszResponse is the /statsz envelope.
+// statszResponse is the /statsz envelope. Costdb appears only when the
+// server runs over a durable tier (-store-path on vitdynd).
 type statszResponse struct {
-	Store  StoreStats  `json:"store"`
-	Server serverStats `json:"server"`
-	Stream streamStats `json:"stream"`
-	Replay replayStats `json:"replay"`
+	Store   StoreStats    `json:"store"`
+	Server  serverStats   `json:"server"`
+	Stream  streamStats   `json:"stream"`
+	Replay  replayStats   `json:"replay"`
+	Persist persistStats  `json:"persist"`
+	Costdb  *costdb.Stats `json:"costdb,omitempty"`
+}
+
+// persistStats is the /statsz view of snapshot exchange over HTTP.
+type persistStats struct {
+	Exports         int64 `json:"exports"`
+	ExportErrors    int64 `json:"export_errors"`
+	Imports         int64 `json:"imports"`
+	ImportedEntries int64 `json:"imported_entries"`
 }
 
 type serverStats struct {
@@ -221,6 +249,11 @@ type replayStats struct {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st := s.opts.Store.Stats()
 	stream := s.StreamStats()
+	var dbStats *costdb.Stats
+	if s.opts.DB != nil {
+		ds := s.opts.DB.Stats()
+		dbStats = &ds
+	}
 	writeJSON(w, http.StatusOK, statszResponse{
 		Store: st,
 		Server: serverStats{
@@ -240,6 +273,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Frames:     s.replayFrames.Load(),
 			Infeasible: s.replayInfeasible.Load(),
 		},
+		Persist: persistStats{
+			Exports:         s.exports.Load(),
+			ExportErrors:    s.exportErrors.Load(),
+			Imports:         s.imports.Load(),
+			ImportedEntries: s.importedEntries.Load(),
+		},
+		Costdb: dbStats,
 	})
 }
 
@@ -470,7 +510,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseSweepSlot()
 
-	eng := engine.NewWithCache(backend, s.workerBudget(req.Workers), s.opts.Store)
+	eng := engine.NewWithCache(backend, s.workerBudget(req.Workers), s.cache())
 	cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
 	s.addStreamStats(st)
 	if err != nil {
@@ -561,7 +601,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = BatchResult{Error: err.Error()}
 			return nil
 		}
-		eng := engine.NewWithCache(backend, perItem, s.opts.Store)
+		eng := engine.NewWithCache(backend, perItem, s.cache())
 		cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
 		s.addStreamStats(st)
 		if err != nil {

@@ -38,10 +38,14 @@ type storeKey struct {
 // storeEntry is one resident cost vector. The once guarantees the
 // compute function runs at most once per key even when many requests
 // race on the same cold shape; racers block on Do and read the published
-// vals/err.
+// vals/err. done is set (with release ordering) after the once
+// completes, so Range can observe finished entries without joining the
+// once — an empty once.Do from an iterator could otherwise win the race
+// and suppress the real compute.
 type storeEntry struct {
 	key  storeKey
 	once sync.Once
+	done atomic.Bool
 	vals []float64
 	err  error
 }
@@ -134,6 +138,7 @@ func (s *Store) GetOrComputeVector(backend string, sig uint64, compute func() ([
 		s.hits.Add(1)
 		ent := el.Value.(*storeEntry)
 		ent.once.Do(func() { ent.vals, ent.err = compute() })
+		ent.done.Store(true)
 		return ent.vals, ent.err
 	}
 	ent := &storeEntry{key: k}
@@ -148,6 +153,7 @@ func (s *Store) GetOrComputeVector(backend string, sig uint64, compute func() ([
 	s.misses.Add(1)
 
 	ent.once.Do(func() { ent.vals, ent.err = compute() })
+	ent.done.Store(true)
 	if ent.err != nil {
 		// Drop the failed entry (if still resident and still ours) so the
 		// next request retries the computation.
@@ -176,6 +182,33 @@ func (s *Store) GetOrCompute(backend string, sig uint64, compute func() (float64
 		return 0, err
 	}
 	return vals[0], nil
+}
+
+// Range calls fn for every resident entry whose computation has
+// completed successfully, stopping early if fn returns false. Iteration
+// order is unspecified; recency order and counters are untouched; the
+// vals slice is shared with the store and must not be mutated. Entries
+// whose compute is still in flight (or failed) are skipped, so Range
+// never blocks on a slow backend — it sees the store as of "now", which
+// is all its callers (snapshot export) need.
+func (s *Store) Range(fn func(backend string, sig uint64, vals []float64) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		ents := make([]*storeEntry, 0, len(sh.entries))
+		for _, el := range sh.entries {
+			ents = append(ents, el.Value.(*storeEntry))
+		}
+		sh.mu.Unlock()
+		for _, ent := range ents {
+			if !ent.done.Load() || ent.err != nil || len(ent.vals) == 0 {
+				continue
+			}
+			if !fn(ent.key.backend, ent.key.sig, ent.vals) {
+				return
+			}
+		}
+	}
 }
 
 // Contains reports whether (backend, sig) is resident, without touching

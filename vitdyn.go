@@ -30,6 +30,7 @@ import (
 
 	"vitdyn/internal/accuracy"
 	"vitdyn/internal/core"
+	"vitdyn/internal/costdb"
 	"vitdyn/internal/engine"
 	"vitdyn/internal/flops"
 	"vitdyn/internal/gpu"
@@ -319,6 +320,47 @@ func NewSweepEngineWithStore(backend CostBackend, workers int, store *CostStore)
 	return engine.NewWithCache(backend, workers, store)
 }
 
+// SweepCostCache is the memoization interface shared across engines:
+// (backend name, graph signature) → cost vector. CostStore and
+// PersistentCostStore both implement it.
+type SweepCostCache = engine.CostCache
+
+// NewSweepEngineWithCache returns an engine memoized in any
+// SweepCostCache — e.g. a PersistentCostStore, so sweeps write through
+// to disk.
+func NewSweepEngineWithCache(backend CostBackend, workers int, cache SweepCostCache) *SweepEngine {
+	return engine.NewWithCache(backend, workers, cache)
+}
+
+// PersistentCostStore is the durable tier beneath a cost cache: a
+// versioned, checksummed binary snapshot plus an append-only WAL of
+// cost inserts (auto-compacted), composed over any SweepCostCache. It
+// is what vitdynd's -store-path and the cmds' -cache-path open: costed
+// shapes survive restarts, and ExportTo/Import stream the snapshot
+// format so one process can seed another.
+type PersistentCostStore = costdb.Persistent
+
+// PersistentCostStoreOptions tunes compaction thresholds; the zero
+// value selects the defaults.
+type PersistentCostStoreOptions = costdb.Options
+
+// PersistentCostStoreStats is a point-in-time view of the durable tier.
+type PersistentCostStoreStats = costdb.Stats
+
+// OpenPersistentCostStore loads (or initializes) a durable cost store
+// in dir over the given fast tier (nil selects a built-in map cache):
+// snapshot read whole and checksum-verified, WAL replayed with a torn
+// tail truncated, every loaded entry pre-warming the fast tier.
+func OpenPersistentCostStore(dir string, inner SweepCostCache, opts PersistentCostStoreOptions) (*PersistentCostStore, error) {
+	return costdb.Open(dir, inner, opts)
+}
+
+// BackendEvaluations returns the cumulative number of genuine backend
+// cost evaluations this process has performed (memo hits at any cache
+// tier do not count) — the observability hook warm-boot tests assert
+// "zero backend evaluations" with.
+func BackendEvaluations() int64 { return engine.BackendEvals() }
+
 // ServeOptions configures the serving layer: the shared store, the
 // per-request worker cap, the server-wide concurrent-sweep limit and the
 // request timeout. The zero value selects sensible defaults.
@@ -480,6 +522,13 @@ func StepTrace(frames int, lo, hi float64, stride int) ResourceTrace {
 // BurstyTrace is a reproducible two-state Markov load.
 func BurstyTrace(frames int, lo, hi, busyFrac float64, seed uint64) ResourceTrace {
 	return rdd.BurstyTrace(frames, lo, hi, busyFrac, seed)
+}
+
+// ReadValuesTraceFile loads a recorded per-frame load trace from a CSV
+// or newline-delimited file — the file form behind the "values-file"
+// TraceSpec kind (resolved client-side; servers accept inline values).
+func ReadValuesTraceFile(path string) (ResourceTrace, error) {
+	return rdd.ReadValuesFile(path)
 }
 
 // SimulateStaticPath replays a trace with one fixed path.

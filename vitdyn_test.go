@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -168,5 +170,74 @@ func TestPublicParetoAndReport(t *testing.T) {
 	tbl.AddRowf("v", 1.5)
 	if s := tbl.String(); s == "" {
 		t.Error("empty render")
+	}
+}
+
+func TestPublicPersistentCostStore(t *testing.T) {
+	dir := t.TempDir()
+	store := NewCostStore(0)
+	db, err := OpenPersistentCostStore(dir, store, PersistentCostStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewSweepEngineWithCache(TargetFLOPs(), 2, db)
+	g, err := NewResNet50(224, 224, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := eng.Cost(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the shape must price without a backend evaluation.
+	db2, err := OpenPersistentCostStore(dir, NewCostStore(0), PersistentCostStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if st := db2.Stats(); st.LoadedEntries == 0 {
+		t.Fatalf("warm open loaded nothing: %+v", st)
+	}
+	before := BackendEvaluations()
+	warm, err := NewSweepEngineWithCache(TargetFLOPs(), 2, db2).Cost(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Errorf("warm cost %v != cold %v", warm, cold)
+	}
+	if n := BackendEvaluations() - before; n != 0 {
+		t.Errorf("warm cost ran %d backend evaluations, want 0", n)
+	}
+}
+
+func TestPublicHysteresisAndValuesFile(t *testing.T) {
+	b := NewParetoFrontierBuilder()
+	b.Insert(ParetoPoint{Cost: 2, Value: 0.5, Tag: "small"})
+	b.Insert(ParetoPoint{Cost: 8, Value: 0.9, Tag: "big"})
+	cat, err := NewRDDCatalogFromBuilder("m", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BurstyTrace(1000, 2.5, 9, 0.5, 3)
+	free := cat.Simulate(tr)
+	damped := cat.SimulateHysteresis(tr, 4)
+	if damped.Switches >= free.Switches {
+		t.Errorf("hysteresis switches %d did not drop below %d", damped.Switches, free.Switches)
+	}
+	path := filepath.Join(t.TempDir(), "load.csv")
+	if err := os.WriteFile(path, []byte("9\n3\n9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadValuesTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := cat.Simulate(rec); res.Frames != 3 || res.Completed != 3 {
+		t.Errorf("recorded replay %+v", res)
 	}
 }

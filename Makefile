@@ -16,8 +16,12 @@ BENCH_GATE ?= 25
 # Samples per benchmark for the gated run; benchjson keeps the fastest,
 # so min-of-N absorbs one-off scheduler noise on shared CI runners.
 BENCH_COUNT ?= 3
+# Serving-latency harness (load / bench-json targets): open-loop arrival
+# rate and measured duration for tools/loadgen.
+LOAD_RATE ?= 200
+LOAD_DURATION ?= 2s
 
-.PHONY: all build test race bench bench-json vet smoke ci clean clean-store
+.PHONY: all build test race bench bench-json vet smoke load ci clean clean-store
 
 all: build
 
@@ -43,6 +47,7 @@ bench:
 # gate compares best-case timings, not one noisy sample.
 bench-json:
 	set -o pipefail; $(GO) test -run '^$$' -bench=. -benchtime=1x -count=$(BENCH_COUNT) ./... | tee bench.txt
+	set -o pipefail; $(GO) run ./tools/loadgen -bench -rate $(LOAD_RATE) -duration $(LOAD_DURATION) | tee -a bench.txt
 	$(GO) run ./tools/benchjson -in bench.txt -out BENCH_$(SHA).json -baseline $(BENCH_BASELINE) -gate $(BENCH_GATE)
 
 # Static checks: go vet plus gofmt drift (a non-empty gofmt -l listing
@@ -61,6 +66,13 @@ vet:
 # all hits, zero backend evaluations).
 smoke:
 	$(GO) test -count=1 -run 'TestDaemonSmoke|TestDaemonWarmBoot' ./cmd/vitdynd
+
+# Serving-latency check: boot an in-process server, offer an open-loop
+# catalog/replay/batch mix at $(LOAD_RATE)/s for $(LOAD_DURATION), print
+# p50/p99/p999 per kind. bench-json runs the same harness with -bench so
+# the percentiles land in BENCH_<sha>.json under the regression gate.
+load:
+	$(GO) run ./tools/loadgen -rate $(LOAD_RATE) -duration $(LOAD_DURATION)
 
 ci: vet race bench smoke
 

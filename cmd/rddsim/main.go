@@ -77,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	if *hysteresis < 0 {
+		// A negative K would silently behave like 0 (the row is simply not
+		// added); reject it like any other malformed flag value.
+		fmt.Fprintf(stderr, "rddsim: bad -hysteresis %d: want K >= 1 consecutive frames (0 = off)\n", *hysteresis)
+		return 2
+	}
 
 	if *cachePath != "" {
 		teardown, err := serve.InstallProcessCostDB(*cache, *cachePath, "rddsim", stderr)

@@ -157,6 +157,13 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("bad flag: exit code %d, want 2", code)
 	}
 	errb.Reset()
+	if code := run([]string{"-exp", "replay", "-hysteresis", "-2"}, &out, &errb); code != 2 {
+		t.Errorf("negative -hysteresis: exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bad -hysteresis -2") {
+		t.Errorf("stderr missing -hysteresis diagnosis: %s", errb.String())
+	}
+	errb.Reset()
 	if code := run([]string{"-h"}, &out, &errb); code != 0 {
 		t.Errorf("-h: exit code %d, want 0", code)
 	}

@@ -21,8 +21,8 @@
 //
 // Usage:
 //
-//	vitdynd [-addr 127.0.0.1:8080] [-cache N] [-workers N]
-//	        [-max-sweeps N] [-timeout 60s] [-stream-stats]
+//	vitdynd [-addr 127.0.0.1:8080] [-cache N] [-catalog-cache N]
+//	        [-workers N] [-max-sweeps N] [-timeout 60s] [-stream-stats]
 //	        [-store-path DIR]
 //
 // -store-path makes the cost store durable: the daemon warm-boots from
@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"vitdyn/internal/costdb"
+	"vitdyn/internal/engine"
 	"vitdyn/internal/serve"
 )
 
@@ -71,6 +72,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	streamStats := fs.Bool("stream-stats", false, "report the streaming catalog pipeline's generated/prefiltered/costed/admitted totals at shutdown (also live in /statsz)")
 	storePath := fs.String("store-path", "", "durable cost-store directory (snapshot+WAL): warm-boot from it on start, write-through persist every computed cost, flush and compact on shutdown")
 	flushEvery := fs.Duration("flush-interval", 30*time.Second, "with -store-path: how often to fsync (or age-compact) the WAL, bounding what a hard crash can lose; 0 disables periodic flushing")
+	catalogCache := fs.Int("catalog-cache", 0, "catalog result-cache capacity in catalogs (0 = default): repeated identical catalog/replay/batch specs serve from a spec-keyed cache, invalidated when a backend's cost-model epoch changes")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -82,7 +84,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var db *costdb.Persistent
 	if *storePath != "" {
 		var err error
-		if db, err = costdb.Open(*storePath, store, costdb.Options{}); err != nil {
+		// StaleEpoch lets compaction retire durable costs whose backend
+		// has moved to a new cost-model epoch.
+		if db, err = costdb.Open(*storePath, store, costdb.Options{StaleEpoch: engine.StaleEpoch}); err != nil {
 			fmt.Fprintf(stderr, "vitdynd: %v\n", err)
 			return 1
 		}
@@ -108,11 +112,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	srv := serve.NewServer(serve.Options{
-		Store:               store,
-		DB:                  db,
-		Workers:             *workers,
-		MaxConcurrentSweeps: *maxSweeps,
-		RequestTimeout:      *timeout,
+		Store:                store,
+		DB:                   db,
+		Workers:              *workers,
+		MaxConcurrentSweeps:  *maxSweeps,
+		RequestTimeout:       *timeout,
+		CatalogCacheCapacity: *catalogCache,
 	})
 	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Fprintf(stdout, "vitdynd: listening on %s\n", a)
@@ -131,6 +136,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	st := store.Stats()
 	fmt.Fprintf(stdout, "vitdynd: shut down; cost store served %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+	cc := srv.CatalogCache().Stats()
+	fmt.Fprintf(stdout, "vitdynd: catalog cache: %d hits / %d misses (%.0f%% hit rate), %d evictions, %d invalidations\n",
+		cc.Hits, cc.Misses, 100*cc.HitRate(), cc.Evictions, cc.Invalidations)
 	if db != nil {
 		dst := db.Stats()
 		if err := db.Close(); err != nil {

@@ -30,11 +30,14 @@ import (
 )
 
 // Entry is one durable cost record: which substrate priced the shape,
-// the shape's cost-relevant signature, and the metric vector the backend
-// produced (1 value for plain backends, one per metric for multi-metric
-// ones) — exactly the key/value of engine.CostCache.
+// the substrate's cost-model epoch (see engine.BackendEpoch; 0 for
+// records predating epochs), the shape's cost-relevant signature, and
+// the metric vector the backend produced (1 value for plain backends,
+// one per metric for multi-metric ones) — exactly the key/value of
+// engine.CostCache.
 type Entry struct {
 	Backend string
+	Epoch   uint64
 	Sig     uint64
 	Vals    []float64
 }
@@ -49,12 +52,12 @@ const (
 
 // encodedSize returns the serialized byte length of an entry payload.
 func encodedSize(e Entry) int {
-	return 2 + len(e.Backend) + 8 + 2 + 8*len(e.Vals)
+	return 2 + len(e.Backend) + 8 + 8 + 2 + 8*len(e.Vals)
 }
 
 // appendEntry serializes e onto buf (little-endian: backend length+bytes,
-// signature, value count, IEEE-754 values) — the shared payload encoding
-// of snapshot entries and WAL records.
+// signature, epoch, value count, IEEE-754 values) — the shared payload
+// encoding of snapshot entries and WAL records.
 func appendEntry(buf []byte, e Entry) ([]byte, error) {
 	if len(e.Backend) == 0 || len(e.Backend) > maxBackendLen {
 		return nil, fmt.Errorf("costdb: backend name length %d outside 1..%d", len(e.Backend), maxBackendLen)
@@ -65,6 +68,7 @@ func appendEntry(buf []byte, e Entry) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Backend)))
 	buf = append(buf, e.Backend...)
 	buf = binary.LittleEndian.AppendUint64(buf, e.Sig)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Vals)))
 	for _, v := range e.Vals {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
@@ -87,12 +91,14 @@ func decodeEntry(b []byte) (Entry, int, error) {
 		return Entry{}, 0, fmt.Errorf("costdb: backend name length %d outside 1..%d", nb, maxBackendLen)
 	}
 	off := 2
-	if len(b) < off+nb+8+2 {
+	if len(b) < off+nb+8+8+2 {
 		return Entry{}, 0, errShortEntry
 	}
 	backend := string(b[off : off+nb])
 	off += nb
 	sig := binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	epoch := binary.LittleEndian.Uint64(b[off:])
 	off += 8
 	nv := int(binary.LittleEndian.Uint16(b[off:]))
 	off += 2
@@ -107,12 +113,13 @@ func decodeEntry(b []byte) (Entry, int, error) {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
 		off += 8
 	}
-	return Entry{Backend: backend, Sig: sig, Vals: vals}, off, nil
+	return Entry{Backend: backend, Epoch: epoch, Sig: sig, Vals: vals}, off, nil
 }
 
 // entryKey is the map key form of an entry's identity.
 type entryKey struct {
 	backend string
+	epoch   uint64
 	sig     uint64
 }
 
@@ -136,8 +143,8 @@ var _ engine.CostCache = (*memCache)(nil)
 
 func newMemCache() *memCache { return &memCache{m: map[entryKey]*memEntry{}} }
 
-func (c *memCache) GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
-	k := entryKey{backend: backend, sig: sig}
+func (c *memCache) GetOrComputeVector(backend string, epoch, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
+	k := entryKey{backend: backend, epoch: epoch, sig: sig}
 	c.mu.Lock()
 	ent, ok := c.m[k]
 	if !ok {

@@ -1,0 +1,97 @@
+package costdb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// putEpoch is put() with an explicit epoch instead of the helper's
+// hardcoded 1.
+func putEpoch(t *testing.T, p *Persistent, backend string, epoch, sig uint64, vals ...float64) {
+	t.Helper()
+	if _, err := p.GetOrComputeVector(backend, epoch, sig, func() ([]float64, error) {
+		return vals, nil
+	}); err != nil {
+		t.Fatalf("put %s/%d@%d: %v", backend, sig, epoch, err)
+	}
+}
+
+// TestCompactionRetiresStaleEpochs: entries whose (backend, epoch) the
+// StaleEpoch hook condemns are dropped at compaction and never come
+// back on warm boot; everything else survives.
+func TestCompactionRetiresStaleEpochs(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(dir, nil, Options{
+		StaleEpoch: func(backend string, epoch uint64) bool {
+			return backend == "gpu/old" && epoch == 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putEpoch(t, p, "gpu/old", 1, 1, 10)  // stale: retired at compaction
+	putEpoch(t, p, "gpu/old", 2, 2, 20)  // same backend, current epoch
+	putEpoch(t, p, "magnet/E", 1, 3, 30) // other backend, epoch 1 is fine
+	if err := p.Close(); err != nil {    // Close compacts
+		t.Fatalf("Close: %v", err)
+	}
+	if st := p.Stats(); st.Retired != 1 {
+		t.Errorf("Retired = %d after compaction, want 1", st.Retired)
+	}
+
+	p2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer p2.Close()
+	if st := p2.Stats(); st.LoadedEntries != 2 {
+		t.Errorf("warm boot loaded %d entries, want 2 survivors", st.LoadedEntries)
+	}
+	if got, err := p2.GetOrComputeVector("gpu/old", 2, 2, mustNotCompute(t, "gpu/old@2")); err != nil || got[0] != 20 {
+		t.Errorf("surviving entry = %v, %v; want [20]", got, err)
+	}
+	if got, err := p2.GetOrComputeVector("magnet/E", 1, 3, mustNotCompute(t, "magnet/E@1")); err != nil || got[0] != 30 {
+		t.Errorf("surviving entry = %v, %v; want [30]", got, err)
+	}
+	// The retired entry is gone: its compute must run again.
+	ran := false
+	if _, err := p2.GetOrComputeVector("gpu/old", 1, 1, func() ([]float64, error) {
+		ran = true
+		return []float64{11}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("retired entry was served from disk instead of recomputed")
+	}
+}
+
+// TestOpenRejectsV1Format: a pre-epoch v1 snapshot or WAL fails Open
+// with an actionable message instead of silently misreading records.
+func TestOpenRejectsV1Format(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		head []byte
+	}{
+		// Snapshot headers are magic + 8-byte count; WAL headers are
+		// magic only.
+		{SnapshotFile, append([]byte("VITCDBS1"), make([]byte, 8)...)},
+		{WALFile, []byte("VITCDBW1")},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, tc.file), tc.head, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Open(dir, nil, Options{})
+			if err == nil {
+				t.Fatal("Open accepted a v1-format store")
+			}
+			if !strings.Contains(err.Error(), "pre-epoch v1 format") {
+				t.Errorf("error %q does not name the v1 format", err)
+			}
+		})
+	}
+}

@@ -42,6 +42,13 @@ type Options struct {
 	// than this and the WAL is non-empty. 0 selects DefaultCompactAge;
 	// < 0 disables age-triggered compaction.
 	CompactAge time.Duration
+	// StaleEpoch, when non-nil, lets compaction retire entries whose
+	// backend has moved to a new cost-model epoch: every compaction drops
+	// entries for which StaleEpoch(backend, epoch) returns true before
+	// writing the snapshot, so a backend upgrade reclaims its stale costs
+	// instead of carrying them forever. engine.StaleEpoch is the
+	// canonical implementation; nil never retires.
+	StaleEpoch func(backend string, epoch uint64) bool
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +86,7 @@ type Persistent struct {
 	diskHits    atomic.Int64
 	appends     atomic.Int64
 	compactions atomic.Int64
+	retired     atomic.Int64
 	lastFlushMS atomic.Int64 // unix milliseconds
 }
 
@@ -110,7 +118,7 @@ func Open(dir string, inner engine.CostCache, opts Options) (*Persistent, error)
 		// Commit the snapshot only if it verifies end to end.
 		scratch := map[entryKey][]float64{}
 		_, rerr := ReadSnapshot(f, func(e Entry) error {
-			scratch[entryKey{backend: e.Backend, sig: e.Sig}] = e.Vals
+			scratch[entryKey{backend: e.Backend, epoch: e.Epoch, sig: e.Sig}] = e.Vals
 			return nil
 		})
 		f.Close()
@@ -123,7 +131,7 @@ func Open(dir string, inner engine.CostCache, opts Options) (*Persistent, error)
 	}
 
 	wal, records, walBytes, err := openWAL(filepath.Join(dir, WALFile), func(e Entry) error {
-		p.entries[entryKey{backend: e.Backend, sig: e.Sig}] = e.Vals
+		p.entries[entryKey{backend: e.Backend, epoch: e.Epoch, sig: e.Sig}] = e.Vals
 		return nil
 	})
 	if err != nil {
@@ -141,7 +149,7 @@ func Open(dir string, inner engine.CostCache, opts Options) (*Persistent, error)
 	// accounting store — boot cost, visible once).
 	for k, vals := range p.entries {
 		vals := vals
-		if _, err := inner.GetOrComputeVector(k.backend, k.sig, func() ([]float64, error) {
+		if _, err := inner.GetOrComputeVector(k.backend, k.epoch, k.sig, func() ([]float64, error) {
 			return vals, nil
 		}); err != nil {
 			p.wal.Close()
@@ -160,9 +168,9 @@ func (p *Persistent) Dir() string { return p.dir }
 // the process ever priced survives a restart. Append failures (disk
 // full, store closed) surface as errors rather than silently dropping
 // durability. The returned slice is shared and must not be mutated.
-func (p *Persistent) GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
-	return p.inner.GetOrComputeVector(backend, sig, func() ([]float64, error) {
-		k := entryKey{backend: backend, sig: sig}
+func (p *Persistent) GetOrComputeVector(backend string, epoch, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
+	return p.inner.GetOrComputeVector(backend, epoch, sig, func() ([]float64, error) {
+		k := entryKey{backend: backend, epoch: epoch, sig: sig}
 		p.mu.RLock()
 		vals, ok := p.entries[k]
 		p.mu.RUnlock()
@@ -174,7 +182,7 @@ func (p *Persistent) GetOrComputeVector(backend string, sig uint64, compute func
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.append(backend, sig, vals, true); err != nil {
+		if _, err := p.append(backend, epoch, sig, vals, true); err != nil {
 			return nil, err
 		}
 		return vals, nil
@@ -188,12 +196,12 @@ func (p *Persistent) GetOrComputeVector(backend string, sig uint64, compute func
 // (Import) pass allowCompact=false and compact once at the end; letting
 // every ~CompactWALBytes of a large import rewrite the ever-growing
 // snapshot would turn the import quadratic.
-func (p *Persistent) append(backend string, sig uint64, vals []float64, allowCompact bool) (bool, error) {
-	rec, err := encodeWALRecord(Entry{Backend: backend, Sig: sig, Vals: vals})
+func (p *Persistent) append(backend string, epoch, sig uint64, vals []float64, allowCompact bool) (bool, error) {
+	rec, err := encodeWALRecord(Entry{Backend: backend, Epoch: epoch, Sig: sig, Vals: vals})
 	if err != nil {
 		return false, err
 	}
-	k := entryKey{backend: backend, sig: sig}
+	k := entryKey{backend: backend, epoch: epoch, sig: sig}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -220,8 +228,19 @@ func (p *Persistent) append(backend string, sig uint64, vals []float64, allowCom
 // compactLocked folds the full contents into a fresh snapshot (atomic
 // rename) and truncates the WAL. Snapshot-then-truncate ordering makes a
 // crash between the two harmless: the stale WAL replays the same values
-// over the new snapshot. Caller holds p.mu.
+// over the new snapshot. When Options.StaleEpoch is set, entries whose
+// backend has moved to a new epoch are retired first — compaction is
+// the natural reclaim point, since the snapshot is being rewritten
+// anyway. Caller holds p.mu.
 func (p *Persistent) compactLocked() error {
+	if stale := p.opts.StaleEpoch; stale != nil {
+		for k := range p.entries {
+			if stale(k.backend, k.epoch) {
+				delete(p.entries, k)
+				p.retired.Add(1)
+			}
+		}
+	}
 	if err := writeSnapshotFile(filepath.Join(p.dir, SnapshotFile), p.sortedEntriesLocked()); err != nil {
 		return err
 	}
@@ -243,7 +262,7 @@ func (p *Persistent) compactLocked() error {
 func (p *Persistent) sortedEntriesLocked() []Entry {
 	entries := make([]Entry, 0, len(p.entries))
 	for k, vals := range p.entries {
-		entries = append(entries, Entry{Backend: k.backend, Sig: k.sig, Vals: vals})
+		entries = append(entries, Entry{Backend: k.backend, Epoch: k.epoch, Sig: k.sig, Vals: vals})
 	}
 	SortEntries(entries)
 	return entries
@@ -336,7 +355,7 @@ func (p *Persistent) Import(r io.Reader) (total, added int, err error) {
 	}
 	for _, e := range staged {
 		// Compaction is deferred (see append) and run once below.
-		isNew, aerr := p.append(e.Backend, e.Sig, e.Vals, false)
+		isNew, aerr := p.append(e.Backend, e.Epoch, e.Sig, e.Vals, false)
 		if aerr != nil {
 			return total, added, aerr
 		}
@@ -345,7 +364,7 @@ func (p *Persistent) Import(r io.Reader) (total, added int, err error) {
 		}
 		added++
 		vals := e.Vals
-		if _, werr := p.inner.GetOrComputeVector(e.Backend, e.Sig, func() ([]float64, error) {
+		if _, werr := p.inner.GetOrComputeVector(e.Backend, e.Epoch, e.Sig, func() ([]float64, error) {
 			return vals, nil
 		}); werr != nil {
 			return total, added, werr
@@ -388,6 +407,9 @@ type Stats struct {
 	// Compactions counts snapshot rewrites (size- or age-triggered, and
 	// the one Close performs).
 	Compactions int64 `json:"compactions"`
+	// Retired counts entries dropped at compaction because their backend
+	// moved to a new cost-model epoch (Options.StaleEpoch).
+	Retired int64 `json:"retired"`
 	// LastFlushAgeMS is how long ago the store last made its tail
 	// durable (fsync or compaction).
 	LastFlushAgeMS int64 `json:"last_flush_age_ms"`
@@ -407,6 +429,7 @@ func (p *Persistent) Stats() Stats {
 		Appends:        p.appends.Load(),
 		DiskHits:       p.diskHits.Load(),
 		Compactions:    p.compactions.Load(),
+		Retired:        p.retired.Load(),
 		LastFlushAgeMS: time.Now().UnixMilli() - p.lastFlushMS.Load(),
 	}
 }

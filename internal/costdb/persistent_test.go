@@ -15,7 +15,7 @@ import (
 // put inserts one computed value, failing the test on error.
 func put(t *testing.T, p *Persistent, backend string, sig uint64, vals ...float64) {
 	t.Helper()
-	got, err := p.GetOrComputeVector(backend, sig, func() ([]float64, error) {
+	got, err := p.GetOrComputeVector(backend, 1, sig, func() ([]float64, error) {
 		return vals, nil
 	})
 	if err != nil {
@@ -62,7 +62,7 @@ func TestPersistentWriteThroughAndWarmBoot(t *testing.T) {
 	if st := p2.Stats(); st.LoadedEntries != 3 || st.Entries != 3 || st.WALRecords != 0 {
 		t.Errorf("warm-boot stats: %+v", st)
 	}
-	got, err := p2.GetOrComputeVector("gpu/test", 2, mustNotCompute(t, "gpu/test/2"))
+	got, err := p2.GetOrComputeVector("gpu/test", 1, 2, mustNotCompute(t, "gpu/test/2"))
 	if err != nil || len(got) != 2 || got[0] != 20 || got[1] != 21 {
 		t.Errorf("warm lookup = %v, %v; want [20 21]", got, err)
 	}
@@ -88,7 +88,7 @@ func TestPersistentCrashRecoveryFromWAL(t *testing.T) {
 	if st := p2.Stats(); st.LoadedEntries != 2 {
 		t.Fatalf("recovered %d entries, want 2 (stats %+v)", st.LoadedEntries, st)
 	}
-	if got, err := p2.GetOrComputeVector("gpu/test", 1, mustNotCompute(t, "gpu/test/1")); err != nil || got[0] != 10 {
+	if got, err := p2.GetOrComputeVector("gpu/test", 1, 1, mustNotCompute(t, "gpu/test/1")); err != nil || got[0] != 10 {
 		t.Errorf("recovered lookup = %v, %v", got, err)
 	}
 }
@@ -121,11 +121,11 @@ func TestPersistentTornWALTailRecovered(t *testing.T) {
 	if st := p2.Stats(); st.LoadedEntries != 1 {
 		t.Fatalf("loaded %d entries after torn tail, want 1", st.LoadedEntries)
 	}
-	if got, err := p2.GetOrComputeVector("gpu/test", 1, mustNotCompute(t, "gpu/test/1")); err != nil || got[0] != 10 {
+	if got, err := p2.GetOrComputeVector("gpu/test", 1, 1, mustNotCompute(t, "gpu/test/1")); err != nil || got[0] != 10 {
 		t.Errorf("surviving entry = %v, %v", got, err)
 	}
 	recomputed := false
-	if _, err := p2.GetOrComputeVector("gpu/test", 2, func() ([]float64, error) {
+	if _, err := p2.GetOrComputeVector("gpu/test", 1, 2, func() ([]float64, error) {
 		recomputed = true
 		return []float64{20}, nil
 	}); err != nil || !recomputed {
@@ -305,7 +305,7 @@ func TestPersistentConcurrentInsertDuringFlush(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perW; i++ {
 				sig := uint64(w*perW + i)
-				if _, err := p.GetOrComputeVector("gpu/test", sig, func() ([]float64, error) {
+				if _, err := p.GetOrComputeVector("gpu/test", 1, sig, func() ([]float64, error) {
 					return []float64{float64(sig)}, nil
 				}); err != nil {
 					t.Errorf("insert %d: %v", sig, err)
@@ -359,7 +359,7 @@ func TestPersistentDiskHitAfterInnerMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p2.Close()
-	if _, err := p2.GetOrComputeVector("gpu/test", 1, mustNotCompute(t, "gpu/test/1")); err != nil {
+	if _, err := p2.GetOrComputeVector("gpu/test", 1, 1, mustNotCompute(t, "gpu/test/1")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -375,7 +375,7 @@ func TestPersistentClosedRejectsInserts(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
 	}
-	_, err = p.GetOrComputeVector("gpu/test", 9, func() ([]float64, error) {
+	_, err = p.GetOrComputeVector("gpu/test", 1, 9, func() ([]float64, error) {
 		return []float64{1}, nil
 	})
 	if err == nil || !strings.Contains(err.Error(), "closed") {
@@ -390,7 +390,7 @@ func TestPersistentComputeErrorNotPersisted(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := fmt.Errorf("backend exploded")
-	if _, err := p.GetOrComputeVector("gpu/test", 1, func() ([]float64, error) {
+	if _, err := p.GetOrComputeVector("gpu/test", 1, 1, func() ([]float64, error) {
 		return nil, boom
 	}); err == nil {
 		t.Fatal("error compute succeeded")
@@ -435,7 +435,7 @@ func TestPersistentImportCorruptStreamCommitsNothing(t *testing.T) {
 		t.Errorf("corrupt import left durable state: %+v", st)
 	}
 	recomputed := false
-	if _, err := dst.GetOrComputeVector("gpu/test", 1, func() ([]float64, error) {
+	if _, err := dst.GetOrComputeVector("gpu/test", 1, 1, func() ([]float64, error) {
 		recomputed = true
 		return []float64{10}, nil
 	}); err != nil || !recomputed {

@@ -14,8 +14,14 @@ import (
 
 // snapshotMagic identifies a snapshot stream: format family plus a
 // version digit, so a future layout change is a new magic rather than a
-// silent misparse.
-const snapshotMagic = "VITCDBS1"
+// silent misparse. Version 2 added the per-entry backend epoch; version
+// 1 files are rejected (recognizably, with a rebuild hint) rather than
+// misparsed.
+const snapshotMagic = "VITCDBS2"
+
+// snapshotMagicV1 is the pre-epoch snapshot format, recognized only to
+// produce a clearer rejection than "bad magic".
+const snapshotMagicV1 = "VITCDBS1"
 
 // WriteSnapshot streams entries to w in the versioned, checksummed
 // snapshot format: magic, entry count, the entries, and a trailing IEEE
@@ -70,8 +76,11 @@ func ReadSnapshot(r io.Reader, fn func(Entry) error) (int, error) {
 	if _, err := io.ReadFull(tr, head); err != nil {
 		return 0, fmt.Errorf("costdb: snapshot header unreadable (file truncated or not a snapshot): %w", err)
 	}
-	if string(head[:len(snapshotMagic)]) != snapshotMagic {
-		return 0, fmt.Errorf("costdb: bad snapshot magic %q (want %q): not a costdb snapshot or an incompatible version", head[:len(snapshotMagic)], snapshotMagic)
+	if got := string(head[:len(snapshotMagic)]); got != snapshotMagic {
+		if got == snapshotMagicV1 {
+			return 0, fmt.Errorf("costdb: snapshot is the pre-epoch v1 format (%q): delete the store directory and let it rebuild", got)
+		}
+		return 0, fmt.Errorf("costdb: bad snapshot magic %q (want %q): not a costdb snapshot or an incompatible version", got, snapshotMagic)
 	}
 	count := binary.LittleEndian.Uint64(head[len(snapshotMagic):])
 
@@ -113,8 +122,8 @@ func readEntryFrom(r io.Reader, buf *[]byte) (Entry, error) {
 	if nb == 0 || nb > maxBackendLen {
 		return Entry{}, fmt.Errorf("backend name length %d outside 1..%d", nb, maxBackendLen)
 	}
-	// backend + sig + nvals in one read.
-	need := nb + 8 + 2
+	// backend + sig + epoch + nvals in one read.
+	need := nb + 8 + 8 + 2
 	if cap(*buf) < need {
 		*buf = make([]byte, need)
 	}
@@ -124,7 +133,8 @@ func readEntryFrom(r io.Reader, buf *[]byte) (Entry, error) {
 	}
 	backend := string(b[:nb])
 	sig := binary.LittleEndian.Uint64(b[nb:])
-	nv := int(binary.LittleEndian.Uint16(b[nb+8:]))
+	epoch := binary.LittleEndian.Uint64(b[nb+8:])
+	nv := int(binary.LittleEndian.Uint16(b[nb+16:]))
 	if nv == 0 || nv > maxVals {
 		return Entry{}, fmt.Errorf("cost vector length %d outside 1..%d", nv, maxVals)
 	}
@@ -135,18 +145,21 @@ func readEntryFrom(r io.Reader, buf *[]byte) (Entry, error) {
 		}
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(fixed[:]))
 	}
-	return Entry{Backend: backend, Sig: sig, Vals: vals}, nil
+	return Entry{Backend: backend, Epoch: epoch, Sig: sig, Vals: vals}, nil
 }
 
-// SortEntries orders entries canonically: by backend name, then
-// signature — the deterministic layout every snapshot writer in this
-// package uses. Callers assembling their own WriteSnapshot streams (the
-// serving layer's export of a plain in-memory store) sort with it so
-// identical contents always export identical bytes.
+// SortEntries orders entries canonically: by backend name, then epoch,
+// then signature — the deterministic layout every snapshot writer in
+// this package uses. Callers assembling their own WriteSnapshot streams
+// (the serving layer's export of a plain in-memory store) sort with it
+// so identical contents always export identical bytes.
 func SortEntries(entries []Entry) {
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Backend != entries[j].Backend {
 			return entries[i].Backend < entries[j].Backend
+		}
+		if entries[i].Epoch != entries[j].Epoch {
+			return entries[i].Epoch < entries[j].Epoch
 		}
 		return entries[i].Sig < entries[j].Sig
 	})

@@ -9,7 +9,8 @@ import (
 )
 
 // walMagic heads a WAL file, versioned like the snapshot magic.
-const walMagic = "VITCDBW1"
+// Version 2 added the per-record backend epoch.
+const walMagic = "VITCDBW2"
 
 // A WAL record is a length-prefixed entry payload with its own CRC:
 //
@@ -24,7 +25,7 @@ const walRecordOverhead = 4 + 4 // length prefix + checksum
 
 // maxWALPayload bounds a decoded record length the same way the entry
 // codec bounds its fields — a length past it means garbage, not data.
-const maxWALPayload = 2 + maxBackendLen + 8 + 2 + 8*maxVals
+const maxWALPayload = 2 + maxBackendLen + 8 + 8 + 2 + 8*maxVals
 
 // encodeWALRecord serializes one insert as a WAL record.
 func encodeWALRecord(e Entry) ([]byte, error) {
@@ -129,6 +130,8 @@ func openWAL(path string, fn func(Entry) error) (f *os.File, records, walBytes i
 		return f, 0, 0, nil
 	case rerr != nil:
 		return fail(fmt.Errorf("costdb: reading wal header: %w", rerr))
+	case string(head) == "VITCDBW1":
+		return fail(fmt.Errorf("costdb: wal %s is the pre-epoch v1 format: delete the store directory and let it rebuild", path))
 	case string(head) != walMagic:
 		return fail(fmt.Errorf("costdb: bad wal magic %q in %s (want %q): not a costdb wal or an incompatible version", head, path, walMagic))
 	}

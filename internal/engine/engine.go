@@ -58,12 +58,15 @@ type MultiCostBackend interface {
 
 // CostCache is an externally owned memoization layer shared across
 // engines (and, through the serving layer, across requests). Keys are
-// (backend name, graph signature); values are full metric vectors, so
-// single- and multi-metric backends share one entry per shape.
-// Implementations must be safe for concurrent use and must invoke
-// compute at most once per key while it stays resident.
+// (backend name, backend epoch, graph signature); values are full
+// metric vectors, so single- and multi-metric backends share one entry
+// per shape. The epoch (see BackendEpoch) partitions entries by
+// cost-model version: a backend upgrade flips it, so stale costs miss
+// instead of being served. Implementations must be safe for concurrent
+// use and must invoke compute at most once per key while it stays
+// resident.
 type CostCache interface {
-	GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error)
+	GetOrComputeVector(backend string, epoch, sig uint64, compute func() ([]float64, error)) ([]float64, error)
 }
 
 // defaultCache is the process-wide cache installed by SetDefaultCache,
@@ -126,6 +129,7 @@ type Result struct {
 type Engine struct {
 	backend CostBackend
 	workers int
+	epoch   uint64    // backend epoch stamped at construction (see BackendEpoch)
 	ext     CostCache // nil = private in-process cache only
 
 	mu    sync.Mutex
@@ -167,6 +171,7 @@ func NewWithCache(backend CostBackend, workers int, cache CostCache) *Engine {
 	return &Engine{
 		backend: backend,
 		workers: workers,
+		epoch:   BackendEpoch(backend),
 		ext:     cache,
 		cache:   make(map[uint64]*cacheEntry),
 	}
@@ -186,6 +191,10 @@ func (e *Engine) Backend() CostBackend { return e.backend }
 
 // Workers returns the resolved worker count.
 func (e *Engine) Workers() int { return e.workers }
+
+// Epoch returns the backend epoch the engine stamped at construction —
+// the fingerprint partitioning its external-cache entries.
+func (e *Engine) Epoch() uint64 { return e.epoch }
 
 // CachedCosts returns how many distinct graph signatures the engine's
 // private cache holds (for tests and instrumentation). With an external
@@ -225,7 +234,7 @@ func (e *Engine) compute(g *graph.Graph) ([]float64, error) {
 func (e *Engine) costVec(g *graph.Graph) ([]float64, error) {
 	sig := g.Signature()
 	if e.ext != nil {
-		return e.ext.GetOrComputeVector(e.backend.Name(), sig, func() ([]float64, error) {
+		return e.ext.GetOrComputeVector(e.backend.Name(), e.epoch, sig, func() ([]float64, error) {
 			return e.compute(g)
 		})
 	}

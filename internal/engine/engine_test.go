@@ -285,8 +285,8 @@ type mapCacheEntry struct {
 
 func newMapCache() *mapCache { return &mapCache{entries: map[string]*mapCacheEntry{}} }
 
-func (c *mapCache) GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
-	key := fmt.Sprintf("%s#%x", backend, sig)
+func (c *mapCache) GetOrComputeVector(backend string, epoch, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
+	key := fmt.Sprintf("%s#%x#%x", backend, epoch, sig)
 	c.mu.Lock()
 	ent, ok := c.entries[key]
 	if !ok {

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"testing"
+
+	"vitdyn/internal/gpu"
+	"vitdyn/internal/graph"
+	"vitdyn/internal/magnet"
+)
+
+// versionedBackend is a minimal Epocher-implementing backend whose
+// version can be varied without touching the built-in model constants.
+type versionedBackend struct {
+	name    string
+	version uint64
+}
+
+func (b versionedBackend) Name() string                       { return b.name }
+func (b versionedBackend) Cost(*graph.Graph) (float64, error) { return 1, nil }
+func (b versionedBackend) Epoch() uint64                      { return b.version }
+
+func TestBackendEpochFingerprint(t *testing.T) {
+	a1 := BackendEpoch(versionedBackend{name: "a", version: 1})
+	if a1 == 0 {
+		t.Fatal("epoch is 0; 0 is reserved for records predating epochs")
+	}
+	if again := BackendEpoch(versionedBackend{name: "a", version: 1}); again != a1 {
+		t.Errorf("epoch not deterministic: %d then %d", a1, again)
+	}
+	if b1 := BackendEpoch(versionedBackend{name: "b", version: 1}); b1 == a1 {
+		t.Error("distinct backend names share an epoch fingerprint")
+	}
+	a2 := BackendEpoch(versionedBackend{name: "a", version: 2})
+	if a2 == a1 {
+		t.Error("version bump did not change the epoch")
+	}
+
+	// Every built-in backend carries an epoch (they all implement
+	// Epocher) and they are pairwise distinct.
+	seen := map[uint64]string{}
+	cfg := magnet.AcceleratorE()
+	for _, b := range []CostBackend{FLOPs(), GPU(gpu.A5000()), MagnetTime(cfg), MagnetEnergy(cfg)} {
+		e := BackendEpoch(b)
+		if e == 0 {
+			t.Errorf("%s: zero epoch", b.Name())
+		}
+		if prev, dup := seen[e]; dup {
+			t.Errorf("%s and %s share epoch %d", b.Name(), prev, e)
+		}
+		seen[e] = b.Name()
+	}
+}
+
+func TestEpochSaltPerturbsEveryEpoch(t *testing.T) {
+	defer SetEpochSalt(0)
+	SetEpochSalt(0)
+	base := BackendEpoch(versionedBackend{name: "salted", version: 3})
+	SetEpochSalt(0xdecafbad)
+	if salted := BackendEpoch(versionedBackend{name: "salted", version: 3}); salted == base {
+		t.Error("salt change did not flip the epoch")
+	}
+	SetEpochSalt(0)
+	if back := BackendEpoch(versionedBackend{name: "salted", version: 3}); back != base {
+		t.Errorf("epoch not restored after salt reset: %d != %d", back, base)
+	}
+}
+
+func TestStaleEpochSemantics(t *testing.T) {
+	cur := BackendEpoch(versionedBackend{name: "stale-check", version: 1})
+	if _, ok := CurrentEpoch("stale-check"); !ok {
+		t.Fatal("BackendEpoch did not register the backend")
+	}
+	if StaleEpoch("stale-check", cur) {
+		t.Error("current epoch reported stale")
+	}
+	if !StaleEpoch("stale-check", cur+1) {
+		t.Error("mismatched epoch not reported stale")
+	}
+	// Epoch 0 (pre-epoch records) and unregistered backends are never
+	// stale: a daemon must not discard durable costs it cannot judge.
+	if StaleEpoch("stale-check", 0) {
+		t.Error("epoch-0 record reported stale")
+	}
+	if StaleEpoch("never-registered-backend", 12345) {
+		t.Error("unregistered backend reported stale")
+	}
+}

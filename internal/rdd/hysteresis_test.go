@@ -21,7 +21,11 @@ func TestSimulateHysteresisDegeneratesToSimulate(t *testing.T) {
 	cat := hystCatalog(t)
 	tr := SinusoidTrace(200, 2.1, 9, 30)
 	want := cat.Simulate(tr)
-	for _, k := range []int{0, 1} {
+	// k <= 1 means "no damping" — including negative values, which CLI
+	// and server validation reject before reaching here but which the
+	// library itself must still treat as a free controller, not crash or
+	// invent a third behavior.
+	for _, k := range []int{-3, -1, 0, 1} {
 		if got := cat.SimulateHysteresis(tr, k); !reflect.DeepEqual(got, want) {
 			t.Errorf("k=%d: %+v != Simulate %+v", k, got, want)
 		}

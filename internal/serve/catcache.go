@@ -1,0 +1,245 @@
+package serve
+
+// Catalog-level result cache. The cost store below amortizes *per-shape*
+// backend evaluations, but a fully warm /v1/catalog request still re-runs
+// the whole generate → prefilter → cost → frontier pipeline — thousands
+// of candidate constructions and store lookups to reproduce a catalog
+// that cannot have changed. This cache memoizes the finished artifact:
+// the canonicalized request spec maps straight to the built rdd.Catalog,
+// so a repeat request is one map lookup — zero backend evaluations, zero
+// generated candidates. Entries are stamped with the backend's cost-model
+// epoch (engine.BackendEpoch); a backend upgrade flips the epoch and the
+// stale catalog is invalidated on its next lookup instead of being served
+// silently wrong.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"vitdyn/internal/rdd"
+)
+
+// DefaultCatalogCacheCapacity bounds a cache created with capacity <= 0.
+// The request space is tiny — five families × a handful of datasets,
+// variants, steps and backends — so 128 holds every spec this repository
+// can serve with room for ad-hoc step values.
+const DefaultCatalogCacheCapacity = 128
+
+// catalogKey is the canonicalized identity of one catalog build: the
+// request spec with defaults resolved (so "dataset omitted" and
+// "dataset=ADE" share an entry) plus the resolved backend name. The
+// worker budget is deliberately absent — the pipeline is deterministic,
+// so worker count changes latency, never bytes.
+type catalogKey struct {
+	family  string
+	dataset string
+	variant string
+	step    int
+	backend string // resolved CostBackend.Name()
+}
+
+// catalogKeyFor canonicalizes a request the same way CatalogRequest.Seq
+// resolves its defaults.
+func catalogKeyFor(cr CatalogRequest, backendName string) catalogKey {
+	dataset := cr.Dataset
+	if dataset == "" {
+		dataset = "ADE"
+	}
+	variant := cr.Variant
+	if variant == "" {
+		variant = "Tiny"
+	}
+	return catalogKey{
+		family:  cr.Family,
+		dataset: dataset,
+		variant: variant,
+		step:    cr.Step,
+		backend: backendName,
+	}
+}
+
+// catalogEntry is one resident catalog. Like storeEntry, the once makes
+// concurrent cold requests for the same spec build once and share the
+// result; done publishes completion without joining the once. epoch is
+// fixed at insert — an entry never migrates epochs, it is replaced.
+type catalogEntry struct {
+	key   catalogKey
+	epoch uint64
+	once  sync.Once
+	done  atomic.Bool
+	cat   *rdd.Catalog
+	err   error
+}
+
+// CatalogCache is a bounded LRU of built catalogs keyed by canonicalized
+// request spec, epoch-invalidated. A single mutex suffices — lookups are
+// a map probe plus a list splice, and the build itself runs outside the
+// lock — so unlike the cost store there is nothing to shard. Safe for
+// concurrent use.
+type CatalogCache struct {
+	mu      sync.Mutex
+	entries map[catalogKey]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	errors        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// NewCatalogCache returns a cache holding at most capacity catalogs;
+// capacity <= 0 selects DefaultCatalogCacheCapacity.
+func NewCatalogCache(capacity int) *CatalogCache {
+	if capacity <= 0 {
+		capacity = DefaultCatalogCacheCapacity
+	}
+	return &CatalogCache{
+		entries: make(map[catalogKey]*list.Element),
+		order:   list.New(),
+		cap:     capacity,
+	}
+}
+
+// removeLocked drops el from the cache. Caller holds c.mu.
+func (c *CatalogCache) removeLocked(el *list.Element) {
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*catalogEntry).key)
+}
+
+// lookup returns the cached catalog for (key, epoch) when it is resident,
+// fully built and healthy — the fast path handlers take before paying
+// for a sweep slot. A resident entry stamped with a different epoch is
+// invalidated here (the backend has upgraded; its catalog is stale), and
+// entries still building or failed report a miss without blocking.
+// Only successful lookups count as hits.
+func (c *CatalogCache) lookup(key catalogKey, epoch uint64) (*rdd.Catalog, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	ent := el.Value.(*catalogEntry)
+	if ent.epoch != epoch {
+		c.removeLocked(el)
+		c.invalidations.Add(1)
+		c.mu.Unlock()
+		return nil, false
+	}
+	if !ent.done.Load() || ent.err != nil {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return ent.cat, true
+}
+
+// getOrBuild returns the catalog for (key, epoch), running build at most
+// once per resident key — concurrent cold requests for one spec share a
+// single sweep. Callers hold a sweep slot: build runs on the calling
+// goroutine and must never acquire one itself (a slot-holder waiting on
+// a slot-acquiring build is how slot pools deadlock). Build errors are
+// returned but never cached — whichever caller observes the failure
+// drops the entry, so the next request retries. An entry resident under
+// a different epoch is replaced.
+func (c *CatalogCache) getOrBuild(key catalogKey, epoch uint64, build func() (*rdd.Catalog, error)) (*rdd.Catalog, error) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		ent := el.Value.(*catalogEntry)
+		if ent.epoch == epoch {
+			c.order.MoveToFront(el)
+			c.mu.Unlock()
+			return c.join(ent, build)
+		}
+		c.removeLocked(el)
+		c.invalidations.Add(1)
+	}
+	ent := &catalogEntry{key: key, epoch: epoch}
+	c.entries[key] = c.order.PushFront(ent)
+	for c.order.Len() > c.cap {
+		c.removeLocked(c.order.Back())
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	return c.join(ent, build)
+}
+
+// join runs (or waits out) the entry's build and accounts the outcome:
+// the caller whose build ran is a miss, callers that shared a finished
+// or in-flight build are hits, and any error outcome counts as an error
+// and drops the entry.
+func (c *CatalogCache) join(ent *catalogEntry, build func() (*rdd.Catalog, error)) (*rdd.Catalog, error) {
+	ran := false
+	ent.once.Do(func() {
+		ran = true
+		ent.cat, ent.err = build()
+	})
+	ent.done.Store(true)
+	if ent.err != nil {
+		c.mu.Lock()
+		if el, ok := c.entries[ent.key]; ok && el.Value.(*catalogEntry) == ent {
+			c.removeLocked(el)
+		}
+		c.mu.Unlock()
+		c.errors.Add(1)
+		return nil, ent.err
+	}
+	if ran {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return ent.cat, nil
+}
+
+// Len returns the number of resident entries.
+func (c *CatalogCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CatalogCacheStats is a point-in-time snapshot of the cache counters,
+// the /statsz catalog_cache section. Hits count lookups served from a
+// built catalog (including joins of an in-flight build); misses count
+// builds actually run; errors count failed builds (never cached);
+// invalidations count entries dropped because their backend moved to a
+// new cost-model epoch.
+type CatalogCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Errors        int64 `json:"errors"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Capacity      int   `json:"capacity"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (st CatalogCacheStats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters (each individually
+// exact, the set approximate under concurrent load).
+func (c *CatalogCache) Stats() CatalogCacheStats {
+	return CatalogCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Errors:        c.errors.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.Len(),
+		Capacity:      c.cap,
+	}
+}

@@ -36,8 +36,8 @@ func (s *Server) cache() engine.CostCache {
 // superset of the store, modulo eviction), else the resident store.
 func (s *Server) storeEntries() []costdb.Entry {
 	var entries []costdb.Entry
-	s.opts.Store.Range(func(backend string, sig uint64, vals []float64) bool {
-		entries = append(entries, costdb.Entry{Backend: backend, Sig: sig, Vals: vals})
+	s.opts.Store.Range(func(backend string, epoch, sig uint64, vals []float64) bool {
+		entries = append(entries, costdb.Entry{Backend: backend, Epoch: epoch, Sig: sig, Vals: vals})
 		return true
 	})
 	costdb.SortEntries(entries)
@@ -104,7 +104,7 @@ func (s *Server) handleStoreImport(w http.ResponseWriter, r *http.Request) {
 			for _, e := range staged {
 				ran := false
 				vals := e.Vals
-				if _, gerr := s.opts.Store.GetOrComputeVector(e.Backend, e.Sig, func() ([]float64, error) {
+				if _, gerr := s.opts.Store.GetOrComputeVector(e.Backend, e.Epoch, e.Sig, func() ([]float64, error) {
 					ran = true
 					return vals, nil
 				}); gerr != nil {
@@ -134,7 +134,7 @@ func (s *Server) handleStoreImport(w http.ResponseWriter, r *http.Request) {
 // a re-run of the same experiments starts warm from disk.
 func InstallProcessCostDB(capacity int, dir, prefix string, w io.Writer) (func(), error) {
 	store := NewStore(capacity)
-	db, err := costdb.Open(dir, store, costdb.Options{})
+	db, err := costdb.Open(dir, store, costdb.Options{StaleEpoch: engine.StaleEpoch})
 	if err != nil {
 		return nil, err
 	}

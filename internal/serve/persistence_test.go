@@ -253,14 +253,14 @@ func TestStatszCostdbSection(t *testing.T) {
 // computed entries.
 func TestStoreRange(t *testing.T) {
 	s := NewStore(0)
-	if _, err := s.GetOrComputeVector("b1", 1, func() ([]float64, error) { return []float64{1.5}, nil }); err != nil {
+	if _, err := s.GetOrComputeVector("b1", 1, 1, func() ([]float64, error) { return []float64{1.5}, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetOrComputeVector("b2", 2, func() ([]float64, error) { return []float64{2.5, 3.5}, nil }); err != nil {
+	if _, err := s.GetOrComputeVector("b2", 1, 2, func() ([]float64, error) { return []float64{2.5, 3.5}, nil }); err != nil {
 		t.Fatal(err)
 	}
 	got := map[string][]float64{}
-	s.Range(func(backend string, sig uint64, vals []float64) bool {
+	s.Range(func(backend string, epoch, sig uint64, vals []float64) bool {
 		got[backend] = append([]float64(nil), vals...)
 		return true
 	})
@@ -269,7 +269,7 @@ func TestStoreRange(t *testing.T) {
 	}
 	// Early exit stops iteration.
 	n := 0
-	s.Range(func(string, uint64, []float64) bool { n++; return false })
+	s.Range(func(string, uint64, uint64, []float64) bool { n++; return false })
 	if n != 1 {
 		t.Errorf("early-exit Range visited %d entries, want 1", n)
 	}

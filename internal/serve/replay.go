@@ -298,14 +298,13 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	defer s.releaseSweepSlot()
 
 	workers := s.workerBudget(req.Workers)
-	eng := engine.NewWithCache(backend, workers, s.cache())
-	cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
-	s.addStreamStats(st)
+	// The slot is already held (trace fan-out below needs it anyway), so
+	// a cached catalog costs a lookup and a cold one builds in place.
+	cat, err := s.catalogFor(ctx, req.Catalog, backend, model, seq, workers, true)
 	if err != nil {
-		writeError(w, httpStatusFor(err), "catalog %s: %v", model, err)
+		writeCatalogError(w, model, err)
 		return
 	}
-	s.sweeps.Add(1)
 
 	pols, err := resolveReplayPolicies(cat, req.Policies)
 	if err != nil {

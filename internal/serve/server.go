@@ -50,6 +50,10 @@ type Options struct {
 	// RequestTimeout bounds each request, enforced through its context.
 	// <= 0 selects 60 seconds.
 	RequestTimeout time.Duration
+	// CatalogCacheCapacity bounds the catalog-level result cache (built
+	// catalogs keyed by canonicalized request spec + backend epoch; see
+	// CatalogCache). <= 0 selects DefaultCatalogCacheCapacity.
+	CatalogCacheCapacity int
 }
 
 // withDefaults resolves the zero-value conveniences.
@@ -76,10 +80,11 @@ func (o Options) withDefaults() Options {
 // frontier); the server accumulates every request's StreamStats, exposed
 // in /statsz.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	sweep chan struct{} // server-wide concurrent-sweep semaphore
-	start time.Time
+	opts    Options
+	mux     *http.ServeMux
+	sweep   chan struct{} // server-wide concurrent-sweep semaphore
+	catalog *CatalogCache // spec → built catalog result cache
+	start   time.Time
 
 	requests atomic.Int64 // requests accepted (all endpoints)
 	active   atomic.Int64 // requests currently in flight
@@ -114,6 +119,15 @@ func NewServer(opts Options) *Server {
 		start: time.Now(),
 	}
 	s.sweep = make(chan struct{}, s.opts.MaxConcurrentSweeps)
+	s.catalog = NewCatalogCache(s.opts.CatalogCacheCapacity)
+	// Register every servable backend's epoch up front, so a durable
+	// tier configured with engine.StaleEpoch can retire another epoch's
+	// entries even before the first request exercises that backend.
+	for _, info := range Backends() {
+		if b, err := ResolveBackend(info.Spec); err == nil {
+			engine.BackendEpoch(b)
+		}
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
@@ -148,6 +162,9 @@ func (s *Server) StreamStats() engine.StreamStats {
 
 // Store returns the server's shared cost store.
 func (s *Server) Store() *Store { return s.opts.Store }
+
+// CatalogCache returns the server's catalog-level result cache.
+func (s *Server) CatalogCache() *CatalogCache { return s.catalog }
 
 // Handler returns the server's HTTP handler: instrumentation plus a
 // per-request timeout context around the endpoint mux.
@@ -199,12 +216,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // statszResponse is the /statsz envelope. Costdb appears only when the
 // server runs over a durable tier (-store-path on vitdynd).
 type statszResponse struct {
-	Store   StoreStats    `json:"store"`
-	Server  serverStats   `json:"server"`
-	Stream  streamStats   `json:"stream"`
-	Replay  replayStats   `json:"replay"`
-	Persist persistStats  `json:"persist"`
-	Costdb  *costdb.Stats `json:"costdb,omitempty"`
+	Store        StoreStats        `json:"store"`
+	CatalogCache catalogCacheStatz `json:"catalog_cache"`
+	Server       serverStats       `json:"server"`
+	Stream       streamStats       `json:"stream"`
+	Replay       replayStats       `json:"replay"`
+	Persist      persistStats      `json:"persist"`
+	Costdb       *costdb.Stats     `json:"costdb,omitempty"`
+}
+
+// catalogCacheStatz is the /statsz view of the catalog result cache: the
+// raw counters plus the derived hit rate.
+type catalogCacheStatz struct {
+	CatalogCacheStats
+	HitRate float64 `json:"hit_rate"`
 }
 
 // persistStats is the /statsz view of snapshot exchange over HTTP.
@@ -254,8 +279,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		ds := s.opts.DB.Stats()
 		dbStats = &ds
 	}
+	cc := s.catalog.Stats()
 	writeJSON(w, http.StatusOK, statszResponse{
-		Store: st,
+		Store:        st,
+		CatalogCache: catalogCacheStatz{CatalogCacheStats: cc, HitRate: cc.HitRate()},
 		Server: serverStats{
 			Requests:        s.requests.Load(),
 			Active:          s.active.Load(),
@@ -472,6 +499,56 @@ func (s *Server) acquireSweepSlot(ctx context.Context) error {
 
 func (s *Server) releaseSweepSlot() { <-s.sweep }
 
+// slotError wraps a sweep-slot acquisition failure so handlers sharing
+// catalogFor can map it to 503 regardless of where it surfaced.
+type slotError struct{ err error }
+
+func (e *slotError) Error() string { return e.err.Error() }
+func (e *slotError) Unwrap() error { return e.err }
+
+// catalogFor serves one catalog build through the result cache. The
+// fast path — spec resident under the backend's current epoch — is a
+// lookup: no sweep slot, no engine, no candidate generation. On a miss
+// the build runs under a sweep slot (acquired here unless the caller
+// already holds one — batch and replay do, for their whole request) and
+// the built catalog is cached for the next identical request; concurrent
+// cold requests for one spec share a single build. Build errors are
+// returned, never cached.
+func (s *Server) catalogFor(ctx context.Context, req CatalogRequest, backend engine.CostBackend, model string, seq engine.CandidateSeq, workers int, holdsSlot bool) (*rdd.Catalog, error) {
+	epoch := engine.BackendEpoch(backend)
+	key := catalogKeyFor(req, backend.Name())
+	if cat, ok := s.catalog.lookup(key, epoch); ok {
+		return cat, nil
+	}
+	if !holdsSlot {
+		if err := s.acquireSweepSlot(ctx); err != nil {
+			return nil, &slotError{err: err}
+		}
+		defer s.releaseSweepSlot()
+	}
+	return s.catalog.getOrBuild(key, epoch, func() (*rdd.Catalog, error) {
+		eng := engine.NewWithCache(backend, workers, s.cache())
+		cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
+		s.addStreamStats(st)
+		if err != nil {
+			return nil, err
+		}
+		s.sweeps.Add(1)
+		return cat, nil
+	})
+}
+
+// writeCatalogError maps a catalogFor failure to its HTTP status: slot
+// exhaustion is 503, everything else follows httpStatusFor.
+func writeCatalogError(w http.ResponseWriter, model string, err error) {
+	var se *slotError
+	if errors.As(err, &se) {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeError(w, httpStatusFor(err), "catalog %s: %v", model, err)
+}
+
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	step, err := queryInt(r, "step")
@@ -503,21 +580,11 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx := r.Context()
-	if err := s.acquireSweepSlot(ctx); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	defer s.releaseSweepSlot()
-
-	eng := engine.NewWithCache(backend, s.workerBudget(req.Workers), s.cache())
-	cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
-	s.addStreamStats(st)
+	cat, err := s.catalogFor(r.Context(), req, backend, model, seq, s.workerBudget(req.Workers), false)
 	if err != nil {
-		writeError(w, httpStatusFor(err), "catalog %s: %v", model, err)
+		writeCatalogError(w, model, err)
 		return
 	}
-	s.sweeps.Add(1)
 	writeJSON(w, http.StatusOK, CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name())))
 }
 
@@ -601,14 +668,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = BatchResult{Error: err.Error()}
 			return nil
 		}
-		eng := engine.NewWithCache(backend, perItem, s.cache())
-		cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
-		s.addStreamStats(st)
+		// The batch already holds its sweep slot; cached items cost a
+		// lookup, cold ones build under the item's share of the budget.
+		cat, err := s.catalogFor(ctx, item, backend, model, seq, perItem, true)
 		if err != nil {
 			results[i] = BatchResult{Error: fmt.Sprintf("catalog %s: %v", model, err)}
 			return nil
 		}
-		s.sweeps.Add(1)
 		resp := CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name()))
 		results[i] = BatchResult{Catalog: &resp}
 		return nil

@@ -71,8 +71,8 @@ func TestCatalogEndToEndByteIdenticalAndCached(t *testing.T) {
 		t.Errorf("served catalog differs from direct build:\n got: %s\nwant: %s", cold, wantBody.Bytes())
 	}
 
-	// Second, identical request: byte-identical output, all store hits,
-	// zero additional backend computations.
+	// Second, identical request: byte-identical output, served whole from
+	// the catalog cache — no store traffic, no recomputation at all.
 	status, warm := get(t, url)
 	if status != http.StatusOK {
 		t.Fatalf("warm status %d", status)
@@ -81,11 +81,11 @@ func TestCatalogEndToEndByteIdenticalAndCached(t *testing.T) {
 		t.Error("warm response differs from cold response")
 	}
 	warmStats := srv.Store().Stats()
-	if warmStats.Hits <= coldStats.Hits {
-		t.Errorf("warm request produced no store hits (cold %d, warm %d)", coldStats.Hits, warmStats.Hits)
-	}
 	if warmStats.Misses != coldStats.Misses {
 		t.Errorf("warm request recomputed %d signatures", warmStats.Misses-coldStats.Misses)
+	}
+	if cc := srv.CatalogCache().Stats(); cc.Hits != 1 || cc.Misses == 0 {
+		t.Errorf("warm request not served from the catalog cache: %+v", cc)
 	}
 
 	// An overlapping-but-different sweep (coarser channel step: a subset
@@ -241,6 +241,9 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if srv.Store().Stats().Misses != stats.Store.Misses {
 		t.Error("statsz store snapshot diverges from Store().Stats()")
 	}
+	if stats.CatalogCache.Misses != 1 || stats.CatalogCache.Entries != 1 || stats.CatalogCache.Capacity == 0 {
+		t.Errorf("catalog_cache stats after one cold catalog: %+v", stats.CatalogCache)
+	}
 }
 
 // postJSON posts a JSON value and returns status and body.
@@ -311,8 +314,8 @@ func TestBatchEndpoint(t *testing.T) {
 			}
 		}
 	}
-	if srv.Store().Stats().Hits == 0 {
-		t.Error("batch items shared nothing through the store")
+	if srv.CatalogCache().Stats().Hits == 0 {
+		t.Error("single requests repeating batch specs shared nothing through the catalog cache")
 	}
 	// The batch counted one sweep per successful item.
 	if got := srv.sweeps.Load(); got < 3 {

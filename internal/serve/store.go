@@ -29,9 +29,13 @@ const DefaultStoreCapacity = 16384
 const defaultShards = 16
 
 // storeKey identifies one cached cost vector: which substrate priced the
-// graph, and the graph's cost-relevant shape signature.
+// graph, the substrate's cost-model epoch (see engine.BackendEpoch), and
+// the graph's cost-relevant shape signature. Epoch in the key means a
+// backend upgrade misses cleanly instead of serving stale costs; the old
+// epoch's entries age out of the LRU on their own.
 type storeKey struct {
 	backend string
+	epoch   uint64
 	sig     uint64
 }
 
@@ -58,9 +62,9 @@ type shard struct {
 	order   *list.List
 }
 
-// Store is a process-wide, sharded, LRU-evicting (backend name, graph
-// signature) → cost-vector store with hit/miss/eviction accounting. It
-// implements engine.CostCache, so any engine built with
+// Store is a process-wide, sharded, LRU-evicting (backend name, epoch,
+// graph signature) → cost-vector store with hit/miss/error/eviction
+// accounting. It implements engine.CostCache, so any engine built with
 // engine.NewWithCache shares it — across sweeps, across requests, across
 // backends. A Store is safe for concurrent use.
 type Store struct {
@@ -69,6 +73,7 @@ type Store struct {
 
 	hits      atomic.Int64
 	misses    atomic.Int64
+	errors    atomic.Int64
 	evictions atomic.Int64
 }
 
@@ -108,8 +113,9 @@ func NewStoreWithShards(capacity, shards int) *Store {
 	return s
 }
 
-// shardFor picks the shard for a key, folding the backend name into the
-// graph signature so one hot backend still spreads across shards.
+// shardFor picks the shard for a key, folding the backend name and
+// epoch into the graph signature so one hot backend still spreads
+// across shards.
 func (s *Store) shardFor(k storeKey) *shard {
 	const prime64 = 1099511628211
 	h := k.sig
@@ -117,17 +123,33 @@ func (s *Store) shardFor(k storeKey) *shard {
 		h ^= uint64(k.backend[i])
 		h *= prime64
 	}
+	h ^= k.epoch
+	h *= prime64
 	return &s.shards[h%uint64(len(s.shards))]
 }
 
-// GetOrComputeVector returns the cached cost vector for (backend, sig),
-// computing and inserting it on a miss. Concurrent callers of a cold key
-// compute once and share the result. Errors are returned but never
-// cached, so a request that failed (for example against a transiently
-// misconfigured backend) does not poison the store. The returned slice
-// is shared with the cache and must not be mutated.
-func (s *Store) GetOrComputeVector(backend string, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
-	k := storeKey{backend: backend, sig: sig}
+// dropFailed removes the entry from its shard if it is still resident
+// and still the same entry — a concurrent eviction plus re-insert of
+// the key must not have its fresh entry removed by a stale failure.
+func (s *Store) dropFailed(sh *shard, k storeKey, ent *storeEntry) {
+	sh.mu.Lock()
+	if cur, ok := sh.entries[k]; ok && cur.Value.(*storeEntry) == ent {
+		sh.order.Remove(cur)
+		delete(sh.entries, k)
+	}
+	sh.mu.Unlock()
+}
+
+// GetOrComputeVector returns the cached cost vector for (backend,
+// epoch, sig), computing and inserting it on a miss. Concurrent callers
+// of a cold key compute once and share the result. Errors are returned
+// but never left cached — whichever caller observes the failure (the
+// inserter or a joiner that won the once) removes the entry, so the
+// next request retries the computation and a transiently misconfigured
+// backend cannot poison the store. The returned slice is shared with
+// the cache and must not be mutated.
+func (s *Store) GetOrComputeVector(backend string, epoch, sig uint64, compute func() ([]float64, error)) ([]float64, error) {
+	k := storeKey{backend: backend, epoch: epoch, sig: sig}
 	sh := s.shardFor(k)
 
 	sh.mu.Lock()
@@ -135,11 +157,20 @@ func (s *Store) GetOrComputeVector(backend string, sig uint64, compute func() ([
 	if ok {
 		sh.order.MoveToFront(el)
 		sh.mu.Unlock()
-		s.hits.Add(1)
 		ent := el.Value.(*storeEntry)
 		ent.once.Do(func() { ent.vals, ent.err = compute() })
 		ent.done.Store(true)
-		return ent.vals, ent.err
+		if ent.err != nil {
+			// The joined computation failed. Drop the entry here too: if
+			// the inserter was already evicted, nobody else would, and the
+			// poisoned entry (nil vals + cached error) would otherwise be
+			// served until capacity pressure happened to push it out.
+			s.dropFailed(sh, k, ent)
+			s.errors.Add(1)
+			return nil, ent.err
+		}
+		s.hits.Add(1)
+		return ent.vals, nil
 	}
 	ent := &storeEntry{key: k}
 	sh.entries[k] = sh.order.PushFront(ent)
@@ -150,28 +181,22 @@ func (s *Store) GetOrComputeVector(backend string, sig uint64, compute func() ([
 		s.evictions.Add(1)
 	}
 	sh.mu.Unlock()
-	s.misses.Add(1)
 
 	ent.once.Do(func() { ent.vals, ent.err = compute() })
 	ent.done.Store(true)
 	if ent.err != nil {
-		// Drop the failed entry (if still resident and still ours) so the
-		// next request retries the computation.
-		sh.mu.Lock()
-		if cur, ok := sh.entries[k]; ok && cur.Value.(*storeEntry) == ent {
-			sh.order.Remove(cur)
-			delete(sh.entries, k)
-		}
-		sh.mu.Unlock()
+		s.dropFailed(sh, k, ent)
+		s.errors.Add(1)
 		return nil, ent.err
 	}
+	s.misses.Add(1)
 	return ent.vals, nil
 }
 
 // GetOrCompute is the scalar convenience form of GetOrComputeVector: the
 // value is stored as (and shared with) a 1-vector.
-func (s *Store) GetOrCompute(backend string, sig uint64, compute func() (float64, error)) (float64, error) {
-	vals, err := s.GetOrComputeVector(backend, sig, func() ([]float64, error) {
+func (s *Store) GetOrCompute(backend string, epoch, sig uint64, compute func() (float64, error)) (float64, error) {
+	vals, err := s.GetOrComputeVector(backend, epoch, sig, func() ([]float64, error) {
 		v, err := compute()
 		if err != nil {
 			return nil, err
@@ -191,7 +216,7 @@ func (s *Store) GetOrCompute(backend string, sig uint64, compute func() (float64
 // whose compute is still in flight (or failed) are skipped, so Range
 // never blocks on a slow backend — it sees the store as of "now", which
 // is all its callers (snapshot export) need.
-func (s *Store) Range(fn func(backend string, sig uint64, vals []float64) bool) {
+func (s *Store) Range(fn func(backend string, epoch, sig uint64, vals []float64) bool) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -204,17 +229,17 @@ func (s *Store) Range(fn func(backend string, sig uint64, vals []float64) bool) 
 			if !ent.done.Load() || ent.err != nil || len(ent.vals) == 0 {
 				continue
 			}
-			if !fn(ent.key.backend, ent.key.sig, ent.vals) {
+			if !fn(ent.key.backend, ent.key.epoch, ent.key.sig, ent.vals) {
 				return
 			}
 		}
 	}
 }
 
-// Contains reports whether (backend, sig) is resident, without touching
-// recency order or counters (for tests and diagnostics).
-func (s *Store) Contains(backend string, sig uint64) bool {
-	k := storeKey{backend: backend, sig: sig}
+// Contains reports whether (backend, epoch, sig) is resident, without
+// touching recency order or counters (for tests and diagnostics).
+func (s *Store) Contains(backend string, epoch, sig uint64) bool {
+	k := storeKey{backend: backend, epoch: epoch, sig: sig}
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -236,17 +261,22 @@ func (s *Store) Len() int {
 
 // StoreStats is a point-in-time accounting snapshot. Hits count lookups
 // served from a resident entry (including ones that joined an in-flight
-// computation); misses count lookups that had to compute; evictions
-// count entries dropped under capacity pressure.
+// computation); misses count lookups that computed their own entry;
+// errors count lookups — hit- or miss-path — whose computation failed
+// (failures cache nothing, so they are neither hits nor misses);
+// evictions count entries dropped under capacity pressure.
 type StoreStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
+	Errors    int64 `json:"errors"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Capacity  int   `json:"capacity"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
+// Error outcomes are excluded from both sides: a joined compute that
+// failed is not a "hit" the store can take credit for.
 func (st StoreStats) HitRate() float64 {
 	total := st.Hits + st.Misses
 	if total == 0 {
@@ -255,13 +285,14 @@ func (st StoreStats) HitRate() float64 {
 	return float64(st.Hits) / float64(total)
 }
 
-// Stats returns a snapshot of the store's counters. The three counters
-// are read independently, so a snapshot taken under concurrent load is
+// Stats returns a snapshot of the store's counters. The counters are
+// read independently, so a snapshot taken under concurrent load is
 // approximate (each counter is individually exact).
 func (s *Store) Stats() StoreStats {
 	return StoreStats{
 		Hits:      s.hits.Load(),
 		Misses:    s.misses.Load(),
+		Errors:    s.errors.Load(),
 		Evictions: s.evictions.Load(),
 		Entries:   s.Len(),
 		Capacity:  s.capPerShard * len(s.shards),

@@ -22,7 +22,7 @@ func TestStoreHitMissAccounting(t *testing.T) {
 	s := NewStore(64)
 	var calls atomic.Int64
 	for i := 0; i < 3; i++ {
-		vals, err := s.GetOrComputeVector("b", 1, constVec(&calls, 1.5))
+		vals, err := s.GetOrComputeVector("b", 1, 1, constVec(&calls, 1.5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +41,7 @@ func TestStoreHitMissAccounting(t *testing.T) {
 		t.Errorf("hit rate = %v, want 2/3", got)
 	}
 	// Same signature under a different backend name is a distinct entry.
-	if _, err := s.GetOrComputeVector("other", 1, constVec(&calls, 9)); err != nil {
+	if _, err := s.GetOrComputeVector("other", 1, 1, constVec(&calls, 9)); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 2 || s.Len() != 2 {
@@ -54,22 +54,22 @@ func TestStoreEvictionOrderLRU(t *testing.T) {
 	s := NewStoreWithShards(3, 1)
 	var calls atomic.Int64
 	for sig := uint64(1); sig <= 3; sig++ {
-		if _, err := s.GetOrComputeVector("b", sig, constVec(&calls, float64(sig))); err != nil {
+		if _, err := s.GetOrComputeVector("b", 1, sig, constVec(&calls, float64(sig))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch 1 so 2 becomes least-recently-used, then insert 4.
-	if _, err := s.GetOrComputeVector("b", 1, constVec(&calls, 1)); err != nil {
+	if _, err := s.GetOrComputeVector("b", 1, 1, constVec(&calls, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetOrComputeVector("b", 4, constVec(&calls, 4)); err != nil {
+	if _, err := s.GetOrComputeVector("b", 1, 4, constVec(&calls, 4)); err != nil {
 		t.Fatal(err)
 	}
-	if s.Contains("b", 2) {
+	if s.Contains("b", 1, 2) {
 		t.Error("entry 2 survived eviction despite being LRU")
 	}
 	for _, sig := range []uint64{1, 3, 4} {
-		if !s.Contains("b", sig) {
+		if !s.Contains("b", 1, sig) {
 			t.Errorf("entry %d missing, should be resident", sig)
 		}
 	}
@@ -79,7 +79,7 @@ func TestStoreEvictionOrderLRU(t *testing.T) {
 	}
 	// Under continued pressure the store never exceeds capacity.
 	for sig := uint64(10); sig < 30; sig++ {
-		if _, err := s.GetOrComputeVector("b", sig, constVec(&calls, 0)); err != nil {
+		if _, err := s.GetOrComputeVector("b", 1, sig, constVec(&calls, 0)); err != nil {
 			t.Fatal(err)
 		}
 		if s.Len() > 3 {
@@ -91,14 +91,14 @@ func TestStoreEvictionOrderLRU(t *testing.T) {
 func TestStoreEvictedEntryRecomputes(t *testing.T) {
 	s := NewStoreWithShards(1, 1)
 	var calls atomic.Int64
-	if _, err := s.GetOrComputeVector("b", 1, constVec(&calls, 1)); err != nil {
+	if _, err := s.GetOrComputeVector("b", 1, 1, constVec(&calls, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetOrComputeVector("b", 2, constVec(&calls, 2)); err != nil {
+	if _, err := s.GetOrComputeVector("b", 1, 2, constVec(&calls, 2)); err != nil {
 		t.Fatal(err)
 	}
 	// 1 was evicted by 2; asking again recomputes.
-	if _, err := s.GetOrComputeVector("b", 1, constVec(&calls, 1)); err != nil {
+	if _, err := s.GetOrComputeVector("b", 1, 1, constVec(&calls, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 3 {
@@ -110,16 +110,16 @@ func TestStoreErrorsAreNotCached(t *testing.T) {
 	s := NewStore(8)
 	fail := errors.New("substrate offline")
 	var calls atomic.Int64
-	if _, err := s.GetOrComputeVector("b", 7, func() ([]float64, error) {
+	if _, err := s.GetOrComputeVector("b", 1, 7, func() ([]float64, error) {
 		calls.Add(1)
 		return nil, fail
 	}); !errors.Is(err, fail) {
 		t.Fatalf("err = %v, want the compute error", err)
 	}
-	if s.Contains("b", 7) {
+	if s.Contains("b", 1, 7) {
 		t.Error("failed entry left resident")
 	}
-	vals, err := s.GetOrComputeVector("b", 7, constVec(&calls, 3))
+	vals, err := s.GetOrComputeVector("b", 1, 7, constVec(&calls, 3))
 	if err != nil || !reflect.DeepEqual(vals, []float64{3}) {
 		t.Errorf("retry after error = %v, %v; want [3], nil", vals, err)
 	}
@@ -131,14 +131,14 @@ func TestStoreErrorsAreNotCached(t *testing.T) {
 func TestStoreScalarAndVectorShareEntries(t *testing.T) {
 	s := NewStore(8)
 	var calls atomic.Int64
-	v, err := s.GetOrCompute("b", 5, func() (float64, error) {
+	v, err := s.GetOrCompute("b", 1, 5, func() (float64, error) {
 		calls.Add(1)
 		return 2.5, nil
 	})
 	if err != nil || v != 2.5 {
 		t.Fatalf("GetOrCompute = %v, %v", v, err)
 	}
-	vals, err := s.GetOrComputeVector("b", 5, constVec(&calls, 99))
+	vals, err := s.GetOrComputeVector("b", 1, 5, constVec(&calls, 99))
 	if err != nil || !reflect.DeepEqual(vals, []float64{2.5}) {
 		t.Errorf("vector view = %v, %v; want shared [2.5]", vals, err)
 	}
@@ -163,7 +163,7 @@ func TestStoreConcurrentSingleFlight(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				sig := uint64((w + i) % distinct)
-				vals, err := s.GetOrComputeVector("b", sig, func() ([]float64, error) {
+				vals, err := s.GetOrComputeVector("b", 1, sig, func() ([]float64, error) {
 					computes.Add(1)
 					return []float64{float64(sig), 2 * float64(sig)}, nil
 				})
@@ -208,7 +208,7 @@ func TestStoreCapacityDefaults(t *testing.T) {
 	s := NewStoreWithShards(2, 16)
 	var calls atomic.Int64
 	for sig := uint64(0); sig < 10; sig++ {
-		if _, err := s.GetOrComputeVector("b", sig, constVec(&calls, 0)); err != nil {
+		if _, err := s.GetOrComputeVector("b", 1, sig, constVec(&calls, 0)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,348 @@
+// Command loadgen is an open-loop, constant-arrival load generator for
+// the vitdyn serving layer. It fires requests at a fixed rate — arrivals
+// never wait for completions, so a slow server accumulates in-flight
+// work instead of silently throttling the offered load (the
+// coordinated-omission trap closed-loop harnesses fall into) — across a
+// weighted mix of /v1/catalog, /v1/replay and /v1/batch traffic, and
+// reports per-kind p50/p99/p999 latency.
+//
+// By default it boots an in-process serve.Server on a random port, warms
+// the catalog cache with one request of each kind, then measures — so
+// the numbers are steady-state serving latency (cache lookups plus HTTP
+// overhead), not first-build sweep cost. Point -addr at a running
+// vitdynd to load an external daemon instead.
+//
+// Usage:
+//
+//	loadgen [-addr host:port] [-rate N] [-duration D]
+//	        [-mix catalog=4,replay=1,batch=1] [-family segformer]
+//	        [-backend flops] [-timeout D] [-max-error-rate F]
+//	        [-warm=false] [-bench]
+//
+// -bench emits Go benchmark-format lines
+// (BenchmarkLoadgen/<kind>/p50 ... ns/op) that tools/benchjson parses,
+// so `make bench-json` folds serving latency into the BENCH_<sha>.json
+// artifact and the CI regression gate guards it like any benchmark.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vitdyn/internal/serve"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// kindState is one traffic kind's request builder and latency samples.
+type kindState struct {
+	name   string
+	weight int
+	do     func(ctx context.Context, client *http.Client) error
+
+	mu   sync.Mutex
+	lats []time.Duration
+	errs int
+}
+
+func (k *kindState) record(d time.Duration, err error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err != nil {
+		k.errs++
+		return
+	}
+	k.lats = append(k.lats, d)
+}
+
+// parseMix decodes "catalog=4,replay=1,batch=1" into per-kind weights.
+// Unknown kinds are errors; omitted kinds get weight 0 (never sent).
+func parseMix(s string, kinds map[string]*kindState) error {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("bad mix element %q: want kind=weight", part)
+		}
+		k, known := kinds[name]
+		if !known {
+			return fmt.Errorf("bad mix kind %q (want catalog, replay, batch)", name)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad mix weight %q for %s: want integer >= 0", w, name)
+		}
+		k.weight = n
+	}
+	return nil
+}
+
+// schedule expands the weights into a deterministic round-robin order:
+// request i is schedule[i % len]. No randomness, so runs are repeatable.
+func schedule(kinds []*kindState) []*kindState {
+	var sched []*kindState
+	remaining := true
+	for round := 0; remaining; round++ {
+		remaining = false
+		for _, k := range kinds {
+			if round < k.weight {
+				sched = append(sched, k)
+				remaining = true
+			}
+		}
+	}
+	return sched
+}
+
+// percentile reads the q-quantile from sorted samples (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// checkedGet issues one GET and treats any non-200 as an error.
+func checkedGet(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return checkedDo(client, req)
+}
+
+// checkedPost issues one JSON POST and treats any non-200 as an error.
+func checkedPost(ctx context.Context, client *http.Client, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return checkedDo(client, req)
+}
+
+func checkedDo(client *http.Client, req *http.Request) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection returns to the pool — latency numbers
+	// would otherwise include per-request TCP+TLS setup, not serving.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	return nil
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "target daemon host:port (empty = boot an in-process server on a random port)")
+	rate := fs.Float64("rate", 100, "open-loop arrival rate in requests/second")
+	duration := fs.Duration("duration", 5*time.Second, "measured load duration")
+	mix := fs.String("mix", "catalog=4,replay=1,batch=1", "traffic mix as kind=weight pairs (kinds: catalog, replay, batch)")
+	family := fs.String("family", "segformer", "catalog family every request prices")
+	backendSpec := fs.String("backend", "flops", "cost backend spec (see /v1/backends)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	warm := fs.Bool("warm", true, "issue one request per kind before measuring so latencies reflect steady-state serving, not the first catalog build")
+	maxErrRate := fs.Float64("max-error-rate", 0.01, "fail (exit 1) when more than this fraction of measured requests errored")
+	bench := fs.Bool("bench", false, "emit Go benchmark-format lines (BenchmarkLoadgen/<kind>/p50|p99|p999) for tools/benchjson")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *rate <= 0 {
+		fmt.Fprintf(stderr, "loadgen: bad -rate %v: want > 0 requests/second\n", *rate)
+		return 2
+	}
+	if *duration <= 0 {
+		fmt.Fprintf(stderr, "loadgen: bad -duration %v: want > 0\n", *duration)
+		return 2
+	}
+
+	// Boot the in-process target when no external daemon was named.
+	base := *addr
+	if base == "" {
+		srvCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		addrCh := make(chan net.Addr, 1)
+		srvDone := make(chan error, 1)
+		go func() {
+			srvDone <- serve.ListenAndServe(srvCtx, "127.0.0.1:0", serve.Options{}, func(a net.Addr) { addrCh <- a })
+		}()
+		select {
+		case a := <-addrCh:
+			base = a.String()
+		case err := <-srvDone:
+			fmt.Fprintf(stderr, "loadgen: in-process server: %v\n", err)
+			return 1
+		}
+		defer func() { cancel(); <-srvDone }()
+	}
+	baseURL := "http://" + base
+
+	catalogURL := fmt.Sprintf("%s/v1/catalog?family=%s&backend=%s", baseURL, *family, *backendSpec)
+	replayBody, err := json.Marshal(map[string]any{
+		"catalog":  map[string]any{"family": *family, "backend": *backendSpec},
+		"trace":    map[string]any{"kind": "sinusoid", "frames": 64},
+		"policies": []string{"dynamic"},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	item := map[string]any{"family": *family, "backend": *backendSpec}
+	batchBody, err := json.Marshal(map[string]any{"requests": []any{item, item}})
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	kinds := []*kindState{
+		{name: "catalog", do: func(ctx context.Context, c *http.Client) error {
+			return checkedGet(ctx, c, catalogURL)
+		}},
+		{name: "replay", do: func(ctx context.Context, c *http.Client) error {
+			return checkedPost(ctx, c, baseURL+"/v1/replay", replayBody)
+		}},
+		{name: "batch", do: func(ctx context.Context, c *http.Client) error {
+			return checkedPost(ctx, c, baseURL+"/v1/batch", batchBody)
+		}},
+	}
+	byName := make(map[string]*kindState, len(kinds))
+	for _, k := range kinds {
+		byName[k.name] = k
+	}
+	if err := parseMix(*mix, byName); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	sched := schedule(kinds)
+	if len(sched) == 0 {
+		fmt.Fprintf(stderr, "loadgen: empty mix %q: every weight is zero\n", *mix)
+		return 2
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	// Warm pass: one synchronous request per active kind. A failure here
+	// is a misconfigured target (bad family/backend, daemon down), not
+	// load — fail loudly instead of measuring a wall of errors.
+	if *warm {
+		for _, k := range kinds {
+			if k.weight == 0 {
+				continue
+			}
+			wctx, cancel := context.WithTimeout(ctx, *timeout)
+			err := k.do(wctx, client)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: warmup %s request failed: %v\n", k.name, err)
+				return 1
+			}
+		}
+	}
+
+	// The open loop: one arrival per tick, each served on its own
+	// goroutine so a slow response never delays the next arrival.
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(*duration)
+	var wg sync.WaitGroup
+	sent := 0
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			k := sched[sent%len(sched)]
+			sent++
+			wg.Add(1)
+			go func(k *kindState) {
+				defer wg.Done()
+				rctx, cancel := context.WithTimeout(ctx, *timeout)
+				defer cancel()
+				t0 := time.Now()
+				err := k.do(rctx, client)
+				k.record(time.Since(t0), err)
+			}(k)
+		}
+	}
+	wg.Wait()
+
+	// Report: per-kind percentiles plus the all-traffic aggregate.
+	var all []time.Duration
+	totalOK, totalErrs := 0, 0
+	fmt.Fprintf(stdout, "loadgen: %d requests offered at %.0f/s over %s against %s\n", sent, *rate, *duration, base)
+	report := func(name string, lats []time.Duration, errs int) {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50, p99, p999 := percentile(lats, 0.50), percentile(lats, 0.99), percentile(lats, 0.999)
+		fmt.Fprintf(stdout, "loadgen: %-8s %6d ok %4d err  p50 %8.3fms  p99 %8.3fms  p999 %8.3fms\n",
+			name, len(lats), errs,
+			float64(p50)/1e6, float64(p99)/1e6, float64(p999)/1e6)
+		if *bench && len(lats) > 0 {
+			for _, pc := range []struct {
+				label string
+				v     time.Duration
+			}{{"p50", p50}, {"p99", p99}, {"p999", p999}} {
+				fmt.Fprintf(stdout, "BenchmarkLoadgen/%s/%s \t%8d\t%12d ns/op\n", name, pc.label, len(lats), pc.v.Nanoseconds())
+			}
+		}
+	}
+	for _, k := range kinds {
+		if k.weight == 0 {
+			continue
+		}
+		k.mu.Lock()
+		lats, errs := k.lats, k.errs
+		k.mu.Unlock()
+		all = append(all, lats...)
+		totalOK += len(lats)
+		totalErrs += errs
+		report(k.name, lats, errs)
+	}
+	report("all", all, totalErrs)
+
+	if done := totalOK + totalErrs; done > 0 {
+		if errRate := float64(totalErrs) / float64(done); errRate > *maxErrRate {
+			fmt.Fprintf(stderr, "loadgen: error rate %.2f%% exceeds -max-error-rate %.2f%% (%d of %d requests failed)\n",
+				100*errRate, 100**maxErrRate, totalErrs, done)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benchLine mirrors tools/benchjson's parser: loadgen's -bench output
+// must stay machine-readable by it or the CI gate silently loses the
+// serving-latency benchmarks.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func TestLoadgenInProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots an in-process server and generates load")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-rate", "200", "-duration", "400ms", "-bench",
+		"-mix", "catalog=4,replay=1,batch=1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	wantBench := map[string]bool{
+		"BenchmarkLoadgen/catalog/p50": false,
+		"BenchmarkLoadgen/catalog/p99": false,
+		"BenchmarkLoadgen/replay/p50":  false,
+		"BenchmarkLoadgen/batch/p50":   false,
+		"BenchmarkLoadgen/all/p999":    false,
+	}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			if strings.HasPrefix(line, "Benchmark") {
+				t.Errorf("bench-prefixed line does not match the benchjson parser: %q", line)
+			}
+			continue
+		}
+		if _, tracked := wantBench[m[1]]; tracked {
+			wantBench[m[1]] = true
+		}
+	}
+	for name, seen := range wantBench {
+		if !seen {
+			t.Errorf("missing bench line %s in output:\n%s", name, stdout.String())
+		}
+	}
+	if !strings.Contains(stdout.String(), "loadgen:") {
+		t.Errorf("missing human summary in output:\n%s", stdout.String())
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-rate", "0"},
+		{"-duration", "-1s"},
+		{"-mix", "catalog=4,bogus=1"},
+		{"-mix", "catalog"},
+		{"-mix", "catalog=-2"},
+		{"-mix", "catalog=0,replay=0,batch=0"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want usage error 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+func TestScheduleDeterministicWeightedRoundRobin(t *testing.T) {
+	a := &kindState{name: "a", weight: 2}
+	b := &kindState{name: "b", weight: 1}
+	sched := schedule([]*kindState{a, b})
+	var got []string
+	for _, k := range sched {
+		got = append(got, k.name)
+	}
+	want := []string{"a", "b", "a"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("schedule = %v, want %v", got, want)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lats, 0.50); got != 6 {
+		t.Errorf("p50 = %v, want 6", got)
+	}
+	if got := percentile(lats, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("p99 of empty = %v, want 0", got)
+	}
+}

@@ -361,6 +361,31 @@ func OpenPersistentCostStore(dir string, inner SweepCostCache, opts PersistentCo
 // "zero backend evaluations" with.
 func BackendEvaluations() int64 { return engine.BackendEvals() }
 
+// CostEpocher is optionally implemented by cost backends that version
+// their cost model: Epoch() returns a monotonically bumped constant, and
+// any change to the backend's pricing must bump it. The epoch keeps
+// cached costs honest — it is folded into every cost-store key, stamped
+// into persisted costdb entries, and invalidates catalog-cache entries.
+type CostEpocher = engine.Epocher
+
+// BackendCostEpoch returns the backend's cost-model epoch fingerprint
+// (never zero) and registers it as the backend's current epoch for
+// StaleCostEpoch queries. Two processes running the same backend code
+// compute the same fingerprint, so persisted costs transfer.
+func BackendCostEpoch(b CostBackend) uint64 { return engine.BackendEpoch(b) }
+
+// StaleCostEpoch reports whether epoch is a superseded cost-model epoch
+// for the named backend — true only when the backend has registered a
+// different current epoch in this process. It is the canonical
+// PersistentCostStoreOptions.StaleEpoch policy: compaction retires
+// entries priced under an old cost model.
+func StaleCostEpoch(backend string, epoch uint64) bool { return engine.StaleEpoch(backend, epoch) }
+
+// SetCostEpochSalt perturbs every subsequently computed backend epoch
+// process-wide — a forced global cache invalidation for tests and
+// operational escape hatches. Zero (the default) means no perturbation.
+func SetCostEpochSalt(salt uint64) { engine.SetEpochSalt(salt) }
+
 // ServeOptions configures the serving layer: the shared store, the
 // per-request worker cap, the server-wide concurrent-sweep limit and the
 // request timeout. The zero value selects sensible defaults.
@@ -386,6 +411,16 @@ type ReplayTraceResult = serve.ReplayTraceResult
 
 // ReplayPolicyResult is one policy's replay outcome over one trace.
 type ReplayPolicyResult = serve.ReplayPolicyResult
+
+// CatalogResultCache is the serving layer's catalog-level result cache:
+// a bounded LRU of built catalogs keyed by canonicalized request spec,
+// invalidated when the backend's cost-model epoch changes. Read it off a
+// server with RDDServer.CatalogCache().
+type CatalogResultCache = serve.CatalogCache
+
+// CatalogResultCacheStats is a point-in-time snapshot of the catalog
+// cache counters — the /statsz catalog_cache section.
+type CatalogResultCacheStats = serve.CatalogCacheStats
 
 // NewRDDServer builds a server; mount its Handler() on any http.Server.
 func NewRDDServer(opts ServeOptions) *RDDServer { return serve.NewServer(opts) }

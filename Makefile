@@ -21,7 +21,7 @@ BENCH_COUNT ?= 3
 LOAD_RATE ?= 200
 LOAD_DURATION ?= 2s
 
-.PHONY: all build test race bench bench-json vet smoke load ci clean clean-store
+.PHONY: all build test race bench bench-json vet smoke load cover ci clean clean-store
 
 all: build
 
@@ -69,10 +69,19 @@ smoke:
 
 # Serving-latency check: boot an in-process server, offer an open-loop
 # catalog/replay/batch mix at $(LOAD_RATE)/s for $(LOAD_DURATION), print
-# p50/p99/p999 per kind. bench-json runs the same harness with -bench so
-# the percentiles land in BENCH_<sha>.json under the regression gate.
+# p50/p99/p999 per kind. -scrape also parses /metrics before and after
+# the run — exit 1 on an invalid exposition — so every load run doubles
+# as an exposition-format smoke test. bench-json runs the same harness
+# with -bench so the percentiles land in BENCH_<sha>.json under the
+# regression gate.
 load:
-	$(GO) run ./tools/loadgen -rate $(LOAD_RATE) -duration $(LOAD_DURATION)
+	$(GO) run ./tools/loadgen -rate $(LOAD_RATE) -duration $(LOAD_DURATION) -scrape
+
+# Test coverage: atomic-mode profile over every package plus the
+# per-function summary; cover.out feeds `go tool cover -html` locally.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 ci: vet race bench smoke
 

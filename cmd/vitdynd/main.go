@@ -18,12 +18,21 @@
 //	GET /v1/profile     model, bytes, layers → analytical FLOPs profile
 //	GET /v1/store/export   full cost store as one checksummed snapshot stream
 //	POST /v1/store/import  merge a snapshot stream into the cost store
+//	GET /metrics        Prometheus text exposition of every server metric
+//	GET /versionz       module version, Go version, VCS revision
 //
 // Usage:
 //
 //	vitdynd [-addr 127.0.0.1:8080] [-cache N] [-catalog-cache N]
 //	        [-workers N] [-max-sweeps N] [-timeout 60s] [-stream-stats]
-//	        [-store-path DIR]
+//	        [-store-path DIR] [-log-format text|json] [-quiet]
+//	        [-debug-addr ADDR]
+//
+// Every request is logged to stderr as one access-log line (-log-format
+// json for machine-readable logs, -quiet to disable) and tagged with an
+// X-Request-ID response header. -debug-addr starts a second listener
+// serving net/http/pprof — kept off the main port so profiling is never
+// exposed alongside the API by accident.
 //
 // -store-path makes the cost store durable: the daemon warm-boots from
 // the directory's snapshot+WAL (a previously priced catalog spec serves
@@ -42,6 +51,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +59,7 @@ import (
 
 	"vitdyn/internal/costdb"
 	"vitdyn/internal/engine"
+	"vitdyn/internal/obs"
 	"vitdyn/internal/serve"
 )
 
@@ -73,11 +84,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	storePath := fs.String("store-path", "", "durable cost-store directory (snapshot+WAL): warm-boot from it on start, write-through persist every computed cost, flush and compact on shutdown")
 	flushEvery := fs.Duration("flush-interval", 30*time.Second, "with -store-path: how often to fsync (or age-compact) the WAL, bounding what a hard crash can lose; 0 disables periodic flushing")
 	catalogCache := fs.Int("catalog-cache", 0, "catalog result-cache capacity in catalogs (0 = default): repeated identical catalog/replay/batch specs serve from a spec-keyed cache, invalidated when a backend's cost-model epoch changes")
+	logFormat := fs.String("log-format", "text", "access-log format on stderr: text or json")
+	quiet := fs.Bool("quiet", false, "disable per-request access logging")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on a second listener at this address (empty = disabled); kept off the API port")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	format, err := obs.ParseLogFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintf(stderr, "vitdynd: %v\n", err)
+		return 2
+	}
+	var accessLog *obs.AccessLogger
+	if !*quiet {
+		accessLog = obs.NewAccessLogger(stderr, format)
 	}
 
 	store := serve.NewStore(*cache)
@@ -118,9 +141,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxConcurrentSweeps:  *maxSweeps,
 		RequestTimeout:       *timeout,
 		CatalogCacheCapacity: *catalogCache,
+		AccessLog:            accessLog,
 	})
-	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+	if *debugAddr != "" {
+		stopDebug, err := serveDebug(ctx, *debugAddr, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "vitdynd: debug listener: %v\n", err)
+			return 1
+		}
+		defer stopDebug()
+	}
+	err = srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Fprintf(stdout, "vitdynd: listening on %s\n", a)
+		fmt.Fprintf(stdout, "vitdynd: %s\n", obs.Version())
 		if db != nil {
 			fmt.Fprintf(stdout, "vitdynd: cost store: warm-booted %d entries from %s\n",
 				db.Stats().LoadedEntries, *storePath)
@@ -154,4 +187,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			ss.Generated, ss.Prefiltered, 100*ss.PrefilterRate(), ss.Costed, ss.Admitted)
 	}
 	return 0
+}
+
+// serveDebug starts the pprof listener on its own address with an
+// explicit mux — registering only the pprof handlers, never the API —
+// and returns a func that waits for its shutdown. The listener dies
+// with ctx, so graceful daemon shutdown tears it down too.
+func serveDebug(ctx context.Context, addr string, stdout io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(stdout, "vitdynd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stdout, "vitdynd: debug listener: %v\n", err)
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	return func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		<-done
+	}, nil
 }

@@ -1,0 +1,207 @@
+package main
+
+// Daemon-level observability tests: JSON access logging on stderr,
+// -quiet, the /metrics and /versionz endpoints through a real daemon,
+// and the -debug-addr pprof side listener.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vitdyn/internal/obs"
+)
+
+// bootDaemonObs is bootDaemon plus live handles on the daemon's stdout
+// and stderr, for asserting on banners and access-log output.
+func bootDaemonObs(t *testing.T, extra ...string) (addr string, stdout, stderr *lineWriter, shutdown func() (int, string)) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout = newLineWriter()
+	stderr = newLineWriter()
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-timeout", "30s"}, extra...)
+	go func() { exit <- run(ctx, args, stdout, stderr) }()
+	select {
+	case <-stdout.ready:
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatalf("daemon never printed its listen banner; stderr: %s", stderr.String())
+	}
+	// The listen banner is not necessarily the first stdout line (the
+	// pprof side listener announces itself before the API binds); scan
+	// for it.
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "vitdynd: listening on "); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+		if addr == "" {
+			if time.Now().After(deadline) {
+				cancel()
+				t.Fatalf("no listen banner in stdout:\n%s", stdout.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return addr, stdout, stderr, func() (int, string) {
+		cancel()
+		select {
+		case code := <-exit:
+			return code, stdout.String()
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit after cancellation")
+			return -1, ""
+		}
+	}
+}
+
+// TestDaemonJSONAccessLog: with -log-format json every request emits one
+// machine-readable line on stderr carrying route, status and request ID.
+func TestDaemonJSONAccessLog(t *testing.T) {
+	addr, _, stderr, shutdown := bootDaemonObs(t, "-log-format", "json")
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	wantID := resp.Header.Get("X-Request-ID")
+	code, _ := shutdown()
+	if code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+
+	lines := strings.Split(strings.TrimSpace(stderr.String()), "\n")
+	var entry map[string]any
+	for _, line := range lines {
+		var e map[string]any
+		if json.Unmarshal([]byte(line), &e) == nil && e["route"] == "/healthz" {
+			entry = e
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatalf("no JSON access-log line for /healthz in stderr:\n%s", stderr.String())
+	}
+	if entry["status"] != float64(200) || entry["method"] != "GET" {
+		t.Errorf("access entry wrong: %v", entry)
+	}
+	if entry["request_id"] != wantID {
+		t.Errorf("access entry request_id = %v, want %v", entry["request_id"], wantID)
+	}
+	if _, ok := entry["duration_ms"].(float64); !ok {
+		t.Errorf("access entry missing duration_ms: %v", entry)
+	}
+}
+
+// TestDaemonQuiet: -quiet suppresses access logging entirely.
+func TestDaemonQuiet(t *testing.T) {
+	addr, _, stderr, shutdown := bootDaemonObs(t, "-quiet")
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if code, _ := shutdown(); code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+	if s := stderr.String(); s != "" {
+		t.Errorf("-quiet daemon wrote to stderr: %q", s)
+	}
+}
+
+// TestDaemonBadLogFormat: an unknown -log-format is a usage error.
+func TestDaemonBadLogFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-log-format", "xml"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestDaemonMetricsAndVersionz: the daemon serves parseable Prometheus
+// exposition and build info.
+func TestDaemonMetricsAndVersionz(t *testing.T) {
+	addr, _, _, shutdown := bootDaemonObs(t, "-quiet")
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	samples, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics unparseable: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	var v obs.BuildInfo
+	getJSON(t, "http://"+addr+"/versionz", &v)
+	if v.Module != "vitdyn" || v.GoVersion == "" {
+		t.Errorf("/versionz = %+v", v)
+	}
+}
+
+// TestDaemonDebugAddr: -debug-addr serves pprof on its own listener,
+// and the main port does not.
+func TestDaemonDebugAddr(t *testing.T) {
+	addr, stdout, _, shutdown := bootDaemonObs(t, "-quiet", "-debug-addr", "127.0.0.1:0")
+	defer func() {
+		if c, _ := shutdown(); c != 0 {
+			t.Errorf("daemon exit code %d", c)
+		}
+	}()
+
+	// The debug listener announces itself on stdout; wait for the line.
+	var debugURL string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && debugURL == "" {
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "vitdynd: pprof on "); ok {
+				debugURL = strings.TrimSpace(rest)
+			}
+		}
+		if debugURL == "" {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if debugURL == "" {
+		t.Fatalf("pprof banner never appeared on stdout:\n%s", stdout.String())
+	}
+
+	resp, err := http.Get(debugURL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", debugURL, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index status %d body %.80q", resp.StatusCode, body)
+	}
+
+	// pprof must NOT be reachable on the API port.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof on the API port: status %d", resp.StatusCode)
+	}
+}

@@ -55,11 +55,22 @@ func EpochSalt() uint64 { return epochSalt.Load() }
 // retire durable entries whose backend has since moved on.
 var epochRegistry sync.Map // backend name → uint64 epoch
 
+// epochMemo caches the fingerprint per backend name so repeat
+// BackendEpoch calls — one per served request on the catalog hot path —
+// are a lock-free map probe with zero allocations. An entry is only
+// reused while the version and salt it hashed still hold.
+var epochMemo sync.Map // backend name → epochMemoEntry
+
+type epochMemoEntry struct {
+	version, salt, epoch uint64
+}
+
 // BackendEpoch fingerprints the backend's current cost-model identity:
 // FNV-1a over its Name, mixed with its Epocher version (0 when not
 // implemented) and the process-wide salt. The result is never 0 — 0 is
 // reserved as "no epoch" in serialized records — and is registered as
-// the backend name's current epoch for StaleEpoch.
+// the backend name's current epoch for StaleEpoch. Repeat calls for an
+// unchanged (name, version, salt) are allocation-free.
 func BackendEpoch(b CostBackend) uint64 {
 	if b == nil {
 		b = nilBackend{}
@@ -68,8 +79,16 @@ func BackendEpoch(b CostBackend) uint64 {
 	if ep, ok := b.(Epocher); ok {
 		version = ep.Epoch()
 	}
-	e := epochFor(b.Name(), version)
-	epochRegistry.Store(b.Name(), e)
+	name := b.Name()
+	salt := epochSalt.Load()
+	if v, ok := epochMemo.Load(name); ok {
+		if m := v.(epochMemoEntry); m.version == version && m.salt == salt {
+			return m.epoch
+		}
+	}
+	e := epochFor(name, version)
+	epochMemo.Store(name, epochMemoEntry{version: version, salt: salt, epoch: e})
+	epochRegistry.Store(name, e)
 	return e
 }
 

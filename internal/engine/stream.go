@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vitdyn/internal/pareto"
 	"vitdyn/internal/rdd"
@@ -120,6 +121,49 @@ type FLOPsMonotone interface {
 	FLOPsMonotone() bool
 }
 
+// StageTimings accumulates, per pipeline stage, the total time workers
+// (and the generator pump) spent in that stage across one catalog
+// build — the hook the serving layer's ?debug=trace uses to attribute a
+// build's wall time to generate/prefilter/cost/frontier. The totals are
+// summed across concurrent workers, so they can exceed the build's
+// wall-clock duration; callers reporting wall-clock spans scale them
+// down (serve does). All fields are atomic: workers add concurrently.
+//
+// Timing is strictly opt-in — a nil *StageTimings in StreamOptions (the
+// default) records nothing and costs nothing on the hot path.
+type StageTimings struct {
+	generateNS  atomic.Int64
+	prefilterNS atomic.Int64
+	costNS      atomic.Int64
+	frontierNS  atomic.Int64
+}
+
+// StageDurations is a plain snapshot of StageTimings.
+type StageDurations struct {
+	Generate  time.Duration `json:"generate"`  // candidate enumeration (generator think-time, send waits excluded)
+	Prefilter time.Duration `json:"prefilter"` // graph construction + FLOPs-proxy admission check
+	Cost      time.Duration `json:"cost"`      // backend evaluation (cache hits included)
+	Frontier  time.Duration `json:"frontier"`  // path validation + frontier insertion
+}
+
+// Durations snapshots the accumulated per-stage totals.
+func (t *StageTimings) Durations() StageDurations {
+	if t == nil {
+		return StageDurations{}
+	}
+	return StageDurations{
+		Generate:  time.Duration(t.generateNS.Load()),
+		Prefilter: time.Duration(t.prefilterNS.Load()),
+		Cost:      time.Duration(t.costNS.Load()),
+		Frontier:  time.Duration(t.frontierNS.Load()),
+	}
+}
+
+// Total returns the sum across stages.
+func (d StageDurations) Total() time.Duration {
+	return d.Generate + d.Prefilter + d.Cost + d.Frontier
+}
+
 // StreamOptions tunes CatalogStream.
 type StreamOptions struct {
 	// PrefilterMargin controls the FLOPs-proxy admission pre-filter.
@@ -129,6 +173,10 @@ type StreamOptions struct {
 	// FLOPsMonotone, and disables it for all others. Larger margins are
 	// safer (skip less), smaller ones prune more aggressively.
 	PrefilterMargin float64
+	// Timings, when non-nil, accumulates per-stage time totals for this
+	// build (see StageTimings). Nil — the default — disables stage
+	// timing entirely; no clock reads happen on the pipeline hot path.
+	Timings *StageTimings
 }
 
 // resolveMargin maps the option to the effective margin for a backend
@@ -248,10 +296,19 @@ func (e *Engine) CatalogStream(ctx context.Context, model string, in <-chan Cand
 		cancel()
 	}
 
+	// timed gates every clock read: with Timings nil (the default) the
+	// pipeline takes no timestamps at all.
+	timings := opts.Timings
+	timed := timings != nil
+
 	process := func(c Candidate) error {
 		generated.Add(1)
 		if c.Accuracy < 0 || c.Accuracy > 1 {
 			return fmt.Errorf("candidate %q: accuracy %v outside [0,1]", c.Label, c.Accuracy)
+		}
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
 		}
 		g, err := c.Build()
 		if err != nil {
@@ -267,14 +324,27 @@ func (e *Engine) CatalogStream(ctx context.Context, model string, in <-chan Cand
 			admissionMu.Unlock()
 			if dominated {
 				prefiltered.Add(1)
+				if timed {
+					timings.prefilterNS.Add(time.Since(t0).Nanoseconds())
+				}
 				return nil
 			}
+		}
+		if timed {
+			now := time.Now()
+			timings.prefilterNS.Add(now.Sub(t0).Nanoseconds())
+			t0 = now
 		}
 		cost, err := e.Cost(g)
 		if err != nil {
 			return fmt.Errorf("candidate %q: %w", c.Label, err)
 		}
 		costed.Add(1)
+		if timed {
+			now := time.Now()
+			timings.costNS.Add(now.Sub(t0).Nanoseconds())
+			t0 = now
+		}
 		p := rdd.Path{Label: c.Label, Cost: cost, Accuracy: c.Accuracy}
 		if err := rdd.ValidatePath(p); err != nil {
 			return err
@@ -282,6 +352,9 @@ func (e *Engine) CatalogStream(ctx context.Context, model string, in <-chan Cand
 		frontierMu.Lock()
 		ok := frontier.Insert(pareto.Point{Cost: p.Cost, Value: p.Accuracy, Tag: p.Label})
 		frontierMu.Unlock()
+		if timed {
+			timings.frontierNS.Add(time.Since(t0).Nanoseconds())
+		}
 		if ok {
 			admitted.Add(1)
 		}
@@ -355,9 +428,26 @@ func (e *Engine) CatalogFromSeq(ctx context.Context, model string, seq Candidate
 	in := make(chan Candidate)
 	go func() {
 		defer close(in)
+		if opts.Timings == nil {
+			seq(func(c Candidate) bool {
+				select {
+				case in <- c:
+					return true
+				case <-gctx.Done():
+					return false
+				}
+			})
+			return
+		}
+		// Timed pump: attribute generator think-time (the gap between a
+		// send completing and the next candidate arriving at yield) to the
+		// generate stage, excluding time blocked handing off to workers.
+		last := time.Now()
 		seq(func(c Candidate) bool {
+			opts.Timings.generateNS.Add(time.Since(last).Nanoseconds())
 			select {
 			case in <- c:
+				last = time.Now()
 				return true
 			case <-gctx.Done():
 				return false

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestCatalogStageTimings: an opted-in build populates per-stage totals
+// and still produces the identical catalog; the default (nil Timings)
+// path reports zero durations.
+func TestCatalogStageTimings(t *testing.T) {
+	cands := toyCandidates(128, func(i int) int { return i + 1 })
+	seq := func(yield func(Candidate) bool) {
+		for _, c := range cands {
+			if !yield(c) {
+				return
+			}
+		}
+	}
+	var timings StageTimings
+	cat, st, err := New(&countingBackend{}, 4).CatalogFromSeq(context.Background(), "toy", seq, StreamOptions{Timings: &timings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := timings.Durations()
+	if d.Prefilter <= 0 || d.Cost <= 0 || d.Frontier <= 0 {
+		t.Errorf("stage durations not populated: %+v", d)
+	}
+	if d.Generate < 0 {
+		t.Errorf("negative generate duration: %v", d.Generate)
+	}
+	if d.Total() <= 0 {
+		t.Errorf("Total() = %v, want > 0", d.Total())
+	}
+	if st.Costed == 0 || len(cat.Paths) == 0 {
+		t.Fatalf("timed build produced no catalog (stats %+v)", st)
+	}
+
+	// Same build untimed: identical catalog, zero durations.
+	cat2, _, err := New(&countingBackend{}, 4).CatalogFromSeq(context.Background(), "toy", seq, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cat.Paths, cat2.Paths) {
+		t.Errorf("timed build changed the catalog: %v vs %v", cat.Paths, cat2.Paths)
+	}
+	var zero *StageTimings
+	if zd := zero.Durations(); zd != (StageDurations{}) {
+		t.Errorf("nil StageTimings durations = %+v, want zero", zd)
+	}
+}
+
+// TestBackendEpochMemoized: repeat fingerprints of an unchanged backend
+// are allocation-free, and a salt change still flips the epoch.
+func TestBackendEpochMemoized(t *testing.T) {
+	b := FLOPs()
+	base := BackendEpoch(b)
+	if got := testing.AllocsPerRun(1000, func() {
+		if BackendEpoch(b) != base {
+			t.Fatal("epoch changed without salt/version change")
+		}
+	}); got != 0 {
+		t.Errorf("memoized BackendEpoch allocates %v per run, want 0", got)
+	}
+	old := EpochSalt()
+	SetEpochSalt(old + 12345)
+	defer SetEpochSalt(old)
+	if BackendEpoch(b) == base {
+		t.Error("salt change did not flip the memoized epoch")
+	}
+	SetEpochSalt(old)
+	if BackendEpoch(b) != base {
+		t.Error("restoring the salt did not restore the epoch")
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LogFormat selects the access-log line encoding.
+type LogFormat int
+
+const (
+	// TextFormat is one human-scannable line per request.
+	TextFormat LogFormat = iota
+	// JSONFormat is one JSON object per line (JSONL), machine-parseable.
+	JSONFormat
+)
+
+// ParseLogFormat maps a -log-format flag value to a LogFormat.
+func ParseLogFormat(s string) (LogFormat, error) {
+	switch strings.ToLower(s) {
+	case "text":
+		return TextFormat, nil
+	case "json":
+		return JSONFormat, nil
+	}
+	return 0, fmt.Errorf("bad log format %q (want text or json)", s)
+}
+
+// AccessEntry is one request's access-log record. TS is filled by Log
+// from Time; callers set Time (or leave it zero for "now").
+type AccessEntry struct {
+	Time       time.Time `json:"-"`
+	TS         string    `json:"ts"`
+	RequestID  string    `json:"request_id"`
+	Remote     string    `json:"remote,omitempty"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Query      string    `json:"query,omitempty"`
+	Route      string    `json:"route"`
+	Status     int       `json:"status"`
+	Bytes      int64     `json:"bytes"`
+	DurationMS float64   `json:"duration_ms"`
+}
+
+// AccessLogger writes one structured line per request, serialized under
+// a mutex so concurrent requests never interleave bytes. A nil logger is
+// a no-op — the -quiet path costs one nil check.
+type AccessLogger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format LogFormat
+}
+
+// NewAccessLogger returns a logger writing format-encoded lines to w.
+func NewAccessLogger(w io.Writer, format LogFormat) *AccessLogger {
+	return &AccessLogger{w: w, format: format}
+}
+
+// Log writes one entry. No-op on a nil logger.
+func (l *AccessLogger) Log(e AccessEntry) {
+	if l == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	e.TS = e.Time.UTC().Format(time.RFC3339Nano)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.format == JSONFormat {
+		enc := json.NewEncoder(l.w)
+		_ = enc.Encode(e) // Encode appends the newline
+		return
+	}
+	q := ""
+	if e.Query != "" {
+		q = "?" + e.Query
+	}
+	fmt.Fprintf(l.w, "%s %s %s%s %d %dB %.3fms route=%s id=%s remote=%s\n",
+		e.TS, e.Method, e.Path, q, e.Status, e.Bytes, e.DurationMS, e.Route, e.RequestID, e.Remote)
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAccessLogJSONShape pins the JSONL access-log schema: one object
+// per line with the stable field set operators grep and ship.
+func TestAccessLogJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf, JSONFormat)
+	l.Log(AccessEntry{
+		Time:       time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		RequestID:  "abcd-1",
+		Remote:     "127.0.0.1:9999",
+		Method:     "GET",
+		Path:       "/v1/catalog",
+		Query:      "family=segformer",
+		Route:      "/v1/catalog",
+		Status:     200,
+		Bytes:      512,
+		DurationMS: 1.25,
+	})
+	line := strings.TrimSpace(buf.String())
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("access log line not JSON: %v\n%s", err, line)
+	}
+	want := map[string]any{
+		"ts":          "2026-08-07T12:00:00Z",
+		"request_id":  "abcd-1",
+		"remote":      "127.0.0.1:9999",
+		"method":      "GET",
+		"path":        "/v1/catalog",
+		"query":       "family=segformer",
+		"route":       "/v1/catalog",
+		"status":      float64(200),
+		"bytes":       float64(512),
+		"duration_ms": 1.25,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("field %s = %v, want %v", k, m[k], v)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("unexpected extra fields: %v", m)
+	}
+}
+
+func TestAccessLogText(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf, TextFormat)
+	l.Log(AccessEntry{Method: "GET", Path: "/healthz", Route: "/healthz", Status: 200, RequestID: "x-1"})
+	line := buf.String()
+	for _, want := range []string{"GET", "/healthz", "200", "id=x-1"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Error("text line not newline-terminated")
+	}
+}
+
+func TestAccessLogNilAndFormats(t *testing.T) {
+	var l *AccessLogger
+	l.Log(AccessEntry{}) // must not panic
+	if _, err := ParseLogFormat("yaml"); err == nil {
+		t.Error("ParseLogFormat accepted yaml")
+	}
+	for s, want := range map[string]LogFormat{"json": JSONFormat, "text": TextFormat, "JSON": JSONFormat} {
+		got, err := ParseLogFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestVersion(t *testing.T) {
+	v := Version()
+	if v.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if !strings.Contains(v.String(), v.GoVersion) {
+		t.Errorf("String() %q missing go version", v.String())
+	}
+	// In a test binary the module is the repo module.
+	if v.Module != "vitdyn" {
+		t.Errorf("Module = %q, want vitdyn", v.Module)
+	}
+}

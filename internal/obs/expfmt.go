@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a small,
+// strict-enough parser used by loadgen's -scrape mode (fail loudly on a
+// daemon emitting garbage) and by the format-validity tests. It accepts
+// the subset WritePrometheus emits plus standard escapes, and rejects
+// malformed names, label syntax and values.
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string // nil when unlabeled
+	Value  float64
+}
+
+// Key renders the sample's identity — name plus canonically sorted
+// labels — for delta maps and lookups.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(s.Labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseExposition reads Prometheus text exposition format and returns
+// every sample, in input order. It validates comment lines (# HELP /
+// # TYPE with a known type), metric and label names, label quoting and
+// escapes, and sample values; any violation is an error naming the line.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var samples []Sample
+	typed := make(map[string]string) // family → TYPE
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, typed); err != nil {
+				return nil, fmt.Errorf("exposition line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("exposition line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// parseComment validates a # line: HELP/TYPE directives must name a
+// valid metric, and TYPE must carry a known type. Other comments pass.
+func parseComment(line string, typed map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	if len(fields) < 3 || !validName(fields[2], true) {
+		return fmt.Errorf("bad %s comment %q", fields[1], line)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("bad TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q in %q", fields[3], line)
+		}
+		typed[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// parseSample decodes one `name[{labels}] value` line.
+func parseSample(line string) (Sample, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return Sample{}, fmt.Errorf("bad sample %q", line)
+	}
+	s := Sample{Name: rest[:i]}
+	if !validName(s.Name, true) {
+		return Sample{}, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return Sample{}, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return Sample{}, fmt.Errorf("missing value in %q", line)
+	}
+	// A timestamp may follow the value; accept and ignore it.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		ts := strings.TrimSpace(rest[sp+1:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return Sample{}, fmt.Errorf("bad timestamp %q in %q", ts, line)
+		}
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels decodes a `{k="v",...}` block starting at s[0] == '{' and
+// returns the labels plus the remainder after '}'.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := s[1:]
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("bad label pair near %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		// le carries histogram bounds ("+Inf") — valid on the wire even
+		// though user labels may not claim it.
+		if !validName(key, false) {
+			return nil, "", fmt.Errorf("bad label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", key)
+		}
+		val, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", key, err)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val
+		rest = tail
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parseQuoted decodes a leading double-quoted string with \\ \" \n
+// escapes and returns the value plus the remainder after the closing
+// quote.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the serving-latency bucket upper bounds, in
+// seconds: quarter-octave spacing (ratio 2^¼ ≈ 1.19) from 10µs to ~10.5s,
+// 81 bounds. Fine enough that an interpolated quantile sits within ~±9%
+// of the exact sample quantile — tight enough for the bench-regression
+// gate loadgen feeds — while one histogram stays under 1KB of counters.
+var DefaultLatencyBuckets = func() []float64 {
+	const n = 81
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = 10e-6 * math.Pow(2, float64(i)/4)
+	}
+	return bounds
+}()
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is >= the value (Prometheus le semantics),
+// with an implicit +Inf overflow bucket. Every operation is atomic;
+// Observe is lock-free (a binary search plus two atomic adds) and
+// allocation-free.
+type Histogram struct {
+	bounds []float64      // sorted strictly-increasing upper bounds, +Inf excluded
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    Gauge          // atomic float accumulator
+	count  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given bucket upper bounds
+// (which must be sorted, strictly increasing and finite; the +Inf
+// overflow bucket is implicit). The slice is copied. Nil or empty bounds
+// select DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("obs: histogram bound %d is not finite", i))
+		}
+		if i > 0 && b[i-1] >= v {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d", i))
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. NaN observations are dropped — they would
+// poison Sum and cannot be bucketed.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in seconds — the exposition
+// convention every latency histogram in this repository follows.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures the histogram state for quantile reads, merging or
+// exposition. Counters are read individually-atomically; under
+// concurrent writes the set is approximate, and Count is recomputed from
+// the bucket counts so the cumulative-bucket/count invariant always
+// holds exactly.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction; shared, not copied
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Value(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts, the bucket upper bounds, and the sum/count of
+// observations. Snapshots with identical bounds merge, so per-worker or
+// per-kind histograms can be combined into an aggregate.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1; last is the +Inf bucket
+	Sum    float64
+	Count  int64
+}
+
+// Merge folds other into s. The bucket layouts must match exactly.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(s.Bounds), len(other.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bounds at bucket %d", i)
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank: the first
+// bucket interpolates up from 0, and the +Inf bucket is clamped to the
+// highest finite bound (an estimate cannot exceed what the layout can
+// resolve). Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		last := s.Bounds[len(s.Bounds)-1]
+		if i >= len(s.Bounds) { // +Inf bucket
+			return last
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// QuantileDuration returns Quantile as a time.Duration, reading the
+// snapshot as seconds (the ObserveDuration convention).
+func (s HistogramSnapshot) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q) * float64(time.Second))
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(nil) // DefaultLatencyBuckets
+	// A spread of latencies: exact quantiles are known, the histogram
+	// estimate must land within one quarter-octave bucket (±~19%).
+	var samples []float64
+	for i := 1; i <= 1000; i++ {
+		samples = append(samples, float64(i)*100e-6) // 100µs .. 100ms
+	}
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	snap := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := snap.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.20 {
+			t.Errorf("q%.3f = %v, exact %v (rel err %.1f%%)", q, got, exact, 100*rel)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(0.05)
+	snap := h.Snapshot()
+	if got := snap.Quantile(0); got <= 0 || got > 0.1 {
+		t.Errorf("q0 of single sub-bound sample = %v, want within (0, 0.1]", got)
+	}
+	// Overflow observations clamp to the highest finite bound.
+	h.Observe(1e6)
+	h.Observe(1e6)
+	if got := h.Snapshot().Quantile(0.99); got != 10 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 10", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2, 3})
+	a.Observe(0.5)
+	a.Observe(2.5)
+	b.Observe(1.5)
+	b.Observe(100)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != 4 {
+		t.Errorf("merged count = %d, want 4", sa.Count)
+	}
+	if want := 0.5 + 2.5 + 1.5 + 100; math.Abs(sa.Sum-want) > 1e-9 {
+		t.Errorf("merged sum = %v, want %v", sa.Sum, want)
+	}
+	wantCounts := []int64{1, 1, 1, 1}
+	for i, c := range sa.Counts {
+		if c != wantCounts[i] {
+			t.Errorf("merged bucket %d = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+	c := NewHistogram([]float64{1, 2})
+	sc := c.Snapshot()
+	if err := sc.Merge(sb); err == nil {
+		t.Error("merging mismatched layouts did not error")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveDuration(250 * time.Millisecond)
+	snap := h.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d, want 1", snap.Count)
+	}
+	if d := snap.QuantileDuration(0.5); d < 150*time.Millisecond || d > 350*time.Millisecond {
+		t.Errorf("QuantileDuration = %v, want ~250ms", d)
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Error("NaN observation was counted")
+	}
+}
+
+func TestDefaultLatencyBucketsShape(t *testing.T) {
+	b := DefaultLatencyBuckets
+	if len(b) != 81 {
+		t.Fatalf("len = %d, want 81", len(b))
+	}
+	if b[0] != 10e-6 {
+		t.Errorf("first bound = %v, want 10µs", b[0])
+	}
+	if b[len(b)-1] < 10 || b[len(b)-1] > 11 {
+		t.Errorf("last bound = %v, want ~10.5s", b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package obs is the observability substrate of the serving stack: a
+// zero-dependency metrics core (counters, gauges, fixed-bucket latency
+// histograms with mergeable snapshots) exposed in Prometheus text
+// exposition format, lightweight per-request tracing (request IDs, named
+// stage spans), structured access logging, and build-info reporting.
+//
+// The registry is write-mostly and scrape-rarely: every mutation is a
+// single atomic operation, registration happens once at setup, and the
+// only lock-ordered work is rendering a scrape. Metric handles
+// (*Counter, *Gauge, *Histogram) are resolved once and retained by the
+// hot path, so recording costs no map lookups and no allocations.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Cardinality discipline is the caller's:
+// label values must come from a small fixed set (routes, status classes),
+// never from request payloads.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Metric family types, as exposed on the # TYPE line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Counter is a monotonically non-decreasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics (counters never go down).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("obs: Counter.Add(%d): counters are monotonic", n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// series is one labeled instance inside a family: exactly one of the
+// value fields is set, matching the family type. fn-backed series read a
+// live value at scrape time — the bridge that re-registers existing
+// atomic counters (a /statsz source) so both views read one source of
+// truth.
+type series struct {
+	labels  string // canonical rendered label pairs, "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family is every series sharing one metric name, help and type.
+type family struct {
+	name, help, typ string
+	mu              sync.Mutex
+	series          map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Safe for concurrent use; the zero value is not usable —
+// call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns the family, creating it on first registration, and
+// panics on a name reused with a different type or help — a programmer
+// error worth failing loudly at setup.
+func (r *Registry) familyFor(name, help, typ string) *family {
+	checkMetricName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different help", name))
+	}
+	return f
+}
+
+// get returns the series for the canonical label string, creating it via
+// mk on first use. Registration-time cost only; hot paths hold the
+// returned handle.
+func (f *family) get(labels []Label, mk func() *series) *series {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labels = key
+	f.series[key] = s
+	return s
+}
+
+// Counter returns (registering on first use) the counter for the label
+// set. The same (name, labels) always returns the same handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.familyFor(name, help, typeCounter)
+	s := f.get(labels, func() *series { return &series{counter: &Counter{}} })
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: metric %q{%s} is not a plain counter", name, s.labels))
+	}
+	return s.counter
+}
+
+// Gauge returns (registering on first use) the gauge for the label set.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.familyFor(name, help, typeGauge)
+	s := f.get(labels, func() *series { return &series{gauge: &Gauge{}} })
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q{%s} is not a plain gauge", name, s.labels))
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for pre-existing atomic counters, so the exposition
+// and their native view (/statsz) share one source of truth. fn must be
+// monotonically non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.familyFor(name, help, typeCounter)
+	f.get(labels, func() *series { return &series{fn: fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.familyFor(name, help, typeGauge)
+	f.get(labels, func() *series { return &series{fn: fn} })
+}
+
+// Histogram returns (registering on first use) the histogram for the
+// label set. bounds are the bucket upper bounds (see NewHistogram); every
+// series in one family must share them, which get-or-create guarantees
+// as long as callers pass the same slice contents.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	f := r.familyFor(name, help, typeHistogram)
+	s := f.get(labels, func() *series { return &series{hist: NewHistogram(bounds)} })
+	if s.hist == nil {
+		panic(fmt.Sprintf("obs: metric %q{%s} is not a histogram", name, s.labels))
+	}
+	return s.hist
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label string, histograms expanded to cumulative _bucket/_sum/_count.
+// Non-finite values (a ratio gauge before any sample) are emitted as 0 —
+// scrapers treat NaN as a poisoned series, and 0 is what every rate in
+// this repository means before traffic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.Reset()
+		if f.help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		for _, k := range keys {
+			s := f.series[k]
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s.labels, s.hist.Snapshot())
+			case s.counter != nil:
+				writeSample(&b, f.name, s.labels, float64(s.counter.Value()))
+			case s.gauge != nil:
+				writeSample(&b, f.name, s.labels, s.gauge.Value())
+			case s.fn != nil:
+				writeSample(&b, f.name, s.labels, s.fn())
+			}
+		}
+		f.mu.Unlock()
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample appends one `name{labels} value` line.
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// writeHistogram expands one histogram series into its cumulative
+// buckets (le upper bounds plus +Inf), _sum and _count. The _count line
+// equals the +Inf bucket by construction — the format invariant golden
+// tests pin.
+func writeHistogram(b *strings.Builder, name, labels string, snap HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatValue(snap.Bounds[i])
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket{")
+		b.WriteString(labels)
+		b.WriteString(sep)
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(snap.Sum))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value; non-finite values become 0 (see
+// WritePrometheus).
+func formatValue(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels canonicalizes a label set: sorted by key, values escaped,
+// `k1="v1",k2="v2"`. Duplicate keys panic.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		checkLabelName(l.Key)
+		if i > 0 {
+			if ls[i-1].Key == l.Key {
+				panic(fmt.Sprintf("obs: duplicate label key %q", l.Key))
+			}
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format label escapes:
+// backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline on # HELP lines.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// checkMetricName panics unless name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func checkMetricName(name string) {
+	if !validName(name, true) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+// checkLabelName panics unless name matches [a-zA-Z_][a-zA-Z0-9_]* and
+// is not reserved (le is the histogram bucket label).
+func checkLabelName(name string) {
+	if !validName(name, false) || name == "le" {
+		panic(fmt.Sprintf("obs: invalid label name %q", name))
+	}
+}
+
+func validName(name string, allowColon bool) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(allowColon && r == ':') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

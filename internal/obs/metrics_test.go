@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact exposition bytes of a small fixed
+// registry: HELP/TYPE lines, name ordering, label escaping, histogram
+// _bucket/_sum/_count expansion with cumulative le buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", Label{"route", "/v1/catalog"}, Label{"status", "2xx"}).Add(3)
+	r.Counter("app_requests_total", "Requests served.", Label{"route", "/v1/catalog"}, Label{"status", "5xx"}).Inc()
+	r.Gauge("app_in_flight", "In-flight requests.").Set(2)
+	r.Counter("app_odd_label_total", "Escaping.", Label{"path", "a\\b\"c\nd"}).Inc()
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, Label{"route", "/v1/catalog"})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(5) // lands in +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_in_flight In-flight requests.
+# TYPE app_in_flight gauge
+app_in_flight 2
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{route="/v1/catalog",le="0.01"} 2
+app_latency_seconds_bucket{route="/v1/catalog",le="0.1"} 2
+app_latency_seconds_bucket{route="/v1/catalog",le="1"} 3
+app_latency_seconds_bucket{route="/v1/catalog",le="+Inf"} 4
+app_latency_seconds_sum{route="/v1/catalog"} 5.51
+app_latency_seconds_count{route="/v1/catalog"} 4
+# HELP app_odd_label_total Escaping.
+# TYPE app_odd_label_total counter
+app_odd_label_total{path="a\\b\"c\nd"} 1
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/v1/catalog",status="2xx"} 3
+app_requests_total{route="/v1/catalog",status="5xx"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParsesBack round-trips the golden registry through the
+// parser: everything WritePrometheus emits must be machine-readable.
+func TestExpositionParsesBack(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.", Label{"k", `v with "quotes" and \slashes`}).Add(7)
+	r.Histogram("lat_seconds", "L.", []float64{0.001, 1}).Observe(0.01)
+	r.GaugeFunc("live", "Live.", func() float64 { return 42 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("own exposition unparseable: %v", err)
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	if v := byKey[`a_total{k="v with \"quotes\" and \\slashes"}`]; v != 7 {
+		t.Errorf("escaped-label counter = %v, want 7 (keys: %v)", v, byKey)
+	}
+	if v := byKey["live"]; v != 42 {
+		t.Errorf("gauge func = %v, want 42", v)
+	}
+	if v := byKey[`lat_seconds_bucket{le="+Inf"}`]; v != 1 {
+		t.Errorf("+Inf bucket = %v, want 1", v)
+	}
+}
+
+// TestHistogramInvariants asserts the exposition-format histogram
+// invariants on a populated histogram: buckets are cumulative and
+// monotone, the +Inf bucket equals _count, and _sum matches.
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "H.", []float64{0.01, 0.1, 1, 10})
+	var sum float64
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 2, 20, 200} {
+		h.Observe(v)
+		sum += v
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buckets []float64
+	var count, infBucket float64
+	gotSum := math.NaN()
+	for _, s := range samples {
+		switch s.Name {
+		case "h_seconds_bucket":
+			buckets = append(buckets, s.Value)
+			if s.Labels["le"] == "+Inf" {
+				infBucket = s.Value
+			}
+		case "h_seconds_count":
+			count = s.Value
+		case "h_seconds_sum":
+			gotSum = s.Value
+		}
+	}
+	if len(buckets) != 5 {
+		t.Fatalf("got %d bucket lines, want 5 (4 bounds + +Inf)", len(buckets))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Errorf("cumulative buckets not monotone: %v", buckets)
+		}
+	}
+	if infBucket != count || count != 7 {
+		t.Errorf("+Inf bucket %v != count %v (want 7)", infBucket, count)
+	}
+	if math.Abs(gotSum-sum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", gotSum, sum)
+	}
+}
+
+// TestNonFiniteValuesExposedAsZero pins the satellite guarantee: a
+// ratio-style func metric returning NaN or Inf (zero lookups yet) is
+// exposed as 0, never as a poisoned series.
+func TestNonFiniteValuesExposedAsZero(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("nan_ratio", "0/0.", func() float64 { return math.NaN() })
+	r.GaugeFunc("inf_ratio", "1/0.", func() float64 { return math.Inf(1) })
+	r.GaugeFunc("neg_inf_ratio", "-1/0.", func() float64 { return math.Inf(-1) })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition with non-finite sources unparseable: %v", err)
+	}
+	for _, s := range samples {
+		if s.Value != 0 {
+			t.Errorf("%s = %v, want 0", s.Name, s.Value)
+		}
+	}
+}
+
+// TestRegistryHandleIdentity: the same (name, labels) resolves to the
+// same handle regardless of label order, and a type conflict panics.
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "C.", Label{"a", "1"}, Label{"b", "2"})
+	b := r.Counter("c_total", "C.", Label{"b", "2"}, Label{"a", "1"})
+	if a != b {
+		t.Error("label order changed the resolved handle")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Error("handles do not share state")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering a counter as a gauge did not panic")
+			}
+		}()
+		r.Gauge("c_total", "C.")
+	}()
+}
+
+// TestBadNamesPanic: invalid metric and label names fail at registration.
+func TestBadNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, fn := range []func(){
+		func() { r.Counter("bad-name", "x") },
+		func() { r.Counter("1leading", "x") },
+		func() { r.Counter("ok_total", "x", Label{"bad-key", "v"}) },
+		func() { r.Counter("ok_total", "x", Label{"le", "v"}) }, // reserved
+		func() { r.Counter("dup_total", "x", Label{"k", "a"}, Label{"k", "b"}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"metric{ 1\n",                    // unterminated label block
+		"metric{k=\"v} 1\n",              // unterminated quote
+		"metric{k=\"v\"} notanumber\n",   // bad value
+		"9metric 1\n",                    // bad name
+		"# TYPE m sometype\n",            // unknown type
+		"metric{k=\"a\",k=\"b\"} 1\n",    // duplicate label
+		"metric{k=\"v\"} 1 not-a-time\n", // bad timestamp
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseExposition accepted %q", bad)
+		}
+	}
+}

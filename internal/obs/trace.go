@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a lightweight per-request trace: a request ID plus named
+// stage spans with durations. It is deliberately minimal — no parent
+// IDs, no propagation headers — because its job is to answer one
+// question per request: where did the time go (cache hit vs build,
+// generate vs prefilter vs cost vs frontier)?
+//
+// Every method is safe on a nil *Trace and does nothing — handlers and
+// build paths call span hooks unconditionally, and when tracing is off
+// (the common case) the hooks cost a nil check and zero allocations.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one named stage of a traced request. Offsets and durations are
+// nanoseconds from the trace start, so a span list renders without
+// clock-epoch context.
+type Span struct {
+	Name       string `json:"name"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// NewTrace starts a trace identified by id (normally the request ID).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace's identifier, "" on nil.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Age returns time elapsed since the trace started, 0 on nil.
+func (t *Trace) Age() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// noopEnd is the shared no-op closure Span returns on a nil trace, so
+// the disabled path allocates nothing.
+var noopEnd = func() {}
+
+// Span opens a named span now and returns the closure that ends it. On a
+// nil trace it returns a shared no-op.
+func (t *Trace) Span(name string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() { t.AddSpan(name, start, time.Since(start)) }
+}
+
+// AddSpan records a completed span from explicit timestamps — the form
+// used when a caller measured a stage itself (or reconstructed stage
+// segments from pipeline timings). No-op on nil.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	off := start.Sub(t.start)
+	if off < 0 {
+		off = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, StartNS: off.Nanoseconds(), DurationNS: d.Nanoseconds()})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, nil on a nil trace.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// traceKey is the context key for the request's trace.
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// ContextTrace returns the context's trace, or nil when the request is
+// not being traced. The nil return feeds directly into the nil-safe
+// Trace methods, so call sites need no branching.
+func ContextTrace(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Request IDs: a per-process random prefix plus an atomic sequence —
+// unique within a process, collision-unlikely across a fleet, and cheap
+// (one atomic add and one small string per request).
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// A clock-derived prefix still distinguishes processes.
+			return strconv.FormatInt(time.Now().UnixNano()&0xffffffff, 16)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+// NewRequestID returns a fresh request identifier, e.g. "3fa95c1b-42".
+func NewRequestID() string {
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDSeq.Add(1), 10)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("req-1")
+	end := tr.Span("stage_a")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.AddSpan("stage_b", time.Now(), 5*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "stage_a" || spans[0].DurationNS < int64(time.Millisecond) {
+		t.Errorf("stage_a span wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "stage_b" || spans[1].DurationNS != int64(5*time.Millisecond) {
+		t.Errorf("stage_b span wrong: %+v", spans[1])
+	}
+	if spans[1].StartNS < spans[0].StartNS {
+		t.Errorf("span offsets out of order: %+v", spans)
+	}
+	if tr.ID() != "req-1" {
+		t.Errorf("ID = %q", tr.ID())
+	}
+}
+
+// TestNilTraceIsFreeAndSafe pins the hot-path contract: with tracing
+// off, the span hooks are nil-safe and allocate nothing.
+func TestNilTraceIsFreeAndSafe(t *testing.T) {
+	var tr *Trace
+	if got := testing.AllocsPerRun(1000, func() {
+		end := tr.Span("x")
+		end()
+		tr.AddSpan("y", time.Time{}, 0)
+		_ = tr.Spans()
+		_ = tr.ID()
+		_ = tr.Age()
+	}); got != 0 {
+		t.Errorf("nil-trace hooks allocate %v per run, want 0", got)
+	}
+	// ContextTrace on a trace-free context is also alloc-free.
+	ctx := context.Background()
+	if got := testing.AllocsPerRun(1000, func() {
+		if ContextTrace(ctx) != nil {
+			t.Fatal("phantom trace")
+		}
+	}); got != 0 {
+		t.Errorf("ContextTrace on bare context allocates %v per run, want 0", got)
+	}
+}
+
+func TestContextTraceRoundTrip(t *testing.T) {
+	tr := NewTrace("abc")
+	ctx := WithTrace(context.Background(), tr)
+	if got := ContextTrace(ctx); got != tr {
+		t.Error("trace did not round-trip through context")
+	}
+}
+
+func TestSpanJSONShape(t *testing.T) {
+	b, err := json.Marshal(Span{Name: "cost", StartNS: 10, DurationNS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"cost","start_ns":10,"duration_ns":20}`
+	if string(b) != want {
+		t.Errorf("span JSON = %s, want %s", b, want)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Errorf("consecutive request IDs collide: %q", a)
+	}
+	if !strings.Contains(a, "-") {
+		t.Errorf("request ID %q missing prefix separator", a)
+	}
+}

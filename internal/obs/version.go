@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module path and version, the
+// Go toolchain, and the VCS state stamped by `go build` when the
+// checkout carries it. It is the /versionz body and loadgen's report
+// header.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+var versionOnce = sync.OnceValue(func() BuildInfo {
+	info := BuildInfo{GoVersion: runtime.Version(), Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.VCSTime = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Version returns the binary's build info (computed once).
+func Version() BuildInfo { return versionOnce() }
+
+// String renders the info as a one-line header, e.g.
+// "vitdyn (devel) go1.24.0 rev 1a2b3c4 (dirty)".
+func (b BuildInfo) String() string {
+	s := b.Module
+	if s == "" {
+		s = "unknown"
+	}
+	s += " " + b.Version + " " + b.GoVersion
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return s
+}

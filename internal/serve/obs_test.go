@@ -1,0 +1,352 @@
+package serve
+
+// Tests for the observability layer: /metrics exposition validity,
+// /versionz, request IDs, ?debug=trace stage spans, structured access
+// logs through the real handler stack, NaN-free /statsz on a fresh
+// server, and the zero-allocation pin on the catalog cache-hit path.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vitdyn/internal/engine"
+	"vitdyn/internal/obs"
+)
+
+const obsCatalogURL = "/v1/catalog?family=segformer&dataset=ADE&step=512&backend=flops&workers=2"
+
+// TestMetricsExposition drives real traffic through the handler and
+// asserts GET /metrics is valid Prometheus text exposition carrying the
+// per-route latency histogram and status-class counters, with the
+// histogram invariants (cumulative monotone buckets, +Inf == _count)
+// intact.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if status, body := get(t, ts.URL+obsCatalogURL); status != http.StatusOK {
+		t.Fatalf("catalog status %d: %s", status, body)
+	}
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/definitely-not-a-route") // lands in route="other"
+
+	status, body := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	samples, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics unparseable: %v\n%s", err, body)
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+
+	if v := byKey[`vitdyn_http_requests_total{route="/v1/catalog",status="2xx"}`]; v != 1 {
+		t.Errorf("catalog 2xx counter = %v, want 1", v)
+	}
+	if v := byKey[`vitdyn_http_requests_total{route="other",status="4xx"}`]; v != 1 {
+		t.Errorf("other-route 4xx counter = %v, want 1", v)
+	}
+
+	// Histogram invariants per route: _count == +Inf bucket, buckets
+	// cumulative-monotone, _count for the catalog route is 1.
+	var cum []float64
+	for _, s := range samples {
+		if s.Name == "vitdyn_http_request_duration_seconds_bucket" && s.Labels["route"] == "/v1/catalog" {
+			cum = append(cum, s.Value)
+		}
+	}
+	if len(cum) != len(obs.DefaultLatencyBuckets)+1 {
+		t.Fatalf("catalog route has %d bucket lines, want %d", len(cum), len(obs.DefaultLatencyBuckets)+1)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket series not monotone at %d: %v", i, cum)
+		}
+	}
+	count := byKey[`vitdyn_http_request_duration_seconds_count{route="/v1/catalog"}`]
+	if count != 1 || cum[len(cum)-1] != count {
+		t.Errorf("+Inf bucket %v vs count %v, want both 1", cum[len(cum)-1], count)
+	}
+	if sum := byKey[`vitdyn_http_request_duration_seconds_sum{route="/v1/catalog"}`]; sum <= 0 {
+		t.Errorf("latency sum = %v, want > 0", sum)
+	}
+
+	// The /statsz-backed series read the same sources: one sweep ran.
+	if v := byKey["vitdyn_sweeps_completed_total"]; v != 1 {
+		t.Errorf("sweeps counter = %v, want 1", v)
+	}
+	if v := byKey["vitdyn_stream_costed_total"]; v <= 0 {
+		t.Errorf("stream costed counter = %v, want > 0", v)
+	}
+	if _, ok := byKey["vitdyn_go_goroutines"]; !ok {
+		t.Error("missing vitdyn_go_goroutines")
+	}
+}
+
+// TestMetricsZeroTrafficNoNaN: scraping a fresh server (zero lookups,
+// zero requests recorded yet beyond the scrape itself) yields only
+// finite values — ratio gauges emit 0, not NaN.
+func TestMetricsZeroTrafficNoNaN(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	_, body := get(t, ts.URL+"/metrics")
+	samples, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("fresh /metrics unparseable: %v", err)
+	}
+	found := map[string]bool{}
+	for _, s := range samples {
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			t.Errorf("%s = %v: non-finite on a fresh server", s.Key(), s.Value)
+		}
+		found[s.Name] = true
+	}
+	for _, ratio := range []string{"vitdyn_store_hit_ratio", "vitdyn_catalog_cache_hit_ratio", "vitdyn_stream_prefilter_ratio"} {
+		if !found[ratio] {
+			t.Errorf("ratio gauge %s missing from exposition", ratio)
+		}
+	}
+}
+
+// TestStatszZeroCountsFinite pins the /statsz half of the NaN guard: a
+// fresh server's stats must encode (encoding/json rejects NaN/Inf) and
+// every rate field must be exactly 0.
+func TestStatszZeroCountsFinite(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body := get(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("/statsz status %d: %s", status, body)
+	}
+	var st statszResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/statsz not JSON: %v", err)
+	}
+	if r := st.Store.HitRate(); r != 0 {
+		t.Errorf("store hit rate = %v, want 0 with zero lookups", r)
+	}
+	if st.CatalogCache.HitRate != 0 {
+		t.Errorf("catalog cache hit_rate = %v, want 0", st.CatalogCache.HitRate)
+	}
+	if st.Stream.PrefilterRate != 0 {
+		t.Errorf("stream prefilter_rate = %v, want 0", st.Stream.PrefilterRate)
+	}
+	if st.Server.StoreHitRate != 0 {
+		t.Errorf("server store_hit_rate = %v, want 0", st.Server.StoreHitRate)
+	}
+}
+
+// TestVersionz: module/Go-version build info is served as JSON.
+func TestVersionz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body := get(t, ts.URL+"/versionz")
+	if status != http.StatusOK {
+		t.Fatalf("/versionz status %d", status)
+	}
+	var v obs.BuildInfo
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("/versionz not JSON: %v", err)
+	}
+	if v.Module != "vitdyn" || v.GoVersion == "" {
+		t.Errorf("build info %+v missing module or go version", v)
+	}
+}
+
+// TestRequestIDHeader: every response carries X-Request-ID; an inbound
+// ID is honored.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID on response")
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-supplied-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-supplied-42" {
+		t.Errorf("inbound request ID not honored: got %q", got)
+	}
+}
+
+// TestDebugTraceCatalog is the acceptance check for stage tracing: a
+// ?debug=trace catalog request returns a trace block whose span
+// durations sum to no more than the measured request latency; a cold
+// request shows the pipeline stages, a warm one shows the cache hit.
+func TestDebugTraceCatalog(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	url := ts.URL + obsCatalogURL + "&debug=trace"
+
+	fetch := func() (CatalogResponse, time.Duration) {
+		t.Helper()
+		t0 := time.Now()
+		status, body := get(t, url)
+		elapsed := time.Since(t0)
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		var resp CatalogResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp, elapsed
+	}
+
+	spanNames := func(resp CatalogResponse) map[string]bool {
+		names := map[string]bool{}
+		for _, sp := range resp.Trace.Spans {
+			names[sp.Name] = true
+		}
+		return names
+	}
+	checkSum := func(resp CatalogResponse, elapsed time.Duration) {
+		t.Helper()
+		var sum int64
+		for _, sp := range resp.Trace.Spans {
+			if sp.DurationNS < 0 {
+				t.Errorf("span %s has negative duration", sp.Name)
+			}
+			sum += sp.DurationNS
+		}
+		if sum > elapsed.Nanoseconds() {
+			t.Errorf("span durations sum to %v > measured latency %v", time.Duration(sum), elapsed)
+		}
+		if sum > resp.Trace.DurationNS {
+			t.Errorf("span durations sum to %v > trace duration %v", sum, resp.Trace.DurationNS)
+		}
+	}
+
+	cold, coldLat := fetch()
+	if cold.Trace == nil {
+		t.Fatal("no trace block on ?debug=trace response")
+	}
+	if cold.Trace.RequestID == "" {
+		t.Error("trace block missing request ID")
+	}
+	names := spanNames(cold)
+	if !names["catalog_cache_miss"] {
+		t.Errorf("cold trace missing catalog_cache_miss: %+v", cold.Trace.Spans)
+	}
+	for _, stage := range []string{"prefilter", "cost", "frontier"} {
+		if !names[stage] {
+			t.Errorf("cold trace missing %s stage span: %+v", stage, cold.Trace.Spans)
+		}
+	}
+	checkSum(cold, coldLat)
+
+	warm, warmLat := fetch()
+	if warm.Trace == nil {
+		t.Fatal("no trace block on warm response")
+	}
+	wnames := spanNames(warm)
+	if !wnames["catalog_cache_hit"] {
+		t.Errorf("warm trace missing catalog_cache_hit: %+v", warm.Trace.Spans)
+	}
+	if wnames["cost"] {
+		t.Errorf("warm trace re-ran the pipeline: %+v", warm.Trace.Spans)
+	}
+	checkSum(warm, warmLat)
+
+	// The trace block is strictly opt-in: without debug=trace the body
+	// carries no trace field.
+	status, body := get(t, ts.URL+obsCatalogURL)
+	if status != http.StatusOK {
+		t.Fatalf("untraced status %d", status)
+	}
+	if bytes.Contains(body, []byte(`"trace"`)) {
+		t.Error("untraced response contains a trace block")
+	}
+}
+
+// TestAccessLogThroughHandler: the middleware emits one JSON access-log
+// line per request with the request's route, status and ID.
+func TestAccessLogThroughHandler(t *testing.T) {
+	var buf bytes.Buffer
+	logger := obs.NewAccessLogger(&buf, obs.JSONFormat)
+	_, ts := newTestServer(t, Options{AccessLog: logger})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantID := resp.Header.Get("X-Request-ID")
+
+	line := strings.TrimSpace(buf.String())
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("access log not JSON: %v\n%q", err, line)
+	}
+	if entry["route"] != "/healthz" || entry["method"] != "GET" {
+		t.Errorf("entry route/method wrong: %v", entry)
+	}
+	if entry["status"] != float64(200) {
+		t.Errorf("entry status = %v, want 200", entry["status"])
+	}
+	if entry["request_id"] != wantID {
+		t.Errorf("entry request_id = %v, want %v (header)", entry["request_id"], wantID)
+	}
+	if entry["bytes"].(float64) <= 0 {
+		t.Errorf("entry bytes = %v, want > 0", entry["bytes"])
+	}
+}
+
+// obsBenchSetup warms one catalog spec through catalogFor and returns
+// everything needed to drive the cache-hit path directly.
+func obsBenchSetup(tb testing.TB) (*Server, context.Context, CatalogRequest, engine.CostBackend, string, engine.CandidateSeq) {
+	tb.Helper()
+	srv := NewServer(Options{})
+	req := CatalogRequest{Family: "segformer", Dataset: "ADE", Step: 512, Backend: "flops"}
+	backend, err := ResolveBackend(req.Backend)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	model, seq, err := req.Seq()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := srv.catalogFor(ctx, req, backend, model, seq, 2, false); err != nil {
+		tb.Fatal(err)
+	}
+	return srv, ctx, req, backend, model, seq
+}
+
+// TestCatalogCacheHitZeroAllocs pins the acceptance criterion: with
+// tracing off, a catalog-cache hit allocates nothing — the span hooks,
+// epoch fingerprint and cache lookup are all allocation-free.
+func TestCatalogCacheHitZeroAllocs(t *testing.T) {
+	srv, ctx, req, backend, model, seq := obsBenchSetup(t)
+	if got := testing.AllocsPerRun(1000, func() {
+		if _, err := srv.catalogFor(ctx, req, backend, model, seq, 2, false); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("cache-hit catalogFor allocates %v per op, want 0", got)
+	}
+}
+
+// BenchmarkCatalogCacheHit measures the warm catalog path (the one every
+// repeat /v1/catalog request takes before HTTP encoding); -benchmem
+// reports its allocations, pinned at zero by TestCatalogCacheHitZeroAllocs.
+func BenchmarkCatalogCacheHit(b *testing.B) {
+	srv, ctx, req, backend, model, seq := obsBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.catalogFor(ctx, req, backend, model, seq, 2, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"vitdyn/internal/graph"
 	"vitdyn/internal/magnet"
 	"vitdyn/internal/nn"
+	"vitdyn/internal/obs"
 	"vitdyn/internal/rdd"
 )
 
@@ -54,6 +55,14 @@ type Options struct {
 	// catalogs keyed by canonicalized request spec + backend epoch; see
 	// CatalogCache). <= 0 selects DefaultCatalogCacheCapacity.
 	CatalogCacheCapacity int
+	// Metrics is the registry GET /metrics exposes; the server registers
+	// its per-route instruments and /statsz-backed series into it. Nil
+	// selects a fresh registry (per-server metrics). Pass a shared one to
+	// fold several servers into a single exposition.
+	Metrics *obs.Registry
+	// AccessLog, when non-nil, receives one structured line per request.
+	// Nil disables access logging (the vitdynd -quiet path).
+	AccessLog *obs.AccessLogger
 }
 
 // withDefaults resolves the zero-value conveniences.
@@ -70,6 +79,9 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 60 * time.Second
 	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
 	return o
 }
 
@@ -80,11 +92,13 @@ func (o Options) withDefaults() Options {
 // frontier); the server accumulates every request's StreamStats, exposed
 // in /statsz.
 type Server struct {
-	opts    Options
-	mux     *http.ServeMux
-	sweep   chan struct{} // server-wide concurrent-sweep semaphore
-	catalog *CatalogCache // spec → built catalog result cache
-	start   time.Time
+	opts       Options
+	mux        *http.ServeMux
+	sweep      chan struct{} // server-wide concurrent-sweep semaphore
+	catalog    *CatalogCache // spec → built catalog result cache
+	start      time.Time
+	metrics    *obs.Registry            // the /metrics registry
+	routeStats map[string]*routeMetrics // per-route latency + status instruments
 
 	requests atomic.Int64 // requests accepted (all endpoints)
 	active   atomic.Int64 // requests currently in flight
@@ -128,15 +142,26 @@ func NewServer(opts Options) *Server {
 			engine.BackendEpoch(b)
 		}
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/statsz", s.handleStatsz)
-	s.mux.HandleFunc("/v1/backends", s.handleBackends)
-	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
-	s.mux.HandleFunc("/v1/batch", s.handleBatch)
-	s.mux.HandleFunc("/v1/replay", s.handleReplay)
-	s.mux.HandleFunc("/v1/profile", s.handleProfile)
-	s.mux.HandleFunc("/v1/store/export", s.handleStoreExport)
-	s.mux.HandleFunc("/v1/store/import", s.handleStoreImport)
+	s.metrics = s.opts.Metrics
+	handlers := map[string]http.HandlerFunc{
+		"/healthz":         s.handleHealthz,
+		"/statsz":          s.handleStatsz,
+		"/metrics":         s.handleMetrics,
+		"/versionz":        s.handleVersionz,
+		"/v1/backends":     s.handleBackends,
+		"/v1/catalog":      s.handleCatalog,
+		"/v1/batch":        s.handleBatch,
+		"/v1/replay":       s.handleReplay,
+		"/v1/profile":      s.handleProfile,
+		"/v1/store/export": s.handleStoreExport,
+		"/v1/store/import": s.handleStoreImport,
+	}
+	routes := make([]string, 0, len(handlers))
+	for route, h := range handlers {
+		s.mux.HandleFunc(route, h)
+		routes = append(routes, route)
+	}
+	s.initMetrics(routes)
 	return s
 }
 
@@ -166,17 +191,62 @@ func (s *Server) Store() *Store { return s.opts.Store }
 // CatalogCache returns the server's catalog-level result cache.
 func (s *Server) CatalogCache() *CatalogCache { return s.catalog }
 
-// Handler returns the server's HTTP handler: instrumentation plus a
-// per-request timeout context around the endpoint mux.
+// Handler returns the server's HTTP handler: observability middleware
+// plus a per-request timeout context around the endpoint mux. Every
+// request gets an ID (inbound X-Request-ID is honored, otherwise one is
+// minted) echoed back in the X-Request-ID response header, a per-route
+// latency histogram observation and status-class counter increment, and
+// — when an access logger is configured — one structured log line.
+// ?debug=trace additionally attaches an obs.Trace to the request
+// context; instrumented handlers (the catalog path) record stage spans
+// into it and return them in the response body.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		s.active.Add(1)
 		defer s.active.Add(-1)
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
-		s.mux.ServeHTTP(w, r.WithContext(ctx))
+		// The Contains pre-check keeps the common untraced path free of
+		// query parsing; Query().Get confirms an exact match.
+		if strings.Contains(r.URL.RawQuery, "debug=trace") && r.URL.Query().Get("debug") == "trace" {
+			ctx = obs.WithTrace(ctx, obs.NewTrace(id))
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		s.mux.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		rm := s.routeMetricsFor(r.URL.Path)
+		rm.latency.ObserveDuration(elapsed)
+		rm.status[classIdx(rec.Status())].Inc()
+		s.opts.AccessLog.Log(obs.AccessEntry{
+			Time:       start,
+			RequestID:  id,
+			Remote:     r.RemoteAddr,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Query:      r.URL.RawQuery,
+			Route:      s.routeNameFor(r.URL.Path),
+			Status:     rec.Status(),
+			Bytes:      rec.bytes,
+			DurationMS: float64(elapsed) / float64(time.Millisecond),
+		})
 	})
+}
+
+// routeNameFor returns the bounded route label for a path ("other" for
+// unregistered paths), for log lines that must not echo arbitrary client
+// paths into an aggregation key.
+func (s *Server) routeNameFor(path string) string {
+	if _, ok := s.routeStats[path]; ok {
+		return path
+	}
+	return "other"
 }
 
 // errorResponse is the uniform JSON error envelope.
@@ -429,15 +499,36 @@ type CatalogPath struct {
 	Accuracy float64 `json:"accuracy"`
 }
 
-// CatalogResponse is the /v1/catalog body. It carries no timing or
-// cache-stats fields by design: the body is a pure function of the
-// request, byte-identical whether served cold or from the store (reuse
-// is observable in /statsz instead).
+// TraceBlock is the optional ?debug=trace response section: the request
+// ID (also in the X-Request-ID header) and the request's stage spans.
+// Span durations are non-overlapping wall-clock segments, so their sum
+// never exceeds the request's measured latency.
+type TraceBlock struct {
+	RequestID  string     `json:"request_id"`
+	Spans      []obs.Span `json:"spans"`
+	DurationNS int64      `json:"duration_ns"` // trace age at encode time
+}
+
+// traceBlockFor renders the context's trace, nil when untraced.
+func traceBlockFor(ctx context.Context) *TraceBlock {
+	tr := obs.ContextTrace(ctx)
+	if tr == nil {
+		return nil
+	}
+	return &TraceBlock{RequestID: tr.ID(), Spans: tr.Spans(), DurationNS: tr.Age().Nanoseconds()}
+}
+
+// CatalogResponse is the /v1/catalog body. Apart from the opt-in
+// ?debug=trace block, it carries no timing or cache-stats fields by
+// design: the body is a pure function of the request, byte-identical
+// whether served cold or from the store (reuse is observable in /statsz
+// and /metrics instead).
 type CatalogResponse struct {
 	Model   string        `json:"model"`
 	Backend string        `json:"backend"`
 	Unit    string        `json:"unit,omitempty"`
 	Paths   []CatalogPath `json:"paths"`
+	Trace   *TraceBlock   `json:"trace,omitempty"`
 }
 
 // CatalogResponseFor converts a built catalog to the response body —
@@ -508,27 +599,60 @@ func (e *slotError) Unwrap() error { return e.err }
 
 // catalogFor serves one catalog build through the result cache. The
 // fast path — spec resident under the backend's current epoch — is a
-// lookup: no sweep slot, no engine, no candidate generation. On a miss
+// lookup: no sweep slot, no engine, no candidate generation, and (with
+// tracing off, the default) zero allocations — pinned by
+// TestCatalogCacheHitZeroAllocs and BenchmarkCatalogCacheHit. On a miss
 // the build runs under a sweep slot (acquired here unless the caller
 // already holds one — batch and replay do, for their whole request) and
 // the built catalog is cached for the next identical request; concurrent
 // cold requests for one spec share a single build. Build errors are
 // returned, never cached.
+//
+// When the request carries an obs.Trace (?debug=trace), the stages are
+// recorded as spans: a cache hit is one catalog_cache_hit span; a miss
+// records catalog_cache_miss, sweep_slot_wait, then — when this request
+// ran the build — the pipeline's generate/prefilter/cost/frontier
+// segments, or build_join when it shared another request's in-flight
+// build.
 func (s *Server) catalogFor(ctx context.Context, req CatalogRequest, backend engine.CostBackend, model string, seq engine.CandidateSeq, workers int, holdsSlot bool) (*rdd.Catalog, error) {
+	tr := obs.ContextTrace(ctx)
 	epoch := engine.BackendEpoch(backend)
 	key := catalogKeyFor(req, backend.Name())
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if cat, ok := s.catalog.lookup(key, epoch); ok {
+		if tr != nil {
+			tr.AddSpan("catalog_cache_hit", t0, time.Since(t0))
+		}
 		return cat, nil
 	}
+	if tr != nil {
+		tr.AddSpan("catalog_cache_miss", t0, time.Since(t0))
+	}
 	if !holdsSlot {
-		if err := s.acquireSweepSlot(ctx); err != nil {
+		endWait := tr.Span("sweep_slot_wait")
+		err := s.acquireSweepSlot(ctx)
+		endWait()
+		if err != nil {
 			return nil, &slotError{err: err}
 		}
 		defer s.releaseSweepSlot()
 	}
-	return s.catalog.getOrBuild(key, epoch, func() (*rdd.Catalog, error) {
+	var timings *engine.StageTimings
+	if tr != nil {
+		timings = new(engine.StageTimings)
+	}
+	ran := false
+	var buildStart time.Time
+	if tr != nil {
+		buildStart = time.Now()
+	}
+	cat, err := s.catalog.getOrBuild(key, epoch, func() (*rdd.Catalog, error) {
+		ran = true
 		eng := engine.NewWithCache(backend, workers, s.cache())
-		cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{})
+		cat, st, err := eng.CatalogFromSeq(ctx, model, seq, engine.StreamOptions{Timings: timings})
 		s.addStreamStats(st)
 		if err != nil {
 			return nil, err
@@ -536,6 +660,52 @@ func (s *Server) catalogFor(ctx context.Context, req CatalogRequest, backend eng
 		s.sweeps.Add(1)
 		return cat, nil
 	})
+	if tr != nil {
+		addBuildSpans(tr, buildStart, time.Since(buildStart), ran, timings)
+	}
+	return cat, err
+}
+
+// addBuildSpans renders a catalog build into trace spans. When this
+// request ran the pipeline, its wall-clock duration is split into
+// sequential generate/prefilter/cost/frontier segments proportional to
+// the per-stage worker-time totals (summed across concurrent workers,
+// so they are scaled down to partition the wall time — span durations
+// always sum to the build's real duration, never beyond it), with any
+// untimed remainder reported as build_other. A request that joined
+// another request's in-flight build has no stage attribution and
+// records one build_join span.
+func addBuildSpans(tr *obs.Trace, start time.Time, wall time.Duration, ran bool, timings *engine.StageTimings) {
+	if !ran {
+		tr.AddSpan("build_join", start, wall)
+		return
+	}
+	d := timings.Durations()
+	total := d.Total()
+	if total <= 0 || wall <= 0 {
+		tr.AddSpan("build", start, wall)
+		return
+	}
+	scale := 1.0
+	if total > wall {
+		scale = float64(wall) / float64(total)
+	}
+	at := start
+	emit := func(name string, stage time.Duration) {
+		span := time.Duration(float64(stage) * scale)
+		if span <= 0 {
+			return
+		}
+		tr.AddSpan(name, at, span)
+		at = at.Add(span)
+	}
+	emit("generate", d.Generate)
+	emit("prefilter", d.Prefilter)
+	emit("cost", d.Cost)
+	emit("frontier", d.Frontier)
+	if rest := wall - at.Sub(start); rest > 0 {
+		tr.AddSpan("build_other", at, rest)
+	}
 }
 
 // writeCatalogError maps a catalogFor failure to its HTTP status: slot
@@ -585,7 +755,9 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		writeCatalogError(w, model, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name())))
+	resp := CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name()))
+	resp.Trace = traceBlockFor(r.Context())
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // BatchRequest is the POST /v1/batch body: many catalog specs priced in

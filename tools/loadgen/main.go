@@ -17,12 +17,22 @@
 //	loadgen [-addr host:port] [-rate N] [-duration D]
 //	        [-mix catalog=4,replay=1,batch=1] [-family segformer]
 //	        [-backend flops] [-timeout D] [-max-error-rate F]
-//	        [-warm=false] [-bench]
+//	        [-warm=false] [-bench] [-scrape]
 //
 // -bench emits Go benchmark-format lines
 // (BenchmarkLoadgen/<kind>/p50 ... ns/op) that tools/benchjson parses,
 // so `make bench-json` folds serving latency into the BENCH_<sha>.json
 // artifact and the CI regression gate guards it like any benchmark.
+//
+// -scrape fetches the target's /metrics before and after the run,
+// verifies both scrapes parse as Prometheus text exposition (exit 1
+// otherwise — this is the CI check that the exposition stays valid
+// under load), and prints the counters that moved.
+//
+// Latencies are recorded into the same fixed-bucket histograms the
+// server exports (quarter-octave bounds, ~±9% quantile error), so
+// loadgen's percentiles and a Prometheus quantile over the server's
+// /metrics histograms agree on methodology.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"vitdyn/internal/obs"
 	"vitdyn/internal/serve"
 )
 
@@ -48,25 +59,27 @@ func main() {
 	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// kindState is one traffic kind's request builder and latency samples.
+// kindState is one traffic kind's request builder and latency histogram
+// — the same mergeable fixed-bucket type the server exports on /metrics,
+// so percentiles here and there share one methodology.
 type kindState struct {
 	name   string
 	weight int
 	do     func(ctx context.Context, client *http.Client) error
+	hist   *obs.Histogram
 
 	mu   sync.Mutex
-	lats []time.Duration
 	errs int
 }
 
 func (k *kindState) record(d time.Duration, err error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	if err != nil {
+		k.mu.Lock()
 		k.errs++
+		k.mu.Unlock()
 		return
 	}
-	k.lats = append(k.lats, d)
+	k.hist.ObserveDuration(d)
 }
 
 // parseMix decodes "catalog=4,replay=1,batch=1" into per-kind weights.
@@ -111,16 +124,51 @@ func schedule(kinds []*kindState) []*kindState {
 	return sched
 }
 
-// percentile reads the q-quantile from sorted samples (nearest-rank).
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+// scrapeMetrics fetches and strictly parses the target's /metrics; an
+// unparseable exposition is a hard failure (the whole point of -scrape
+// is gating on exposition validity).
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
 	}
-	idx := int(q * float64(len(sorted)))
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
 	}
-	return sorted[idx]
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	samples, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("invalid exposition: %w", err)
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		out[s.Key()] = s.Value
+	}
+	return out, nil
+}
+
+// reportScrapeDelta prints every non-bucket series that moved between
+// the two scrapes, sorted, so a load run doubles as a quick view of
+// which server counters the traffic actually drove.
+func reportScrapeDelta(stdout io.Writer, before, after map[string]float64) {
+	var keys []string
+	for k := range after {
+		if strings.Contains(k, "_bucket{") || strings.HasSuffix(k, "_bucket") {
+			continue // 82 bucket lines per route would drown the report
+		}
+		if after[k] != before[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(stdout, "loadgen: /metrics delta (%d series moved):\n", len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(stdout, "loadgen:   %-64s %+g\n", k, after[k]-before[k])
+	}
 }
 
 // checkedGet issues one GET and treats any non-200 as an error.
@@ -172,6 +220,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	warm := fs.Bool("warm", true, "issue one request per kind before measuring so latencies reflect steady-state serving, not the first catalog build")
 	maxErrRate := fs.Float64("max-error-rate", 0.01, "fail (exit 1) when more than this fraction of measured requests errored")
 	bench := fs.Bool("bench", false, "emit Go benchmark-format lines (BenchmarkLoadgen/<kind>/p50|p99|p999) for tools/benchjson")
+	scrape := fs.Bool("scrape", false, "scrape the target's /metrics before and after the run, fail (exit 1) when either scrape is not valid Prometheus exposition, and print the counters that moved")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -226,13 +275,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	kinds := []*kindState{
-		{name: "catalog", do: func(ctx context.Context, c *http.Client) error {
+		{name: "catalog", hist: obs.NewHistogram(nil), do: func(ctx context.Context, c *http.Client) error {
 			return checkedGet(ctx, c, catalogURL)
 		}},
-		{name: "replay", do: func(ctx context.Context, c *http.Client) error {
+		{name: "replay", hist: obs.NewHistogram(nil), do: func(ctx context.Context, c *http.Client) error {
 			return checkedPost(ctx, c, baseURL+"/v1/replay", replayBody)
 		}},
-		{name: "batch", do: func(ctx context.Context, c *http.Client) error {
+		{name: "batch", hist: obs.NewHistogram(nil), do: func(ctx context.Context, c *http.Client) error {
 			return checkedPost(ctx, c, baseURL+"/v1/batch", batchBody)
 		}},
 	}
@@ -251,6 +300,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	fmt.Fprintf(stdout, "loadgen: %s\n", obs.Version())
+
+	var preScrape map[string]float64
+	if *scrape {
+		sctx, cancel := context.WithTimeout(ctx, *timeout)
+		preScrape, err = scrapeMetrics(sctx, client, baseURL)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: pre-run scrape: %v\n", err)
+			return 1
+		}
+	}
 
 	// Warm pass: one synchronous request per active kind. A failure here
 	// is a misconfigured target (bad family/backend, daemon down), not
@@ -304,22 +366,25 @@ loop:
 	}
 	wg.Wait()
 
-	// Report: per-kind percentiles plus the all-traffic aggregate.
-	var all []time.Duration
+	// Report: per-kind percentiles plus the all-traffic aggregate, read
+	// from histogram snapshots ("all" is a bucket-wise merge — the same
+	// aggregation a Prometheus sum-by-le over routes performs).
+	all := obs.NewHistogram(nil).Snapshot()
 	totalOK, totalErrs := 0, 0
 	fmt.Fprintf(stdout, "loadgen: %d requests offered at %.0f/s over %s against %s\n", sent, *rate, *duration, base)
-	report := func(name string, lats []time.Duration, errs int) {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		p50, p99, p999 := percentile(lats, 0.50), percentile(lats, 0.99), percentile(lats, 0.999)
+	report := func(name string, snap obs.HistogramSnapshot, errs int) {
+		p50 := snap.QuantileDuration(0.50)
+		p99 := snap.QuantileDuration(0.99)
+		p999 := snap.QuantileDuration(0.999)
 		fmt.Fprintf(stdout, "loadgen: %-8s %6d ok %4d err  p50 %8.3fms  p99 %8.3fms  p999 %8.3fms\n",
-			name, len(lats), errs,
+			name, snap.Count, errs,
 			float64(p50)/1e6, float64(p99)/1e6, float64(p999)/1e6)
-		if *bench && len(lats) > 0 {
+		if *bench && snap.Count > 0 {
 			for _, pc := range []struct {
 				label string
 				v     time.Duration
 			}{{"p50", p50}, {"p99", p99}, {"p999", p999}} {
-				fmt.Fprintf(stdout, "BenchmarkLoadgen/%s/%s \t%8d\t%12d ns/op\n", name, pc.label, len(lats), pc.v.Nanoseconds())
+				fmt.Fprintf(stdout, "BenchmarkLoadgen/%s/%s \t%8d\t%12d ns/op\n", name, pc.label, snap.Count, pc.v.Nanoseconds())
 			}
 		}
 	}
@@ -328,14 +393,29 @@ loop:
 			continue
 		}
 		k.mu.Lock()
-		lats, errs := k.lats, k.errs
+		errs := k.errs
 		k.mu.Unlock()
-		all = append(all, lats...)
-		totalOK += len(lats)
+		snap := k.hist.Snapshot()
+		if err := all.Merge(snap); err != nil {
+			fmt.Fprintf(stderr, "loadgen: merging %s histogram: %v\n", k.name, err)
+			return 1
+		}
+		totalOK += int(snap.Count)
 		totalErrs += errs
-		report(k.name, lats, errs)
+		report(k.name, snap, errs)
 	}
 	report("all", all, totalErrs)
+
+	if *scrape {
+		sctx, cancel := context.WithTimeout(ctx, *timeout)
+		postScrape, err := scrapeMetrics(sctx, client, baseURL)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: post-run scrape: %v\n", err)
+			return 1
+		}
+		reportScrapeDelta(stdout, preScrape, postScrape)
+	}
 
 	if done := totalOK + totalErrs; done > 0 {
 		if errRate := float64(totalErrs) / float64(done); errRate > *maxErrRate {

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"regexp"
 	"strings"
 	"testing"
 	"time"
+
+	"vitdyn/internal/obs"
 )
 
 // benchLine mirrors tools/benchjson's parser: loadgen's -bench output
@@ -86,15 +90,66 @@ func TestScheduleDeterministicWeightedRoundRobin(t *testing.T) {
 	}
 }
 
-func TestPercentileNearestRank(t *testing.T) {
-	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := percentile(lats, 0.50); got != 6 {
-		t.Errorf("p50 = %v, want 6", got)
+// TestHistogramPercentiles: the shared fixed-bucket histogram loadgen
+// now records into stays within its documented quantile error (~±9% on
+// the quarter-octave bounds) — the property the bench-regression gate's
+// 25% threshold relies on.
+func TestHistogramPercentiles(t *testing.T) {
+	h := obs.NewHistogram(nil)
+	for i := 1; i <= 1000; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Millisecond)
 	}
-	if got := percentile(lats, 0.99); got != 10 {
-		t.Errorf("p99 = %v, want 10", got)
+	snap := h.Snapshot()
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}} {
+		got := snap.QuantileDuration(c.q)
+		if rel := float64(got-c.want) / float64(c.want); rel < -0.10 || rel > 0.10 {
+			t.Errorf("q%.2f = %v, want %v ±10%%", c.q, got, c.want)
+		}
 	}
-	if got := percentile(nil, 0.99); got != 0 {
+	var empty obs.HistogramSnapshot
+	if got := empty.QuantileDuration(0.99); got != 0 {
 		t.Errorf("p99 of empty = %v, want 0", got)
+	}
+}
+
+// TestLoadgenScrape: -scrape parses /metrics around the run and reports
+// moved counters; a target without /metrics fails the run.
+func TestLoadgenScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots an in-process server and generates load")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-rate", "100", "-duration", "200ms", "-scrape", "-mix", "catalog=1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "/metrics delta") {
+		t.Errorf("no scrape delta in output:\n%s", out)
+	}
+	if !strings.Contains(out, "vitdyn_http_requests_total") {
+		t.Errorf("scrape delta missing the request counter:\n%s", out)
+	}
+	if strings.Contains(out, "_bucket") {
+		t.Errorf("scrape delta leaks histogram bucket lines:\n%s", out)
+	}
+
+	// A target with no /metrics endpoint must fail the scrape.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	defer dead.Close()
+	stdout.Reset()
+	stderr.Reset()
+	code = run(context.Background(), []string{
+		"-addr", strings.TrimPrefix(dead.URL, "http://"),
+		"-rate", "10", "-duration", "50ms", "-scrape", "-warm=false", "-mix", "catalog=1",
+		"-max-error-rate", "1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("scrape against a /metrics-less target: run = %d, want 1\nstderr:\n%s", code, stderr.String())
 	}
 }

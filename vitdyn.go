@@ -27,6 +27,7 @@ package vitdyn
 
 import (
 	"context"
+	"io"
 
 	"vitdyn/internal/accuracy"
 	"vitdyn/internal/core"
@@ -37,6 +38,7 @@ import (
 	"vitdyn/internal/graph"
 	"vitdyn/internal/magnet"
 	"vitdyn/internal/nn"
+	"vitdyn/internal/obs"
 	"vitdyn/internal/pareto"
 	"vitdyn/internal/prune"
 	"vitdyn/internal/rdd"
@@ -580,6 +582,83 @@ type EarlyExitModel = rdd.EarlyExitModel
 func NewEarlyExitBaseline(c *RDDCatalog, easyShare float64) (*EarlyExitModel, error) {
 	return rdd.EarlyExitFromCatalog(c, easyShare)
 }
+
+// --- Observability ---
+
+// MetricsRegistry is the zero-dependency metrics core behind GET
+// /metrics: counters, gauges, func-backed series and fixed-bucket
+// latency histograms, rendered in Prometheus text exposition format.
+// Every RDDServer owns one (RDDServer.Metrics()); register your own
+// series on it, or pass a shared registry via ServeOptions.Metrics.
+type MetricsRegistry = obs.Registry
+
+// MetricLabel is one name/value label pair on a registered series.
+type MetricLabel = obs.Label
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// LatencyHistogram is a fixed-bucket histogram with lock-free observes
+// and mergeable snapshots — the type behind both the server's per-route
+// latency series and loadgen's client-side percentiles.
+type LatencyHistogram = obs.Histogram
+
+// LatencyHistogramSnapshot is a point-in-time copy of a histogram,
+// mergeable across histograms with identical bounds and queryable for
+// interpolated quantiles.
+type LatencyHistogramSnapshot = obs.HistogramSnapshot
+
+// NewLatencyHistogram returns a histogram over the given ascending
+// upper bounds (in seconds); nil selects DefaultLatencyBuckets.
+func NewLatencyHistogram(bounds []float64) *LatencyHistogram { return obs.NewHistogram(bounds) }
+
+// DefaultLatencyBuckets are the quarter-octave (ratio 2^1/4) bounds from
+// 10µs to ~10.5s that every built-in latency series uses — fine enough
+// that interpolated quantiles stay within ~±9%.
+func DefaultLatencyBuckets() []float64 { return obs.DefaultLatencyBuckets }
+
+// RequestTrace collects named stage spans for one request; the serving
+// layer attaches one to ?debug=trace requests and returns its spans in
+// the response's trace block. A nil *RequestTrace is valid and free, so
+// instrumented code paths need no conditionals.
+type RequestTrace = obs.Trace
+
+// TraceStageSpan is one named, timed stage within a request trace.
+type TraceStageSpan = obs.Span
+
+// AccessLogger serializes one structured line per HTTP request (text or
+// JSON); wire one into ServeOptions.AccessLog.
+type AccessLogger = obs.AccessLogger
+
+// AccessLogEntry is the shape of one access-log line.
+type AccessLogEntry = obs.AccessEntry
+
+// NewAccessLogger returns a logger writing to w in the given format.
+func NewAccessLogger(w io.Writer, format obs.LogFormat) *AccessLogger {
+	return obs.NewAccessLogger(w, format)
+}
+
+// Access-log formats.
+const (
+	AccessLogText = obs.TextFormat
+	AccessLogJSON = obs.JSONFormat
+)
+
+// BuildVersion reports this binary's module version, Go version and VCS
+// revision — the /versionz payload.
+type BuildVersion = obs.BuildInfo
+
+// Version returns the running binary's build info.
+func Version() BuildVersion { return obs.Version() }
+
+// SweepStageTimings accumulates per-stage worker time
+// (generate/prefilter/cost/frontier) across a streaming catalog build
+// when attached via StreamOptions.Timings; nil (the default) records
+// nothing and costs nothing.
+type SweepStageTimings = engine.StageTimings
+
+// SweepStageDurations is a point-in-time read of SweepStageTimings.
+type SweepStageDurations = engine.StageDurations
 
 // --- Pareto / reporting utilities ---
 

@@ -13,6 +13,10 @@ BENCH_BASELINE ?= .benchcache/BENCH_latest.json
 # Bench-regression gate: fail bench-json when any benchmark regresses
 # more than this percent vs the baseline (warn-only when no baseline).
 BENCH_GATE ?= 25
+# Allocation gate: fail bench-json when any benchmark's allocs/op grows
+# more than this percent — or at all on a zero-alloc benchmark. Alloc
+# counts are deterministic, so this gate has no noise floor.
+BENCH_GATE_ALLOCS ?= 25
 # Samples per benchmark for the gated run; benchjson keeps the fastest,
 # so min-of-N absorbs one-off scheduler noise on shared CI runners.
 BENCH_COUNT ?= 3
@@ -21,7 +25,7 @@ BENCH_COUNT ?= 3
 LOAD_RATE ?= 200
 LOAD_DURATION ?= 2s
 
-.PHONY: all build test race bench bench-json vet smoke load cover ci clean clean-store
+.PHONY: all build test race bench bench-json vet smoke load load-profile cover ci clean clean-store
 
 all: build
 
@@ -36,9 +40,11 @@ race:
 
 # One iteration per benchmark: regenerates every paper table/figure via
 # the root harness and exercises the sequential-vs-parallel sweep
-# comparison in internal/engine.
+# comparison in internal/engine. -benchmem everywhere: B/op and
+# allocs/op ride along into benchjson artifacts, so the alloc gate can
+# hold the warm serving paths at zero.
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 
 # Persist the bench run as BENCH_<sha>.json, print a delta against
 # $(BENCH_BASELINE) when that file exists (CI caches it between runs),
@@ -46,9 +52,9 @@ bench:
 # $(BENCH_COUNT) samples per benchmark, min-of-N at parse time: the
 # gate compares best-case timings, not one noisy sample.
 bench-json:
-	set -o pipefail; $(GO) test -run '^$$' -bench=. -benchtime=1x -count=$(BENCH_COUNT) ./... | tee bench.txt
+	set -o pipefail; $(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem -count=$(BENCH_COUNT) ./... | tee bench.txt
 	set -o pipefail; $(GO) run ./tools/loadgen -bench -rate $(LOAD_RATE) -duration $(LOAD_DURATION) | tee -a bench.txt
-	$(GO) run ./tools/benchjson -in bench.txt -out BENCH_$(SHA).json -baseline $(BENCH_BASELINE) -gate $(BENCH_GATE)
+	$(GO) run ./tools/benchjson -in bench.txt -out BENCH_$(SHA).json -baseline $(BENCH_BASELINE) -gate $(BENCH_GATE) -gate-allocs $(BENCH_GATE_ALLOCS)
 
 # Static checks: go vet plus gofmt drift (a non-empty gofmt -l listing
 # fails the build).
@@ -76,6 +82,26 @@ smoke:
 # regression gate.
 load:
 	$(GO) run ./tools/loadgen -rate $(LOAD_RATE) -duration $(LOAD_DURATION) -scrape
+
+# Allocation profile under load: boot vitdynd with its pprof listener,
+# drive the standard mix against it while loadgen captures a delta
+# allocs profile spanning the run from -debug-addr, then shut the
+# daemon down. Inspect with `go tool pprof $(LOAD_PROFILE_OUT)` — the
+# warm serving paths should be absent (they allocate nothing); what
+# remains is cold builds and HTTP plumbing.
+LOAD_HOST ?= 127.0.0.1
+LOAD_PORT ?= 8321
+LOAD_DEBUG_PORT ?= 8322
+LOAD_PROFILE_OUT ?= allocs.pprof
+load-profile:
+	$(GO) build -o bin/vitdynd ./cmd/vitdynd
+	./bin/vitdynd -addr $(LOAD_HOST):$(LOAD_PORT) -debug-addr $(LOAD_HOST):$(LOAD_DEBUG_PORT) -quiet & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		(exec 3<>/dev/tcp/$(LOAD_HOST)/$(LOAD_PORT)) 2>/dev/null && break; sleep 0.1; \
+	done; \
+	$(GO) run ./tools/loadgen -addr $(LOAD_HOST):$(LOAD_PORT) -rate $(LOAD_RATE) -duration $(LOAD_DURATION) \
+		-profile http://$(LOAD_HOST):$(LOAD_DEBUG_PORT) -profile-out $(LOAD_PROFILE_OUT)
 
 # Test coverage: atomic-mode profile over every package plus the
 # per-function summary; cover.out feeds `go tool cover -html` locally.

@@ -84,6 +84,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	storePath := fs.String("store-path", "", "durable cost-store directory (snapshot+WAL): warm-boot from it on start, write-through persist every computed cost, flush and compact on shutdown")
 	flushEvery := fs.Duration("flush-interval", 30*time.Second, "with -store-path: how often to fsync (or age-compact) the WAL, bounding what a hard crash can lose; 0 disables periodic flushing")
 	catalogCache := fs.Int("catalog-cache", 0, "catalog result-cache capacity in catalogs (0 = default): repeated identical catalog/replay/batch specs serve from a spec-keyed cache, invalidated when a backend's cost-model epoch changes")
+	respCache := fs.Int("resp-cache", 0, "pre-encoded response cache capacity in responses (0 = default): repeat requests for an already-served spec get the finished JSON bytes back without re-encoding, invalidated on cost-model epoch changes")
 	logFormat := fs.String("log-format", "text", "access-log format on stderr: text or json")
 	quiet := fs.Bool("quiet", false, "disable per-request access logging")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on a second listener at this address (empty = disabled); kept off the API port")
@@ -141,6 +142,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxConcurrentSweeps:  *maxSweeps,
 		RequestTimeout:       *timeout,
 		CatalogCacheCapacity: *catalogCache,
+		RespCacheCapacity:    *respCache,
 		AccessLog:            accessLog,
 	})
 	if *debugAddr != "" {

@@ -85,3 +85,48 @@ func BenchmarkSimulate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimulateWide is the case the SelectIndex exists for: a wide
+// frontier (512 paths) times a long trace, where a linear per-frame
+// scan pays frames × paths comparisons and the index pays
+// frames × log(paths) plus one O(n log n) build.
+func BenchmarkSimulateWide(b *testing.B) {
+	c := benchCatalog(b, 512)
+	tr := SinusoidTrace(4096, c.Cheapest().Cost, c.Full().Cost*1.1, 120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.Simulate(tr)
+		if res.Completed == 0 {
+			b.Fatal("no frames completed")
+		}
+	}
+}
+
+// BenchmarkSimulateWideLinear is the same replay through the pre-index
+// linear-scan loop (Select per frame), for the delta in bench reports.
+func BenchmarkSimulateWideLinear(b *testing.B) {
+	c := benchCatalog(b, 512)
+	tr := SinusoidTrace(4096, c.Cheapest().Cost, c.Full().Cost*1.1, 120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := simulateLinear(c, tr)
+		if res.Completed == 0 {
+			b.Fatal("no frames completed")
+		}
+	}
+}
+
+// BenchmarkSelectIndexBuild prices the per-replay index construction the
+// fast path amortizes over the trace.
+func BenchmarkSelectIndexBuild(b *testing.B) {
+	c := benchCatalog(b, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ix := c.NewSelectIndex(); len(ix.thresholds) == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}

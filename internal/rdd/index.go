@@ -1,0 +1,94 @@
+package rdd
+
+// SelectIndex: the replay fast path. Select scans every path per call,
+// which is fine for a one-off budget query but quadratic-ish in practice
+// for replay — Simulate calls it once per trace frame, so a wide catalog
+// (hundreds of frontier points) times a long trace pays frames × paths
+// comparisons. The selection function is monotone in the budget: the
+// feasible set only grows as the budget rises, so the winner changes at
+// a bounded set of cost thresholds. Precomputing that threshold table
+// once per replay turns every per-frame selection into one binary
+// search — O(log n) instead of O(n) — with results exactly equal to
+// Select's, tie rules included.
+
+import "sort"
+
+// SelectIndex is a budget-sorted threshold index over a snapshot of a
+// catalog's paths. thresholds is ascending; winners[i] is the path
+// Select would return for any budget in [thresholds[i], thresholds[i+1]).
+// A budget below thresholds[0] fits no path. The index is immutable
+// once built and safe for concurrent readers; it reflects the Paths
+// slice as of NewSelectIndex, so callers that mutate Paths in place must
+// rebuild it (Simulate and SimulateHysteresis build a fresh index per
+// call, preserving Select's read-the-current-Paths semantics at call
+// granularity).
+type SelectIndex struct {
+	thresholds []float64
+	winners    []Path
+}
+
+// NewSelectIndex builds the threshold index for the catalog's current
+// paths: O(n log n) once, O(log n) per Select after. The winner at each
+// threshold is computed with Select's exact semantics — highest accuracy
+// under budget, ties to the cheaper path, first-seen (Paths order) on
+// exact ties — so index selections are byte-identical to linear ones.
+func (c *Catalog) NewSelectIndex() *SelectIndex {
+	n := len(c.Paths)
+	ix := &SelectIndex{
+		thresholds: make([]float64, 0, n),
+		winners:    make([]Path, 0, n),
+	}
+	if n == 0 {
+		return ix
+	}
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return c.Paths[ord[a]].Cost < c.Paths[ord[b]].Cost })
+	// Walk paths in ascending cost order, maintaining the running winner
+	// under Select's comparison. beats replicates Select's replacement
+	// rule as a total order: strictly higher accuracy wins, equal
+	// accuracy prefers the cheaper path, and a full (accuracy, cost) tie
+	// keeps the earlier Paths index — Select scans in Paths order and
+	// never replaces on an exact tie.
+	beats := func(pi, wi int) bool {
+		p, w := c.Paths[pi], c.Paths[wi]
+		if p.Accuracy != w.Accuracy {
+			return p.Accuracy > w.Accuracy
+		}
+		if p.Cost != w.Cost {
+			return p.Cost < w.Cost
+		}
+		return pi < wi
+	}
+	winner := -1
+	for i := 0; i < n; {
+		cost := c.Paths[ord[i]].Cost
+		// Paths sharing one cost become feasible together: fold the whole
+		// equal-cost group before recording a threshold.
+		for ; i < n && c.Paths[ord[i]].Cost == cost; i++ {
+			if winner < 0 || beats(ord[i], winner) {
+				winner = ord[i]
+			}
+		}
+		if k := len(ix.winners); k == 0 || ix.winners[k-1] != c.Paths[winner] {
+			ix.thresholds = append(ix.thresholds, cost)
+			ix.winners = append(ix.winners, c.Paths[winner])
+		}
+	}
+	return ix
+}
+
+// Select returns the most accurate path whose cost fits the budget —
+// exactly Catalog.Select over the indexed snapshot — in O(log n).
+func (ix *SelectIndex) Select(budget float64) (Path, bool) {
+	// Number of thresholds <= budget; sort.Search on the monotone
+	// predicate handles NaN budgets the same way the linear scan does
+	// (every comparison false, so every path is feasible).
+	k := sort.Search(len(ix.thresholds), func(i int) bool { return ix.thresholds[i] > budget })
+	if k == 0 {
+		return Path{}, false
+	}
+	return ix.winners[k-1], true
+}

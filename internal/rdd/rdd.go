@@ -186,7 +186,7 @@ func SinusoidTrace(frames int, lo, hi float64, period int) Trace {
 	if period <= 0 {
 		period = 100
 	}
-	tr := make(Trace, frames)
+	tr := getTrace(frames)
 	for i := range tr {
 		phase := 2 * math.Pi * float64(i) / float64(period)
 		tr[i] = lo + (hi-lo)*(0.5+0.5*math.Sin(phase))
@@ -200,7 +200,7 @@ func StepTrace(frames int, lo, hi float64, stride int) Trace {
 	if stride <= 0 {
 		stride = 50
 	}
-	tr := make(Trace, frames)
+	tr := getTrace(frames)
 	for i := range tr {
 		if (i/stride)%2 == 0 {
 			tr[i] = hi
@@ -231,7 +231,7 @@ func (r *lcg) next() float64 {
 // an uncontended (all-hi) trace and busyFrac >= 1 a fully contended
 // (all-lo) one.
 func BurstyTrace(frames int, lo, hi, busyFrac float64, seed uint64) Trace {
-	tr := make(Trace, frames)
+	tr := getTrace(frames)
 	if busyFrac <= 0 || busyFrac >= 1 {
 		budget := hi
 		if busyFrac >= 1 {
@@ -291,15 +291,19 @@ func (r SimResult) SwitchRate() float64 {
 	return float64(r.Switches) / float64(r.Completed-1)
 }
 
-// Simulate replays the trace with dynamic path selection.
+// Simulate replays the trace with dynamic path selection. Per-frame
+// selection goes through a SelectIndex built once per call — O(log n)
+// per frame instead of Select's O(n) scan, byte-identical results —
+// so replaying long traces against wide catalogs stays cheap.
 func (c *Catalog) Simulate(tr Trace) SimResult {
 	res := SimResult{Frames: len(tr)}
 	full := c.Full()
+	ix := c.NewSelectIndex()
 	var accSum, costSum float64
 	fullCount := 0
 	prevLabel := ""
 	for _, budget := range tr {
-		p, ok := c.Select(budget)
+		p, ok := ix.Select(budget)
 		if !ok {
 			res.Skipped++
 			continue
@@ -340,6 +344,7 @@ func (c *Catalog) SimulateHysteresis(tr Trace, k int) SimResult {
 	}
 	res := SimResult{Frames: len(tr)}
 	full := c.Full()
+	ix := c.NewSelectIndex()
 	var accSum, costSum float64
 	fullCount := 0
 	var cur Path
@@ -347,7 +352,7 @@ func (c *Catalog) SimulateHysteresis(tr Trace, k int) SimResult {
 	pendingLabel := ""
 	streak := 0
 	for _, budget := range tr {
-		want, ok := c.Select(budget)
+		want, ok := ix.Select(budget)
 		if !ok {
 			res.Skipped++
 			pendingLabel, streak = "", 0

@@ -221,7 +221,7 @@ func init() {
 				return nil, fmt.Errorf("rdd: values trace budget %d is negative (%v)", i, v)
 			}
 		}
-		tr := make(Trace, len(s.Values))
+		tr := getTrace(len(s.Values))
 		copy(tr, s.Values)
 		return tr, nil
 	}))

@@ -1,0 +1,118 @@
+package serve
+
+// Request-path buffer pooling. Every JSON response used to allocate an
+// encoder state and stream straight into the socket; every request
+// allocated a fresh statusRecorder for the middleware. Both are now
+// drawn from sync.Pools with hit/miss counters surfaced in /statsz and
+// /metrics, and encoding lands in a pooled buffer first — which also
+// means every JSON response now carries an exact Content-Length.
+// json.NewEncoder(buf).Encode(v) produces the identical bytes the old
+// direct-to-writer encoder did (trailing newline included), so pooling
+// changes no response body.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// maxPooledEncBuf bounds what an encode buffer may retain between uses:
+// a one-off giant response (a wide batch, a huge replay echo) should
+// not pin its high-water mark in the pool forever.
+const maxPooledEncBuf = 1 << 20
+
+var (
+	encBufPool   sync.Pool // *bytes.Buffer
+	encBufHits   atomic.Int64
+	encBufMisses atomic.Int64
+
+	recPool   sync.Pool // *statusRecorder
+	recHits   atomic.Int64
+	recMisses atomic.Int64
+)
+
+// getEncBuf returns an empty encode buffer, pooled when possible.
+func getEncBuf() *bytes.Buffer {
+	if b, ok := encBufPool.Get().(*bytes.Buffer); ok {
+		encBufHits.Add(1)
+		b.Reset()
+		return b
+	}
+	encBufMisses.Add(1)
+	return new(bytes.Buffer)
+}
+
+// putEncBuf recycles an encode buffer. Call only when no reference to
+// buf.Bytes() escapes the request (the response cache copies before
+// this runs).
+func putEncBuf(buf *bytes.Buffer) {
+	if buf == nil || buf.Cap() > maxPooledEncBuf {
+		return
+	}
+	encBufPool.Put(buf)
+}
+
+// encodeJSON renders v into a pooled buffer — byte-identical to the old
+// json.NewEncoder(w).Encode(v) stream, trailing newline included. The
+// caller owns the buffer and must putEncBuf it after the bytes are
+// written (and copied, if cached).
+func encodeJSON(v any) (*bytes.Buffer, error) {
+	buf := getEncBuf()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		putEncBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// jsonContentType is the Content-Type value every JSON response shares —
+// one slice, written into header maps directly, never mutated.
+var jsonContentType = []string{"application/json"}
+
+// writeBuf writes an encoded JSON body with exact Content-Length.
+// Header keys are assigned in canonical form directly, skipping the
+// textproto canonicalization pass Set would repeat per request.
+func writeBuf(w http.ResponseWriter, status int, body []byte) {
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	h["Content-Length"] = []string{strconv.Itoa(len(body))}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// getStatusRecorder returns a recorder wrapping w, pooled when possible.
+func getStatusRecorder(w http.ResponseWriter) *statusRecorder {
+	if rec, ok := recPool.Get().(*statusRecorder); ok {
+		recHits.Add(1)
+		rec.ResponseWriter, rec.status, rec.bytes = w, 0, 0
+		return rec
+	}
+	recMisses.Add(1)
+	return &statusRecorder{ResponseWriter: w}
+}
+
+// putStatusRecorder recycles a recorder once the middleware has read
+// its status and byte count.
+func putStatusRecorder(rec *statusRecorder) {
+	rec.ResponseWriter = nil
+	recPool.Put(rec)
+}
+
+// PoolCounters is one pool's hit/miss pair, the /statsz pools section
+// entry.
+type PoolCounters struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// encBufPoolStats and recPoolStats snapshot the package-level pools.
+func encBufPoolStats() PoolCounters {
+	return PoolCounters{Hits: encBufHits.Load(), Misses: encBufMisses.Load()}
+}
+
+func recPoolStats() PoolCounters {
+	return PoolCounters{Hits: recHits.Load(), Misses: recMisses.Load()}
+}

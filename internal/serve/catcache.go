@@ -11,6 +11,17 @@ package serve
 // epoch (engine.BackendEpoch); a backend upgrade flips the epoch and the
 // stale catalog is invalidated on its next lookup instead of being served
 // silently wrong.
+//
+// The cache is sharded like the cost store: at high RPS every warm
+// request takes the lookup lock, and a single mutex serializes all of
+// them even though they touch different keys. Keys hash across
+// power-of-two shards, each an independent (mutex, map, LRU list)
+// triple with the single-flight build semantics intact — two requests
+// for the same spec always land on the same shard and share one build.
+// Eviction is LRU per shard over capacity/shards entries, which bounds
+// total residency at capacity exactly; small caches collapse to one
+// shard so capacity-2 eviction tests (and any operator running a tiny
+// cache) still see strict global LRU order.
 
 import (
 	"container/list"
@@ -72,16 +83,21 @@ type catalogEntry struct {
 	err   error
 }
 
-// CatalogCache is a bounded LRU of built catalogs keyed by canonicalized
-// request spec, epoch-invalidated. A single mutex suffices — lookups are
-// a map probe plus a list splice, and the build itself runs outside the
-// lock — so unlike the cost store there is nothing to shard. Safe for
-// concurrent use.
-type CatalogCache struct {
+// catShard is one independent slice of the cache: its own lock, its own
+// map, its own LRU order.
+type catShard struct {
 	mu      sync.Mutex
 	entries map[catalogKey]*list.Element
 	order   *list.List // front = most recently used
 	cap     int
+}
+
+// CatalogCache is a bounded LRU of built catalogs keyed by canonicalized
+// request spec, epoch-invalidated and sharded for concurrent lookups.
+// Safe for concurrent use.
+type CatalogCache struct {
+	shards []*catShard
+	mask   uint64 // len(shards) - 1; len is a power of two
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -90,23 +106,96 @@ type CatalogCache struct {
 	invalidations atomic.Int64
 }
 
+// catalogCacheShards picks the shard count for a capacity: the largest
+// power of two ≤ min(16, capacity/8), floored at 1. Keeping at least 8
+// entries per shard means sharding never meaningfully distorts LRU
+// behaviour, and tiny caches (capacity < 16) get exactly one shard —
+// i.e. strict global LRU.
+func catalogCacheShards(capacity int) int {
+	n := 1
+	for n*2 <= 16 && n*2 <= capacity/8 {
+		n *= 2
+	}
+	return n
+}
+
 // NewCatalogCache returns a cache holding at most capacity catalogs;
-// capacity <= 0 selects DefaultCatalogCacheCapacity.
+// capacity <= 0 selects DefaultCatalogCacheCapacity. The shard count is
+// derived from the capacity (see catalogCacheShards).
 func NewCatalogCache(capacity int) *CatalogCache {
 	if capacity <= 0 {
 		capacity = DefaultCatalogCacheCapacity
 	}
-	return &CatalogCache{
-		entries: make(map[catalogKey]*list.Element),
-		order:   list.New(),
-		cap:     capacity,
-	}
+	return NewCatalogCacheWithShards(capacity, catalogCacheShards(capacity))
 }
 
-// removeLocked drops el from the cache. Caller holds c.mu.
-func (c *CatalogCache) removeLocked(el *list.Element) {
-	c.order.Remove(el)
-	delete(c.entries, el.Value.(*catalogEntry).key)
+// NewCatalogCacheWithShards returns a cache with an explicit shard
+// count, rounded down to a power of two and clamped to [1, capacity].
+// Total residency across shards never exceeds capacity; per-shard
+// capacity is capacity/shards (remainder spread over the first shards).
+func NewCatalogCacheWithShards(capacity, shards int) *CatalogCache {
+	if capacity <= 0 {
+		capacity = DefaultCatalogCacheCapacity
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	// Round down to a power of two so shardFor can mask instead of mod.
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
+	c := &CatalogCache{shards: make([]*catShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		capi := capacity / n
+		if i < capacity%n {
+			capi++
+		}
+		c.shards[i] = &catShard{
+			entries: make(map[catalogKey]*list.Element),
+			order:   list.New(),
+			cap:     capi,
+		}
+	}
+	return c
+}
+
+// Shards reports the shard count (for /statsz and tests).
+func (c *CatalogCache) Shards() int { return len(c.shards) }
+
+// shardFor hashes the key across shards: FNV-1a over every key field,
+// with a separator byte between strings so ("ab","c") and ("a","bc")
+// differ.
+func (c *CatalogCache) shardFor(key catalogKey) *catShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	mix(key.family)
+	mix(key.dataset)
+	mix(key.variant)
+	mix(key.backend)
+	h ^= uint64(key.step)
+	h *= prime64
+	return c.shards[h&c.mask]
+}
+
+// removeLocked drops el from the shard. Caller holds s.mu.
+func (s *catShard) removeLocked(el *list.Element) {
+	s.order.Remove(el)
+	delete(s.entries, el.Value.(*catalogEntry).key)
 }
 
 // lookup returns the cached catalog for (key, epoch) when it is resident,
@@ -116,25 +205,26 @@ func (c *CatalogCache) removeLocked(el *list.Element) {
 // entries still building or failed report a miss without blocking.
 // Only successful lookups count as hits.
 func (c *CatalogCache) lookup(key catalogKey, epoch uint64) (*rdd.Catalog, bool) {
-	c.mu.Lock()
-	el, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.entries[key]
 	if !ok {
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return nil, false
 	}
 	ent := el.Value.(*catalogEntry)
 	if ent.epoch != epoch {
-		c.removeLocked(el)
+		s.removeLocked(el)
+		s.mu.Unlock()
 		c.invalidations.Add(1)
-		c.mu.Unlock()
 		return nil, false
 	}
 	if !ent.done.Load() || ent.err != nil {
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return nil, false
 	}
-	c.order.MoveToFront(el)
-	c.mu.Unlock()
+	s.order.MoveToFront(el)
+	s.mu.Unlock()
 	c.hits.Add(1)
 	return ent.cat, true
 }
@@ -148,33 +238,35 @@ func (c *CatalogCache) lookup(key catalogKey, epoch uint64) (*rdd.Catalog, bool)
 // drops the entry, so the next request retries. An entry resident under
 // a different epoch is replaced.
 func (c *CatalogCache) getOrBuild(key catalogKey, epoch uint64, build func() (*rdd.Catalog, error)) (*rdd.Catalog, error) {
-	c.mu.Lock()
-	el, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.entries[key]
 	if ok {
 		ent := el.Value.(*catalogEntry)
 		if ent.epoch == epoch {
-			c.order.MoveToFront(el)
-			c.mu.Unlock()
-			return c.join(ent, build)
+			s.order.MoveToFront(el)
+			s.mu.Unlock()
+			return c.join(s, ent, build)
 		}
-		c.removeLocked(el)
+		s.removeLocked(el)
 		c.invalidations.Add(1)
 	}
 	ent := &catalogEntry{key: key, epoch: epoch}
-	c.entries[key] = c.order.PushFront(ent)
-	for c.order.Len() > c.cap {
-		c.removeLocked(c.order.Back())
+	s.entries[key] = s.order.PushFront(ent)
+	for s.order.Len() > s.cap {
+		s.removeLocked(s.order.Back())
 		c.evictions.Add(1)
 	}
-	c.mu.Unlock()
-	return c.join(ent, build)
+	s.mu.Unlock()
+	return c.join(s, ent, build)
 }
 
 // join runs (or waits out) the entry's build and accounts the outcome:
 // the caller whose build ran is a miss, callers that shared a finished
 // or in-flight build are hits, and any error outcome counts as an error
-// and drops the entry.
-func (c *CatalogCache) join(ent *catalogEntry, build func() (*rdd.Catalog, error)) (*rdd.Catalog, error) {
+// and drops the entry (identity-checked, so a racing re-insert under the
+// same key survives).
+func (c *CatalogCache) join(s *catShard, ent *catalogEntry, build func() (*rdd.Catalog, error)) (*rdd.Catalog, error) {
 	ran := false
 	ent.once.Do(func() {
 		ran = true
@@ -182,11 +274,11 @@ func (c *CatalogCache) join(ent *catalogEntry, build func() (*rdd.Catalog, error
 	})
 	ent.done.Store(true)
 	if ent.err != nil {
-		c.mu.Lock()
-		if el, ok := c.entries[ent.key]; ok && el.Value.(*catalogEntry) == ent {
-			c.removeLocked(el)
+		s.mu.Lock()
+		if el, ok := s.entries[ent.key]; ok && el.Value.(*catalogEntry) == ent {
+			s.removeLocked(el)
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		c.errors.Add(1)
 		return nil, ent.err
 	}
@@ -198,11 +290,24 @@ func (c *CatalogCache) join(ent *catalogEntry, build func() (*rdd.Catalog, error
 	return ent.cat, nil
 }
 
-// Len returns the number of resident entries.
+// Len returns the number of resident entries across all shards.
 func (c *CatalogCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total capacity across all shards.
+func (c *CatalogCache) Capacity() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.cap
+	}
+	return n
 }
 
 // CatalogCacheStats is a point-in-time snapshot of the cache counters,
@@ -219,6 +324,7 @@ type CatalogCacheStats struct {
 	Invalidations int64 `json:"invalidations"`
 	Entries       int   `json:"entries"`
 	Capacity      int   `json:"capacity"`
+	Shards        int   `json:"shards"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -240,6 +346,7 @@ func (c *CatalogCache) Stats() CatalogCacheStats {
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
 		Entries:       c.Len(),
-		Capacity:      c.cap,
+		Capacity:      c.Capacity(),
+		Shards:        len(c.shards),
 	}
 }

@@ -29,9 +29,11 @@ func testCatalog(t *testing.T, model string) *rdd.Catalog {
 
 // TestCatalogRepeatIsZeroWorkAndEpochBumpRebuilds is the tentpole
 // acceptance check: a repeated identical /v1/catalog request is served
-// entirely from the catalog cache — zero backend evaluations AND zero
-// generated candidates, not merely all-store-hits — while a backend
-// cost-model epoch change forces a full rebuild of the same spec.
+// entirely from the pre-encoded response cache — zero backend
+// evaluations, zero generated candidates, zero encodes; the catalog
+// cache is not even consulted — while a backend cost-model epoch change
+// invalidates both cache tiers and forces a full rebuild of the same
+// spec.
 func TestCatalogRepeatIsZeroWorkAndEpochBumpRebuilds(t *testing.T) {
 	srv, ts := newTestServer(t, Options{})
 	url := ts.URL + "/v1/catalog?family=segformer&backend=flops"
@@ -59,13 +61,19 @@ func TestCatalogRepeatIsZeroWorkAndEpochBumpRebuilds(t *testing.T) {
 	if d := srv.StreamStats().Generated - genCold; d != 0 {
 		t.Errorf("warm repeat generated %d candidates, want 0", d)
 	}
-	if cc := srv.CatalogCache().Stats(); cc.Hits != 1 || cc.Misses != 1 {
-		t.Errorf("warm repeat accounting: %+v, want 1 hit / 1 miss", cc)
+	if rc := srv.RespCache().Stats(); rc.Hits != 1 || rc.Misses != 1 {
+		t.Errorf("response-cache accounting: %+v, want 1 hit / 1 miss", rc)
+	}
+	// The warm repeat never reached the catalog cache: the byte tier
+	// answered first.
+	if cc := srv.CatalogCache().Stats(); cc.Hits != 0 || cc.Misses != 1 {
+		t.Errorf("catalog-cache accounting: %+v, want 0 hits / 1 miss", cc)
 	}
 
 	// A cost-model epoch change (simulated via the process-wide salt)
-	// must invalidate the resident catalog and rebuild the same spec —
-	// byte-identically, since the pipeline is deterministic.
+	// must invalidate the resident response bytes AND the resident
+	// catalog, then rebuild the same spec — byte-identically, since the
+	// pipeline is deterministic.
 	engine.SetEpochSalt(123)
 	defer engine.SetEpochSalt(0)
 	status, bumped := get(t, url)
@@ -74,6 +82,9 @@ func TestCatalogRepeatIsZeroWorkAndEpochBumpRebuilds(t *testing.T) {
 	}
 	if !bytes.Equal(cold, bumped) {
 		t.Error("post-bump response differs (pipeline should be deterministic across epochs)")
+	}
+	if rc := srv.RespCache().Stats(); rc.Invalidations != 1 {
+		t.Errorf("epoch bump response-cache accounting: %+v, want 1 invalidation", rc)
 	}
 	cc := srv.CatalogCache().Stats()
 	if cc.Invalidations != 1 || cc.Misses != 2 {
@@ -84,9 +95,10 @@ func TestCatalogRepeatIsZeroWorkAndEpochBumpRebuilds(t *testing.T) {
 	}
 }
 
-// TestReplayRepeatHitsCatalogCache: /v1/replay routes its catalog build
-// through the same result cache, so a repeated replay of one spec
-// rebuilds nothing (the trace simulation itself still runs).
+// TestReplayRepeatHitsCatalogCache: a repeated replay of one spec
+// rebuilds nothing — the first repeat is served straight from the
+// pre-encoded response cache (no catalog lookup, no simulated frame),
+// and the underlying catalog was built exactly once.
 func TestReplayRepeatHitsCatalogCache(t *testing.T) {
 	srv, ts := newTestServer(t, Options{})
 	body := `{"catalog":{"family":"segformer","backend":"flops"},"trace":{"kind":"step","frames":32},"policies":["dynamic"]}`
@@ -101,16 +113,23 @@ func TestReplayRepeatHitsCatalogCache(t *testing.T) {
 		}
 	}
 	gen := srv.StreamStats().Generated
+	framesBefore := srv.replayFrames.Load()
 	resp, err := http.Post(ts.URL+"/v1/replay", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if cc := srv.CatalogCache().Stats(); cc.Hits < 2 || cc.Misses != 1 {
-		t.Errorf("replay repeats not served from the catalog cache: %+v", cc)
+	if rc := srv.RespCache().Stats(); rc.Hits < 2 {
+		t.Errorf("replay repeats not served from the response cache: %+v", rc)
+	}
+	if cc := srv.CatalogCache().Stats(); cc.Misses != 1 {
+		t.Errorf("replay repeats rebuilt the catalog: %+v", cc)
 	}
 	if d := srv.StreamStats().Generated - gen; d != 0 {
 		t.Errorf("repeated replay generated %d candidates, want 0", d)
+	}
+	if d := srv.replayFrames.Load() - framesBefore; d != 0 {
+		t.Errorf("warm replay simulated %d frames, want 0", d)
 	}
 }
 
@@ -240,8 +259,9 @@ func TestCatalogCacheConcurrentEpochBump(t *testing.T) {
 	}
 }
 
-// TestStatszCatalogCacheSection: the /statsz envelope exposes the cache
-// counters plus the derived hit rate.
+// TestStatszCatalogCacheSection: the /statsz envelope exposes both
+// cache tiers' counters plus derived hit rates. Three identical warm
+// requests land as one catalog build (miss) and two response-byte hits.
 func TestStatszCatalogCacheSection(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	url := ts.URL + "/v1/catalog?family=ofa&backend=flops"
@@ -261,15 +281,74 @@ func TestStatszCatalogCacheSection(t *testing.T) {
 			Entries int     `json:"entries"`
 			HitRate float64 `json:"hit_rate"`
 		} `json:"catalog_cache"`
+		ResponseCache struct {
+			Hits    int64   `json:"hits"`
+			Misses  int64   `json:"misses"`
+			Entries int     `json:"entries"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"response_cache"`
+		Pools struct {
+			EncodeBuffers struct {
+				Hits   int64 `json:"hits"`
+				Misses int64 `json:"misses"`
+			} `json:"encode_buffers"`
+		} `json:"pools"`
 	}
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatalf("decode statsz: %v", err)
 	}
 	cc := stats.CatalogCache
-	if cc.Hits != 2 || cc.Misses != 1 || cc.Entries != 1 {
-		t.Errorf("catalog_cache section %+v, want 2 hits / 1 miss / 1 entry", cc)
+	if cc.Hits != 0 || cc.Misses != 1 || cc.Entries != 1 {
+		t.Errorf("catalog_cache section %+v, want 0 hits / 1 miss / 1 entry", cc)
 	}
-	if want := 2.0 / 3.0; cc.HitRate != want {
-		t.Errorf("hit_rate %v, want %v", cc.HitRate, want)
+	rc := stats.ResponseCache
+	if rc.Hits != 2 || rc.Misses != 1 || rc.Entries != 1 {
+		t.Errorf("response_cache section %+v, want 2 hits / 1 miss / 1 entry", rc)
+	}
+	if want := 2.0 / 3.0; rc.HitRate != want {
+		t.Errorf("response_cache hit_rate %v, want %v", rc.HitRate, want)
+	}
+	if p := stats.Pools.EncodeBuffers; p.Hits+p.Misses == 0 {
+		t.Error("pools.encode_buffers counters never moved")
+	}
+}
+
+// benchmarkCatalogCacheParallel measures warm lookups under parallel
+// load — the contention profile the shard count exists to flatten.
+func benchmarkCatalogCacheParallel(b *testing.B, shards int) {
+	c := NewCatalogCacheWithShards(256, shards)
+	cat, err := rdd.NewCatalog("bench", []rdd.Path{{Label: "p", Cost: 1, Accuracy: 0.5}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]catalogKey, 64)
+	for i := range keys {
+		keys[i] = catalogKey{family: "bench", dataset: "ADE", variant: "Tiny", step: i, backend: "flops-proxy"}
+		if _, err := c.getOrBuild(keys[i], 1, func() (*rdd.Catalog, error) { return cat, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok := c.lookup(keys[i&63], 1); !ok {
+				b.Error("warm key missed")
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCatalogCacheParallel pins the sharding: the sharded variant
+// must beat the single-mutex one under parallel access (compare the
+// sub-benchmarks' ns/op).
+func BenchmarkCatalogCacheParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkCatalogCacheParallel(b, shards)
+		})
 	}
 }

@@ -107,6 +107,24 @@ func (s *Server) initMetrics(routes []string) {
 	gauge("vitdyn_catalog_cache_entries", "Resident cached catalogs.", func() float64 { return float64(cc.Len()) })
 	gauge("vitdyn_catalog_cache_hit_ratio", "Catalog-cache hit rate (0 before any lookup).", func() float64 { return cc.Stats().HitRate() })
 
+	rc := s.resp
+	counter("vitdyn_response_cache_hits_total", "Requests served from pre-encoded response bytes.", func() int64 { return rc.Stats().Hits })
+	counter("vitdyn_response_cache_misses_total", "Cacheable requests that had to encode.", func() int64 { return rc.Stats().Misses })
+	counter("vitdyn_response_cache_invalidations_total", "Cached responses dropped on a backend epoch change.", func() int64 { return rc.Stats().Invalidations })
+	counter("vitdyn_response_cache_evictions_total", "Cached responses evicted under capacity pressure.", func() int64 { return rc.Stats().Evictions })
+	gauge("vitdyn_response_cache_entries", "Resident pre-encoded responses.", func() float64 { return float64(rc.Len()) })
+	gauge("vitdyn_response_cache_hit_ratio", "Response-cache hit rate (0 before any lookup).", func() float64 { return rc.Stats().HitRate() })
+
+	poolSeries := func(pool string, v func() PoolCounters) {
+		reg.CounterFunc("vitdyn_pool_hits_total", "Pool gets served by a recycled object.",
+			func() float64 { return float64(v().Hits) }, obs.Label{Key: "pool", Value: pool})
+		reg.CounterFunc("vitdyn_pool_misses_total", "Pool gets that had to allocate.",
+			func() float64 { return float64(v().Misses) }, obs.Label{Key: "pool", Value: pool})
+	}
+	poolSeries("encode_buffers", encBufPoolStats)
+	poolSeries("status_recorders", recPoolStats)
+	poolSeries("trace_slices", tracePoolCounters)
+
 	if db := s.opts.DB; db != nil {
 		counter("vitdyn_costdb_appends_total", "Cost records appended to the WAL.", func() int64 { return db.Stats().Appends })
 		counter("vitdyn_costdb_disk_hits_total", "Lookups served from the durable tier.", func() int64 { return db.Stats().DiskHits })

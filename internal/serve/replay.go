@@ -290,6 +290,19 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Warm path: a repeat replay (canonical spec, single/batch forms
+	// folded, workers ignored) serves its cached bytes without a sweep
+	// slot, a catalog lookup or a single simulated frame.
+	var cacheKey string
+	if respCacheableQuery(r.URL.RawQuery) {
+		cacheKey = replayCacheKey(req.Catalog, specs, req.Policies)
+		if ent, ok := s.resp.lookupKeyed(respReplay, cacheKey); ok {
+			s.replays.Add(1)
+			writeEntry(w, ent)
+			return
+		}
+	}
+
 	ctx := r.Context()
 	if err := s.acquireSweepSlot(ctx); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -332,7 +345,12 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}
 		results[i].Frames = len(tr)
+		frames := int64(len(tr))
 		polResults, err := simulateReplay(cat, tr, pols)
+		// The trace is consumed: results hold aggregates and the echoed
+		// spec holds the client's inline values, never the built slice —
+		// its backing array goes back to the generator pool.
+		rdd.RecycleTrace(tr)
 		if err != nil {
 			s.replayInfeasible.Add(1)
 			itemErrs[i] = err
@@ -340,7 +358,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		}
 		results[i].Policies = polResults
 		s.replayTraces.Add(1)
-		s.replayFrames.Add(int64(len(tr)))
+		s.replayFrames.Add(frames)
 		return nil
 	})
 	if err != nil {
@@ -359,17 +377,52 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "replay %s: %v", model, itemErrs[0])
 		return
 	}
+	allOK := true
 	for i, e := range itemErrs {
 		if e != nil {
 			results[i].Error = e.Error()
+			allOK = false
 		}
 	}
 	s.replays.Add(1)
-	writeJSON(w, http.StatusOK, ReplayResponse{
+	resp := ReplayResponse{
 		Model:   cat.Model,
 		Backend: backend.Name(),
 		Unit:    unitFor(backend.Name()),
 		Paths:   len(cat.Paths),
 		Results: results,
-	})
+	}
+	// Cache only fully-successful replays — item errors may be transient
+	// — stamped with the catalog backend's epoch so a cost-model upgrade
+	// or a salt flip invalidates the bytes with the catalog.
+	if allOK && cacheKey != "" {
+		if buf, err := encodeJSON(resp); err == nil {
+			s.resp.put(respReplay, cacheKey, buf.Bytes(),
+				[]epochStamp{{backend: backend, epoch: engine.BackendEpoch(backend)}})
+			writeBuf(w, http.StatusOK, buf.Bytes())
+			putEncBuf(buf)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// replayCacheKey renders the canonical identity of a replay request as
+// the response-cache key: the catalog spec canonicalized, the trace
+// specs exactly as they will replay (the single-trace and one-element
+// batch forms produce identical responses and share a key), the policy
+// panel verbatim, worker budgets dropped. "" means "do not cache" — an
+// unmarshalable spec or a values trace large enough to blow the key
+// budget.
+func replayCacheKey(cat CatalogRequest, specs []rdd.TraceSpec, policies []string) string {
+	key := struct {
+		Catalog  CatalogRequest  `json:"catalog"`
+		Traces   []rdd.TraceSpec `json:"traces"`
+		Policies []string        `json:"policies,omitempty"`
+	}{Catalog: canonicalCatalogRequest(cat), Traces: specs, Policies: policies}
+	b, err := json.Marshal(key)
+	if err != nil || len(b) > maxRespKeyBytes {
+		return ""
+	}
+	return string(b)
 }

@@ -1,0 +1,265 @@
+package serve
+
+// Pre-encoded response cache. The catalog cache (catcache.go) makes a
+// warm request cost zero backend work — but the handler still re-encodes
+// the full JSON body on every hit: an encoder, a buffer, a reflection
+// walk over hundreds of paths, per request, to produce bytes that are a
+// pure function of the spec. This cache keeps the finished bytes: a warm
+// hit is a header write plus one w.Write of a cached []byte with a
+// precomputed Content-Length. Entries are stamped with every backend
+// epoch that contributed to the body (engine.BackendEpoch); lookups
+// revalidate the stamps, so an epoch bump or SetEpochSalt invalidates
+// cached bytes exactly as it invalidates cached catalogs — stale bytes
+// are never served. Only fully-successful, untraced 200 responses are
+// cached: ?debug=trace responses embed per-request spans, and error
+// outcomes may be transient (timeouts, slot exhaustion), so both bypass.
+//
+// Keys are exact strings: the literal RawQuery for GET /v1/catalog (so
+// the warm probe allocates nothing), a canonical JSON rendering of the
+// normalized request for replay and batch. Two spellings of one spec
+// may occupy two entries; both are valid, both are epoch-checked, and
+// the LRU bounds total residency.
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"vitdyn/internal/engine"
+)
+
+// respKind separates the three endpoint namespaces so a replay key can
+// never collide with a catalog query string.
+type respKind uint8
+
+const (
+	respCatalog respKind = iota
+	respReplay
+	respBatch
+)
+
+// Response-cache sizing. Capacity is entries, not bytes, matching the
+// catalog cache; maxRespBodyBytes keeps one giant replay from pinning
+// megabytes per entry, and maxRespKeyBytes bounds what a hostile query
+// string or a values-laden replay body can burn on keys.
+const (
+	DefaultRespCacheCapacity = 256
+	maxRespBodyBytes         = 1 << 20 // 1 MiB
+	maxRespKeyBytes          = 64 << 10
+)
+
+// epochStamp records one backend whose cost model shaped a cached body,
+// with the epoch it had at encode time. lookup revalidates by asking
+// the backend for its current epoch — BackendEpoch is memoized and
+// allocation-free on repeat, and unlike the epoch registry it always
+// reflects the current salt.
+type epochStamp struct {
+	backend engine.CostBackend
+	epoch   uint64
+}
+
+type respKey struct {
+	kind respKind
+	key  string
+}
+
+// respEntry is one cached response. body is immutable after insert —
+// writers hand the cache a private copy — so concurrent readers may
+// write it to the wire without holding any lock. clen is the
+// precomputed Content-Length header value, shared by every hit.
+type respEntry struct {
+	key    respKey
+	body   []byte
+	clen   []string // Content-Length header value, precomputed
+	stamps []epochStamp
+}
+
+// respShard is one independent slice of the cache, same shape as
+// catShard.
+type respShard struct {
+	mu      sync.Mutex
+	entries map[respKey]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+}
+
+// RespCache is a sharded LRU of pre-encoded response bodies keyed by
+// (kind, exact key string), epoch-validated on every hit. Safe for
+// concurrent use.
+type RespCache struct {
+	shards []*respShard
+	mask   uint64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+}
+
+// NewRespCache returns a cache holding at most capacity responses;
+// capacity <= 0 selects DefaultRespCacheCapacity. Shard count follows
+// the catalog cache's rule: power of two, at least 8 entries per shard,
+// one shard for tiny capacities (strict global LRU).
+func NewRespCache(capacity int) *RespCache {
+	if capacity <= 0 {
+		capacity = DefaultRespCacheCapacity
+	}
+	n := catalogCacheShards(capacity)
+	c := &RespCache{shards: make([]*respShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		capi := capacity / n
+		if i < capacity%n {
+			capi++
+		}
+		c.shards[i] = &respShard{
+			entries: make(map[respKey]*list.Element),
+			order:   list.New(),
+			cap:     capi,
+		}
+	}
+	return c
+}
+
+// shardFor hashes (kind, key) across shards, FNV-1a.
+func (c *RespCache) shardFor(key respKey) *respShard {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	h ^= uint64(key.kind)
+	h *= prime64
+	for i := 0; i < len(key.key); i++ {
+		h ^= uint64(key.key[i])
+		h *= prime64
+	}
+	return c.shards[h&c.mask]
+}
+
+func (s *respShard) removeLocked(el *list.Element) {
+	s.order.Remove(el)
+	delete(s.entries, el.Value.(*respEntry).key)
+}
+
+// lookup returns the cached entry for (kind, key) when it is resident
+// and every backend stamp still matches its backend's current epoch. A
+// stale stamp — the backend upgraded, or SetEpochSalt flipped every
+// epoch — invalidates the entry here, exactly like the catalog cache.
+// The returned entry's body is immutable; callers write it without
+// further synchronization.
+func (c *RespCache) lookup(kind respKind, key string) (*respEntry, bool) {
+	k := respKey{kind: kind, key: key}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*respEntry)
+	for _, st := range ent.stamps {
+		if engine.BackendEpoch(st.backend) != st.epoch {
+			s.removeLocked(el)
+			s.mu.Unlock()
+			c.invalidations.Add(1)
+			c.misses.Add(1)
+			return nil, false
+		}
+	}
+	s.order.MoveToFront(el)
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return ent, true
+}
+
+// lookupKeyed is lookup with the "" sentinel treated as uncacheable —
+// no probe, no miss counted. Handlers whose key construction can
+// decline (batchCacheKey, replayCacheKey) route through it.
+func (c *RespCache) lookupKeyed(kind respKind, key string) (*respEntry, bool) {
+	if key == "" {
+		return nil, false
+	}
+	return c.lookup(kind, key)
+}
+
+// put caches a response body under (kind, key), copying body so the
+// caller may recycle its encode buffer. Oversized bodies and keys are
+// skipped — the cold path already served them; they are just not worth
+// pinning. A racing put for the same key wins by replacement.
+func (c *RespCache) put(kind respKind, key string, body []byte, stamps []epochStamp) {
+	if len(body) > maxRespBodyBytes || len(key) > maxRespKeyBytes || len(body) == 0 || key == "" {
+		return
+	}
+	ent := &respEntry{
+		key:    respKey{kind: kind, key: key},
+		body:   append([]byte(nil), body...),
+		clen:   []string{strconv.Itoa(len(body))},
+		stamps: stamps,
+	}
+	s := c.shardFor(ent.key)
+	s.mu.Lock()
+	if el, ok := s.entries[ent.key]; ok {
+		s.removeLocked(el)
+	}
+	s.entries[ent.key] = s.order.PushFront(ent)
+	for s.order.Len() > s.cap {
+		s.removeLocked(s.order.Back())
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of resident entries across all shards.
+func (c *RespCache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total capacity across all shards.
+func (c *RespCache) Capacity() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.cap
+	}
+	return n
+}
+
+// RespCacheStats is the /statsz response_cache section: hits are
+// requests served straight from cached bytes, misses are cacheable
+// requests that had to encode, invalidations are entries dropped on an
+// epoch change.
+type RespCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
+	Capacity      int   `json:"capacity"`
+	Shards        int   `json:"shards"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (st RespCacheStats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *RespCache) Stats() RespCacheStats {
+	return RespCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       c.Len(),
+		Capacity:      c.Capacity(),
+		Shards:        len(c.shards),
+	}
+}

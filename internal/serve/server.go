@@ -55,6 +55,10 @@ type Options struct {
 	// catalogs keyed by canonicalized request spec + backend epoch; see
 	// CatalogCache). <= 0 selects DefaultCatalogCacheCapacity.
 	CatalogCacheCapacity int
+	// RespCacheCapacity bounds the pre-encoded response cache (finished
+	// JSON bytes keyed by exact spec + backend epochs; see RespCache).
+	// <= 0 selects DefaultRespCacheCapacity.
+	RespCacheCapacity int
 	// Metrics is the registry GET /metrics exposes; the server registers
 	// its per-route instruments and /statsz-backed series into it. Nil
 	// selects a fresh registry (per-server metrics). Pass a shared one to
@@ -96,6 +100,7 @@ type Server struct {
 	mux        *http.ServeMux
 	sweep      chan struct{} // server-wide concurrent-sweep semaphore
 	catalog    *CatalogCache // spec → built catalog result cache
+	resp       *RespCache    // spec → pre-encoded response bytes
 	start      time.Time
 	metrics    *obs.Registry            // the /metrics registry
 	routeStats map[string]*routeMetrics // per-route latency + status instruments
@@ -134,6 +139,7 @@ func NewServer(opts Options) *Server {
 	}
 	s.sweep = make(chan struct{}, s.opts.MaxConcurrentSweeps)
 	s.catalog = NewCatalogCache(s.opts.CatalogCacheCapacity)
+	s.resp = NewRespCache(s.opts.RespCacheCapacity)
 	// Register every servable backend's epoch up front, so a durable
 	// tier configured with engine.StaleEpoch can retire another epoch's
 	// entries even before the first request exercises that backend.
@@ -191,6 +197,9 @@ func (s *Server) Store() *Store { return s.opts.Store }
 // CatalogCache returns the server's catalog-level result cache.
 func (s *Server) CatalogCache() *CatalogCache { return s.catalog }
 
+// RespCache returns the server's pre-encoded response cache.
+func (s *Server) RespCache() *RespCache { return s.resp }
+
 // Handler returns the server's HTTP handler: observability middleware
 // plus a per-request timeout context around the endpoint mux. Every
 // request gets an ID (inbound X-Request-ID is honored, otherwise one is
@@ -200,17 +209,43 @@ func (s *Server) CatalogCache() *CatalogCache { return s.catalog }
 // ?debug=trace additionally attaches an obs.Trace to the request
 // context; instrumented handlers (the catalog path) record stage spans
 // into it and return them in the response body.
+//
+// A warm GET /v1/catalog with cacheable query params is served before
+// the timeout context, trace check and mux dispatch ever run: one
+// response-cache probe, one Write of pre-encoded bytes. The middleware
+// contract still holds on that path — request ID, histogram, status
+// counter and access log all fire (pinned by
+// TestMiddlewareFiresOnFastPath) — and with an inbound request ID the
+// whole request is allocation-free (TestCatalogFastPathZeroAllocs).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		s.active.Add(1)
 		defer s.active.Add(-1)
 		start := time.Now()
-		id := r.Header.Get("X-Request-ID")
-		if id == "" {
+		// Honor an inbound request ID by reusing its already-parsed header
+		// slice — the warm path then carries no per-request strings of its
+		// own. Header keys are written in canonical form directly, skipping
+		// Set's per-request canonicalization pass.
+		h := w.Header()
+		var id string
+		if vs := r.Header["X-Request-Id"]; len(vs) > 0 && vs[0] != "" {
+			id = vs[0]
+			h["X-Request-Id"] = vs
+		} else {
 			id = obs.NewRequestID()
+			h["X-Request-Id"] = []string{id}
 		}
-		w.Header().Set("X-Request-ID", id)
+		if r.Method == http.MethodGet && r.URL.Path == "/v1/catalog" && respCacheableQuery(r.URL.RawQuery) {
+			if ent, ok := s.resp.lookup(respCatalog, r.URL.RawQuery); ok {
+				h["Content-Type"] = jsonContentType
+				h["Content-Length"] = ent.clen
+				w.WriteHeader(http.StatusOK)
+				_, _ = w.Write(ent.body)
+				s.observe(r, id, start, http.StatusOK, int64(len(ent.body)))
+				return
+			}
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		// The Contains pre-check keeps the common untraced path free of
@@ -218,25 +253,47 @@ func (s *Server) Handler() http.Handler {
 		if strings.Contains(r.URL.RawQuery, "debug=trace") && r.URL.Query().Get("debug") == "trace" {
 			ctx = obs.WithTrace(ctx, obs.NewTrace(id))
 		}
-		rec := &statusRecorder{ResponseWriter: w}
+		rec := getStatusRecorder(w)
 		s.mux.ServeHTTP(rec, r.WithContext(ctx))
-		elapsed := time.Since(start)
-		rm := s.routeMetricsFor(r.URL.Path)
-		rm.latency.ObserveDuration(elapsed)
-		rm.status[classIdx(rec.Status())].Inc()
-		s.opts.AccessLog.Log(obs.AccessEntry{
-			Time:       start,
-			RequestID:  id,
-			Remote:     r.RemoteAddr,
-			Method:     r.Method,
-			Path:       r.URL.Path,
-			Query:      r.URL.RawQuery,
-			Route:      s.routeNameFor(r.URL.Path),
-			Status:     rec.Status(),
-			Bytes:      rec.bytes,
-			DurationMS: float64(elapsed) / float64(time.Millisecond),
-		})
+		status, bytes := rec.Status(), rec.bytes
+		putStatusRecorder(rec)
+		s.observe(r, id, start, status, bytes)
 	})
+}
+
+// observe is the middleware epilogue shared by the fast path and the
+// mux path: per-route latency histogram observation, status-class
+// counter increment, and — when configured — one access-log line.
+func (s *Server) observe(r *http.Request, id string, start time.Time, status int, bytes int64) {
+	elapsed := time.Since(start)
+	rm := s.routeMetricsFor(r.URL.Path)
+	rm.latency.ObserveDuration(elapsed)
+	rm.status[classIdx(status)].Inc()
+	s.opts.AccessLog.Log(obs.AccessEntry{
+		Time:       start,
+		RequestID:  id,
+		Remote:     r.RemoteAddr,
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Query:      r.URL.RawQuery,
+		Route:      s.routeNameFor(r.URL.Path),
+		Status:     status,
+		Bytes:      bytes,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// respCacheableQuery reports whether a query string may use the
+// pre-encoded response cache: no debug/trace request and no explicit
+// worker override (?workers= changes build latency, never bytes, but a
+// caller tuning workers is profiling, not repeating traffic). The
+// literal-substring check is deliberately the same predicate shape the
+// trace middleware uses: a response can only embed a trace block when
+// "debug=trace" appears literally in RawQuery, and any such query
+// fails this check — so a traced response can never be cached, and a
+// cached response can never be served to a traced request.
+func respCacheableQuery(raw string) bool {
+	return !strings.Contains(raw, "debug=") && !strings.Contains(raw, "workers=")
 }
 
 // routeNameFor returns the bounded route label for a path ("other" for
@@ -254,11 +311,19 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// writeJSON renders v through a pooled encode buffer — byte-identical
+// to the former direct-to-writer stream, now with an exact
+// Content-Length on every JSON response.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	buf, err := encodeJSON(v)
+	if err != nil {
+		// Nothing has been written yet, so the failure can be reported
+		// properly instead of truncating a 200 mid-body.
+		writeBuf(w, http.StatusInternalServerError, []byte("{\"error\":\"response encoding failed\"}\n"))
+		return
+	}
+	writeBuf(w, status, buf.Bytes())
+	putEncBuf(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -286,13 +351,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // statszResponse is the /statsz envelope. Costdb appears only when the
 // server runs over a durable tier (-store-path on vitdynd).
 type statszResponse struct {
-	Store        StoreStats        `json:"store"`
-	CatalogCache catalogCacheStatz `json:"catalog_cache"`
-	Server       serverStats       `json:"server"`
-	Stream       streamStats       `json:"stream"`
-	Replay       replayStats       `json:"replay"`
-	Persist      persistStats      `json:"persist"`
-	Costdb       *costdb.Stats     `json:"costdb,omitempty"`
+	Store         StoreStats        `json:"store"`
+	CatalogCache  catalogCacheStatz `json:"catalog_cache"`
+	ResponseCache respCacheStatz    `json:"response_cache"`
+	Pools         poolsStatz        `json:"pools"`
+	Server        serverStats       `json:"server"`
+	Stream        streamStats       `json:"stream"`
+	Replay        replayStats       `json:"replay"`
+	Persist       persistStats      `json:"persist"`
+	Costdb        *costdb.Stats     `json:"costdb,omitempty"`
 }
 
 // catalogCacheStatz is the /statsz view of the catalog result cache: the
@@ -300,6 +367,27 @@ type statszResponse struct {
 type catalogCacheStatz struct {
 	CatalogCacheStats
 	HitRate float64 `json:"hit_rate"`
+}
+
+// respCacheStatz is the /statsz view of the pre-encoded response cache.
+type respCacheStatz struct {
+	RespCacheStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// poolsStatz is the /statsz view of the request-path buffer pools: the
+// JSON encode buffers and middleware status recorders (this package)
+// and the replay trace slices (internal/rdd, process-wide).
+type poolsStatz struct {
+	EncodeBuffers   PoolCounters `json:"encode_buffers"`
+	StatusRecorders PoolCounters `json:"status_recorders"`
+	TraceSlices     PoolCounters `json:"trace_slices"`
+}
+
+// tracePoolCounters adapts rdd.TracePoolStats to the /statsz pool shape.
+func tracePoolCounters() PoolCounters {
+	h, m := rdd.TracePoolStats()
+	return PoolCounters{Hits: int64(h), Misses: int64(m)}
 }
 
 // persistStats is the /statsz view of snapshot exchange over HTTP.
@@ -350,9 +438,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		dbStats = &ds
 	}
 	cc := s.catalog.Stats()
+	rc := s.resp.Stats()
 	writeJSON(w, http.StatusOK, statszResponse{
-		Store:        st,
-		CatalogCache: catalogCacheStatz{CatalogCacheStats: cc, HitRate: cc.HitRate()},
+		Store:         st,
+		CatalogCache:  catalogCacheStatz{CatalogCacheStats: cc, HitRate: cc.HitRate()},
+		ResponseCache: respCacheStatz{RespCacheStats: rc, HitRate: rc.HitRate()},
+		Pools: poolsStatz{
+			EncodeBuffers:   encBufPoolStats(),
+			StatusRecorders: recPoolStats(),
+			TraceSlices:     tracePoolCounters(),
+		},
 		Server: serverStats{
 			Requests:        s.requests.Load(),
 			Active:          s.active.Load(),
@@ -757,7 +852,39 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name()))
 	resp.Trace = traceBlockFor(r.Context())
+	// Cacheable specs keep their encoded bytes for the pre-mux fast
+	// path: encode once, stash a copy stamped with the backend's epoch,
+	// serve this request from the same buffer.
+	if resp.Trace == nil && respCacheableQuery(r.URL.RawQuery) {
+		if buf, err := encodeJSON(resp); err == nil {
+			s.resp.put(respCatalog, r.URL.RawQuery, buf.Bytes(),
+				[]epochStamp{{backend: backend, epoch: engine.BackendEpoch(backend)}})
+			writeBuf(w, http.StatusOK, buf.Bytes())
+			putEncBuf(buf)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// canonicalCatalogRequest folds a catalog spec to its canonical form —
+// the same defaults catalogKeyFor resolves, the backend spec replaced
+// by its resolved name (so "", "gpu" and any future alias share bytes)
+// and the worker budget zeroed (workers change latency, never bytes).
+// Unresolvable backends keep their raw spec: the error they produce is
+// deterministic too.
+func canonicalCatalogRequest(cr CatalogRequest) CatalogRequest {
+	if cr.Dataset == "" {
+		cr.Dataset = "ADE"
+	}
+	if cr.Variant == "" {
+		cr.Variant = "Tiny"
+	}
+	if b, err := ResolveBackend(cr.Backend); err == nil {
+		cr.Backend = b.Name()
+	}
+	cr.Workers = 0
+	return cr
 }
 
 // BatchRequest is the POST /v1/batch body: many catalog specs priced in
@@ -810,6 +937,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Warm path: a repeat batch (canonicalized, worker budgets ignored)
+	// serves its cached bytes without taking a sweep slot.
+	var cacheKey string
+	if respCacheableQuery(r.URL.RawQuery) {
+		cacheKey = batchCacheKey(req)
+		if ent, ok := s.resp.lookupKeyed(respBatch, cacheKey); ok {
+			writeEntry(w, ent)
+			return
+		}
+	}
+
 	ctx := r.Context()
 	if err := s.acquireSweepSlot(ctx); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -826,6 +964,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	perItem := workers / fan
 	results := make([]BatchResult, len(req.Requests))
+	stamps := make([]epochStamp, len(req.Requests))
 	// Item errors land in their result slot, so ForEachCtx only ever sees
 	// the context expiring — that aborts the remaining items.
 	err := engine.ForEachCtx(ctx, fan, len(req.Requests), func(i int) error {
@@ -847,6 +986,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = BatchResult{Error: fmt.Sprintf("catalog %s: %v", model, err)}
 			return nil
 		}
+		stamps[i] = epochStamp{backend: backend, epoch: engine.BackendEpoch(backend)}
 		resp := CatalogResponseFor(cat, backend.Name(), unitFor(backend.Name()))
 		results[i] = BatchResult{Catalog: &resp}
 		return nil
@@ -855,7 +995,52 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatusFor(err), "batch: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	resp := BatchResponse{Results: results}
+	// Cache only fully-successful batches: per-item errors may be
+	// transient (timeouts, slot pressure), and a batch with any failed
+	// item has no complete epoch-stamp set to validate against.
+	allOK := true
+	for i := range results {
+		if results[i].Error != "" {
+			allOK = false
+			break
+		}
+	}
+	if allOK && cacheKey != "" {
+		if buf, err := encodeJSON(resp); err == nil {
+			s.resp.put(respBatch, cacheKey, buf.Bytes(), stamps)
+			writeBuf(w, http.StatusOK, buf.Bytes())
+			putEncBuf(buf)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchCacheKey renders the canonical identity of a batch request —
+// every item canonicalized, the batch-wide worker budget dropped — as
+// the response-cache key. "" (unmarshalable, or over the key size cap)
+// means "do not cache".
+func batchCacheKey(req BatchRequest) string {
+	canon := BatchRequest{Requests: make([]CatalogRequest, len(req.Requests))}
+	for i, item := range req.Requests {
+		canon.Requests[i] = canonicalCatalogRequest(item)
+	}
+	b, err := json.Marshal(canon)
+	if err != nil || len(b) > maxRespKeyBytes {
+		return ""
+	}
+	return string(b)
+}
+
+// writeEntry serves a cached pre-encoded response: shared Content-Type
+// slice, precomputed Content-Length, one Write.
+func writeEntry(w http.ResponseWriter, ent *respEntry) {
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	h["Content-Length"] = ent.clen
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ent.body)
 }
 
 // BuildModel maps a /v1/profile model spec to a graph:

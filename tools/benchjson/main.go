@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baseline := fs.String("baseline", "", "previous artifact to diff against (missing file = no delta, not an error)")
 	threshold := fs.Float64("threshold", 0.10, "relative ns/op change below which a delta is reported as ~unchanged")
 	gate := fs.Float64("gate", 0, "fail (exit 1) when any benchmark regresses more than this percent vs the baseline (0 = report only; missing baseline = warn only)")
+	gateAllocs := fs.Float64("gate-allocs", 0, "fail (exit 1) when any benchmark's allocs/op regresses more than this percent vs the baseline, or grows from zero (0 = report only; needs -benchmem runs so the allocs/op column exists)")
 	gateFloor := fs.Float64("gate-floor-ns", 1e5, "exclude benchmarks whose baseline ns/op is below this from the gate (default 100µs: single-iteration timings below it — nanosecond micro-benchmarks especially — are noise at -benchtime=1x, while the replay/sweep hot paths all sit above it)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "benchjson: wrote %d benchmarks to %s\n", len(art.Benchmarks), *out)
 
 	gateSkipped := func(why string) {
-		if *gate > 0 {
+		if *gate > 0 || *gateAllocs > 0 {
 			fmt.Fprintf(stdout, "benchjson: %s — gate is warn-only this run\n", why)
 		}
 	}
@@ -128,17 +129,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	PrintDelta(stdout, prev, art, *threshold)
-	if *gate > 0 {
-		if viol := GateViolations(prev, art, *gate/100, *gateFloor); len(viol) > 0 {
+	if *gate > 0 || *gateAllocs > 0 {
+		var viol []string
+		if *gate > 0 {
+			viol = append(viol, GateViolations(prev, art, *gate/100, *gateFloor)...)
+		}
+		if *gateAllocs > 0 {
+			viol = append(viol, GateAllocViolations(prev, art, *gateAllocs/100)...)
+		}
+		if len(viol) > 0 {
 			for _, v := range viol {
 				fmt.Fprintf(stderr, "benchjson: GATE: %s\n", v)
 			}
-			fmt.Fprintf(stderr, "benchjson: bench-regression gate failed: %d benchmark(s) regressed more than %.0f%%\n", len(viol), *gate)
+			fmt.Fprintf(stderr, "benchjson: bench-regression gate failed: %d benchmark(s) regressed\n", len(viol))
 			return 1
 		}
-		fmt.Fprintf(stdout, "benchjson: gate ok (no benchmark regressed more than %.0f%%)\n", *gate)
+		fmt.Fprintln(stdout, "benchjson: gate ok (no benchmark regressed beyond its threshold)")
 	}
 	return 0
+}
+
+// GateAllocViolations lists the benchmarks whose allocs/op regressed
+// beyond the relative threshold (0.25 = 25%), plus any that grew from
+// zero — a zero-alloc hot path is an invariant, not a measurement, so
+// ANY allocation on one gates regardless of the threshold. Benchmarks
+// missing the allocs column on either side never gate: the baseline may
+// predate -benchmem. No noise floor applies — allocation counts are
+// deterministic, unlike timings.
+func GateAllocViolations(prev, cur Artifact, threshold float64) []string {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var viol []string
+	for _, name := range names {
+		p, ok := prev.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		pa, pok := p.Extra["allocs"]
+		ca, cok := cur.Benchmarks[name].Extra["allocs"]
+		if !pok || !cok {
+			continue
+		}
+		switch {
+		case pa == 0 && ca > 0:
+			viol = append(viol, fmt.Sprintf("%s was allocation-free, now %.0f allocs/op", name, ca))
+		case pa > 0 && (ca-pa)/pa > threshold:
+			viol = append(viol, fmt.Sprintf("%s allocs regressed %+.1f%% (%.0f → %.0f allocs/op)", name, 100*(ca-pa)/pa, pa, ca))
+		}
+	}
+	return viol
 }
 
 // GateViolations lists the benchmarks present in both artifacts whose

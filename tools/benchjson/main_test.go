@@ -241,3 +241,113 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Errorf("missing -out exit %d, want 2", code)
 	}
 }
+
+func TestGateAllocViolations(t *testing.T) {
+	allocs := func(ns, a float64) Result {
+		return Result{NsPerOp: ns, Extra: map[string]float64{"B": 8 * a, "allocs": a}}
+	}
+	prev := Artifact{Benchmarks: map[string]Result{
+		"BenchmarkRegressed": allocs(100, 10),
+		"BenchmarkOK":        allocs(100, 10),
+		"BenchmarkImproved":  allocs(100, 10),
+		"BenchmarkWasZero":   allocs(100, 0),
+		"BenchmarkStaysZero": allocs(100, 0),
+		"BenchmarkNoColumn":  {NsPerOp: 100}, // baseline predates -benchmem
+	}}
+	cur := Artifact{Benchmarks: map[string]Result{
+		"BenchmarkRegressed": allocs(100, 20), // +100% > 25%
+		"BenchmarkOK":        allocs(100, 11), // +10% within gate
+		"BenchmarkImproved":  allocs(100, 2),
+		"BenchmarkWasZero":   allocs(100, 1), // any alloc on a zero-alloc path gates
+		"BenchmarkStaysZero": allocs(100, 0),
+		"BenchmarkNoColumn":  allocs(100, 50),
+		"BenchmarkAdded":     allocs(100, 999), // new: nothing to compare
+	}}
+	viol := GateAllocViolations(prev, cur, 0.25)
+	if len(viol) != 2 {
+		t.Fatalf("violations %v, want the +100%% regression and the zero-alloc break", viol)
+	}
+	if !strings.Contains(viol[0], "BenchmarkRegressed") || !strings.Contains(viol[0], "+100.0%") {
+		t.Errorf("regression violation %q", viol[0])
+	}
+	if !strings.Contains(viol[1], "BenchmarkWasZero") || !strings.Contains(viol[1], "allocation-free") {
+		t.Errorf("zero-alloc violation %q", viol[1])
+	}
+	// The zero-alloc break gates no matter how loose the threshold is.
+	if viol := GateAllocViolations(prev, cur, 100); len(viol) != 1 || !strings.Contains(viol[0], "BenchmarkWasZero") {
+		t.Errorf("loose-threshold violations %v, want only the zero-alloc break", viol)
+	}
+}
+
+func TestParseMixedLines(t *testing.T) {
+	// Real bench output mixes plain ns/op rows, -benchmem rows, loadgen's
+	// synthetic rows and custom ReportMetric units; every row must parse
+	// with exactly the extras it carries.
+	input := `goos: linux
+BenchmarkPlain-8         	    1000	       250 ns/op
+BenchmarkMem-8           	     500	      1200 ns/op	     384 B/op	       7 allocs/op
+BenchmarkZeroAlloc-8     	   10000	       158.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLoadgen/catalog/p50 	     400	      247000 ns/op
+BenchmarkCustom-8        	     100	      9000 ns/op	        42.5 widgets/op	       3 allocs/op
+PASS
+`
+	art, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %+v", len(art.Benchmarks), art.Benchmarks)
+	}
+	if r := art.Benchmarks["BenchmarkPlain"]; r.Extra != nil {
+		t.Errorf("plain row grew extras: %+v", r.Extra)
+	}
+	if r := art.Benchmarks["BenchmarkMem"]; r.Extra["B"] != 384 || r.Extra["allocs"] != 7 {
+		t.Errorf("benchmem row extras %+v", r.Extra)
+	}
+	if r := art.Benchmarks["BenchmarkZeroAlloc"]; r.NsPerOp != 158.4 || r.Extra["allocs"] != 0 {
+		t.Errorf("zero-alloc row %+v", r)
+	}
+	if r := art.Benchmarks["BenchmarkLoadgen/catalog/p50"]; r.NsPerOp != 247000 {
+		t.Errorf("loadgen row %+v", r)
+	}
+	if r := art.Benchmarks["BenchmarkCustom"]; r.Extra["widgets"] != 42.5 || r.Extra["allocs"] != 3 {
+		t.Errorf("custom-metric row extras %+v", r.Extra)
+	}
+}
+
+func TestRunGateAllocs(t *testing.T) {
+	dir := t.TempDir()
+	clean := `BenchmarkWarm-8	  100000	      158 ns/op	       0 B/op	       0 allocs/op
+`
+	dirty := `BenchmarkWarm-8	  100000	      160 ns/op	      48 B/op	       2 allocs/op
+`
+	cleanIn := filepath.Join(dir, "clean.txt")
+	dirtyIn := filepath.Join(dir, "dirty.txt")
+	os.WriteFile(cleanIn, []byte(clean), 0o644)
+	os.WriteFile(dirtyIn, []byte(dirty), 0o644)
+	baseline := filepath.Join(dir, "BENCH_base.json")
+	var stdout, stderr bytes.Buffer
+
+	if code := run([]string{"-in", cleanIn, "-out", baseline}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline run exit %d, stderr %s", code, stderr.String())
+	}
+	// Timing is within the ns/op gate (its floor excludes it anyway), but
+	// the zero-alloc break must fail the allocs gate.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-in", dirtyIn, "-out", filepath.Join(dir, "d.json"), "-baseline", baseline, "-gate", "25", "-gate-allocs", "25"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("alloc-regressed run exit %d, want 1 (stderr %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "allocation-free") {
+		t.Errorf("alloc gate failure not diagnosed: %s", stderr.String())
+	}
+	// Identical allocs pass both gates.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-in", cleanIn, "-out", filepath.Join(dir, "c.json"), "-baseline", baseline, "-gate", "25", "-gate-allocs", "25"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean rerun exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gate ok") {
+		t.Errorf("clean rerun missing gate-ok note: %s", stdout.String())
+	}
+}

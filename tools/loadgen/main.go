@@ -18,6 +18,11 @@
 //	        [-mix catalog=4,replay=1,batch=1] [-family segformer]
 //	        [-backend flops] [-timeout D] [-max-error-rate F]
 //	        [-warm=false] [-bench] [-scrape]
+//	        [-profile http://host:debugport] [-profile-out allocs.pprof]
+//
+// -profile points at a pprof debug listener (vitdynd -debug-addr) and
+// captures a delta allocs profile spanning the measured run into
+// -profile-out — `make load-profile` wires the whole flow up.
 //
 // -bench emits Go benchmark-format lines
 // (BenchmarkLoadgen/<kind>/p50 ... ns/op) that tools/benchjson parses,
@@ -207,6 +212,41 @@ func checkedDo(client *http.Client, req *http.Request) error {
 	return nil
 }
 
+// captureAllocsProfile fetches a delta allocs profile from a pprof
+// debug listener, spanning (roughly) the load run: the ?seconds= window
+// makes the endpoint record allocations between two heap snapshots, so
+// the profile shows what the offered traffic allocated, not what the
+// process accumulated since boot. The HTTP client tolerates the server
+// holding the request open for the whole window.
+func captureAllocsProfile(ctx context.Context, baseURL, out string, span time.Duration) error {
+	secs := int(span.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	url := fmt.Sprintf("%s/debug/pprof/allocs?seconds=%d", strings.TrimSuffix(baseURL, "/"), secs)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: span + 30*time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if len(body) == 0 {
+		return fmt.Errorf("GET %s: empty profile", url)
+	}
+	return os.WriteFile(out, body, 0o644)
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -221,6 +261,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxErrRate := fs.Float64("max-error-rate", 0.01, "fail (exit 1) when more than this fraction of measured requests errored")
 	bench := fs.Bool("bench", false, "emit Go benchmark-format lines (BenchmarkLoadgen/<kind>/p50|p99|p999) for tools/benchjson")
 	scrape := fs.Bool("scrape", false, "scrape the target's /metrics before and after the run, fail (exit 1) when either scrape is not valid Prometheus exposition, and print the counters that moved")
+	profile := fs.String("profile", "", "pprof base URL of the target's debug listener (vitdynd -debug-addr), e.g. http://127.0.0.1:6060; captures a delta allocs profile spanning the measured run")
+	profileOut := fs.String("profile-out", "allocs.pprof", "file the captured allocs profile is written to (with -profile)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -332,6 +374,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// A requested allocs profile spans the measured run: the pprof
+	// endpoint blocks for its ?seconds= window collecting the delta, so
+	// it runs concurrently with the load loop and is joined after it.
+	var profErr error
+	profDone := make(chan struct{})
+	if *profile != "" {
+		go func() {
+			defer close(profDone)
+			profErr = captureAllocsProfile(ctx, *profile, *profileOut, *duration)
+		}()
+	} else {
+		close(profDone)
+	}
+
 	// The open loop: one arrival per tick, each served on its own
 	// goroutine so a slow response never delays the next arrival.
 	interval := time.Duration(float64(time.Second) / *rate)
@@ -365,6 +421,14 @@ loop:
 		}
 	}
 	wg.Wait()
+	<-profDone
+	if profErr != nil {
+		fmt.Fprintf(stderr, "loadgen: allocs profile: %v\n", profErr)
+		return 1
+	}
+	if *profile != "" {
+		fmt.Fprintf(stdout, "loadgen: wrote allocs profile to %s (inspect with `go tool pprof %s`)\n", *profileOut, *profileOut)
+	}
 
 	// Report: per-kind percentiles plus the all-traffic aggregate, read
 	// from histogram snapshots ("all" is a bucket-wise merge — the same

@@ -5,6 +5,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"regexp"
 	"strings"
 	"testing"
@@ -151,5 +152,56 @@ func TestLoadgenScrape(t *testing.T) {
 	}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("scrape against a /metrics-less target: run = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+}
+
+func TestLoadgenCapturesAllocsProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots an in-process server and generates load")
+	}
+	// A stand-in debug listener: asserts the delta-profile query shape
+	// and returns a recognizable payload.
+	fake := []byte("fake-pprof-protobuf-payload")
+	var gotPath, gotSeconds string
+	debug := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		gotSeconds = r.URL.Query().Get("seconds")
+		w.Write(fake)
+	}))
+	defer debug.Close()
+
+	out := t.TempDir() + "/allocs.pprof"
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-rate", "50", "-duration", "300ms", "-mix", "catalog=1",
+		"-profile", debug.URL, "-profile-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if gotPath != "/debug/pprof/allocs" || gotSeconds != "1" {
+		t.Errorf("profile fetch hit %s?seconds=%s, want /debug/pprof/allocs?seconds=1", gotPath, gotSeconds)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, fake) {
+		t.Errorf("profile file holds %q, want the endpoint's payload", data)
+	}
+	if !strings.Contains(stdout.String(), "wrote allocs profile") {
+		t.Errorf("missing profile note in output:\n%s", stdout.String())
+	}
+
+	// An unreachable debug listener fails the run loudly.
+	stderr.Reset()
+	if code := run(context.Background(), []string{
+		"-rate", "50", "-duration", "100ms", "-mix", "catalog=1",
+		"-profile", "http://127.0.0.1:1", "-profile-out", out,
+	}, &stdout, &stderr); code != 1 {
+		t.Errorf("unreachable -profile run = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "allocs profile") {
+		t.Errorf("profile failure not diagnosed: %s", stderr.String())
 	}
 }

@@ -1,0 +1,194 @@
+package main
+
+// Fleet integration tests: three in-process daemons wired with -peers,
+// exercising the full gossip path end to end — delta pulls over real
+// HTTP, transitive convergence through a memory-only hop, quarantine of
+// a killed peer, and recovery once it comes back on the same address.
+// `make fleet-smoke` runs exactly these under -race.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vitdyn/internal/engine"
+	"vitdyn/internal/serve"
+)
+
+// fleetStatsz is the slice of /statsz the fleet tests read.
+type fleetStatsz struct {
+	Store struct {
+		Entries int `json:"entries"`
+	} `json:"store"`
+	Costdb *struct {
+		Entries int `json:"entries"`
+	} `json:"costdb"`
+	Gossip *serve.GossipStats `json:"gossip"`
+}
+
+// fleetWait polls cond (re-reading statsz each round) until it holds or
+// the deadline passes.
+func fleetWait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// onceShutdown makes a bootDaemon shutdown func safe to call from both
+// a defer and the test body.
+func onceShutdown(f func() (int, string)) func() (int, string) {
+	var once sync.Once
+	var code int
+	var out string
+	return func() (int, string) {
+		once.Do(func() { code, out = f() })
+		return code, out
+	}
+}
+
+// getBody fetches a URL and returns the status and body.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, body
+}
+
+// TestFleetGossipConvergence is the fleet smoke test. Topology: A holds
+// the durable tier, B pulls from A, C pulls only from B — so C's copy
+// proves gossip is transitive through a memory-only hop. A shape priced
+// on A must serve from B and C with zero backend evaluations; killing A
+// must quarantine it on B without stalling B→C; a shape priced on a
+// survivor must still propagate; and restarting A on the same address
+// must lift the quarantine.
+func TestFleetGossipConvergence(t *testing.T) {
+	const catalogPath = "/v1/catalog?family=ofa&backend=flops"
+	gossipFlags := []string{"-gossip-interval", "25ms", "-gossip-timeout", "2s"}
+
+	dirA := t.TempDir()
+	addrA, shutdownA := bootDaemon(t, "-store-path", dirA)
+	addrB, shutdownB := bootDaemon(t, append([]string{"-peers", addrA}, gossipFlags...)...)
+	addrC, shutdownC := bootDaemon(t, append([]string{"-peers", addrB}, gossipFlags...)...)
+	shutdownB = onceShutdown(shutdownB)
+	defer shutdownC()
+	defer shutdownB()
+
+	// Price the catalog on A; every costed shape lands in A's store.
+	status, catA := getBody(t, "http://"+addrA+catalogPath)
+	if status != http.StatusOK {
+		t.Fatalf("catalog on A: %d %s", status, catA)
+	}
+	var stA fleetStatsz
+	getJSON(t, "http://"+addrA+"/statsz", &stA)
+	priced := stA.Store.Entries
+	if priced == 0 {
+		t.Fatal("pricing on A stored nothing")
+	}
+
+	// One sync round (A→B), then the next hop (B→C), must carry every
+	// record without a single backend evaluation on the pulling side.
+	var stB, stC fleetStatsz
+	fleetWait(t, "B and C to converge on A's priced shapes", func() bool {
+		getJSON(t, "http://"+addrB+"/statsz", &stB)
+		getJSON(t, "http://"+addrC+"/statsz", &stC)
+		return stB.Store.Entries >= priced && stC.Store.Entries >= priced
+	})
+	if stB.Gossip == nil || stB.Gossip.RecordsReceived < int64(priced) {
+		t.Fatalf("B gossip state after convergence: %+v", stB.Gossip)
+	}
+	if stC.Gossip == nil || stC.Gossip.RecordsReceived < int64(priced) {
+		t.Fatalf("C gossip state after convergence: %+v", stC.Gossip)
+	}
+
+	evalsBefore := engine.BackendEvals()
+	status, catB := getBody(t, "http://"+addrB+catalogPath)
+	if status != http.StatusOK {
+		t.Fatalf("catalog on B: %d", status)
+	}
+	status, catC := getBody(t, "http://"+addrC+catalogPath)
+	if status != http.StatusOK {
+		t.Fatalf("catalog on C: %d", status)
+	}
+	if evals := engine.BackendEvals() - evalsBefore; evals != 0 {
+		t.Errorf("gossip-seeded catalogs ran %d backend evaluations, want 0", evals)
+	}
+	if string(catB) != string(catA) || string(catC) != string(catA) {
+		t.Error("gossip-seeded catalogs differ from the origin's")
+	}
+
+	// Kill A mid-run: B must quarantine it (consecutive refused
+	// connections) while its own serving — and the B→C link — stay up.
+	if code, _ := shutdownA(); code != 0 {
+		t.Fatalf("A exited %d", code)
+	}
+	fleetWait(t, "B to quarantine the killed peer", func() bool {
+		getJSON(t, "http://"+addrB+"/statsz", &stB)
+		return stB.Gossip.Quarantined == 1
+	})
+
+	// A survivor can still price new shapes and the fleet still learns
+	// them: a second family priced on B must reach C through gossip.
+	const newPath = "/v1/catalog?family=swin-retrained&backend=flops"
+	if status, _ := getBody(t, "http://"+addrB+newPath); status != http.StatusOK {
+		t.Fatalf("catalog on B after A died: %d", status)
+	}
+	getJSON(t, "http://"+addrB+"/statsz", &stB)
+	fleetWait(t, "C to learn the shape priced after A died", func() bool {
+		getJSON(t, "http://"+addrC+"/statsz", &stC)
+		return stC.Store.Entries >= stB.Store.Entries
+	})
+	evalsBefore = engine.BackendEvals()
+	if status, _ := getBody(t, "http://"+addrC+newPath); status != http.StatusOK {
+		t.Fatalf("catalog on C: %d", status)
+	}
+	if evals := engine.BackendEvals() - evalsBefore; evals != 0 {
+		t.Errorf("survivor-priced catalog ran %d backend evaluations on C, want 0", evals)
+	}
+
+	// Restart A on its old address (warm, same store path): B's
+	// quarantine probe must find it and lift the quarantine.
+	addrA2, shutdownA2 := bootDaemon(t, "-store-path", dirA, "-addr", addrA)
+	defer shutdownA2()
+	if addrA2 != addrA {
+		t.Fatalf("restarted A on %s, want %s", addrA2, addrA)
+	}
+	fleetWait(t, "B to lift the quarantine after A restarts", func() bool {
+		getJSON(t, "http://"+addrB+"/statsz", &stB)
+		return stB.Gossip.Quarantined == 0
+	})
+	for _, p := range stB.Gossip.Peers {
+		if p.Addr == addrA && (p.ConsecutiveFailures != 0 || p.Quarantined) {
+			t.Errorf("recovered peer state on B: %+v", p)
+		}
+	}
+
+	// The daemons' shutdown reports carry the gossip summary line.
+	if _, out := shutdownB(); !strings.Contains(out, "gossip:") {
+		t.Errorf("B shutdown report missing gossip summary: %s", out)
+	}
+}
+
+// TestFleetPeersFlagErrors: a malformed -peers list is a startup error,
+// not a daemon that silently gossips with nobody.
+func TestFleetPeersFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-peers", " , ,"}, &out, &errb); code != 2 {
+		t.Errorf("blank -peers entries: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "peers") {
+		t.Errorf("stderr does not mention -peers: %s", errb.String())
+	}
+}

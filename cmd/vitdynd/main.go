@@ -18,6 +18,7 @@
 //	GET /v1/profile     model, bytes, layers → analytical FLOPs profile
 //	GET /v1/store/export   full cost store as one checksummed snapshot stream
 //	POST /v1/store/import  merge a snapshot stream into the cost store
+//	GET /v1/store/delta    cost records inserted since ?since=gen:seq (gossip pull)
 //	GET /metrics        Prometheus text exposition of every server metric
 //	GET /versionz       module version, Go version, VCS revision
 //
@@ -26,7 +27,15 @@
 //	vitdynd [-addr 127.0.0.1:8080] [-cache N] [-catalog-cache N]
 //	        [-workers N] [-max-sweeps N] [-timeout 60s] [-stream-stats]
 //	        [-store-path DIR] [-log-format text|json] [-quiet]
-//	        [-debug-addr ADDR]
+//	        [-debug-addr ADDR] [-peers host:port,...]
+//	        [-gossip-interval 5s] [-gossip-timeout 2s]
+//
+// -peers turns the daemon into a fleet member: it pulls cost-store
+// deltas from each listed peer on a jittered anti-entropy schedule
+// (exponential backoff per failing peer, quarantine after repeated
+// failures), so a (backend, signature) shape priced on any daemon
+// serves on every daemon with zero backend evaluations. Per-peer state
+// lands in the /statsz gossip section and on /metrics.
 //
 // Every request is logged to stderr as one access-log line (-log-format
 // json for machine-readable logs, -quiet to disable) and tagged with an
@@ -54,6 +63,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -88,6 +98,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	logFormat := fs.String("log-format", "text", "access-log format on stderr: text or json")
 	quiet := fs.Bool("quiet", false, "disable per-request access logging")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on a second listener at this address (empty = disabled); kept off the API port")
+	peers := fs.String("peers", "", "comma-separated peer daemon addresses (host:port) to gossip the cost store with: each peer is pulled for deltas on a jittered interval, so a shape priced anywhere in the fleet serves everywhere without backend re-evaluation")
+	gossipInterval := fs.Duration("gossip-interval", serve.DefaultGossipInterval, "steady-state anti-entropy pull cadence per peer (jittered; failures back off exponentially, repeated failures quarantine the peer)")
+	gossipTimeout := fs.Duration("gossip-timeout", serve.DefaultGossipTimeout, "per-peer timeout for one gossip exchange")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -153,6 +166,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		defer stopDebug()
 	}
+	var gossiper *serve.Gossiper
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if len(peerList) == 0 {
+			fmt.Fprintf(stderr, "vitdynd: -peers given but no addresses parsed from %q\n", *peers)
+			return 2
+		}
+		gossiper = serve.NewGossiper(srv, serve.GossipOptions{
+			Peers:    peerList,
+			Interval: *gossipInterval,
+			Timeout:  *gossipTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "vitdynd: "+format+"\n", args...)
+			},
+		})
+		// The loops get their own cancel so every return path — including
+		// a listen failure that never cancels ctx — stops them before the
+		// deferred Wait; deferred LIFO runs gcancel first, then Wait, so
+		// no sync is mid-merge while the store is closed below.
+		gctx, gcancel := context.WithCancel(ctx)
+		gossiper.Start(gctx)
+		defer gossiper.Wait()
+		defer gcancel()
+	}
 	err = srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Fprintf(stdout, "vitdynd: listening on %s\n", a)
 		fmt.Fprintf(stdout, "vitdynd: %s\n", obs.Version())
@@ -171,6 +213,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	st := store.Stats()
 	fmt.Fprintf(stdout, "vitdynd: shut down; cost store served %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+	if gossiper != nil {
+		gs := gossiper.Stats()
+		fmt.Fprintf(stdout, "vitdynd: gossip: %d peers, %d syncs, %d failures, %d records received, %d stale dropped, %d quarantined\n",
+			len(gs.Peers), gs.Syncs, gs.Failures, gs.RecordsReceived, gs.StaleDropped, gs.Quarantined)
+	}
 	cc := srv.CatalogCache().Stats()
 	fmt.Fprintf(stdout, "vitdynd: catalog cache: %d hits / %d misses (%.0f%% hit rate), %d evictions, %d invalidations\n",
 		cc.Hits, cc.Misses, 100*cc.HitRate(), cc.Evictions, cc.Invalidations)

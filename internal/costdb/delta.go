@@ -1,0 +1,165 @@
+package costdb
+
+// Delta streams are the incremental form of the snapshot format: the
+// entries appended to a store since a cursor, framed with the store's
+// generation and the [from, to) positions of its insert log. A fleet
+// daemon gossiping with a peer holds one cursor per peer and asks for
+// "everything since", paying bytes proportional to what changed instead
+// of re-shipping the whole store every round; a zero (or stale) cursor
+// degrades to a full dump in the same framing, so the cold-start path
+// and the incremental path share one parser.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// deltaMagic identifies a delta stream, versioned like the snapshot
+// magic: a framing change is a new magic, never a silent misparse.
+const deltaMagic = "VITCDBD1"
+
+// Cursor is a client-held position in a store's insert log. Gen
+// identifies the store incarnation that assigned Seq — a restarted
+// store rebuilds its log in a different order, so a cursor from a
+// previous incarnation must not be interpreted against the new one.
+// The zero Cursor means "send everything" (cold start).
+type Cursor struct {
+	Gen uint64 `json:"gen"`
+	Seq uint64 `json:"seq"`
+}
+
+// IsZero reports whether the cursor is the cold-start zero value.
+func (c Cursor) IsZero() bool { return c.Gen == 0 && c.Seq == 0 }
+
+// String renders the cursor in the "gen:seq" form ParseCursor accepts —
+// the ?since= value of GET /v1/store/delta.
+func (c Cursor) String() string {
+	return strconv.FormatUint(c.Gen, 10) + ":" + strconv.FormatUint(c.Seq, 10)
+}
+
+// ParseCursor parses a "gen:seq" cursor. The empty string is the zero
+// cursor, so a client's first request needs no special casing.
+func ParseCursor(s string) (Cursor, error) {
+	if s == "" {
+		return Cursor{}, nil
+	}
+	genStr, seqStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return Cursor{}, fmt.Errorf("costdb: bad cursor %q: want \"gen:seq\"", s)
+	}
+	gen, err := strconv.ParseUint(genStr, 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("costdb: bad cursor generation %q: %v", genStr, err)
+	}
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("costdb: bad cursor sequence %q: %v", seqStr, err)
+	}
+	return Cursor{Gen: gen, Seq: seq}, nil
+}
+
+// DeltaHeader frames one delta stream: the serving store's generation
+// and the [From, To) insert-log window the entries cover. To is the
+// client's next cursor sequence. Gen 0 marks an uncursored server (a
+// memory-only store with no insert log): the stream is a full dump and
+// the client must not advance a cursor from it.
+type DeltaHeader struct {
+	Gen  uint64 `json:"gen"`
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// Next is the cursor a client holds after applying the delta.
+func (h DeltaHeader) Next() Cursor { return Cursor{Gen: h.Gen, Seq: h.To} }
+
+// Full reports whether the stream was a full dump rather than an
+// incremental tail.
+func (h DeltaHeader) Full() bool { return h.From == 0 }
+
+// WriteDelta streams entries to w in the delta format: magic, header,
+// entry count, the entries (snapshot entry encoding), and a trailing
+// IEEE CRC-32 over everything before it.
+func WriteDelta(w io.Writer, hdr DeltaHeader, entries []Entry) error {
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(w, h)
+	if _, err := io.WriteString(mw, deltaMagic); err != nil {
+		return fmt.Errorf("costdb: writing delta header: %w", err)
+	}
+	var scratch [8]byte
+	for _, v := range [4]uint64{hdr.Gen, hdr.From, hdr.To, uint64(len(entries))} {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		if _, err := mw.Write(scratch[:]); err != nil {
+			return fmt.Errorf("costdb: writing delta header: %w", err)
+		}
+	}
+	var buf []byte
+	for _, e := range entries {
+		var err error
+		if buf, err = appendEntry(buf[:0], e); err != nil {
+			return err
+		}
+		if _, err := mw.Write(buf); err != nil {
+			return fmt.Errorf("costdb: writing delta entry: %w", err)
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], h.Sum32())
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return fmt.Errorf("costdb: writing delta checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadDelta parses a delta stream, calling fn once per entry in insert
+// order, and returns the header and entry count. Like ReadSnapshot, the
+// trailing checksum covers every preceding byte and a mismatch — or a
+// truncated stream, or trailing garbage — is an error: a delta is
+// all-or-nothing, so callers stage entries and commit only on nil error.
+func ReadDelta(r io.Reader, fn func(Entry) error) (DeltaHeader, int, error) {
+	h := crc32.NewIEEE()
+	br := bufio.NewReader(r)
+	tr := io.TeeReader(br, h)
+
+	head := make([]byte, len(deltaMagic)+4*8)
+	if _, err := io.ReadFull(tr, head); err != nil {
+		return DeltaHeader{}, 0, fmt.Errorf("costdb: delta header unreadable (stream truncated or not a delta): %w", err)
+	}
+	if got := string(head[:len(deltaMagic)]); got != deltaMagic {
+		return DeltaHeader{}, 0, fmt.Errorf("costdb: bad delta magic %q (want %q): not a costdb delta or an incompatible version", got, deltaMagic)
+	}
+	hdr := DeltaHeader{
+		Gen:  binary.LittleEndian.Uint64(head[len(deltaMagic):]),
+		From: binary.LittleEndian.Uint64(head[len(deltaMagic)+8:]),
+		To:   binary.LittleEndian.Uint64(head[len(deltaMagic)+16:]),
+	}
+	count := binary.LittleEndian.Uint64(head[len(deltaMagic)+24:])
+
+	var buf []byte
+	read := 0
+	for i := uint64(0); i < count; i++ {
+		e, err := readEntryFrom(tr, &buf)
+		if err != nil {
+			return hdr, read, fmt.Errorf("costdb: delta entry %d of %d: %w", i, count, err)
+		}
+		if err := fn(e); err != nil {
+			return hdr, read, err
+		}
+		read++
+	}
+	want := h.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return hdr, read, fmt.Errorf("costdb: delta checksum missing (stream truncated): %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return hdr, read, fmt.Errorf("costdb: delta checksum mismatch (stored %08x, computed %08x): stream is corrupt", got, want)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return hdr, read, fmt.Errorf("costdb: trailing data after delta checksum")
+	}
+	return hdr, read, nil
+}

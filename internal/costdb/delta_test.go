@@ -1,0 +1,272 @@
+package costdb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, c := range []Cursor{{}, {Gen: 1, Seq: 0}, {Gen: 12345678901234567890, Seq: 42}} {
+		got, err := ParseCursor(c.String())
+		if err != nil {
+			t.Fatalf("ParseCursor(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("cursor round trip: %v -> %q -> %v", c, c.String(), got)
+		}
+	}
+	if c, err := ParseCursor(""); err != nil || !c.IsZero() {
+		t.Errorf("ParseCursor(\"\") = %v, %v; want zero cursor", c, err)
+	}
+	for _, bad := range []string{"7", "x:1", "1:y", "1:2:3"} {
+		if _, err := ParseCursor(bad); err == nil {
+			t.Errorf("ParseCursor(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestDeltaWireRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Backend: "gpu", Epoch: 7, Sig: 1, Vals: []float64{1.5}},
+		{Backend: "magnet", Epoch: 9, Sig: 2, Vals: []float64{2, 3}},
+	}
+	hdr := DeltaHeader{Gen: 11, From: 4, To: 6}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, hdr, entries); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+
+	var got []Entry
+	rhdr, n, err := ReadDelta(bytes.NewReader(buf.Bytes()), func(e Entry) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadDelta: %v", err)
+	}
+	if rhdr != hdr || n != len(entries) {
+		t.Fatalf("ReadDelta header %v count %d, want %v count %d", rhdr, n, hdr, len(entries))
+	}
+	if rhdr.Next() != (Cursor{Gen: 11, Seq: 6}) || rhdr.Full() {
+		t.Errorf("header semantics: Next=%v Full=%v", rhdr.Next(), rhdr.Full())
+	}
+	for i := range entries {
+		if got[i].Backend != entries[i].Backend || got[i].Epoch != entries[i].Epoch ||
+			got[i].Sig != entries[i].Sig || len(got[i].Vals) != len(entries[i].Vals) {
+			t.Errorf("entry %d: got %+v want %+v", i, got[i], entries[i])
+		}
+	}
+
+	nop := func(Entry) error { return nil }
+	// Flipped byte: checksum mismatch (or entry decode failure) either way.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(corrupt)-5] ^= 0xff
+	if _, _, err := ReadDelta(bytes.NewReader(corrupt), nop); err == nil {
+		t.Error("corrupt delta read without error")
+	}
+	// Truncation.
+	if _, _, err := ReadDelta(bytes.NewReader(buf.Bytes()[:buf.Len()-3]), nop); err == nil {
+		t.Error("truncated delta read without error")
+	}
+	// Wrong magic: a snapshot stream is not a delta.
+	var snap bytes.Buffer
+	if err := WriteSnapshot(&snap, entries); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if _, _, err := ReadDelta(bytes.NewReader(snap.Bytes()), nop); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Errorf("snapshot parsed as delta: %v", err)
+	}
+	// Trailing garbage.
+	if _, _, err := ReadDelta(bytes.NewReader(append(append([]byte(nil), buf.Bytes()...), 0)), nop); err == nil {
+		t.Error("delta with trailing garbage read without error")
+	}
+}
+
+// insertN write-throughs n distinct entries under the given backend.
+func insertN(t *testing.T, p *Persistent, backend string, epoch uint64, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if _, err := p.GetOrComputeVector(backend, epoch, uint64(i), func() ([]float64, error) {
+			return []float64{float64(i)}, nil
+		}); err != nil {
+			t.Fatalf("insert %s/%d: %v", backend, i, err)
+		}
+	}
+}
+
+// exportDelta collects a delta export into a slice.
+func exportDelta(t *testing.T, p *Persistent, since Cursor) (DeltaHeader, []Entry) {
+	t.Helper()
+	var buf bytes.Buffer
+	hdr, n, err := p.ExportDeltaTo(&buf, since)
+	if err != nil {
+		t.Fatalf("ExportDeltaTo(%v): %v", since, err)
+	}
+	var got []Entry
+	rhdr, rn, err := ReadDelta(bytes.NewReader(buf.Bytes()), func(e Entry) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reading exported delta: %v", err)
+	}
+	if rhdr != hdr || rn != n {
+		t.Fatalf("export reported %v/%d, stream carried %v/%d", hdr, n, rhdr, rn)
+	}
+	return hdr, got
+}
+
+func TestPersistentDeltaExport(t *testing.T) {
+	p, err := Open(t.TempDir(), nil, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer p.Close()
+
+	insertN(t, p, "bk", 3, 0, 3)
+	head := p.Head()
+	if head.Gen == 0 || head.Seq != 3 {
+		t.Fatalf("Head after 3 inserts = %v", head)
+	}
+
+	// Cold start: zero cursor gets a full dump.
+	hdr, got := exportDelta(t, p, Cursor{})
+	if !hdr.Full() || hdr.Next() != head || len(got) != 3 {
+		t.Fatalf("cold delta: hdr %v, %d entries", hdr, len(got))
+	}
+
+	// Incremental: only the tail since the cursor.
+	insertN(t, p, "bk", 3, 100, 2)
+	hdr, got = exportDelta(t, p, head)
+	if hdr.Full() || hdr.From != 3 || hdr.To != 5 || len(got) != 2 {
+		t.Fatalf("incremental delta: hdr %v, %d entries", hdr, len(got))
+	}
+	for _, e := range got {
+		if e.Sig < 100 {
+			t.Errorf("incremental delta re-shipped old entry sig %d", e.Sig)
+		}
+	}
+
+	// Up to date: empty delta, cursor unchanged.
+	hdr, got = exportDelta(t, p, hdr.Next())
+	if len(got) != 0 || hdr.From != 5 || hdr.To != 5 {
+		t.Fatalf("up-to-date delta: hdr %v, %d entries", hdr, len(got))
+	}
+
+	// Foreign generation or a cursor past the head: full dump again.
+	for _, since := range []Cursor{{Gen: head.Gen + 1, Seq: 3}, {Gen: head.Gen, Seq: 99}} {
+		if hdr, got = exportDelta(t, p, since); !hdr.Full() || len(got) != 5 {
+			t.Errorf("stale cursor %v: hdr %v, %d entries, want full dump of 5", since, hdr, len(got))
+		}
+	}
+}
+
+func TestDeltaCursorSurvivesCompaction(t *testing.T) {
+	p, err := Open(t.TempDir(), nil, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer p.Close()
+
+	insertN(t, p, "bk", 1, 0, 4)
+	cur := p.Head()
+	if err := p.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	insertN(t, p, "bk", 1, 50, 1)
+	hdr, got := exportDelta(t, p, cur)
+	if hdr.Full() || len(got) != 1 || got[0].Sig != 50 {
+		t.Fatalf("post-compaction delta: hdr %v entries %+v, want the single new entry", hdr, got)
+	}
+}
+
+func TestDeltaSkipsRetiredEntries(t *testing.T) {
+	p, err := Open(t.TempDir(), nil, Options{
+		StaleEpoch: func(backend string, epoch uint64) bool { return epoch == 1 },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer p.Close()
+
+	insertN(t, p, "old", 1, 0, 2)
+	insertN(t, p, "new", 2, 0, 2)
+	if err := p.Compact(); err != nil { // retires the epoch-1 entries
+		t.Fatalf("Compact: %v", err)
+	}
+	if retired := p.Stats().Retired; retired != 2 {
+		t.Fatalf("retired %d entries, want 2", retired)
+	}
+	_, got := exportDelta(t, p, Cursor{})
+	if len(got) != 2 {
+		t.Fatalf("delta after retirement carried %d entries, want 2", len(got))
+	}
+	for _, e := range got {
+		if e.Epoch != 2 {
+			t.Errorf("delta carried retired entry %+v", e)
+		}
+	}
+}
+
+func TestDeltaGenerationChangesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	insertN(t, p, "bk", 1, 0, 3)
+	old := p.Head()
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	p, err = Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer p.Close()
+	fresh := p.Head()
+	if fresh.Gen == old.Gen {
+		t.Fatalf("generation survived a reopen: %v", fresh)
+	}
+	if fresh.Seq != 3 {
+		t.Fatalf("reopened head %v, want seq 3", fresh)
+	}
+	// The previous incarnation's cursor degrades to a full dump.
+	hdr, got := exportDelta(t, p, old)
+	if !hdr.Full() || len(got) != 3 {
+		t.Fatalf("old-incarnation cursor: hdr %v, %d entries, want full dump of 3", hdr, len(got))
+	}
+}
+
+func TestNewGenerationNeverZeroAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		g := newGeneration()
+		if g == 0 {
+			t.Fatal("newGeneration returned 0")
+		}
+		if seen[g] {
+			t.Fatalf("generation %d repeated", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestDeltaLargeWindow(t *testing.T) {
+	p, err := Open(t.TempDir(), nil, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer p.Close()
+	for b := 0; b < 3; b++ {
+		insertN(t, p, fmt.Sprintf("bk%d", b), uint64(b+1), 0, 64)
+	}
+	hdr, got := exportDelta(t, p, Cursor{})
+	if len(got) != 192 || hdr.To != 192 {
+		t.Fatalf("full dump carried %d entries to seq %d, want 192", len(got), hdr.To)
+	}
+}

@@ -74,8 +74,10 @@ type Persistent struct {
 	dir   string
 	opts  Options
 
-	mu          sync.RWMutex // guards entries, wal file state, compaction
+	mu          sync.RWMutex // guards entries, log, wal file state, compaction
 	entries     map[entryKey][]float64
+	log         []entryKey // insert order; seq N = log[N-1], the delta-export cursor space
+	gen         uint64     // incarnation id stamping cursors (see Head)
 	wal         *os.File
 	walBytes    int64
 	walRecords  int64
@@ -111,6 +113,7 @@ func Open(dir string, inner engine.CostCache, opts Options) (*Persistent, error)
 		dir:     dir,
 		opts:    opts.withDefaults(),
 		entries: map[entryKey][]float64{},
+		gen:     newGeneration(),
 	}
 
 	snapPath := filepath.Join(dir, SnapshotFile)
@@ -129,9 +132,20 @@ func Open(dir string, inner engine.CostCache, opts Options) (*Persistent, error)
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("costdb: opening snapshot: %w", err)
 	}
+	// Seed the insert log with the snapshot contents (any order — the
+	// fresh generation means no live cursor refers into it yet), then let
+	// WAL replay extend it in record order.
+	p.log = make([]entryKey, 0, len(p.entries))
+	for k := range p.entries {
+		p.log = append(p.log, k)
+	}
 
 	wal, records, walBytes, err := openWAL(filepath.Join(dir, WALFile), func(e Entry) error {
-		p.entries[entryKey{backend: e.Backend, epoch: e.Epoch, sig: e.Sig}] = e.Vals
+		k := entryKey{backend: e.Backend, epoch: e.Epoch, sig: e.Sig}
+		if _, ok := p.entries[k]; !ok {
+			p.log = append(p.log, k)
+		}
+		p.entries[k] = e.Vals
 		return nil
 	})
 	if err != nil {
@@ -216,6 +230,7 @@ func (p *Persistent) append(backend string, epoch, sig uint64, vals []float64, a
 	p.walBytes += int64(len(rec))
 	p.walRecords++
 	p.entries[k] = vals
+	p.log = append(p.log, k)
 	p.appends.Add(1)
 	if allowCompact && p.opts.CompactWALBytes > 0 && p.walBytes >= p.opts.CompactWALBytes {
 		if err := p.compactLocked(); err != nil {
@@ -329,6 +344,59 @@ func (p *Persistent) ExportTo(w io.Writer) error {
 	entries := p.sortedEntriesLocked()
 	p.mu.RUnlock()
 	return WriteSnapshot(w, entries)
+}
+
+// genCounter disambiguates generations minted within one clock tick.
+var genCounter atomic.Uint64
+
+// newGeneration mints a store-incarnation id: the boot time mixed with
+// a process-wide counter, never 0 (0 is the "uncursored server" marker
+// in DeltaHeader). What matters is uniqueness across restarts — a
+// restarted store rebuilds its insert log in a different order, so a
+// cursor minted against the previous incarnation must read as stale.
+func newGeneration() uint64 {
+	g := uint64(time.Now().UnixNano())*2654435761 ^ (genCounter.Add(1) << 48)
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// Head returns the store's current cursor: its incarnation generation
+// plus the insert-log length. A client that has applied a delta up to
+// Head holds the store's full contents.
+func (p *Persistent) Head() Cursor {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return Cursor{Gen: p.gen, Seq: uint64(len(p.log))}
+}
+
+// ExportDeltaTo streams everything inserted since the cursor to w in
+// the delta format and returns the stream's header — whose Next() is
+// the caller's new cursor — plus how many entries it carried. A zero
+// cursor, a cursor from another incarnation, or one past the log's head
+// all degrade to a full dump (From 0) in the same framing, so cold
+// start and steady state share one client path. Entries retired by
+// compaction since their insert are skipped: the receiving side would
+// drop them as stale-epoch records anyway. The insert log itself
+// survives compaction untouched — cursors stay valid for the life of
+// the incarnation.
+func (p *Persistent) ExportDeltaTo(w io.Writer, since Cursor) (DeltaHeader, int, error) {
+	p.mu.RLock()
+	from := since.Seq
+	if since.Gen != p.gen || from > uint64(len(p.log)) {
+		from = 0
+	}
+	entries := make([]Entry, 0, uint64(len(p.log))-from)
+	for _, k := range p.log[from:] {
+		if vals, ok := p.entries[k]; ok {
+			entries = append(entries, Entry{Backend: k.backend, Epoch: k.epoch, Sig: k.sig, Vals: vals})
+		}
+	}
+	hdr := DeltaHeader{Gen: p.gen, From: from, To: uint64(len(p.log))}
+	p.mu.RUnlock()
+	err := WriteDelta(w, hdr, entries)
+	return hdr, len(entries), err
 }
 
 // Import merges a snapshot stream (as produced by ExportTo, or a raw

@@ -89,6 +89,10 @@ func (s *Server) initMetrics(routes []string) {
 	counter("vitdyn_persist_export_errors_total", "Snapshot exports cut off mid-stream.", s.exportErrors.Load)
 	counter("vitdyn_persist_imports_total", "Snapshot imports completed.", s.imports.Load)
 	counter("vitdyn_persist_imported_entries_total", "Entries new to this server across all imports.", s.importedEntries.Load)
+	counter("vitdyn_persist_import_errors_total", "Snapshot imports rejected (bad stream or oversized body).", s.importErrors.Load)
+	counter("vitdyn_persist_deltas_total", "Delta exports completed (the gossip pull source).", s.deltas.Load)
+	counter("vitdyn_persist_delta_entries_sent_total", "Entries shipped across all delta exports.", s.deltaEntriesSent.Load)
+	counter("vitdyn_persist_delta_errors_total", "Delta requests rejected or cut mid-stream.", s.deltaErrors.Load)
 
 	store := s.opts.Store
 	counter("vitdyn_store_hits_total", "Cost-store lookups served from a resident entry.", func() int64 { return store.Stats().Hits })

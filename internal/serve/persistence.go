@@ -2,12 +2,14 @@ package serve
 
 // This file wires the durable cost tier (internal/costdb) into the
 // serving layer: the /v1/store/export and /v1/store/import endpoints
-// stream the snapshot format over HTTP so one daemon can seed another —
-// fleet sharing of costed shapes without a coordination service — and
+// stream the snapshot format over HTTP so one daemon can seed another,
+// /v1/store/delta serves the incremental form gossip pulls (fleet
+// sharing of costed shapes without a coordination service), and
 // InstallProcessCostDB backs the cmd binaries' -cache-path flag the way
 // InstallProcessStore backs -cache.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -85,7 +87,7 @@ func (s *Server) handleStoreImport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST a snapshot stream (see /v1/store/export) to /v1/store/import")
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxImportBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxImportBytes)
 	var total, added int
 	var err error
 	if db := s.opts.DB; db != nil {
@@ -118,12 +120,56 @@ func (s *Server) handleStoreImport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad snapshot stream after %d entries: %v", total, err)
+		// Staging means nothing entered the store; count the rejection so
+		// a fleet shipping bad snapshots is visible in /statsz.
+		s.importErrors.Add(1)
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad snapshot stream after %d entries: %v", total, err)
 		return
 	}
 	s.imports.Add(1)
 	s.importedEntries.Add(int64(added))
 	writeJSON(w, http.StatusOK, importResponse{Entries: total, Imported: added})
+}
+
+// handleStoreDelta serves GET /v1/store/delta?since=<gen:seq>: every
+// cost record inserted since the cursor, as one checksummed delta
+// stream — the pull source of the gossip loop. An empty or stale cursor
+// degrades to a full dump in the same framing. Without a durable tier
+// there is no insert log to cursor into, so the resident store is
+// served as an uncursored (generation-0) full dump: peers re-merge it
+// each round, idempotent but not incremental.
+func (s *Server) handleStoreDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /v1/store/delta?since=gen:seq streams cost records inserted since the cursor")
+		return
+	}
+	since, err := costdb.ParseCursor(r.URL.Query().Get("since"))
+	if err != nil {
+		s.deltaErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	var sent int
+	if db := s.opts.DB; db != nil {
+		_, sent, err = db.ExportDeltaTo(w, since)
+	} else {
+		entries := s.storeEntries()
+		sent, err = len(entries), costdb.WriteDelta(w, costdb.DeltaHeader{}, entries)
+	}
+	if err != nil {
+		// Headers are gone; all we can do is cut the stream so the
+		// client's checksum verification fails loudly.
+		s.deltaErrors.Add(1)
+		return
+	}
+	s.deltas.Add(1)
+	s.deltaEntriesSent.Add(int64(sent))
 }
 
 // InstallProcessCostDB backs the cmd binaries' -cache-path flag: a

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -315,5 +316,67 @@ func TestStoreImportCorruptStreamCommitsNothing(t *testing.T) {
 	}
 	if st := db.Stats(); st.Entries != 0 || st.Appends != 0 {
 		t.Errorf("durable corrupt import committed state: %+v", st)
+	}
+}
+
+// TestStoreImportErrorPaths pins the /v1/store/import rejection
+// contract: truncated streams, wrong snapshot magic, and oversized
+// bodies each come back 4xx, leave the store untouched, and are counted
+// as persist.import_errors in /statsz.
+func TestStoreImportErrorPaths(t *testing.T) {
+	// A real snapshot to truncate and to overflow the small body cap.
+	entries := []costdb.Entry{
+		{Backend: "flops-proxy", Sig: 1, Vals: []float64{1, 2, 3}},
+		{Backend: "flops-proxy", Sig: 2, Vals: []float64{4, 5, 6}},
+		{Backend: "flops-proxy", Sig: 3, Vals: []float64{7, 8, 9}},
+	}
+	var snap bytes.Buffer
+	if err := costdb.WriteSnapshot(&snap, entries); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newTestServer(t, Options{MaxImportBytes: int64(snap.Len()) - 1})
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/store/import", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Truncated mid-stream: magic verifies, the entry section does not.
+	if status := post(snap.Bytes()[:snap.Len()/2]); status != http.StatusBadRequest {
+		t.Errorf("truncated import: %d, want 400", status)
+	}
+	// Wrong magic: right length, different format.
+	bad := append([]byte(nil), snap.Bytes()[:snap.Len()/2]...)
+	copy(bad, "NOTACDBX")
+	if status := post(bad); status != http.StatusBadRequest {
+		t.Errorf("wrong-magic import: %d, want 400", status)
+	}
+	// Oversized: the valid snapshot is one byte past the configured cap.
+	if status := post(snap.Bytes()); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized import: %d, want 413", status)
+	}
+
+	if n := srv.Store().Len(); n != 0 {
+		t.Errorf("rejected imports committed %d entries", n)
+	}
+
+	status, body := get(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz: %d", status)
+	}
+	var st struct {
+		Persist persistStats `json:"persist"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz JSON: %v", err)
+	}
+	if st.Persist.ImportErrors != 3 || st.Persist.Imports != 0 || st.Persist.ImportedEntries != 0 {
+		t.Errorf("persist statsz after 3 rejections: %+v", st.Persist)
 	}
 }

@@ -59,6 +59,10 @@ type Options struct {
 	// JSON bytes keyed by exact spec + backend epochs; see RespCache).
 	// <= 0 selects DefaultRespCacheCapacity.
 	RespCacheCapacity int
+	// MaxImportBytes bounds a /v1/store/import request body; a larger
+	// body is rejected with 413 before anything enters the store. <= 0
+	// selects the 64 MiB default (maxImportBodyBytes).
+	MaxImportBytes int64
 	// Metrics is the registry GET /metrics exposes; the server registers
 	// its per-route instruments and /statsz-backed series into it. Nil
 	// selects a fresh registry (per-server metrics). Pass a shared one to
@@ -86,6 +90,9 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
 	}
+	if o.MaxImportBytes <= 0 {
+		o.MaxImportBytes = maxImportBodyBytes
+	}
 	return o
 }
 
@@ -104,6 +111,7 @@ type Server struct {
 	start      time.Time
 	metrics    *obs.Registry            // the /metrics registry
 	routeStats map[string]*routeMetrics // per-route latency + status instruments
+	gossip     *Gossiper                // attached by NewGossiper; nil without -peers
 
 	requests atomic.Int64 // requests accepted (all endpoints)
 	active   atomic.Int64 // requests currently in flight
@@ -127,6 +135,12 @@ type Server struct {
 	exportErrors    atomic.Int64 // exports cut off mid-stream
 	imports         atomic.Int64 // snapshot imports completed
 	importedEntries atomic.Int64 // entries new to this server across all imports
+	importErrors    atomic.Int64 // imports rejected (bad stream, oversized body)
+
+	// delta serving totals (/v1/store/delta, the gossip pull source)
+	deltas           atomic.Int64 // delta exports completed
+	deltaEntriesSent atomic.Int64 // entries shipped across all deltas
+	deltaErrors      atomic.Int64 // delta requests rejected or cut mid-stream
 }
 
 // NewServer builds a server over the options (see Options for the
@@ -161,6 +175,7 @@ func NewServer(opts Options) *Server {
 		"/v1/profile":      s.handleProfile,
 		"/v1/store/export": s.handleStoreExport,
 		"/v1/store/import": s.handleStoreImport,
+		"/v1/store/delta":  s.handleStoreDelta,
 	}
 	routes := make([]string, 0, len(handlers))
 	for route, h := range handlers {
@@ -360,6 +375,7 @@ type statszResponse struct {
 	Replay        replayStats       `json:"replay"`
 	Persist       persistStats      `json:"persist"`
 	Costdb        *costdb.Stats     `json:"costdb,omitempty"`
+	Gossip        *GossipStats      `json:"gossip,omitempty"`
 }
 
 // catalogCacheStatz is the /statsz view of the catalog result cache: the
@@ -392,10 +408,14 @@ func tracePoolCounters() PoolCounters {
 
 // persistStats is the /statsz view of snapshot exchange over HTTP.
 type persistStats struct {
-	Exports         int64 `json:"exports"`
-	ExportErrors    int64 `json:"export_errors"`
-	Imports         int64 `json:"imports"`
-	ImportedEntries int64 `json:"imported_entries"`
+	Exports          int64 `json:"exports"`
+	ExportErrors     int64 `json:"export_errors"`
+	Imports          int64 `json:"imports"`
+	ImportedEntries  int64 `json:"imported_entries"`
+	ImportErrors     int64 `json:"import_errors"`
+	Deltas           int64 `json:"deltas"`
+	DeltaEntriesSent int64 `json:"delta_entries_sent"`
+	DeltaErrors      int64 `json:"delta_errors"`
 }
 
 type serverStats struct {
@@ -439,6 +459,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	cc := s.catalog.Stats()
 	rc := s.resp.Stats()
+	var gossipStats *GossipStats
+	if s.gossip != nil {
+		gs := s.gossip.Stats()
+		gossipStats = &gs
+	}
 	writeJSON(w, http.StatusOK, statszResponse{
 		Store:         st,
 		CatalogCache:  catalogCacheStatz{CatalogCacheStats: cc, HitRate: cc.HitRate()},
@@ -466,12 +491,17 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Infeasible: s.replayInfeasible.Load(),
 		},
 		Persist: persistStats{
-			Exports:         s.exports.Load(),
-			ExportErrors:    s.exportErrors.Load(),
-			Imports:         s.imports.Load(),
-			ImportedEntries: s.importedEntries.Load(),
+			Exports:          s.exports.Load(),
+			ExportErrors:     s.exportErrors.Load(),
+			Imports:          s.imports.Load(),
+			ImportedEntries:  s.importedEntries.Load(),
+			ImportErrors:     s.importErrors.Load(),
+			Deltas:           s.deltas.Load(),
+			DeltaEntriesSent: s.deltaEntriesSent.Load(),
+			DeltaErrors:      s.deltaErrors.Load(),
 		},
 		Costdb: dbStats,
+		Gossip: gossipStats,
 	})
 }
 

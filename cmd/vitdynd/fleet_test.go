@@ -9,6 +9,7 @@ package main
 import (
 	"context"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -178,6 +179,106 @@ func TestFleetGossipConvergence(t *testing.T) {
 	// The daemons' shutdown reports carry the gossip summary line.
 	if _, out := shutdownB(); !strings.Contains(out, "gossip:") {
 		t.Errorf("B shutdown report missing gossip summary: %s", out)
+	}
+}
+
+// reservePort grabs an ephemeral 127.0.0.1 port and releases it so a
+// daemon can bind it by name — needed for a full mesh, where every
+// daemon must know its peers' addresses before any of them boots.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestFleetzAggregationAndQuarantine covers the /fleetz acceptance
+// criteria on a full three-daemon mesh: every daemon's /fleetz reports
+// all three peers with the merged per-route request count equal to the
+// sum of the per-daemon counts, and killing one peer (which the
+// survivors quarantine) flips its row out of "ok" with the local
+// quarantine view attached.
+func TestFleetzAggregationAndQuarantine(t *testing.T) {
+	gossipFlags := []string{"-gossip-interval", "25ms", "-gossip-timeout", "2s"}
+	addrA, addrB, addrC := reservePort(t), reservePort(t), reservePort(t)
+	boot := func(self, p1, p2 string) (string, func() (int, string)) {
+		return bootDaemon(t, append([]string{"-addr", self, "-peers", p1 + "," + p2}, gossipFlags...)...)
+	}
+	bound, shutdownA := boot(addrA, addrB, addrC)
+	defer shutdownA()
+	if bound != addrA {
+		t.Fatalf("A bound %s, want reserved %s", bound, addrA)
+	}
+	_, shutdownB := boot(addrB, addrA, addrC)
+	defer shutdownB()
+	_, shutdownC := boot(addrC, addrA, addrB)
+	shutdownC = onceShutdown(shutdownC)
+	defer shutdownC()
+
+	// Deterministic per-route traffic on a route gossip never touches:
+	// one catalog build on A, one on B, none on C.
+	const catalogPath = "/v1/catalog?family=ofa&backend=flops"
+	for _, addr := range []string{addrA, addrB} {
+		if status, body := getBody(t, "http://"+addr+catalogPath); status != http.StatusOK {
+			t.Fatalf("catalog on %s: %d %s", addr, status, body)
+		}
+	}
+
+	// Any daemon's /fleetz must see the whole fleet and the summed
+	// route count.
+	for _, addr := range []string{addrA, addrB, addrC} {
+		var fz serve.FleetzResponse
+		getJSON(t, "http://"+addr+"/fleetz", &fz)
+		if len(fz.Peers) != 3 {
+			t.Fatalf("/fleetz on %s: %d peers, want 3", addr, len(fz.Peers))
+		}
+		if fz.PeersUp != 3 || fz.Partial {
+			t.Errorf("/fleetz on %s: up=%d partial=%v, want 3/false", addr, fz.PeersUp, fz.Partial)
+		}
+		if got := fz.Routes["/v1/catalog"].Requests; got != 2 {
+			t.Errorf("/fleetz on %s: merged /v1/catalog requests = %d, want 2 (1 on A + 1 on B)", addr, got)
+		}
+		if p99 := fz.Routes["/v1/catalog"].P99MS; p99 <= 0 {
+			t.Errorf("/fleetz on %s: merged catalog p99 = %v, want > 0", addr, p99)
+		}
+	}
+
+	// Kill C; A must quarantine it, and C's row in A's /fleetz must
+	// flip out of ok, carrying the quarantine view.
+	if code, _ := shutdownC(); code != 0 {
+		t.Fatalf("C exited %d", code)
+	}
+	var stA fleetStatsz
+	fleetWait(t, "A to quarantine the killed peer", func() bool {
+		getJSON(t, "http://"+addrA+"/statsz", &stA)
+		return stA.Gossip != nil && stA.Gossip.Quarantined >= 1
+	})
+	var fz serve.FleetzResponse
+	getJSON(t, "http://"+addrA+"/fleetz", &fz)
+	if !fz.Partial || fz.PeersDown == 0 {
+		t.Errorf("/fleetz after kill: partial=%v down=%d, want true/>=1", fz.Partial, fz.PeersDown)
+	}
+	var rowC *serve.FleetPeerRow
+	for i := range fz.Peers {
+		if fz.Peers[i].Addr == addrC {
+			rowC = &fz.Peers[i]
+		}
+	}
+	if rowC == nil {
+		t.Fatalf("killed peer %s missing from /fleetz rows: %+v", addrC, fz.Peers)
+	}
+	if rowC.Up || rowC.Status == "ok" {
+		t.Errorf("killed peer row = %+v, want not ok", rowC)
+	}
+	if !rowC.GossipQuarantined {
+		t.Errorf("killed peer row does not carry the quarantine view: %+v", rowC)
+	}
+	if rowC.Error == "" {
+		t.Errorf("killed peer row has no error: %+v", rowC)
 	}
 }
 

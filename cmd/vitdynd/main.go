@@ -29,6 +29,7 @@
 //	        [-store-path DIR] [-log-format text|json] [-quiet]
 //	        [-debug-addr ADDR] [-peers host:port,...]
 //	        [-gossip-interval 5s] [-gossip-timeout 2s]
+//	        [-window 1m] [-requestz 256]
 //
 // -peers turns the daemon into a fleet member: it pulls cost-store
 // deltas from each listed peer on a jittered anti-entropy schedule
@@ -40,8 +41,18 @@
 // Every request is logged to stderr as one access-log line (-log-format
 // json for machine-readable logs, -quiet to disable) and tagged with an
 // X-Request-ID response header. -debug-addr starts a second listener
-// serving net/http/pprof — kept off the main port so profiling is never
-// exposed alongside the API by accident.
+// serving net/http/pprof and /debug/requestz (the always-on recorder of
+// recent and slowest-per-route request traces, -requestz entries deep) —
+// kept off the main port so introspection is never exposed alongside
+// the API by accident.
+//
+// -window sets the short rolling-metrics window (a 5x long window comes
+// with it): /statsz and /metrics report per-route p50/p99/p999 and
+// req/s over the last -window and 5x-window alongside the cumulative
+// series. With -peers, GET /fleetz on any daemon scrapes every peer's
+// /metrics concurrently and merges them into fleet-wide per-route
+// percentiles plus a per-peer health row (up/degraded/down, gossip
+// view, store sizes).
 //
 // -store-path makes the cost store durable: the daemon warm-boots from
 // the directory's snapshot+WAL (a previously priced catalog spec serves
@@ -64,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -79,10 +91,27 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// syncWriter serializes writes to an io.Writer. stderr is written from
+// several goroutines at once — the access logger (HTTP handlers), the
+// gossip loops, and shutdown paths — each holding at most its own lock,
+// so the shared writer itself must be safe for concurrent use.
+// *os.File is; the buffers tests pass in are not.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
 // run executes the daemon with the given arguments and streams until ctx
 // is cancelled; it returns the process exit code (factored out of main
 // so tests can drive the whole binary in-process on a random port).
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	stderr = &syncWriter{w: stderr}
 	fs := flag.NewFlagSet("vitdynd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
@@ -101,6 +130,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	peers := fs.String("peers", "", "comma-separated peer daemon addresses (host:port) to gossip the cost store with: each peer is pulled for deltas on a jittered interval, so a shape priced anywhere in the fleet serves everywhere without backend re-evaluation")
 	gossipInterval := fs.Duration("gossip-interval", serve.DefaultGossipInterval, "steady-state anti-entropy pull cadence per peer (jittered; failures back off exponentially, repeated failures quarantine the peer)")
 	gossipTimeout := fs.Duration("gossip-timeout", serve.DefaultGossipTimeout, "per-peer timeout for one gossip exchange")
+	window := fs.Duration("window", 0, "short rolling-metrics window for windowed per-route percentiles and rates on /statsz and /metrics; a 5x long window is derived from it (0 = 1m)")
+	requestzCap := fs.Int("requestz", 0, "capacity of the always-on recent-request trace ring served at /debug/requestz on the -debug-addr listener (0 = 256)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -157,9 +188,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		CatalogCacheCapacity: *catalogCache,
 		RespCacheCapacity:    *respCache,
 		AccessLog:            accessLog,
+		Window:               *window,
+		RequestzCapacity:     *requestzCap,
 	})
 	if *debugAddr != "" {
-		stopDebug, err := serveDebug(ctx, *debugAddr, stdout)
+		stopDebug, err := serveDebug(ctx, *debugAddr, srv.Requestz(), stdout)
 		if err != nil {
 			fmt.Fprintf(stderr, "vitdynd: debug listener: %v\n", err)
 			return 1
@@ -238,11 +271,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// serveDebug starts the pprof listener on its own address with an
-// explicit mux — registering only the pprof handlers, never the API —
-// and returns a func that waits for its shutdown. The listener dies
-// with ctx, so graceful daemon shutdown tears it down too.
-func serveDebug(ctx context.Context, addr string, stdout io.Writer) (func(), error) {
+// serveDebug starts the debug listener on its own address with an
+// explicit mux — registering only the pprof handlers and the requestz
+// recorder, never the API — and returns a func that waits for its
+// shutdown. The listener dies with ctx, so graceful daemon shutdown
+// tears it down too.
+func serveDebug(ctx context.Context, addr string, requestz http.Handler, stdout io.Writer) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -253,6 +287,7 @@ func serveDebug(ctx context.Context, addr string, stdout io.Writer) (func(), err
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/requestz", requestz)
 	srv := &http.Server{Handler: mux}
 	fmt.Fprintf(stdout, "vitdynd: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	done := make(chan struct{})

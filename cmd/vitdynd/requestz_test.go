@@ -1,0 +1,123 @@
+package main
+
+// Acceptance test for the always-on slow-request recorder: after a
+// plain load run — no ?debug=trace anywhere — /debug/requestz on the
+// -debug-addr listener must hand back the slowest catalog request with
+// its stage spans.
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"vitdyn/internal/obs"
+)
+
+// debugBaseURL waits for the -debug-addr listener's stdout banner and
+// returns its http://host:port base.
+func debugBaseURL(t *testing.T, stdout *lineWriter) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "vitdynd: pprof on "); ok {
+				u, err := url.Parse(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("bad debug banner URL %q: %v", rest, err)
+				}
+				return "http://" + u.Host
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("debug banner never appeared on stdout:\n%s", stdout.String())
+	return ""
+}
+
+func TestDaemonRequestzCapturesSlowestCatalog(t *testing.T) {
+	addr, stdout, _, shutdown := bootDaemonObs(t, "-quiet", "-debug-addr", "127.0.0.1:0", "-requestz", "32")
+	defer func() {
+		if c, _ := shutdown(); c != 0 {
+			t.Errorf("daemon exit code %d", c)
+		}
+	}()
+	debugBase := debugBaseURL(t, stdout)
+
+	// Plain traffic: a catalog build and some cheap requests, none of
+	// them opting into tracing.
+	for _, path := range []string{
+		"/v1/catalog?family=ofa&backend=flops",
+		"/healthz",
+		"/healthz",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	var snap obs.RequestzSnapshot
+	getJSON(t, debugBase+"/debug/requestz", &snap)
+	if snap.Total < 3 {
+		t.Errorf("requestz recorded %d requests, want >= 3", snap.Total)
+	}
+	if snap.Capacity != 32 {
+		t.Errorf("requestz capacity = %d, want 32 from -requestz", snap.Capacity)
+	}
+	tier := snap.Slowest["/v1/catalog"]
+	if len(tier) == 0 {
+		t.Fatalf("no slowest tier for /v1/catalog; slowest routes: %v", routesOf(snap))
+	}
+	slowest := tier[0]
+	if slowest.Status != http.StatusOK || slowest.ID == "" {
+		t.Errorf("slowest catalog entry = status %d id %q, want 200 with id", slowest.Status, slowest.ID)
+	}
+	// The whole point: stage spans captured without ?debug=trace.
+	if len(slowest.Spans) == 0 {
+		t.Fatal("slowest catalog request has no spans — always-on tracing not wired")
+	}
+	names := make([]string, 0, len(slowest.Spans))
+	for _, sp := range slowest.Spans {
+		names = append(names, sp.Name)
+	}
+	if !strings.Contains(strings.Join(names, ","), "catalog") {
+		t.Errorf("span names %v, want a catalog stage span", names)
+	}
+
+	// The text rendering serves the same data.
+	resp, err := http.Get(debugBase + "/debug/requestz?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/v1/catalog") || !strings.Contains(string(body), "span") {
+		t.Errorf("text requestz missing catalog entry or spans:\n%.400s", body)
+	}
+
+	// The API port must not serve the recorder.
+	resp, err = http.Get("http://" + addr + "/debug/requestz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/requestz reachable on the API port; must stay on -debug-addr")
+	}
+}
+
+func routesOf(snap obs.RequestzSnapshot) []string {
+	var out []string
+	for r := range snap.Slowest {
+		out = append(out, r)
+	}
+	return out
+}

@@ -74,21 +74,23 @@ type Persistent struct {
 	dir   string
 	opts  Options
 
-	mu          sync.RWMutex // guards entries, log, wal file state, compaction
-	entries     map[entryKey][]float64
-	log         []entryKey // insert order; seq N = log[N-1], the delta-export cursor space
-	gen         uint64     // incarnation id stamping cursors (see Head)
-	wal         *os.File
-	walBytes    int64
-	walRecords  int64
-	lastCompact time.Time
-	closed      bool
+	mu           sync.RWMutex // guards entries, log, wal file state, compaction
+	entries      map[entryKey][]float64
+	log          []entryKey // insert order; seq N = log[N-1], the delta-export cursor space
+	gen          uint64     // incarnation id stamping cursors (see Head)
+	wal          *os.File
+	walBytes     int64
+	walRecords   int64
+	lastCompact  time.Time
+	lastFlushErr string // last Flush failure; cleared by the next success
+	closed       bool
 
 	loaded      int
 	diskHits    atomic.Int64
 	appends     atomic.Int64
 	compactions atomic.Int64
 	retired     atomic.Int64
+	flushErrors atomic.Int64
 	lastFlushMS atomic.Int64 // unix milliseconds
 }
 
@@ -293,6 +295,21 @@ func (p *Persistent) Flush() error {
 	if p.closed {
 		return fmt.Errorf("costdb: store is closed")
 	}
+	// Outcome tracking feeds Stats.FlushErrors/LastFlushError, which
+	// the serving layer surfaces as degraded health while flushes keep
+	// failing; one success clears it.
+	err := p.flushLocked()
+	if err != nil {
+		p.flushErrors.Add(1)
+		p.lastFlushErr = err.Error()
+	} else {
+		p.lastFlushErr = ""
+	}
+	return err
+}
+
+// flushLocked is Flush's body; caller holds p.mu and has checked closed.
+func (p *Persistent) flushLocked() error {
 	if p.opts.CompactAge > 0 && p.walRecords > 0 && time.Since(p.lastCompact) >= p.opts.CompactAge {
 		return p.compactLocked()
 	}
@@ -481,6 +498,12 @@ type Stats struct {
 	// LastFlushAgeMS is how long ago the store last made its tail
 	// durable (fsync or compaction).
 	LastFlushAgeMS int64 `json:"last_flush_age_ms"`
+	// FlushErrors counts Flush calls that failed since open;
+	// LastFlushError is the most recent failure, "" once a flush
+	// succeeds again. The serving layer reports degraded health while
+	// it is non-empty.
+	FlushErrors    int64  `json:"flush_errors"`
+	LastFlushError string `json:"last_flush_error,omitempty"`
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -488,6 +511,7 @@ func (p *Persistent) Stats() Stats {
 	p.mu.RLock()
 	entries := len(p.entries)
 	walBytes, walRecords := p.walBytes, p.walRecords
+	lastFlushErr := p.lastFlushErr
 	p.mu.RUnlock()
 	return Stats{
 		LoadedEntries:  p.loaded,
@@ -499,5 +523,7 @@ func (p *Persistent) Stats() Stats {
 		Compactions:    p.compactions.Load(),
 		Retired:        p.retired.Load(),
 		LastFlushAgeMS: time.Now().UnixMilli() - p.lastFlushMS.Load(),
+		FlushErrors:    p.flushErrors.Load(),
+		LastFlushError: lastFlushErr,
 	}
 }

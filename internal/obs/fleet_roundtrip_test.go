@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseExpositionGossipPeerSeries round-trips the labeled per-peer
+// series shape the gossip layer registers and /fleetz scrapes:
+// one series name, one sample per peer, distinguished by the peer
+// label.
+func TestParseExpositionGossipPeerSeries(t *testing.T) {
+	r := NewRegistry()
+	peers := map[string]float64{"10.0.0.1:8080": 12, "10.0.0.2:8080": 34}
+	for addr, v := range peers {
+		v := v
+		r.CounterFunc("vitdyn_gossip_peer_syncs_total", "Syncs.",
+			func() float64 { return v }, Label{"peer", addr})
+		r.GaugeFunc("vitdyn_gossip_peer_last_sync_age_seconds", "Age.",
+			func() float64 { return v / 2 }, Label{"peer", addr})
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("own exposition unparseable: %v", err)
+	}
+	gotSyncs := map[string]float64{}
+	gotAges := map[string]float64{}
+	for _, s := range samples {
+		switch s.Name {
+		case "vitdyn_gossip_peer_syncs_total":
+			gotSyncs[s.Labels["peer"]] = s.Value
+		case "vitdyn_gossip_peer_last_sync_age_seconds":
+			gotAges[s.Labels["peer"]] = s.Value
+		}
+	}
+	for addr, v := range peers {
+		if gotSyncs[addr] != v {
+			t.Errorf("syncs{peer=%s} = %v, want %v", addr, gotSyncs[addr], v)
+		}
+		if gotAges[addr] != v/2 {
+			t.Errorf("age{peer=%s} = %v, want %v", addr, gotAges[addr], v/2)
+		}
+	}
+}
+
+// TestHistogramMergeMismatchedBounds covers the error path /fleetz
+// depends on: same bucket count but different bounds must refuse to
+// merge rather than silently mix incompatible layouts.
+func TestHistogramMergeMismatchedBounds(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3}).Snapshot()
+	b := NewHistogram([]float64{1, 2.5, 3}).Snapshot()
+	err := a.Merge(b)
+	if err == nil {
+		t.Fatal("merging different bounds did not error")
+	}
+	if !strings.Contains(err.Error(), "different bounds") {
+		t.Errorf("error = %q, want mention of different bounds", err)
+	}
+
+	c := NewHistogram([]float64{1}).Snapshot()
+	err = a.Merge(c)
+	if err == nil {
+		t.Fatal("merging different bucket counts did not error")
+	}
+	if !strings.Contains(err.Error(), "buckets") {
+		t.Errorf("error = %q, want mention of bucket count", err)
+	}
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Requestz is an always-on recorder of recent request traces —
+// zPages-style evidence for explaining a latency outlier after the
+// fact, without having had ?debug=trace set when it happened. Two
+// retention tiers share one mutex:
+//
+//   - a fixed-size ring of the most recent requests (overwritten in
+//     place, so steady-state recording allocates nothing), and
+//   - a slowest-N-per-route tier, so one hot route's churn cannot
+//     evict the cold 3-second build you actually want to inspect.
+//
+// It serves itself over HTTP as JSON (default) or human-readable text
+// (?format=text).
+type Requestz struct {
+	mu    sync.Mutex
+	ring  []RequestRecord
+	used  int // how much of the ring has ever been filled
+	next  int // ring cursor: index the next record overwrites
+	total int64
+	slowN int
+	slow  map[string][]RequestRecord // per route, slowest first, len <= slowN
+}
+
+// RequestRecord is one captured request: identity, outcome, and the
+// stage spans its trace recorded.
+type RequestRecord struct {
+	ID       string
+	Route    string
+	Method   string
+	Path     string
+	Query    string
+	Status   int
+	Bytes    int64
+	Start    time.Time
+	Duration time.Duration
+	CacheHit bool
+	Spans    []Span
+}
+
+// NewRequestz returns a recorder keeping the last `capacity` requests
+// and the slowest `slowPerRoute` per route. Non-positive arguments
+// select defaults (256 recent, 8 per route).
+func NewRequestz(capacity, slowPerRoute int) *Requestz {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if slowPerRoute <= 0 {
+		slowPerRoute = 8
+	}
+	return &Requestz{
+		ring:  make([]RequestRecord, capacity),
+		slowN: slowPerRoute,
+		slow:  make(map[string][]RequestRecord),
+	}
+}
+
+// Record captures one finished request. Safe for concurrent use; on a
+// nil recorder it does nothing. Steady-state recording is
+// allocation-free: the ring overwrites in place and the slow tier's
+// per-route slices are grown once to capacity.
+func (z *Requestz) Record(rec RequestRecord) {
+	if z == nil {
+		return
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.total++
+	z.ring[z.next] = rec
+	z.next = (z.next + 1) % len(z.ring)
+	if z.used < len(z.ring) {
+		z.used++
+	}
+
+	tier, ok := z.slow[rec.Route]
+	if !ok {
+		tier = make([]RequestRecord, 0, z.slowN)
+	}
+	if len(tier) == z.slowN {
+		if rec.Duration <= tier[len(tier)-1].Duration {
+			if !ok {
+				z.slow[rec.Route] = tier
+			}
+			return
+		}
+		tier = tier[:len(tier)-1] // drop the fastest of the slow
+	}
+	// Insert keeping slowest-first order.
+	pos := sort.Search(len(tier), func(i int) bool { return tier[i].Duration < rec.Duration })
+	tier = append(tier, RequestRecord{})
+	copy(tier[pos+1:], tier[pos:])
+	tier[pos] = rec
+	z.slow[rec.Route] = tier
+}
+
+// Total returns how many requests have been recorded since boot, 0 on
+// nil.
+func (z *Requestz) Total() int64 {
+	if z == nil {
+		return 0
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.total
+}
+
+// Capacity returns the recent-ring size, 0 on nil.
+func (z *Requestz) Capacity() int {
+	if z == nil {
+		return 0
+	}
+	return len(z.ring)
+}
+
+// RequestzEntry is the JSON form of one captured request.
+type RequestzEntry struct {
+	ID         string    `json:"id,omitempty"`
+	Route      string    `json:"route"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Query      string    `json:"query,omitempty"`
+	Status     int       `json:"status"`
+	Bytes      int64     `json:"bytes"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	CacheHit   bool      `json:"cache_hit"`
+	Spans      []Span    `json:"spans,omitempty"`
+}
+
+// RequestzSnapshot is the JSON form of the recorder state.
+type RequestzSnapshot struct {
+	Total    int64                      `json:"total"`
+	Capacity int                        `json:"capacity"`
+	Recent   []RequestzEntry            `json:"recent"`  // newest first
+	Slowest  map[string][]RequestzEntry `json:"slowest"` // per route, slowest first
+}
+
+func entryOf(rec RequestRecord) RequestzEntry {
+	return RequestzEntry{
+		ID:         rec.ID,
+		Route:      rec.Route,
+		Method:     rec.Method,
+		Path:       rec.Path,
+		Query:      rec.Query,
+		Status:     rec.Status,
+		Bytes:      rec.Bytes,
+		Start:      rec.Start,
+		DurationMS: float64(rec.Duration) / float64(time.Millisecond),
+		CacheHit:   rec.CacheHit,
+		Spans:      rec.Spans,
+	}
+}
+
+// Snapshot copies the recorder state. Recent is ordered newest first;
+// Slowest maps route to its retained records, slowest first. Returns a
+// zero-valued snapshot on nil.
+func (z *Requestz) Snapshot() RequestzSnapshot {
+	if z == nil {
+		return RequestzSnapshot{}
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	snap := RequestzSnapshot{
+		Total:    z.total,
+		Capacity: len(z.ring),
+		Recent:   make([]RequestzEntry, 0, z.used),
+		Slowest:  make(map[string][]RequestzEntry, len(z.slow)),
+	}
+	for i := 0; i < z.used; i++ {
+		idx := (z.next - 1 - i + 2*len(z.ring)) % len(z.ring)
+		snap.Recent = append(snap.Recent, entryOf(z.ring[idx]))
+	}
+	for route, tier := range z.slow {
+		entries := make([]RequestzEntry, 0, len(tier))
+		for _, rec := range tier {
+			entries = append(entries, entryOf(rec))
+		}
+		snap.Slowest[route] = entries
+	}
+	return snap
+}
+
+// ServeHTTP serves the recorder state: JSON by default, a
+// human-readable text page with ?format=text.
+func (z *Requestz) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	snap := z.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeRequestzText(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // best effort: client may hang up
+}
+
+func writeRequestzText(w http.ResponseWriter, snap RequestzSnapshot) {
+	fmt.Fprintf(w, "requestz: %d recorded since boot, ring of %d\n", snap.Total, snap.Capacity)
+
+	routes := make([]string, 0, len(snap.Slowest))
+	for route := range snap.Slowest {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(w, "\nslowest per route:\n")
+	for _, route := range routes {
+		fmt.Fprintf(w, "  %s\n", route)
+		for _, e := range snap.Slowest[route] {
+			writeRequestzEntryText(w, e, "    ")
+		}
+	}
+
+	fmt.Fprintf(w, "\nrecent (newest first):\n")
+	for _, e := range snap.Recent {
+		writeRequestzEntryText(w, e, "  ")
+	}
+}
+
+func writeRequestzEntryText(w http.ResponseWriter, e RequestzEntry, indent string) {
+	hit := ""
+	if e.CacheHit {
+		hit = "  [cache hit]"
+	}
+	target := e.Path
+	if e.Query != "" {
+		target += "?" + e.Query
+	}
+	fmt.Fprintf(w, "%s%9.3fms  %3d  %-6s %s  id=%s%s\n",
+		indent, e.DurationMS, e.Status, e.Method, target, e.ID, hit)
+	for _, sp := range e.Spans {
+		fmt.Fprintf(w, "%s    span %-12s %9.3fms @%.3fms\n", indent, sp.Name,
+			float64(sp.DurationNS)/1e6, float64(sp.StartNS)/1e6)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func reqzRec(route string, d time.Duration) RequestRecord {
+	return RequestRecord{
+		ID:       "req-" + route,
+		Route:    route,
+		Method:   "GET",
+		Path:     route,
+		Status:   200,
+		Duration: d,
+	}
+}
+
+func TestRequestzRingNewestFirst(t *testing.T) {
+	z := NewRequestz(3, 2)
+	for i, d := range []time.Duration{1, 2, 3, 4} {
+		rec := reqzRec("/a", time.Duration(i+1)*time.Millisecond)
+		rec.ID = []string{"one", "two", "three", "four"}[i]
+		_ = d
+		z.Record(rec)
+	}
+	snap := z.Snapshot()
+	if snap.Total != 4 {
+		t.Fatalf("Total = %d, want 4", snap.Total)
+	}
+	if snap.Capacity != 3 {
+		t.Fatalf("Capacity = %d, want 3", snap.Capacity)
+	}
+	// Ring of 3 after 4 records: oldest ("one") evicted, newest first.
+	var ids []string
+	for _, e := range snap.Recent {
+		ids = append(ids, e.ID)
+	}
+	if got, want := strings.Join(ids, ","), "four,three,two"; got != want {
+		t.Errorf("recent order = %s, want %s", got, want)
+	}
+}
+
+func TestRequestzSlowestTier(t *testing.T) {
+	z := NewRequestz(16, 2)
+	// Three requests on one route with capacity 2: the fastest must be
+	// the one dropped, regardless of arrival order.
+	z.Record(reqzRec("/a", 10*time.Millisecond))
+	z.Record(reqzRec("/a", 30*time.Millisecond))
+	z.Record(reqzRec("/a", 20*time.Millisecond))
+	z.Record(reqzRec("/b", 1*time.Millisecond))
+
+	snap := z.Snapshot()
+	tier := snap.Slowest["/a"]
+	if len(tier) != 2 {
+		t.Fatalf("slowest[/a] has %d entries, want 2", len(tier))
+	}
+	if tier[0].DurationMS != 30 || tier[1].DurationMS != 20 {
+		t.Errorf("slowest[/a] = %.0fms, %.0fms; want 30, 20", tier[0].DurationMS, tier[1].DurationMS)
+	}
+	if len(snap.Slowest["/b"]) != 1 {
+		t.Errorf("slowest[/b] has %d entries, want 1", len(snap.Slowest["/b"]))
+	}
+
+	// A hot route churning the ring must not evict another route's
+	// slow tier.
+	for i := 0; i < 100; i++ {
+		z.Record(reqzRec("/b", time.Microsecond))
+	}
+	if got := z.Snapshot().Slowest["/a"]; len(got) != 2 {
+		t.Errorf("slowest[/a] after /b churn has %d entries, want 2", len(got))
+	}
+}
+
+func TestRequestzNilSafe(t *testing.T) {
+	var z *Requestz
+	z.Record(reqzRec("/a", time.Millisecond)) // must not panic
+	if z.Total() != 0 || z.Capacity() != 0 {
+		t.Errorf("nil recorder Total/Capacity = %d/%d, want 0/0", z.Total(), z.Capacity())
+	}
+	if snap := z.Snapshot(); snap.Total != 0 || len(snap.Recent) != 0 {
+		t.Errorf("nil recorder snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRequestzServeHTTPJSON(t *testing.T) {
+	z := NewRequestz(8, 2)
+	rec := reqzRec("/v1/catalog", 5*time.Millisecond)
+	rec.CacheHit = true
+	rec.Spans = []Span{{Name: "catalog", StartNS: 1000, DurationNS: 4000000}}
+	z.Record(rec)
+
+	w := httptest.NewRecorder()
+	z.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requestz", nil))
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var snap RequestzSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if len(snap.Recent) != 1 || !snap.Recent[0].CacheHit || len(snap.Recent[0].Spans) != 1 {
+		t.Errorf("snapshot lost fields: %+v", snap.Recent)
+	}
+}
+
+func TestRequestzServeHTTPText(t *testing.T) {
+	z := NewRequestz(8, 2)
+	rec := reqzRec("/v1/catalog", 5*time.Millisecond)
+	rec.Query = "model=deit-s"
+	rec.Spans = []Span{{Name: "catalog", StartNS: 0, DurationNS: 4000000}}
+	z.Record(rec)
+
+	w := httptest.NewRecorder()
+	z.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requestz?format=text", nil))
+	body := w.Body.String()
+	for _, want := range []string{"slowest per route", "/v1/catalog?model=deit-s", "span catalog", "recent (newest first)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text output missing %q:\n%s", want, body)
+		}
+	}
+}

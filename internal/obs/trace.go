@@ -22,6 +22,7 @@ import (
 type Trace struct {
 	id    string
 	start time.Time
+	echo  atomic.Bool // include the trace block in the response body?
 
 	mu    sync.Mutex
 	spans []Span
@@ -88,6 +89,27 @@ func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
 	t.mu.Lock()
 	t.spans = append(t.spans, Span{Name: name, StartNS: off.Nanoseconds(), DurationNS: d.Nanoseconds()})
 	t.mu.Unlock()
+}
+
+// SetEcho marks whether the trace block should be echoed in the
+// response body. Traces are recorded for every request (the requestz
+// recorder keeps them), but only explicitly requested ones
+// (?debug=trace) alter the response — cached responses must stay
+// byte-identical to untraced ones. No-op on nil.
+func (t *Trace) SetEcho(v bool) {
+	if t == nil {
+		return
+	}
+	t.echo.Store(v)
+}
+
+// Echoed reports whether the response body should carry the trace
+// block; false on nil.
+func (t *Trace) Echoed() bool {
+	if t == nil {
+		return false
+	}
+	return t.echo.Load()
 }
 
 // Spans returns a copy of the recorded spans, nil on a nil trace.

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed metrics: rolling-window views over the same fixed-bucket
+// histograms and counters the cumulative series use, so /metrics and
+// /statsz can report "p99 over the last minute" next to "p99 since
+// boot". The design is a ring of per-interval slots rotated lazily by
+// the writers themselves — no background ticker goroutine, which
+// matters because servers here are plain structs with no lifecycle to
+// stop one.
+//
+// Each slot carries a generation number (wall time divided by the slot
+// duration). A writer whose generation does not match the slot's
+// current generation zeroes the slot and advances it under a per-slot
+// mutex before recording; readers include a slot only when its
+// generation falls inside the requested window. A slot whose ring
+// position has not been written since it fell out of the window is
+// therefore excluded by its stale generation alone — idle processes
+// decay to empty windows without any sweeper.
+//
+// Accuracy notes, deliberate and documented rather than fixed:
+//   - Rotation racing a concurrent reader can expose a partially
+//     zeroed slot; rotation racing a concurrent writer can misfile one
+//     observation into the adjacent interval. Both bound the error to
+//     a handful of observations per slot boundary — noise for a
+//     monitoring read, and the price of an allocation-free,
+//     lock-free-in-steady-state Observe.
+//   - A window of k slots spans between (k-1) and k slot durations of
+//     real time depending on where "now" sits inside the current
+//     (partial) slot. With the 12-slots-per-window sizing the serve
+//     layer uses, a "1m" window covers 55–60s of traffic.
+
+// WindowedHistogram is a rolling-window companion to Histogram: a ring
+// of per-interval histogram deltas merged on snapshot. Observe is
+// allocation-free and, outside the one rotation per slot interval,
+// lock-free.
+type WindowedHistogram struct {
+	bounds  []float64
+	slotDur int64 // slot width in nanoseconds
+	slots   []histSlot
+	now     func() time.Time // injectable for tests; time.Now otherwise
+}
+
+type histSlot struct {
+	mu     sync.Mutex   // serialises rotation only, never steady-state writes
+	gen    atomic.Int64 // wall interval this slot currently holds
+	counts []atomic.Int64
+	sum    Gauge
+	count  atomic.Int64
+}
+
+// NewWindowedHistogram returns a windowed histogram over the given
+// bucket bounds (nil selects DefaultLatencyBuckets) with `slots` ring
+// slots of width `slot` each. The longest window the ring can answer
+// is slot*(slots) — callers size the ring for their longest window.
+func NewWindowedHistogram(bounds []float64, slot time.Duration, slots int) *WindowedHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("obs: windowed histogram bound %d is not finite", i))
+		}
+		if i > 0 && b[i-1] >= v {
+			panic(fmt.Sprintf("obs: windowed histogram bounds not strictly increasing at %d", i))
+		}
+	}
+	if slot <= 0 {
+		panic("obs: windowed histogram slot duration must be positive")
+	}
+	if slots < 2 {
+		panic("obs: windowed histogram needs at least 2 slots")
+	}
+	w := &WindowedHistogram{
+		bounds:  b,
+		slotDur: int64(slot),
+		slots:   make([]histSlot, slots),
+		now:     time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i].counts = make([]atomic.Int64, len(b)+1)
+		w.slots[i].gen.Store(-1) // no wall interval; never matches
+	}
+	return w
+}
+
+// slotFor rotates (if needed) and returns the slot for generation g.
+func (w *WindowedHistogram) slotFor(g int64) *histSlot {
+	s := &w.slots[int(g%int64(len(w.slots)))]
+	if s.gen.Load() != g {
+		s.mu.Lock()
+		if s.gen.Load() != g {
+			for i := range s.counts {
+				s.counts[i].Store(0)
+			}
+			s.sum.Set(0)
+			s.count.Store(0)
+			s.gen.Store(g)
+		}
+		s.mu.Unlock()
+	}
+	return s
+}
+
+// Observe records one value into the current interval's slot. NaN
+// observations are dropped, matching Histogram.Observe.
+func (w *WindowedHistogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s := w.slotFor(w.now().UnixNano() / w.slotDur)
+	s.counts[sort.SearchFloat64s(w.bounds, v)].Add(1)
+	s.sum.Add(v)
+	s.count.Add(1)
+}
+
+// ObserveDuration records a duration in seconds, matching
+// Histogram.ObserveDuration.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) { w.Observe(d.Seconds()) }
+
+// snapshotSlot copies one slot into a HistogramSnapshot.
+func (s *histSlot) snapshot(bounds []float64) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: bounds,
+		Counts: make([]int64, len(s.counts)),
+		Sum:    s.sum.Value(),
+	}
+	for i := range s.counts {
+		c := s.counts[i].Load()
+		out.Counts[i] = c
+		out.Count += c
+	}
+	return out
+}
+
+// Snapshot merges the slots covering the trailing `window` (including
+// the current partial slot) into one HistogramSnapshot via
+// HistogramSnapshot.Merge. A window longer than the ring covers is
+// clamped to the ring.
+func (w *WindowedHistogram) Snapshot(window time.Duration) HistogramSnapshot {
+	k := int(int64(window) / w.slotDur)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(w.slots) {
+		k = len(w.slots)
+	}
+	g := w.now().UnixNano() / w.slotDur
+	merged := HistogramSnapshot{
+		Bounds: w.bounds,
+		Counts: make([]int64, len(w.bounds)+1),
+	}
+	for i := range w.slots {
+		s := &w.slots[i]
+		sg := s.gen.Load()
+		if sg <= g-int64(k) || sg > g {
+			continue // outside the window (or never written)
+		}
+		// Merge cannot fail here: every slot shares w.bounds.
+		_ = merged.Merge(s.snapshot(w.bounds))
+	}
+	return merged
+}
+
+// WindowedCounter is a rolling-window event counter: Sum(window)
+// reports how many events landed in the trailing window, from which
+// callers derive rates and hit ratios "over the last minute". Inc/Add
+// are allocation-free and lock-free outside slot rotation.
+type WindowedCounter struct {
+	slotDur int64
+	slots   []counterSlot
+	now     func() time.Time
+}
+
+type counterSlot struct {
+	mu  sync.Mutex
+	gen atomic.Int64
+	n   atomic.Int64
+}
+
+// NewWindowedCounter returns a windowed counter with `slots` ring slots
+// of width `slot` each.
+func NewWindowedCounter(slot time.Duration, slots int) *WindowedCounter {
+	if slot <= 0 {
+		panic("obs: windowed counter slot duration must be positive")
+	}
+	if slots < 2 {
+		panic("obs: windowed counter needs at least 2 slots")
+	}
+	w := &WindowedCounter{
+		slotDur: int64(slot),
+		slots:   make([]counterSlot, slots),
+		now:     time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i].gen.Store(-1)
+	}
+	return w
+}
+
+// Add records n events in the current interval.
+func (w *WindowedCounter) Add(n int64) {
+	g := w.now().UnixNano() / w.slotDur
+	s := &w.slots[int(g%int64(len(w.slots)))]
+	if s.gen.Load() != g {
+		s.mu.Lock()
+		if s.gen.Load() != g {
+			s.n.Store(0)
+			s.gen.Store(g)
+		}
+		s.mu.Unlock()
+	}
+	s.n.Add(n)
+}
+
+// Inc records one event in the current interval.
+func (w *WindowedCounter) Inc() { w.Add(1) }
+
+// Sum returns the number of events recorded in the trailing `window`
+// (including the current partial slot), clamped to the ring's span.
+func (w *WindowedCounter) Sum(window time.Duration) int64 {
+	k := int(int64(window) / w.slotDur)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(w.slots) {
+		k = len(w.slots)
+	}
+	g := w.now().UnixNano() / w.slotDur
+	var total int64
+	for i := range w.slots {
+		s := &w.slots[i]
+		sg := s.gen.Load()
+		if sg <= g-int64(k) || sg > g {
+			continue
+		}
+		total += s.n.Load()
+	}
+	return total
+}

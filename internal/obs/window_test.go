@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the lazy slot rotation deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                { return c.t }
+func (c *fakeClock) advance(d time.Duration)       { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                     { return &fakeClock{t: time.Unix(1000, 0)} }
+func withClock(w *WindowedHistogram, c *fakeClock) { w.now = c.now }
+
+func TestWindowedHistogramBasic(t *testing.T) {
+	clock := newFakeClock()
+	w := NewWindowedHistogram([]float64{0.01, 0.1, 1}, 5*time.Second, 13)
+	withClock(w, clock)
+
+	for i := 0; i < 100; i++ {
+		w.Observe(0.05)
+	}
+	w.Observe(2.5) // lands in the +Inf bucket
+
+	snap := w.Snapshot(time.Minute)
+	if snap.Count != 101 {
+		t.Fatalf("Count = %d, want 101", snap.Count)
+	}
+	if got := snap.Counts[1]; got != 100 {
+		t.Errorf("bucket (0.01,0.1] = %d, want 100", got)
+	}
+	if got := snap.Counts[3]; got != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", got)
+	}
+	if p50 := snap.Quantile(0.5); p50 < 0.01 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want within (0.01, 0.1]", p50)
+	}
+}
+
+func TestWindowedHistogramExpiry(t *testing.T) {
+	clock := newFakeClock()
+	slot := 5 * time.Second
+	w := NewWindowedHistogram([]float64{1}, slot, 13)
+	withClock(w, clock)
+
+	w.Observe(0.5)
+	if got := w.Snapshot(time.Minute).Count; got != 1 {
+		t.Fatalf("fresh observation: Count = %d, want 1", got)
+	}
+
+	// Still visible while inside the window...
+	clock.advance(30 * time.Second)
+	if got := w.Snapshot(time.Minute).Count; got != 1 {
+		t.Errorf("after 30s: Count = %d, want 1", got)
+	}
+	// ...but a shorter window no longer covers it.
+	if got := w.Snapshot(10 * time.Second).Count; got != 0 {
+		t.Errorf("10s window after 30s: Count = %d, want 0", got)
+	}
+
+	// Once the slot's generation falls out of the window the
+	// observation disappears without anyone having written since.
+	clock.advance(40 * time.Second)
+	if got := w.Snapshot(time.Minute).Count; got != 0 {
+		t.Errorf("after expiry: Count = %d, want 0", got)
+	}
+}
+
+func TestWindowedHistogramSlotReuse(t *testing.T) {
+	clock := newFakeClock()
+	slot := time.Second
+	w := NewWindowedHistogram([]float64{1}, slot, 4)
+	withClock(w, clock)
+
+	// Fill every ring position, then wrap: the reused slot must shed
+	// its old interval's counts.
+	for i := 0; i < 8; i++ {
+		w.Observe(0.5)
+		clock.advance(slot)
+	}
+	// A 3-slot window spans the current (empty) partial interval plus
+	// the 2 preceding written ones; the wrapped slots must not leak
+	// their pre-wrap counts into it.
+	if got := w.Snapshot(3 * time.Second).Count; got != 2 {
+		t.Errorf("after wrap, 3s window: Count = %d, want 2", got)
+	}
+	// The full ring sees one more interval and nothing older.
+	if got := w.Snapshot(4 * time.Second).Count; got != 3 {
+		t.Errorf("after wrap, 4s window: Count = %d, want 3", got)
+	}
+}
+
+func TestWindowedHistogramWindowClamped(t *testing.T) {
+	clock := newFakeClock()
+	w := NewWindowedHistogram([]float64{1}, time.Second, 4)
+	withClock(w, clock)
+	w.Observe(0.5)
+	// A window far beyond the ring's span clamps instead of misreading.
+	if got := w.Snapshot(time.Hour).Count; got != 1 {
+		t.Errorf("clamped window: Count = %d, want 1", got)
+	}
+}
+
+func TestWindowedHistogramDropsNaN(t *testing.T) {
+	w := NewWindowedHistogram([]float64{1}, time.Second, 4)
+	w.Observe(math.NaN())
+	if got := w.Snapshot(time.Second).Count; got != 0 {
+		t.Errorf("NaN observation recorded: Count = %d, want 0", got)
+	}
+}
+
+func TestWindowedHistogramObserveZeroAllocs(t *testing.T) {
+	w := NewWindowedHistogram(DefaultLatencyBuckets, time.Second, 13)
+	if allocs := testing.AllocsPerRun(1000, func() { w.Observe(0.001) }); allocs != 0 {
+		t.Errorf("Observe allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { w.ObserveDuration(time.Millisecond) }); allocs != 0 {
+		t.Errorf("ObserveDuration allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestWindowedHistogramPanics(t *testing.T) {
+	cases := map[string]func(){
+		"non-increasing bounds": func() { NewWindowedHistogram([]float64{1, 1}, time.Second, 4) },
+		"non-finite bound":      func() { NewWindowedHistogram([]float64{math.Inf(1)}, time.Second, 4) },
+		"zero slot":             func() { NewWindowedHistogram([]float64{1}, 0, 4) },
+		"one slot":              func() { NewWindowedHistogram([]float64{1}, time.Second, 1) },
+		"counter zero slot":     func() { NewWindowedCounter(0, 4) },
+		"counter one slot":      func() { NewWindowedCounter(time.Second, 1) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestWindowedCounter(t *testing.T) {
+	clock := newFakeClock()
+	slot := 5 * time.Second
+	w := NewWindowedCounter(slot, 13)
+	w.now = clock.now
+
+	w.Add(10)
+	clock.advance(slot)
+	w.Inc()
+	if got := w.Sum(time.Minute); got != 11 {
+		t.Fatalf("Sum(1m) = %d, want 11", got)
+	}
+	// Only the current interval:
+	if got := w.Sum(slot); got != 1 {
+		t.Errorf("Sum(one slot) = %d, want 1", got)
+	}
+	clock.advance(2 * time.Minute)
+	if got := w.Sum(time.Minute); got != 0 {
+		t.Errorf("after expiry: Sum = %d, want 0", got)
+	}
+}
+
+func TestWindowedCounterAddZeroAllocs(t *testing.T) {
+	w := NewWindowedCounter(time.Second, 13)
+	if allocs := testing.AllocsPerRun(1000, func() { w.Inc() }); allocs != 0 {
+		t.Errorf("Inc allocates %.1f/op, want 0", allocs)
+	}
+}

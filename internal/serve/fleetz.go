@@ -1,0 +1,359 @@
+package serve
+
+// Fleet aggregation: GET /fleetz answers "how is the fleet doing right
+// now" from any daemon. The handler scrapes every gossip peer's
+// /metrics and /healthz concurrently (bounded by one timeout,
+// tolerant of partial failure), reuses obs.ParseExposition to read the
+// expositions, merges the per-route latency histograms into fleet-wide
+// percentiles, and reports one health row per peer — up/degraded/down,
+// the local gossip view (quarantined, cursor, last-sync age) and store
+// sizes. The daemon's own registry is rendered and parsed through the
+// same code path as a remote peer, so the merge logic has exactly one
+// input shape.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"vitdyn/internal/obs"
+)
+
+// outboundUserAgent identifies fleet-internal HTTP traffic (gossip
+// pulls, fleetz scrapes) in peer access logs.
+var outboundUserAgent = "vitdynd/" + obs.Version().Version
+
+// setFleetHeaders stamps an outbound fleet-internal request with the
+// versioned User-Agent and a generated X-Request-Id (the peer echoes it
+// back and logs it, so an exchange correlates across both daemons).
+func setFleetHeaders(req *http.Request) {
+	req.Header.Set("User-Agent", outboundUserAgent)
+	req.Header.Set("X-Request-Id", obs.NewRequestID())
+}
+
+// fleetClient issues the /fleetz scrapes. Separate from the gossip
+// client only so a server without a gossiper can still serve its own
+// row.
+var fleetClient = &http.Client{}
+
+// fleetScrapeBodyCap bounds one peer exposition read.
+const fleetScrapeBodyCap = 8 << 20
+
+// FleetPeerRow is one daemon's row in the /fleetz response.
+type FleetPeerRow struct {
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	// Up means the peer's /metrics scrape succeeded during this fleetz
+	// request. Status refines it: "ok", "degraded" (the peer's own
+	// /healthz judgment), or "down".
+	Up      bool     `json:"up"`
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	// Requests is the peer's cumulative request count across routes.
+	Requests      int64 `json:"requests"`
+	StoreEntries  int64 `json:"store_entries"`
+	CostdbEntries int64 `json:"costdb_entries,omitempty"`
+	// The local gossip view of this peer (absent for self and for rows
+	// this daemon does not gossip with).
+	GossipQuarantined   bool   `json:"gossip_quarantined,omitempty"`
+	GossipCursor        string `json:"gossip_cursor,omitempty"`
+	GossipLastSyncAgeMS int64  `json:"gossip_last_sync_age_ms,omitempty"`
+}
+
+// FleetRouteStats is one route's fleet-wide merged view: summed request
+// counts and percentiles over every reachable daemon's histogram.
+type FleetRouteStats struct {
+	Requests int64   `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	P999MS   float64 `json:"p999_ms"`
+}
+
+// FleetzResponse is the GET /fleetz body.
+type FleetzResponse struct {
+	Peers         []FleetPeerRow `json:"peers"`
+	PeersUp       int            `json:"peers_up"`
+	PeersDegraded int            `json:"peers_degraded"`
+	PeersDown     int            `json:"peers_down"`
+	// Requests is the fleet-wide cumulative request total (sum of every
+	// reachable peer's per-route counters).
+	Requests int64                      `json:"requests"`
+	Routes   map[string]FleetRouteStats `json:"routes"`
+	// Partial marks a response missing at least one peer's data.
+	Partial bool `json:"partial"`
+}
+
+// peerScrape is what one daemon contributed to the aggregate.
+type peerScrape struct {
+	routeRequests map[string]int64
+	routeHists    map[string]obs.HistogramSnapshot
+	storeEntries  int64
+	costdbEntries int64
+	health        healthzResponse
+	healthKnown   bool
+	err           error
+}
+
+func (s *Server) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	timeout := DefaultGossipTimeout
+	var peers []string
+	if s.gossip != nil {
+		timeout = s.gossip.opts.Timeout
+		for _, p := range s.gossip.peers {
+			peers = append(peers, p.addr)
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Scrape every peer concurrently; the self row goes through the
+	// same exposition parser over the local registry.
+	scrapes := make([]peerScrape, len(peers)+1)
+	var wg sync.WaitGroup
+	for i, addr := range peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			scrapes[i+1] = s.scrapePeer(ctx, addr)
+		}(i, addr)
+	}
+	scrapes[0] = s.scrapeSelf()
+	wg.Wait()
+
+	resp := FleetzResponse{Routes: make(map[string]FleetRouteStats)}
+	merged := make(map[string]*obs.HistogramSnapshot)
+	addrs := append([]string{s.selfAddr()}, peers...)
+	for i, sc := range scrapes {
+		row := FleetPeerRow{Addr: addrs[i], Self: i == 0}
+		if i > 0 {
+			s.fillGossipView(&row)
+		}
+		if sc.err != nil {
+			row.Status = "down"
+			row.Error = sc.err.Error()
+			resp.PeersDown++
+			resp.Partial = true
+			resp.Peers = append(resp.Peers, row)
+			continue
+		}
+		row.Up = true
+		row.Status = "ok"
+		if sc.healthKnown {
+			row.Status = sc.health.Status
+			row.Reasons = sc.health.Reasons
+		}
+		if row.Status == "degraded" {
+			resp.PeersDegraded++
+		}
+		resp.PeersUp++
+		row.StoreEntries = sc.storeEntries
+		row.CostdbEntries = sc.costdbEntries
+		for route, n := range sc.routeRequests {
+			row.Requests += n
+			rs := resp.Routes[route]
+			rs.Requests += n
+			resp.Routes[route] = rs
+		}
+		resp.Requests += row.Requests
+		for route, snap := range sc.routeHists {
+			if have, ok := merged[route]; ok {
+				if err := have.Merge(snap); err != nil {
+					// Mixed bucket layouts (a mid-upgrade fleet): keep
+					// the majority view, mark the response partial.
+					row.Error = fmt.Sprintf("route %s: %v", route, err)
+					resp.Partial = true
+				}
+			} else {
+				cp := snap
+				cp.Counts = append([]int64(nil), snap.Counts...)
+				merged[route] = &cp
+			}
+		}
+		resp.Peers = append(resp.Peers, row)
+	}
+	for route, snap := range merged {
+		rs := resp.Routes[route]
+		rs.P50MS = snap.Quantile(0.5) * 1e3
+		rs.P99MS = snap.Quantile(0.99) * 1e3
+		rs.P999MS = snap.Quantile(0.999) * 1e3
+		resp.Routes[route] = rs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// selfAddr labels this daemon's own row: the bound listen address, or
+// "self" when the server runs without ListenAndServe (tests, custom
+// embedding).
+func (s *Server) selfAddr() string {
+	if s.boundAddr != "" {
+		return s.boundAddr
+	}
+	return "self"
+}
+
+// fillGossipView copies the local gossip state about addr into its row.
+func (s *Server) fillGossipView(row *FleetPeerRow) {
+	if s.gossip == nil {
+		return
+	}
+	for _, p := range s.gossip.peers {
+		if p.addr != row.Addr {
+			continue
+		}
+		ps := p.stats()
+		row.GossipQuarantined = ps.Quarantined
+		row.GossipCursor = ps.Cursor
+		row.GossipLastSyncAgeMS = ps.LastSyncAgeMS
+		return
+	}
+}
+
+// scrapeSelf renders the local registry and health through the same
+// parser remote peers go through.
+func (s *Server) scrapeSelf() peerScrape {
+	var buf bytes.Buffer
+	if err := s.metrics.WritePrometheus(&buf); err != nil {
+		return peerScrape{err: err}
+	}
+	samples, err := obs.ParseExposition(&buf)
+	if err != nil {
+		return peerScrape{err: err}
+	}
+	sc := extractPeerScrape(samples)
+	status, reasons := s.healthStatus()
+	sc.health = healthzResponse{Status: status, Reasons: reasons}
+	sc.healthKnown = true
+	return sc
+}
+
+// scrapePeer pulls one peer's /metrics and /healthz. A metrics failure
+// marks the peer down; a healthz failure only loses the refinement.
+func (s *Server) scrapePeer(ctx context.Context, addr string) peerScrape {
+	body, err := fleetGet(ctx, addr, "/metrics")
+	if err != nil {
+		return peerScrape{err: err}
+	}
+	samples, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		return peerScrape{err: fmt.Errorf("peer %s: %w", addr, err)}
+	}
+	sc := extractPeerScrape(samples)
+	if hb, err := fleetGet(ctx, addr, "/healthz"); err == nil {
+		if jerr := json.Unmarshal(hb, &sc.health); jerr == nil {
+			sc.healthKnown = true
+		}
+	}
+	return sc
+}
+
+// fleetGet fetches one peer endpoint with the fleet headers set and the
+// body capped.
+func fleetGet(ctx context.Context, addr, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	setFleetHeaders(req)
+	resp, err := fleetClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: %s status %d", addr, path, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, fleetScrapeBodyCap))
+}
+
+// bucketPoint is one parsed `_bucket` sample: the le bound and its
+// cumulative count.
+type bucketPoint struct {
+	le  float64
+	cum int64
+}
+
+// extractPeerScrape reduces one exposition to the fleet-relevant
+// pieces: per-route request counts, per-route latency histograms
+// (reconstructed from the cumulative `le` buckets), and store sizes.
+func extractPeerScrape(samples []obs.Sample) peerScrape {
+	sc := peerScrape{
+		routeRequests: make(map[string]int64),
+		routeHists:    make(map[string]obs.HistogramSnapshot),
+	}
+	buckets := make(map[string][]bucketPoint)
+	sums := make(map[string]float64)
+	for _, smp := range samples {
+		switch smp.Name {
+		case "vitdyn_http_requests_total":
+			sc.routeRequests[smp.Labels["route"]] += int64(smp.Value)
+		case "vitdyn_http_request_duration_seconds_bucket":
+			route := smp.Labels["route"]
+			le, err := parseLE(smp.Labels["le"])
+			if err != nil {
+				continue
+			}
+			buckets[route] = append(buckets[route], bucketPoint{le: le, cum: int64(smp.Value)})
+		case "vitdyn_http_request_duration_seconds_sum":
+			sums[smp.Labels["route"]] = smp.Value
+		case "vitdyn_store_entries":
+			sc.storeEntries = int64(smp.Value)
+		case "vitdyn_costdb_entries":
+			sc.costdbEntries = int64(smp.Value)
+		}
+	}
+	for route, pts := range buckets {
+		if snap, ok := snapshotFromBuckets(pts, sums[route]); ok {
+			sc.routeHists[route] = snap
+		}
+	}
+	return sc
+}
+
+// parseLE decodes a histogram bucket bound, accepting "+Inf".
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// snapshotFromBuckets rebuilds a HistogramSnapshot from cumulative
+// `le` bucket samples. The exposition's shortest-round-trip float
+// formatting makes the recovered bounds bit-identical to the writer's,
+// so snapshots from same-binary daemons merge without error.
+func snapshotFromBuckets(pts []bucketPoint, sum float64) (obs.HistogramSnapshot, bool) {
+	if len(pts) < 2 {
+		return obs.HistogramSnapshot{}, false
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+	if !math.IsInf(pts[len(pts)-1].le, 1) {
+		return obs.HistogramSnapshot{}, false
+	}
+	snap := obs.HistogramSnapshot{
+		Bounds: make([]float64, 0, len(pts)-1),
+		Counts: make([]int64, len(pts)),
+		Sum:    sum,
+	}
+	prev := int64(0)
+	for i, pt := range pts {
+		if i < len(pts)-1 {
+			snap.Bounds = append(snap.Bounds, pt.le)
+		}
+		c := pt.cum - prev
+		if c < 0 {
+			c = 0 // racing writer between bucket reads on the peer
+		}
+		snap.Counts[i] = c
+		snap.Count += c
+		prev = pt.cum
+	}
+	return snap, true
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"vitdyn/internal/costdb"
+	"vitdyn/internal/obs"
+)
+
+// fleetzOf fetches and decodes /fleetz from a test server.
+func fleetzOf(t *testing.T, ts *httptest.Server) FleetzResponse {
+	t.Helper()
+	status, body := get(t, ts.URL+"/fleetz")
+	if status != http.StatusOK {
+		t.Fatalf("/fleetz: status %d, body %s", status, body)
+	}
+	var resp FleetzResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("/fleetz: decoding: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// TestFleetzAggregatesPeers pins the fleet merge: /fleetz on a daemon
+// gossiping with two peers reports all three, and the merged per-route
+// request count equals the sum of the per-daemon counts.
+func TestFleetzAggregatesPeers(t *testing.T) {
+	_, tsA := newTestServer(t, Options{})
+	_, tsB := newTestServer(t, Options{})
+	srvC, tsC := newTestServer(t, Options{})
+	NewGossiper(srvC, GossipOptions{Peers: []string{peerAddr(tsA), peerAddr(tsB)}}) // attached, never started
+
+	// Known traffic: one /healthz on A, two on B, three on C.
+	for i, ts := range []*httptest.Server{tsA, tsB, tsB, tsC, tsC, tsC} {
+		if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+			t.Fatalf("warmup %d: status %d", i, status)
+		}
+	}
+
+	resp := fleetzOf(t, tsC)
+	if len(resp.Peers) != 3 {
+		t.Fatalf("peers = %d, want 3 (self + 2)", len(resp.Peers))
+	}
+	if resp.PeersUp != 3 || resp.PeersDown != 0 || resp.Partial {
+		t.Errorf("up/down/partial = %d/%d/%v, want 3/0/false", resp.PeersUp, resp.PeersDown, resp.Partial)
+	}
+	self := resp.Peers[0]
+	if !self.Self || self.Status != "ok" || !self.Up {
+		t.Errorf("self row = %+v, want self/up/ok", self)
+	}
+	// The merged route count must equal the sum of what each daemon
+	// served (the /fleetz request itself is still in flight, and each
+	// peer's /metrics and /healthz scrapes land after its exposition was
+	// rendered, so neither skews the sum).
+	if got := resp.Routes["/healthz"].Requests; got != 6 {
+		t.Errorf("fleet /healthz requests = %d, want 6", got)
+	}
+	if self.Requests != 3 {
+		t.Errorf("self requests = %d, want 3", self.Requests)
+	}
+	wantPerPeer := map[string]int64{peerAddr(tsA): 1, peerAddr(tsB): 2}
+	for _, row := range resp.Peers[1:] {
+		if row.Requests != wantPerPeer[row.Addr] {
+			t.Errorf("peer %s requests = %d, want %d", row.Addr, row.Requests, wantPerPeer[row.Addr])
+		}
+		if !row.Up || row.Status != "ok" {
+			t.Errorf("peer %s = %+v, want up/ok", row.Addr, row)
+		}
+	}
+	// Merged histograms yield fleet percentiles for the route.
+	if p99 := resp.Routes["/healthz"].P99MS; p99 <= 0 {
+		t.Errorf("fleet /healthz p99 = %v, want > 0", p99)
+	}
+}
+
+// TestFleetzPeerDownPartial pins partial-failure tolerance: an
+// unreachable peer gets a down row with the error, the response is
+// marked partial, and the reachable rows still aggregate.
+func TestFleetzPeerDownPartial(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	NewGossiper(srv, GossipOptions{Peers: []string{"127.0.0.1:1"}})
+	get(t, ts.URL+"/healthz")
+
+	resp := fleetzOf(t, ts)
+	if len(resp.Peers) != 2 {
+		t.Fatalf("peers = %d, want 2", len(resp.Peers))
+	}
+	if !resp.Partial || resp.PeersDown != 1 || resp.PeersUp != 1 {
+		t.Errorf("partial/down/up = %v/%d/%d, want true/1/1", resp.Partial, resp.PeersDown, resp.PeersUp)
+	}
+	dead := resp.Peers[1]
+	if dead.Up || dead.Status != "down" || dead.Error == "" {
+		t.Errorf("dead peer row = %+v, want down with error", dead)
+	}
+	if resp.Routes["/healthz"].Requests != 1 {
+		t.Errorf("fleet /healthz requests = %d, want 1 from self", resp.Routes["/healthz"].Requests)
+	}
+}
+
+// TestFleetzWithoutGossip pins the degenerate fleet of one: /fleetz on
+// a peerless daemon reports only the self row.
+func TestFleetzWithoutGossip(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := fleetzOf(t, ts)
+	if len(resp.Peers) != 1 || !resp.Peers[0].Self {
+		t.Fatalf("peers = %+v, want single self row", resp.Peers)
+	}
+	if resp.Partial {
+		t.Error("single-daemon fleetz marked partial")
+	}
+}
+
+// TestFleetOutboundHeaders pins the fleet-traffic identification
+// satellite: /fleetz scrapes carry the versioned User-Agent and a
+// generated X-Request-Id.
+func TestFleetOutboundHeaders(t *testing.T) {
+	if !strings.HasPrefix(outboundUserAgent, "vitdynd/") {
+		t.Fatalf("outboundUserAgent = %q, want vitdynd/<version>", outboundUserAgent)
+	}
+	type seen struct{ ua, reqID string }
+	var got []seen
+	reg := obs.NewRegistry()
+	reg.Counter("vitdyn_http_requests_total", "Requests.", obs.Label{Key: "route", Value: "/x"}).Add(5)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, seen{r.Header.Get("User-Agent"), r.Header.Get("X-Request-Id")})
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		reg.WritePrometheus(w)
+	}))
+	defer peer.Close()
+
+	srv, ts := newTestServer(t, Options{})
+	NewGossiper(srv, GossipOptions{Peers: []string{peerAddr(peer)}})
+	resp := fleetzOf(t, ts)
+	if len(resp.Peers) != 2 || !resp.Peers[1].Up {
+		t.Fatalf("fake peer not scraped: %+v", resp.Peers)
+	}
+	if resp.Peers[1].Requests != 5 {
+		t.Errorf("fake peer requests = %d, want 5", resp.Peers[1].Requests)
+	}
+	if len(got) < 2 {
+		t.Fatalf("peer saw %d requests, want >= 2 (/metrics + /healthz)", len(got))
+	}
+	ids := map[string]bool{}
+	for i, s := range got {
+		if s.ua != outboundUserAgent {
+			t.Errorf("request %d User-Agent = %q, want %q", i, s.ua, outboundUserAgent)
+		}
+		if s.reqID == "" {
+			t.Errorf("request %d missing X-Request-Id", i)
+		}
+		ids[s.reqID] = true
+	}
+	if len(ids) != len(got) {
+		t.Errorf("X-Request-Id values not unique: %v", got)
+	}
+}
+
+// TestHealthzDegradedAllPeersQuarantined pins the degraded-health
+// satellite: when every gossip peer is quarantined, /healthz stays 200
+// but reports degraded with the reason, and the daemon's own /fleetz
+// row carries the same status.
+func TestHealthzDegradedAllPeersQuarantined(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	g := NewGossiper(srv, GossipOptions{Peers: []string{"127.0.0.1:1"}})
+
+	status, body := get(t, ts.URL+"/healthz")
+	var hz healthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("pre-quarantine healthz = %d %q, want 200 ok", status, hz.Status)
+	}
+
+	for _, p := range g.peers {
+		p.mu.Lock()
+		p.quarantined = true
+		p.mu.Unlock()
+	}
+
+	status, body = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Errorf("degraded healthz status = %d, want 200 (degraded is not down)", status)
+	}
+	if hz.Status != "degraded" {
+		t.Errorf("healthz status = %q, want degraded", hz.Status)
+	}
+	if len(hz.Reasons) != 1 || !strings.Contains(hz.Reasons[0], "all peers quarantined") {
+		t.Errorf("reasons = %v, want quarantine reason", hz.Reasons)
+	}
+
+	resp := fleetzOf(t, ts)
+	self := resp.Peers[0]
+	if self.Status != "degraded" || resp.PeersDegraded != 1 {
+		t.Errorf("fleetz self row status = %q (degraded peers %d), want degraded/1", self.Status, resp.PeersDegraded)
+	}
+	if len(self.Reasons) == 0 {
+		t.Error("fleetz self row missing degraded reasons")
+	}
+}
+
+// TestHealthzDegradedFlushError pins the persist-tier half of degraded
+// health: a failing costdb flush flips /healthz to degraded with the
+// flush error in the reasons.
+func TestHealthzDegradedFlushError(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore(0)
+	db, err := costdb.Open(dir, store, costdb.Options{CompactAge: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	_, ts := newTestServer(t, Options{Store: store, DB: db})
+
+	seedDB(t, db, "flushbk", 1, 1)
+	// Pull the directory out from under the WAL: the age-triggered
+	// compaction inside Flush cannot create its snapshot temp file.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err == nil {
+		t.Fatal("Flush with removed directory did not error")
+	}
+
+	status, body := get(t, ts.URL+"/healthz")
+	var hz healthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || hz.Status != "degraded" {
+		t.Fatalf("healthz = %d %q, want 200 degraded", status, hz.Status)
+	}
+	found := false
+	for _, r := range hz.Reasons {
+		if strings.Contains(r, "flush failing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasons = %v, want flush-failure reason", hz.Reasons)
+	}
+}

@@ -305,6 +305,10 @@ func (g *Gossiper) get(ctx context.Context, addr, path string) (io.ReadCloser, i
 	if err != nil {
 		return nil, 0, err
 	}
+	// Identify fleet-internal traffic in the peer's access logs: a
+	// versioned agent string plus a fresh request ID the peer echoes
+	// back, so a cross-daemon exchange correlates end to end.
+	setFleetHeaders(req)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -442,6 +446,14 @@ func (g *Gossiper) initMetrics(reg *obs.Registry) {
 			func() float64 { return float64(p.syncs.Load()) }, label)
 		reg.CounterFunc("vitdyn_gossip_peer_failures_total", "Failed gossip exchanges by peer.",
 			func() float64 { return float64(p.failures.Load()) }, label)
+		reg.CounterFunc("vitdyn_gossip_peer_quarantines_total", "Times the peer entered quarantine.",
+			func() float64 { return float64(p.quarantines.Load()) }, label)
+		reg.CounterFunc("vitdyn_gossip_peer_records_received_total", "Cost records merged as new from the peer.",
+			func() float64 { return float64(p.received.Load()) }, label)
+		reg.CounterFunc("vitdyn_gossip_peer_stale_dropped_total", "Peer records dropped at merge as stale-epoch.",
+			func() float64 { return float64(p.staleDrops.Load()) }, label)
+		reg.CounterFunc("vitdyn_gossip_peer_full_syncs_total", "Rounds served as a full dump by the peer.",
+			func() float64 { return float64(p.fullSyncs.Load()) }, label)
 		reg.GaugeFunc("vitdyn_gossip_peer_quarantined", "1 while the peer is quarantined.",
 			func() float64 {
 				p.mu.Lock()
@@ -450,6 +462,21 @@ func (g *Gossiper) initMetrics(reg *obs.Registry) {
 					return 1
 				}
 				return 0
+			}, label)
+		reg.GaugeFunc("vitdyn_gossip_peer_consecutive_failures", "Consecutive failed exchanges with the peer.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(p.consecFails)
+			}, label)
+		reg.GaugeFunc("vitdyn_gossip_peer_last_sync_age_seconds", "Seconds since the last successful sync; -1 before the first.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				if p.lastSync.IsZero() {
+					return -1
+				}
+				return time.Since(p.lastSync).Seconds()
 			}, label)
 	}
 }

@@ -9,6 +9,7 @@ package serve
 // source of truth.
 
 import (
+	"fmt"
 	"net/http"
 	"runtime"
 	"time"
@@ -18,11 +19,59 @@ import (
 
 // routeMetrics are the pre-resolved per-route instruments the middleware
 // records into — handles resolved once at construction, so the per
-// request cost is one histogram observe and one counter increment, with
+// request cost is two histogram observes and one counter increment, with
 // no registry lookups.
 type routeMetrics struct {
-	latency *obs.Histogram
-	status  [6]*obs.Counter // index 1..5 = 1xx..5xx, 0 = anything else
+	latency *obs.Histogram         // cumulative since boot
+	window  *obs.WindowedHistogram // rolling, feeds the 1m/5m series
+	status  [6]*obs.Counter        // index 1..5 = 1xx..5xx, 0 = anything else
+}
+
+// windowSpec is one rolling-metrics window: its exposition label and
+// duration.
+type windowSpec struct {
+	label string
+	dur   time.Duration
+}
+
+// windowSpecsFor resolves Options.Window to the exported windows: the
+// short window itself plus 5× it (the conventional 1m/5m pair at the
+// default).
+func windowSpecsFor(short time.Duration) []windowSpec {
+	long := 5 * short
+	return []windowSpec{
+		{label: windowLabel(short), dur: short},
+		{label: windowLabel(long), dur: long},
+	}
+}
+
+// windowLabel renders a duration as a compact label ("1m", "30s",
+// "2m30s") for the window= exposition label and /statsz keys.
+func windowLabel(d time.Duration) string {
+	if d >= time.Minute && d%time.Minute == 0 {
+		return fmt.Sprintf("%dm", d/time.Minute)
+	}
+	return d.String()
+}
+
+// windowSlotsFor sizes the shared slot ring: 12 slots per short window
+// (a "1m" view refreshes every 5s), with enough slots to answer the
+// longest window plus the current partial slot.
+func windowSlotsFor(windows []windowSpec) (slot time.Duration, slots int) {
+	short, long := windows[0].dur, windows[0].dur
+	for _, ws := range windows {
+		if ws.dur < short {
+			short = ws.dur
+		}
+		if ws.dur > long {
+			long = ws.dur
+		}
+	}
+	slot = short / 12
+	if slot <= 0 {
+		slot = time.Second
+	}
+	return slot, int(long/slot) + 1
 }
 
 // statusClasses are the status label values, indexed like
@@ -44,12 +93,18 @@ func classIdx(code int) int {
 // cardinality stays bounded no matter what clients request.
 func (s *Server) initMetrics(routes []string) {
 	reg := s.metrics
+	slot, slots := windowSlotsFor(s.windows)
+	quantiles := []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}}
 	s.routeStats = make(map[string]*routeMetrics, len(routes)+1)
 	for _, route := range append(routes, "other") {
 		rm := &routeMetrics{
 			latency: reg.Histogram("vitdyn_http_request_duration_seconds",
 				"HTTP request latency by route.", obs.DefaultLatencyBuckets,
 				obs.Label{Key: "route", Value: route}),
+			window: obs.NewWindowedHistogram(obs.DefaultLatencyBuckets, slot, slots),
 		}
 		for i, class := range statusClasses {
 			rm.status[i] = reg.Counter("vitdyn_http_requests_total",
@@ -57,7 +112,44 @@ func (s *Server) initMetrics(routes []string) {
 				obs.Label{Key: "route", Value: route},
 				obs.Label{Key: "status", Value: class})
 		}
+		routeLabel := obs.Label{Key: "route", Value: route}
+		for _, ws := range s.windows {
+			ws := ws
+			for _, qt := range quantiles {
+				qt := qt
+				reg.GaugeFunc("vitdyn_http_request_duration_window_seconds",
+					"HTTP request latency quantile over the trailing window, by route.",
+					func() float64 { return rm.window.Snapshot(ws.dur).Quantile(qt.q) },
+					routeLabel,
+					obs.Label{Key: "window", Value: ws.label},
+					obs.Label{Key: "quantile", Value: qt.label})
+			}
+			reg.GaugeFunc("vitdyn_http_requests_window_rate",
+				"Requests per second over the trailing window, by route.",
+				func() float64 { return float64(rm.window.Snapshot(ws.dur).Count) / ws.dur.Seconds() },
+				routeLabel,
+				obs.Label{Key: "window", Value: ws.label})
+		}
 		s.routeStats[route] = rm
+	}
+	for _, ws := range s.windows {
+		ws := ws
+		wl := obs.Label{Key: "window", Value: ws.label}
+		reg.GaugeFunc("vitdyn_requests_window_rate",
+			"Requests per second over the trailing window, all routes.",
+			func() float64 {
+				var n int64
+				for _, rm := range s.routeStats {
+					n += rm.window.Snapshot(ws.dur).Count
+				}
+				return float64(n) / ws.dur.Seconds()
+			}, wl)
+		reg.GaugeFunc("vitdyn_catalog_cache_window_hit_ratio",
+			"Catalog-cache hit rate over the trailing window (0 before any lookup).",
+			func() float64 { return windowRatio(s.wCatalogHits, s.wCatalogMisses, ws.dur) }, wl)
+		reg.GaugeFunc("vitdyn_response_cache_window_hit_ratio",
+			"Response-cache hit rate over the trailing window (0 before any lookup).",
+			func() float64 { return windowRatio(s.wRespHits, s.wRespMisses, ws.dur) }, wl)
 	}
 
 	counter := func(name, help string, v func() int64) {
@@ -72,6 +164,13 @@ func (s *Server) initMetrics(routes []string) {
 		func() float64 { return float64(s.active.Load()) })
 	counter("vitdyn_sweeps_completed_total", "Catalog sweeps completed.", s.sweeps.Load)
 	counter("vitdyn_sweeps_rejected_total", "Sweeps that timed out waiting for a slot.", s.rejected.Load)
+	gauge("vitdyn_server_max_concurrent_sweeps", "Server-wide concurrent sweep limit.",
+		func() float64 { return float64(s.opts.MaxConcurrentSweeps) })
+	gauge("vitdyn_server_workers", "Per-request worker cap.",
+		func() float64 { return float64(s.opts.Workers) })
+	counter("vitdyn_requestz_recorded_total", "Requests captured by the always-on requestz recorder.", s.requestz.Total)
+	gauge("vitdyn_requestz_capacity", "Requestz recent-ring capacity.",
+		func() float64 { return float64(s.requestz.Capacity()) })
 
 	counter("vitdyn_stream_generated_total", "Candidates entering the streaming pipeline.", s.streamGenerated.Load)
 	counter("vitdyn_stream_prefiltered_total", "Candidates skipped by the FLOPs-proxy admission filter.", s.streamPrefiltered.Load)
@@ -100,6 +199,7 @@ func (s *Server) initMetrics(routes []string) {
 	counter("vitdyn_store_errors_total", "Cost-store lookups whose computation failed.", func() int64 { return store.Stats().Errors })
 	counter("vitdyn_store_evictions_total", "Cost-store entries dropped under capacity pressure.", func() int64 { return store.Stats().Evictions })
 	gauge("vitdyn_store_entries", "Resident cost-store entries.", func() float64 { return float64(store.Len()) })
+	gauge("vitdyn_store_capacity", "Cost-store entry capacity.", func() float64 { return float64(store.Stats().Capacity) })
 	gauge("vitdyn_store_hit_ratio", "Cost-store hit rate (0 before any lookup).", func() float64 { return store.Stats().HitRate() })
 
 	cc := s.catalog
@@ -109,6 +209,8 @@ func (s *Server) initMetrics(routes []string) {
 	counter("vitdyn_catalog_cache_evictions_total", "Catalogs evicted under capacity pressure.", func() int64 { return cc.Stats().Evictions })
 	counter("vitdyn_catalog_cache_invalidations_total", "Catalogs dropped on a backend epoch change.", func() int64 { return cc.Stats().Invalidations })
 	gauge("vitdyn_catalog_cache_entries", "Resident cached catalogs.", func() float64 { return float64(cc.Len()) })
+	gauge("vitdyn_catalog_cache_capacity", "Catalog-cache entry capacity.", func() float64 { return float64(cc.Stats().Capacity) })
+	gauge("vitdyn_catalog_cache_shards", "Catalog-cache shard count.", func() float64 { return float64(cc.Stats().Shards) })
 	gauge("vitdyn_catalog_cache_hit_ratio", "Catalog-cache hit rate (0 before any lookup).", func() float64 { return cc.Stats().HitRate() })
 
 	rc := s.resp
@@ -117,6 +219,8 @@ func (s *Server) initMetrics(routes []string) {
 	counter("vitdyn_response_cache_invalidations_total", "Cached responses dropped on a backend epoch change.", func() int64 { return rc.Stats().Invalidations })
 	counter("vitdyn_response_cache_evictions_total", "Cached responses evicted under capacity pressure.", func() int64 { return rc.Stats().Evictions })
 	gauge("vitdyn_response_cache_entries", "Resident pre-encoded responses.", func() float64 { return float64(rc.Len()) })
+	gauge("vitdyn_response_cache_capacity", "Response-cache entry capacity.", func() float64 { return float64(rc.Stats().Capacity) })
+	gauge("vitdyn_response_cache_shards", "Response-cache shard count.", func() float64 { return float64(rc.Stats().Shards) })
 	gauge("vitdyn_response_cache_hit_ratio", "Response-cache hit rate (0 before any lookup).", func() float64 { return rc.Stats().HitRate() })
 
 	poolSeries := func(pool string, v func() PoolCounters) {
@@ -133,7 +237,14 @@ func (s *Server) initMetrics(routes []string) {
 		counter("vitdyn_costdb_appends_total", "Cost records appended to the WAL.", func() int64 { return db.Stats().Appends })
 		counter("vitdyn_costdb_disk_hits_total", "Lookups served from the durable tier.", func() int64 { return db.Stats().DiskHits })
 		counter("vitdyn_costdb_compactions_total", "Snapshot compactions completed.", func() int64 { return db.Stats().Compactions })
+		counter("vitdyn_costdb_retired_total", "Stale-epoch entries dropped at compaction.", func() int64 { return db.Stats().Retired })
+		counter("vitdyn_costdb_flush_errors_total", "Flushes of the durable tier that failed.", func() int64 { return db.Stats().FlushErrors })
 		gauge("vitdyn_costdb_entries", "Entries in the durable tier.", func() float64 { return float64(db.Stats().Entries) })
+		gauge("vitdyn_costdb_loaded_entries", "Entries warm-booted from disk at open.", func() float64 { return float64(db.Stats().LoadedEntries) })
+		gauge("vitdyn_costdb_wal_bytes", "Bytes in the un-compacted WAL tail.", func() float64 { return float64(db.Stats().WALBytes) })
+		gauge("vitdyn_costdb_wal_records", "Records in the un-compacted WAL tail.", func() float64 { return float64(db.Stats().WALRecords) })
+		gauge("vitdyn_costdb_last_flush_age_seconds", "Seconds since the durable tier last fsynced or compacted.",
+			func() float64 { return float64(db.Stats().LastFlushAgeMS) / 1e3 })
 	}
 
 	gauge("vitdyn_uptime_seconds", "Seconds since the server started.",

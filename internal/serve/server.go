@@ -71,6 +71,15 @@ type Options struct {
 	// AccessLog, when non-nil, receives one structured line per request.
 	// Nil disables access logging (the vitdynd -quiet path).
 	AccessLog *obs.AccessLogger
+	// Window is the short rolling-metrics window: /metrics and /statsz
+	// report per-route latency quantiles, request rates and cache hit
+	// rates over this window and over 5× it, alongside the cumulative
+	// series. <= 0 selects one minute (windows "1m" and "5m").
+	Window time.Duration
+	// RequestzCapacity sizes the always-on recent-request ring behind
+	// GET /debug/requestz (the slowest-N-per-route tier rides along).
+	// <= 0 selects 256.
+	RequestzCapacity int
 }
 
 // withDefaults resolves the zero-value conveniences.
@@ -93,6 +102,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxImportBytes <= 0 {
 		o.MaxImportBytes = maxImportBodyBytes
 	}
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	if o.RequestzCapacity <= 0 {
+		o.RequestzCapacity = 256
+	}
 	return o
 }
 
@@ -112,6 +127,16 @@ type Server struct {
 	metrics    *obs.Registry            // the /metrics registry
 	routeStats map[string]*routeMetrics // per-route latency + status instruments
 	gossip     *Gossiper                // attached by NewGossiper; nil without -peers
+	requestz   *obs.Requestz            // always-on recent/slowest request recorder
+	windows    []windowSpec             // rolling-metrics windows ("1m", "5m")
+	boundAddr  string                   // set by ListenAndServe before serving; "" under httptest
+
+	// rolling-window cache counters (the cumulative ones live in the
+	// caches themselves; these feed the "over the last minute" views)
+	wCatalogHits   *obs.WindowedCounter
+	wCatalogMisses *obs.WindowedCounter
+	wRespHits      *obs.WindowedCounter
+	wRespMisses    *obs.WindowedCounter
 
 	requests atomic.Int64 // requests accepted (all endpoints)
 	active   atomic.Int64 // requests currently in flight
@@ -163,10 +188,18 @@ func NewServer(opts Options) *Server {
 		}
 	}
 	s.metrics = s.opts.Metrics
+	s.requestz = obs.NewRequestz(s.opts.RequestzCapacity, 0)
+	s.windows = windowSpecsFor(s.opts.Window)
+	slot, slots := windowSlotsFor(s.windows)
+	s.wCatalogHits = obs.NewWindowedCounter(slot, slots)
+	s.wCatalogMisses = obs.NewWindowedCounter(slot, slots)
+	s.wRespHits = obs.NewWindowedCounter(slot, slots)
+	s.wRespMisses = obs.NewWindowedCounter(slot, slots)
 	handlers := map[string]http.HandlerFunc{
 		"/healthz":         s.handleHealthz,
 		"/statsz":          s.handleStatsz,
 		"/metrics":         s.handleMetrics,
+		"/fleetz":          s.handleFleetz,
 		"/versionz":        s.handleVersionz,
 		"/v1/backends":     s.handleBackends,
 		"/v1/catalog":      s.handleCatalog,
@@ -252,38 +285,71 @@ func (s *Server) Handler() http.Handler {
 			h["X-Request-Id"] = []string{id}
 		}
 		if r.Method == http.MethodGet && r.URL.Path == "/v1/catalog" && respCacheableQuery(r.URL.RawQuery) {
-			if ent, ok := s.resp.lookup(respCatalog, r.URL.RawQuery); ok {
+			if ent, ok := s.respLookup(respCatalog, r.URL.RawQuery); ok {
 				h["Content-Type"] = jsonContentType
 				h["Content-Length"] = ent.clen
 				w.WriteHeader(http.StatusOK)
 				_, _ = w.Write(ent.body)
-				s.observe(r, id, start, http.StatusOK, int64(len(ent.body)))
+				s.observe(r, id, start, http.StatusOK, int64(len(ent.body)), nil, true)
 				return
 			}
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
-		// The Contains pre-check keeps the common untraced path free of
-		// query parsing; Query().Get confirms an exact match.
+		// Every mux-dispatched request is traced — the requestz recorder
+		// keeps the spans so a slow request can be explained after the
+		// fact — but only an explicit ?debug=trace echoes the trace block
+		// into the response body (cached responses must stay
+		// byte-identical to untraced ones). The Contains pre-check keeps
+		// the common path free of query parsing; Query().Get confirms an
+		// exact match.
+		tr := obs.NewTrace(id)
 		if strings.Contains(r.URL.RawQuery, "debug=trace") && r.URL.Query().Get("debug") == "trace" {
-			ctx = obs.WithTrace(ctx, obs.NewTrace(id))
+			tr.SetEcho(true)
 		}
+		ctx = obs.WithTrace(ctx, tr)
 		rec := getStatusRecorder(w)
 		s.mux.ServeHTTP(rec, r.WithContext(ctx))
 		status, bytes := rec.Status(), rec.bytes
 		putStatusRecorder(rec)
-		s.observe(r, id, start, status, bytes)
+		s.observe(r, id, start, status, bytes, tr, false)
 	})
 }
 
 // observe is the middleware epilogue shared by the fast path and the
-// mux path: per-route latency histogram observation, status-class
-// counter increment, and — when configured — one access-log line.
-func (s *Server) observe(r *http.Request, id string, start time.Time, status int, bytes int64) {
+// mux path: per-route latency histogram observation (cumulative and
+// windowed), status-class counter increment, one requestz record, and
+// — when configured — one access-log line. tr is the request's trace
+// (nil on the pre-mux fast path); respHit marks a response served from
+// pre-encoded bytes. Everything here is allocation-free when tr is
+// nil, which is what keeps the warm catalog fast path at 0 allocs/op.
+func (s *Server) observe(r *http.Request, id string, start time.Time, status int, bytes int64, tr *obs.Trace, respHit bool) {
 	elapsed := time.Since(start)
 	rm := s.routeMetricsFor(r.URL.Path)
 	rm.latency.ObserveDuration(elapsed)
+	rm.window.ObserveDuration(elapsed)
 	rm.status[classIdx(status)].Inc()
+	spans := tr.Spans() // nil (and allocation-free) on the fast path
+	hit := respHit
+	for _, sp := range spans {
+		if sp.Name == "catalog_cache_hit" {
+			hit = true
+			break
+		}
+	}
+	s.requestz.Record(obs.RequestRecord{
+		ID:       id,
+		Route:    s.routeNameFor(r.URL.Path),
+		Method:   r.Method,
+		Path:     r.URL.Path,
+		Query:    r.URL.RawQuery,
+		Status:   status,
+		Bytes:    bytes,
+		Start:    start,
+		Duration: elapsed,
+		CacheHit: hit,
+		Spans:    spans,
+	})
 	s.opts.AccessLog.Log(obs.AccessEntry{
 		Time:       start,
 		RequestID:  id,
@@ -310,6 +376,34 @@ func (s *Server) observe(r *http.Request, id string, start time.Time, status int
 func respCacheableQuery(raw string) bool {
 	return !strings.Contains(raw, "debug=") && !strings.Contains(raw, "workers=")
 }
+
+// respLookup probes the response cache and feeds the windowed hit/miss
+// counters alongside the cache's own cumulative ones.
+func (s *Server) respLookup(kind respKind, key string) (*respEntry, bool) {
+	ent, ok := s.resp.lookup(kind, key)
+	if ok {
+		s.wRespHits.Inc()
+	} else {
+		s.wRespMisses.Inc()
+	}
+	return ent, ok
+}
+
+// respLookupKeyed is respLookup over a derived cache key (the batch
+// and replay POST bodies).
+func (s *Server) respLookupKeyed(kind respKind, key string) (*respEntry, bool) {
+	ent, ok := s.resp.lookupKeyed(kind, key)
+	if ok {
+		s.wRespHits.Inc()
+	} else {
+		s.wRespMisses.Inc()
+	}
+	return ent, ok
+}
+
+// Requestz returns the server's always-on request recorder; vitdynd
+// mounts it as GET /debug/requestz on the -debug-addr listener.
+func (s *Server) Requestz() *obs.Requestz { return s.requestz }
 
 // routeNameFor returns the bounded route label for a path ("other" for
 // unregistered paths), for log lines that must not echo arbitrary client
@@ -356,26 +450,129 @@ func httpStatusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// healthzResponse is the /healthz body. Status is "ok" or "degraded"
+// (both served with 200 — degraded means "up but impaired", and load
+// balancers should keep routing); Reasons names each impairment.
+type healthzResponse struct {
+	Status   string   `json:"status"`
+	UptimeMS int64    `json:"uptime_ms"`
+	Reasons  []string `json:"reasons,omitempty"`
+}
+
+// healthStatus computes the daemon's health: degraded when every
+// gossip peer is quarantined (the daemon is serving but cut off from
+// the fleet) or when the persist tier's flushes are failing (serving
+// from memory, durability impaired).
+func (s *Server) healthStatus() (string, []string) {
+	var reasons []string
+	if s.gossip != nil {
+		if gs := s.gossip.Stats(); len(gs.Peers) > 0 && gs.Quarantined == len(gs.Peers) {
+			reasons = append(reasons, "gossip: all peers quarantined")
+		}
+	}
+	if s.opts.DB != nil {
+		if ds := s.opts.DB.Stats(); ds.LastFlushError != "" {
+			reasons = append(reasons, "costdb: flush failing: "+ds.LastFlushError)
+		}
+	}
+	if len(reasons) > 0 {
+		return "degraded", reasons
+	}
+	return "ok", nil
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": time.Since(s.start).Milliseconds(),
+	status, reasons := s.healthStatus()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   status,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Reasons:  reasons,
 	})
 }
 
 // statszResponse is the /statsz envelope. Costdb appears only when the
 // server runs over a durable tier (-store-path on vitdynd).
 type statszResponse struct {
-	Store         StoreStats        `json:"store"`
-	CatalogCache  catalogCacheStatz `json:"catalog_cache"`
-	ResponseCache respCacheStatz    `json:"response_cache"`
-	Pools         poolsStatz        `json:"pools"`
-	Server        serverStats       `json:"server"`
-	Stream        streamStats       `json:"stream"`
-	Replay        replayStats       `json:"replay"`
-	Persist       persistStats      `json:"persist"`
-	Costdb        *costdb.Stats     `json:"costdb,omitempty"`
-	Gossip        *GossipStats      `json:"gossip,omitempty"`
+	Store         StoreStats             `json:"store"`
+	CatalogCache  catalogCacheStatz      `json:"catalog_cache"`
+	ResponseCache respCacheStatz         `json:"response_cache"`
+	Pools         poolsStatz             `json:"pools"`
+	Server        serverStats            `json:"server"`
+	Stream        streamStats            `json:"stream"`
+	Replay        replayStats            `json:"replay"`
+	Persist       persistStats           `json:"persist"`
+	Costdb        *costdb.Stats          `json:"costdb,omitempty"`
+	Gossip        *GossipStats           `json:"gossip,omitempty"`
+	Requestz      requestzStatz          `json:"requestz"`
+	Windows       map[string]windowStatz `json:"windows"`
+}
+
+// requestzStatz is the /statsz view of the always-on request recorder.
+type requestzStatz struct {
+	Recorded int64 `json:"recorded"`
+	Capacity int   `json:"capacity"`
+}
+
+// windowStatz is one rolling window's /statsz section: totals plus the
+// per-route latency quantiles over the trailing window.
+type windowStatz struct {
+	Seconds              float64                     `json:"seconds"`
+	Requests             int64                       `json:"requests"`
+	RatePerSec           float64                     `json:"rate_per_sec"`
+	CatalogCacheHitRate  float64                     `json:"catalog_cache_hit_rate"`
+	ResponseCacheHitRate float64                     `json:"response_cache_hit_rate"`
+	Routes               map[string]routeWindowStatz `json:"routes"`
+}
+
+// routeWindowStatz is one route's trailing-window latency view. Only
+// routes with traffic inside the window appear.
+type routeWindowStatz struct {
+	Requests   int64   `json:"requests"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	P999MS     float64 `json:"p999_ms"`
+}
+
+// windowRatio folds two windowed counters into a hit rate over the
+// trailing window (0 before any lookup in the window).
+func windowRatio(hits, misses *obs.WindowedCounter, d time.Duration) float64 {
+	h, m := hits.Sum(d), misses.Sum(d)
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// windowStats renders every configured rolling window, keyed by label
+// ("1m", "5m").
+func (s *Server) windowStats() map[string]windowStatz {
+	out := make(map[string]windowStatz, len(s.windows))
+	for _, ws := range s.windows {
+		w := windowStatz{
+			Seconds:              ws.dur.Seconds(),
+			CatalogCacheHitRate:  windowRatio(s.wCatalogHits, s.wCatalogMisses, ws.dur),
+			ResponseCacheHitRate: windowRatio(s.wRespHits, s.wRespMisses, ws.dur),
+			Routes:               make(map[string]routeWindowStatz),
+		}
+		for route, rm := range s.routeStats {
+			snap := rm.window.Snapshot(ws.dur)
+			if snap.Count == 0 {
+				continue
+			}
+			w.Requests += snap.Count
+			w.Routes[route] = routeWindowStatz{
+				Requests:   snap.Count,
+				RatePerSec: float64(snap.Count) / ws.dur.Seconds(),
+				P50MS:      snap.Quantile(0.5) * 1e3,
+				P99MS:      snap.Quantile(0.99) * 1e3,
+				P999MS:     snap.Quantile(0.999) * 1e3,
+			}
+		}
+		w.RatePerSec = float64(w.Requests) / ws.dur.Seconds()
+		out[ws.label] = w
+	}
+	return out
 }
 
 // catalogCacheStatz is the /statsz view of the catalog result cache: the
@@ -500,8 +697,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			DeltaEntriesSent: s.deltaEntriesSent.Load(),
 			DeltaErrors:      s.deltaErrors.Load(),
 		},
-		Costdb: dbStats,
-		Gossip: gossipStats,
+		Costdb:   dbStats,
+		Gossip:   gossipStats,
+		Requestz: requestzStatz{Recorded: s.requestz.Total(), Capacity: s.requestz.Capacity()},
+		Windows:  s.windowStats(),
 	})
 }
 
@@ -634,10 +833,14 @@ type TraceBlock struct {
 	DurationNS int64      `json:"duration_ns"` // trace age at encode time
 }
 
-// traceBlockFor renders the context's trace, nil when untraced.
+// traceBlockFor renders the context's trace — nil unless the request
+// explicitly asked for the echo (?debug=trace). Every request carries
+// a trace since the requestz recorder landed, so the echo flag, not
+// trace presence, is what keeps cached response bytes identical to
+// untraced ones.
 func traceBlockFor(ctx context.Context) *TraceBlock {
 	tr := obs.ContextTrace(ctx)
-	if tr == nil {
+	if !tr.Echoed() {
 		return nil
 	}
 	return &TraceBlock{RequestID: tr.ID(), Spans: tr.Spans(), DurationNS: tr.Age().Nanoseconds()}
@@ -748,6 +951,7 @@ func (s *Server) catalogFor(ctx context.Context, req CatalogRequest, backend eng
 		t0 = time.Now()
 	}
 	if cat, ok := s.catalog.lookup(key, epoch); ok {
+		s.wCatalogHits.Inc()
 		if tr != nil {
 			tr.AddSpan("catalog_cache_hit", t0, time.Since(t0))
 		}
@@ -787,6 +991,15 @@ func (s *Server) catalogFor(ctx context.Context, req CatalogRequest, backend eng
 	})
 	if tr != nil {
 		addBuildSpans(tr, buildStart, time.Since(buildStart), ran, timings)
+	}
+	if err == nil {
+		// Mirror the cache's own accounting: a request that joined
+		// another request's in-flight build counts as a hit.
+		if ran {
+			s.wCatalogMisses.Inc()
+		} else {
+			s.wCatalogHits.Inc()
+		}
 	}
 	return cat, err
 }
@@ -972,7 +1185,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var cacheKey string
 	if respCacheableQuery(r.URL.RawQuery) {
 		cacheKey = batchCacheKey(req)
-		if ent, ok := s.resp.lookupKeyed(respBatch, cacheKey); ok {
+		if ent, ok := s.respLookupKeyed(respBatch, cacheKey); ok {
 			writeEntry(w, ent)
 			return
 		}
@@ -1214,6 +1427,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, onListen func(
 	if err != nil {
 		return err
 	}
+	// Written before any handler goroutine exists, so /fleetz can label
+	// this daemon's own row with its bound address without synchronization.
+	s.boundAddr = ln.Addr().String()
 	if onListen != nil {
 		onListen(ln.Addr())
 	}

@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -131,29 +132,133 @@ func schedule(kinds []*kindState) []*kindState {
 
 // scrapeMetrics fetches and strictly parses the target's /metrics; an
 // unparseable exposition is a hard failure (the whole point of -scrape
-// is gating on exposition validity).
-func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]float64, error) {
+// is gating on exposition validity). Returns the raw samples plus a
+// key→value map for delta reporting.
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) ([]obs.Sample, map[string]float64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+		return nil, nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
 	}
 	samples, err := obs.ParseExposition(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("invalid exposition: %w", err)
+		return nil, nil, fmt.Errorf("invalid exposition: %w", err)
 	}
 	out := make(map[string]float64, len(samples))
 	for _, s := range samples {
 		out[s.Key()] = s.Value
 	}
-	return out, nil
+	return samples, out, nil
+}
+
+// checkWindowedSeries is the -scrape gate on the rolling-window
+// exposition: after a load run the windowed per-route duration
+// quantiles and the window rate series must exist and carry the traffic
+// just offered (a load run finishes well inside the shortest window).
+// It prints the windowed p99s next to the cumulative p99 reconstructed
+// from the same scrape's histogram buckets, so a drift between the two
+// methodologies is visible in every CI load log.
+func checkWindowedSeries(stdout io.Writer, samples []obs.Sample) error {
+	// route → window → windowed p99 (seconds).
+	winP99 := make(map[string]map[string]float64)
+	rateSeen := false
+	for _, s := range samples {
+		switch s.Name {
+		case "vitdyn_http_request_duration_window_seconds":
+			if s.Labels["quantile"] != "0.99" {
+				continue
+			}
+			route := s.Labels["route"]
+			if winP99[route] == nil {
+				winP99[route] = make(map[string]float64)
+			}
+			winP99[route][s.Labels["window"]] = s.Value
+		case "vitdyn_requests_window_rate":
+			if s.Value > 0 {
+				rateSeen = true
+			}
+		}
+	}
+	if len(winP99) == 0 {
+		return fmt.Errorf("no vitdyn_http_request_duration_window_seconds series in /metrics")
+	}
+	if !rateSeen {
+		return fmt.Errorf("vitdyn_requests_window_rate is zero for every window after a load run")
+	}
+
+	// Cumulative p99 per route, rebuilt from the _bucket series of the
+	// same scrape.
+	type pt struct {
+		le  float64
+		cum int64
+	}
+	buckets := make(map[string][]pt)
+	for _, s := range samples {
+		if s.Name != "vitdyn_http_request_duration_seconds_bucket" {
+			continue
+		}
+		le := math.Inf(1)
+		if l := s.Labels["le"]; l != "+Inf" {
+			v, err := strconv.ParseFloat(l, 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		route := s.Labels["route"]
+		buckets[route] = append(buckets[route], pt{le, int64(s.Value)})
+	}
+	cumP99 := make(map[string]float64)
+	for route, pts := range buckets {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+		snap := obs.HistogramSnapshot{Counts: make([]int64, len(pts))}
+		prev := int64(0)
+		for i, p := range pts {
+			if !math.IsInf(p.le, 1) {
+				snap.Bounds = append(snap.Bounds, p.le)
+			}
+			snap.Counts[i] = p.cum - prev
+			snap.Count += p.cum - prev
+			prev = p.cum
+		}
+		cumP99[route] = snap.Quantile(0.99)
+	}
+
+	routes := make([]string, 0, len(winP99))
+	for r := range winP99 {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	nonEmpty := false
+	fmt.Fprintf(stdout, "loadgen: p99 windowed vs cumulative per route:\n")
+	for _, route := range routes {
+		windows := make([]string, 0, len(winP99[route]))
+		for w := range winP99[route] {
+			windows = append(windows, w)
+		}
+		sort.Strings(windows)
+		line := fmt.Sprintf("loadgen:   %-24s", route)
+		for _, w := range windows {
+			v := winP99[route][w]
+			if v > 0 {
+				nonEmpty = true
+			}
+			line += fmt.Sprintf("  %s %8.3fms", w, v*1e3)
+		}
+		line += fmt.Sprintf("  cumulative %8.3fms", cumP99[route]*1e3)
+		fmt.Fprintln(stdout, line)
+	}
+	if !nonEmpty {
+		return fmt.Errorf("every windowed p99 is zero after a load run — windowed histograms not recording")
+	}
+	return nil
 }
 
 // reportScrapeDelta prints every non-bucket series that moved between
@@ -348,7 +453,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var preScrape map[string]float64
 	if *scrape {
 		sctx, cancel := context.WithTimeout(ctx, *timeout)
-		preScrape, err = scrapeMetrics(sctx, client, baseURL)
+		_, preScrape, err = scrapeMetrics(sctx, client, baseURL)
 		cancel()
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: pre-run scrape: %v\n", err)
@@ -472,13 +577,17 @@ loop:
 
 	if *scrape {
 		sctx, cancel := context.WithTimeout(ctx, *timeout)
-		postScrape, err := scrapeMetrics(sctx, client, baseURL)
+		postSamples, postScrape, err := scrapeMetrics(sctx, client, baseURL)
 		cancel()
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: post-run scrape: %v\n", err)
 			return 1
 		}
 		reportScrapeDelta(stdout, preScrape, postScrape)
+		if err := checkWindowedSeries(stdout, postSamples); err != nil {
+			fmt.Fprintf(stderr, "loadgen: windowed metrics check: %v\n", err)
+			return 1
+		}
 	}
 
 	if done := totalOK + totalErrs; done > 0 {
